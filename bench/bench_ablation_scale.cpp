@@ -1,0 +1,100 @@
+// Ablation: system size. The paper shows only the 64-node R(1,8,8) "due
+// to space constraints"; this bench sweeps R(1,B,D) to check that the
+// qualitative story (DBR gain on complement, P-B power savings on uniform)
+// holds as the system scales.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace erapid;
+
+struct ScalePoint {
+  double complement_gain;   // NP-B / NP-NB accepted throughput
+  double uniform_power_saved;  // 1 - P-B/NP-NB power on uniform
+  double uniform_thru_keep;    // P-B / NP-NB throughput on uniform
+};
+
+std::map<std::string, ScalePoint>& results() {
+  static std::map<std::string, ScalePoint> r;
+  return r;
+}
+
+sim::SimOptions opts(std::uint32_t boards, std::uint32_t nodes) {
+  sim::SimOptions o;
+  o.system.boards = boards;
+  o.system.nodes_per_board = nodes;
+  o.load_fraction = 0.5;
+  o.warmup_cycles = 8000;
+  o.measure_cycles = 12000;
+  o.drain_limit = 40000;
+  return o;
+}
+
+void run_scale(benchmark::State& state, std::uint32_t boards, std::uint32_t nodes) {
+  ScalePoint pt{};
+  for (auto _ : state) {
+    // Complement: static vs bandwidth-reconfigured.
+    auto oc = opts(boards, nodes);
+    oc.pattern = traffic::PatternKind::Complement;
+    oc.reconfig.mode = reconfig::NetworkMode::np_nb();
+    const auto c_base = sim::Simulation(oc).run();
+    oc.reconfig.mode = reconfig::NetworkMode::np_b();
+    const auto c_reconf = sim::Simulation(oc).run();
+    pt.complement_gain =
+        c_base.accepted_fraction > 0 ? c_reconf.accepted_fraction / c_base.accepted_fraction
+                                     : 0.0;
+
+    // Uniform: static vs P-B.
+    auto ou = opts(boards, nodes);
+    ou.reconfig.mode = reconfig::NetworkMode::np_nb();
+    const auto u_base = sim::Simulation(ou).run();
+    ou.reconfig.mode = reconfig::NetworkMode::p_b();
+    const auto u_pb = sim::Simulation(ou).run();
+    pt.uniform_power_saved = 1.0 - u_pb.power_avg_mw / u_base.power_avg_mw;
+    pt.uniform_thru_keep = u_pb.accepted_fraction / u_base.accepted_fraction;
+    benchmark::DoNotOptimize(&pt);
+  }
+  const std::string name = "R(1," + std::to_string(boards) + "," + std::to_string(nodes) +
+                           ")=" + std::to_string(boards * nodes);
+  results()[name] = pt;
+  state.counters["compl_gain"] = pt.complement_gain;
+  state.counters["uni_power_saved"] = pt.uniform_power_saved;
+}
+
+void print_scale() {
+  if (results().empty()) return;
+  std::cout << "\n== Ablation: system size R(1,B,D) @ 0.5 N_c ==\n";
+  util::TablePrinter t({"system", "complement NP-B gain", "uniform P-B power saved",
+                        "uniform P-B thru kept"});
+  for (const auto& [name, pt] : results()) {
+    t.row_values(name, util::TablePrinter::fixed(pt.complement_gain, 2) + "x",
+                 util::TablePrinter::fixed(100 * pt.uniform_power_saved, 1) + "%",
+                 util::TablePrinter::fixed(100 * pt.uniform_thru_keep, 1) + "%");
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::pair<std::uint32_t, std::uint32_t> sizes[] = {
+      {4, 4}, {4, 8}, {8, 4}, {8, 8}, {16, 4}};
+  for (auto [b, d] : sizes) {
+    benchmark::RegisterBenchmark(
+        ("scale/B=" + std::to_string(b) + "/D=" + std::to_string(d)).c_str(),
+        [b, d](benchmark::State& st) { run_scale(st, b, d); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_scale();
+  return 0;
+}

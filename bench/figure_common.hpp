@@ -1,0 +1,161 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each Fig. 5 / Fig. 6 panel in the paper plots one metric (throughput,
+// latency, power) against offered load 0.1..0.9 × N_c for the four network
+// configurations NP-NB / P-NB / NP-B / P-B on one traffic pattern. A
+// figure bench registers one google-benchmark per (mode, load) point
+// (Iterations(1): the simulation *is* the measured unit of work), collects
+// the SimResults, and finally prints the three panels as aligned tables —
+// the same series the paper reports.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+namespace erapid::bench {
+
+inline const std::vector<double>& default_loads() {
+  static const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                            0.6, 0.7, 0.8, 0.9};
+  return loads;
+}
+
+inline std::vector<reconfig::NetworkMode> all_modes() {
+  return {reconfig::NetworkMode::np_nb(), reconfig::NetworkMode::p_nb(),
+          reconfig::NetworkMode::np_b(), reconfig::NetworkMode::p_b()};
+}
+
+/// Collects results across benchmark invocations of one binary.
+class FigureStore {
+ public:
+  void put(const std::string& mode, double load, const sim::SimResult& r) {
+    results_[{mode, load}] = r;
+  }
+
+  /// Prints the paper's three panels (throughput, latency, power).
+  void print(const std::string& figure, const std::string& pattern) const {
+    if (results_.empty()) return;
+    std::vector<std::string> modes;
+    std::vector<double> loads;
+    for (const auto& [key, r] : results_) {
+      if (std::find(modes.begin(), modes.end(), key.first) == modes.end())
+        modes.push_back(key.first);
+      if (std::find(loads.begin(), loads.end(), key.second) == loads.end())
+        loads.push_back(key.second);
+    }
+    std::sort(loads.begin(), loads.end());
+    // Keep the canonical mode order.
+    std::vector<std::string> order = {"NP-NB", "P-NB", "NP-B", "P-B"};
+    std::vector<std::string> present;
+    for (const auto& m : order) {
+      if (std::find(modes.begin(), modes.end(), m) != modes.end()) present.push_back(m);
+    }
+
+    auto panel = [&](const std::string& title, auto metric) {
+      std::cout << "\n== " << figure << " (" << pattern << "): " << title << " ==\n";
+      std::vector<std::string> header = {"load(xN_c)"};
+      for (const auto& m : present) header.push_back(m);
+      util::TablePrinter t(header);
+      for (double load : loads) {
+        std::vector<std::string> row = {util::TablePrinter::fixed(load, 1)};
+        for (const auto& m : present) {
+          const auto it = results_.find({m, load});
+          row.push_back(it == results_.end() ? "-"
+                                             : util::TablePrinter::fixed(metric(it->second), 3));
+        }
+        t.row(std::move(row));
+      }
+      t.print(std::cout);
+    };
+
+    panel("accepted throughput (fraction of N_c)",
+          [](const sim::SimResult& r) { return r.accepted_fraction; });
+    panel("average latency (cycles)",
+          [](const sim::SimResult& r) { return r.latency_avg; });
+    panel("active optical power (mW) — the paper's power panel",
+          [](const sim::SimResult& r) { return r.active_power_avg_mw; });
+    panel("total optical power incl. lit-idle lanes (mW)",
+          [](const sim::SimResult& r) { return r.power_avg_mw; });
+  }
+
+  [[nodiscard]] const sim::SimResult* find(const std::string& mode, double load) const {
+    const auto it = results_.find({mode, load});
+    return it == results_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool empty() const { return results_.empty(); }
+
+ private:
+  std::map<std::pair<std::string, double>, sim::SimResult> results_;
+};
+
+inline FigureStore& store() {
+  static FigureStore s;
+  return s;
+}
+
+/// Baseline options used by every figure bench: the paper's 64-node
+/// R(1,8,8) system, moderately sized measurement windows.
+inline sim::SimOptions figure_options() {
+  sim::SimOptions o;           // R(1,8,8) defaults
+  o.warmup_cycles = 10000;     // ≥ several reconfiguration windows
+  o.measure_cycles = 15000;
+  o.drain_limit = 50000;
+  o.seed = 1;
+  return o;
+}
+
+/// Runs one (mode, load) point and records it.
+inline void run_point(benchmark::State& state, traffic::PatternKind pattern,
+                      const reconfig::NetworkMode& mode, double load) {
+  sim::SimResult result;
+  for (auto _ : state) {
+    sim::SimOptions o = figure_options();
+    o.pattern = pattern;
+    o.load_fraction = load;
+    o.reconfig.mode = mode;
+    sim::Simulation s(o);
+    result = s.run();
+    benchmark::DoNotOptimize(&result);  // lvalue-double DoNotOptimize miscompiles on this gcc
+  }
+  state.counters["thru_xNc"] = result.accepted_fraction;
+  state.counters["lat_cyc"] = result.latency_avg;
+  state.counters["power_mW"] = result.power_avg_mw;
+  store().put(std::string(mode.name), load, result);
+}
+
+/// Registers the full 4-mode × 9-load sweep for one pattern.
+inline void register_figure(traffic::PatternKind pattern) {
+  for (const auto& mode : all_modes()) {
+    for (double load : default_loads()) {
+      const std::string name = std::string(traffic::pattern_name(pattern)) + "/" +
+                               std::string(mode.name) + "/load=" +
+                               util::TablePrinter::fixed(load, 1);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [pattern, mode, load](benchmark::State& st) { run_point(st, pattern, mode, load); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+/// Standard main body for a figure bench.
+inline int figure_main(int argc, char** argv, traffic::PatternKind pattern,
+                       const std::string& figure) {
+  benchmark::Initialize(&argc, argv);
+  register_figure(pattern);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  store().print(figure, std::string(traffic::pattern_name(pattern)));
+  return 0;
+}
+
+}  // namespace erapid::bench

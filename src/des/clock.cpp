@@ -1,0 +1,34 @@
+#include "des/clock.hpp"
+
+namespace erapid::des {
+
+void ClockDomain::wake() {
+  if (running_) return;
+  running_ = true;
+  // Tick at the next cycle boundary: if wake() is called mid-cycle (from an
+  // event at time t), the first tick runs at t+1 so the waking signal is
+  // visible with the usual one-cycle latency.
+  engine_.schedule(1, [this] { tick_once(); });
+}
+
+void ClockDomain::tick_once() {
+  const Cycle now = engine_.now();
+  ++ticks_;
+  for (Clocked* c : components_) c->tick(now);
+  for (Clocked* c : components_) c->post_tick(now);
+
+  bool all_quiet = true;
+  for (Clocked* c : components_) {
+    if (!c->quiescent()) {
+      all_quiet = false;
+      break;
+    }
+  }
+  if (all_quiet) {
+    running_ = false;  // sleep; wake() rearms
+    return;
+  }
+  engine_.schedule(1, [this] { tick_once(); });
+}
+
+}  // namespace erapid::des

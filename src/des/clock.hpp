@@ -1,0 +1,77 @@
+// Clock domain for cycle-driven components.
+//
+// Routers, serializers and controllers are synchronous pipelines clocked at
+// the 400 MHz router clock. Instead of scheduling one heap event per
+// component per cycle, a ClockDomain keeps a single recurring event and
+// fans out to registered Clocked components in two phases:
+//
+//   phase 1: tick()      — every component computes using *last* cycle's
+//                          externally visible state and stages its outputs;
+//   phase 2: post_tick() — every component commits staged state.
+//
+// The two-phase protocol removes intra-cycle ordering sensitivity between
+// components (a component never observes a peer's same-cycle update), which
+// keeps the simulation deterministic regardless of registration order for
+// all cross-component signals. (Signals that genuinely take a cycle —
+// credits, channel flits — additionally travel through Engine events with
+// explicit >= 1 cycle delay.)
+//
+// The domain goes idle automatically: when every component reports
+// quiescence (nothing buffered, nothing in flight) the recurring event is
+// not rescheduled, and any component can wake the domain again. This keeps
+// the event count proportional to useful work at low loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace erapid::des {
+
+/// Interface for components advanced by a ClockDomain.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+
+  /// Phase 1: compute with last-cycle state; stage outputs.
+  virtual void tick(Cycle now) = 0;
+
+  /// Phase 2: commit staged outputs. Default: nothing staged.
+  virtual void post_tick(Cycle /*now*/) {}
+
+  /// True when the component has no pending work; the domain may sleep
+  /// only when *all* components are quiescent.
+  [[nodiscard]] virtual bool quiescent() const { return false; }
+};
+
+/// Drives a set of Clocked components, one tick per cycle, sleeping when
+/// the whole domain is quiescent.
+class ClockDomain {
+ public:
+  explicit ClockDomain(Engine& engine) : engine_(engine) {}
+
+  /// Registers a component. Registration order is the (deterministic)
+  /// intra-phase iteration order.
+  void add(Clocked& c) { components_.push_back(&c); }
+
+  /// Ensures the domain is ticking from the next cycle boundary onwards.
+  /// Safe to call at any time, including from within a tick.
+  void wake();
+
+  /// True if the recurring tick event is scheduled.
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Cycles actually ticked (excludes slept cycles); for diagnostics.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick_once();
+
+  Engine& engine_;
+  std::vector<Clocked*> components_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace erapid::des

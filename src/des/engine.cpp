@@ -1,0 +1,46 @@
+#include "des/engine.hpp"
+
+namespace erapid::des {
+
+EventHandle Engine::schedule_at(Cycle when, EventFn fn) {
+  ERAPID_EXPECT(when >= now_, "cannot schedule an event in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{when, seq_++, std::move(fn), alive});
+  return EventHandle(alive);
+}
+
+void Engine::skim() {
+  while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+}
+
+Cycle Engine::next_event_time() const {
+  // const view: cancelled entries at the top still carry valid times of
+  // *some* pending work at-or-after them only if a live entry exists; scan
+  // a copy-free way by checking liveness lazily.
+  auto* self = const_cast<Engine*>(this);
+  self->skim();
+  return queue_.empty() ? kNeverCycle : queue_.top().when;
+}
+
+bool Engine::step(Cycle limit) {
+  skim();
+  if (queue_.empty() || queue_.top().when > limit) {
+    if (limit != kNeverCycle && limit > now_) now_ = limit;
+    return false;
+  }
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.when;
+  *e.alive = false;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::uint64_t Engine::run_until(Cycle limit) {
+  std::uint64_t n = 0;
+  while (step(limit)) ++n;
+  return n;
+}
+
+}  // namespace erapid::des

@@ -1,0 +1,111 @@
+// Discrete-event simulation kernel.
+//
+// This is the substrate the paper gets from YACSIM/NETSIM (Rice University,
+// unreleased): a deterministic calendar of timestamped events. Design goals:
+//
+//  * Determinism. Events at equal timestamps fire in scheduling (FIFO)
+//    order: the queue orders by (time, sequence). Two runs with the same
+//    seed produce byte-identical statistics.
+//  * Cancellation. schedule() returns an EventHandle that can cancel the
+//    event in O(1) (lazy deletion: the heap entry stays but is skipped).
+//  * Cycle-driven components. Routers are clocked pipelines; ClockDomain
+//    (clock.hpp) multiplexes all per-cycle work onto a single recurring
+//    event so the heap holds O(#messages) entries, not O(#routers) per
+//    cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/types.hpp"
+
+namespace erapid::des {
+
+/// Callback type executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// Shared cancellation token for a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (scheduled, not fired, not cancelled).
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// The event calendar and simulation clock.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time in cycles.
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` cycles from now. delay == 0 runs later
+  /// in the current cycle (after all earlier-scheduled same-time events).
+  EventHandle schedule(CycleDelta delay, EventFn fn) { return schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Cycle when, EventFn fn);
+
+  /// Runs events until the queue is empty or `limit` time is passed.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Cycle limit);
+
+  /// Runs all events to exhaustion (use run_until for open models).
+  std::uint64_t run_all() { return run_until(kNeverCycle); }
+
+  /// Executes exactly one event if any is pending before `limit`.
+  /// Returns false when no such event exists (time is advanced to limit).
+  bool step(Cycle limit = kNeverCycle);
+
+  /// Number of events currently in the calendar (including cancelled
+  /// entries awaiting lazy removal).
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Time of the earliest pending event, or kNeverCycle when idle.
+  [[nodiscard]] Cycle next_event_time() const;
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  /// Pops cancelled entries off the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace erapid::des

@@ -1,0 +1,114 @@
+#include "optical/lane.hpp"
+
+#include <algorithm>
+
+namespace erapid::optical {
+
+using power::PowerLevel;
+
+Lane::Lane(des::Engine& engine, const topology::SystemConfig& cfg,
+           const power::LinkPowerModel& pw, power::EnergyMeter& meter,
+           topology::LaneRef ref, Receiver* rx)
+    : engine_(engine), cfg_(cfg), pw_(pw), meter_(meter), ref_(ref), rx_(rx) {
+  ERAPID_EXPECT(rx_ != nullptr, "lane needs its wavelength receiver");
+  meter_id_ = meter_.add_source(0.0);
+}
+
+void Lane::update_power(Cycle now) {
+  meter_.set_power(meter_id_, now, enabled_ ? pw_.power_mw(level_) : 0.0);
+}
+
+void Lane::enable(Cycle now, PowerLevel level) {
+  ERAPID_EXPECT(!enabled_, "enabling a lane this board already holds");
+  ERAPID_EXPECT(level != PowerLevel::Off, "enable requires an active power level");
+  enabled_ = true;
+  pending_disable_ = false;
+  apply_level(level, now);
+}
+
+void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
+  ERAPID_EXPECT(enabled_, "disabling a lane this board does not hold");
+  if (transmitting(now)) {
+    pending_disable_ = true;  // finished in on_packet_done
+    pending_level_.reset();
+    on_dark_ = std::move(on_dark);
+    return;
+  }
+  enabled_ = false;
+  pending_disable_ = false;
+  pending_level_.reset();
+  level_ = PowerLevel::Off;
+  update_power(now);
+  if (on_dark) on_dark(now);
+}
+
+void Lane::request_level(PowerLevel target, Cycle now) {
+  ERAPID_EXPECT(enabled_, "DVS on a lane this board does not hold");
+  if (pending_disable_) return;  // release already decided; don't fight it
+  if (target == level_ && !pending_level_) return;
+  if (transmitting(now)) {
+    pending_level_ = target;  // applied when the packet completes
+    return;
+  }
+  apply_level(target, now);
+}
+
+void Lane::apply_level(PowerLevel target, Cycle now) {
+  pending_level_.reset();
+  if (target == level_) return;
+  const CycleDelta pause = pw_.transition_cycles(level_, target);
+  ++transitions_;
+  level_ = target;
+  update_power(now);
+  if (target == PowerLevel::Off) return;  // darkening needs no relock
+  if (pause > 0) {
+    pause_until_ = std::max(pause_until_, now + pause);
+    engine_.schedule_at(pause_until_, [this] {
+      // Only announce readiness if no later transition extended the pause.
+      const Cycle now2 = engine_.now();
+      if (now2 >= pause_until_ && on_ready_) on_ready_(now2);
+    });
+  } else if (on_ready_) {
+    on_ready_(now);
+  }
+}
+
+bool Lane::try_transmit(const router::Packet& p, Cycle now) {
+  if (!available(now)) return false;
+  if (!rx_->reserve_slot()) return false;
+
+  const CycleDelta ser = cfg_.serialization_cycles(pw_.bitrate_gbps(level_));
+  busy_until_ = now + ser;
+  busy_.add_busy(ser);
+  active_energy_ += pw_.power_mw(level_) * static_cast<double>(ser);
+  ++packets_sent_;
+
+  const Cycle arrive = busy_until_ + cfg_.fiber_delay_cycles;
+  const router::Packet copy = p;
+  engine_.schedule_at(busy_until_, [this] { on_packet_done(engine_.now()); });
+  engine_.schedule_at(arrive, [this, copy] { rx_->deliver(copy, engine_.now()); });
+  return true;
+}
+
+void Lane::on_packet_done(Cycle now) {
+  if (pending_disable_) {
+    pending_disable_ = false;
+    enabled_ = false;
+    pending_level_.reset();
+    level_ = PowerLevel::Off;
+    update_power(now);
+    if (on_dark_) {
+      auto cb = std::move(on_dark_);
+      on_dark_ = nullptr;
+      cb(now);
+    }
+    return;
+  }
+  if (pending_level_) {
+    apply_level(*pending_level_, now);
+    return;  // apply_level schedules the ready callback after the pause
+  }
+  if (on_ready_) on_ready_(now);
+}
+
+}  // namespace erapid::optical

@@ -1,0 +1,128 @@
+// Optical lane — one (destination coupler, wavelength) channel.
+//
+// Physically this is one laser in a transmitter's VCSEL array at the source
+// board, the shared fiber, and the matching wavelength receiver at the
+// destination board (paper §2.2, Figure 2(b)). A lane is the unit of both
+// reconfigurable bandwidth (DBR moves lane ownership between boards) and
+// power management (DVS scales its bit rate/voltage; DLS darkens it).
+//
+// State machine:
+//   enabled  — this board currently owns the lane (laser may be lit);
+//   level    — Off / P_low / P_mid / P_high. Off while enabled = DLS.
+//   busy     — serializing a packet until busy_until;
+//   paused   — bit-rate/voltage transition until pause_until (the paper's
+//              "transmitter ... stops transmission for the duration",
+//              65 cycles for voltage moves, 12 for CDR-only relock).
+//
+// Level changes and disables requested mid-packet are deferred to packet
+// completion (packets are atomic in the optical domain).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "des/engine.hpp"
+#include "optical/receiver.hpp"
+#include "power/energy_meter.hpp"
+#include "power/link_power.hpp"
+#include "router/flit.hpp"
+#include "stats/window.hpp"
+#include "topology/config.hpp"
+#include "topology/rwa.hpp"
+
+namespace erapid::optical {
+
+/// One reconfigurable wavelength channel from this board to `ref.dest`.
+class Lane {
+ public:
+  Lane(des::Engine& engine, const topology::SystemConfig& cfg,
+       const power::LinkPowerModel& pw, power::EnergyMeter& meter,
+       topology::LaneRef ref, Receiver* rx);
+
+  Lane(const Lane&) = delete;
+  Lane& operator=(const Lane&) = delete;
+
+  // ---- state queries ----
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] power::PowerLevel level() const { return level_; }
+  [[nodiscard]] topology::LaneRef ref() const { return ref_; }
+
+  /// Ready to start a packet right now.
+  [[nodiscard]] bool available(Cycle now) const {
+    return enabled_ && level_ != power::PowerLevel::Off && !pending_disable_ &&
+           now >= busy_until_ && now >= pause_until_;
+  }
+
+  /// Dark but owned: a DLS wake would make it usable.
+  [[nodiscard]] bool can_wake() const {
+    return enabled_ && level_ == power::PowerLevel::Off && !pending_disable_;
+  }
+
+  [[nodiscard]] bool transmitting(Cycle now) const { return now < busy_until_; }
+  [[nodiscard]] bool paused(Cycle now) const { return now < pause_until_; }
+
+  // ---- reconfiguration ----
+  /// Lights the lane for this board at `level` (pays the wake transition).
+  void enable(Cycle now, power::PowerLevel level);
+
+  /// Releases the lane: goes dark once the in-flight packet (if any)
+  /// finishes, then invokes `on_dark` — the reconfiguration manager chains
+  /// the re-grant there so two boards never light the same wavelength into
+  /// one coupler. Queued flow packets are unaffected (they use other lanes
+  /// or wait for a future grant).
+  void disable(Cycle now, std::function<void(Cycle)> on_dark = {});
+
+  /// DVS/DLS: move to `target` (deferred past the in-flight packet; pays
+  /// the transition pause).
+  void request_level(power::PowerLevel target, Cycle now);
+
+  // ---- data path ----
+  /// Starts transmitting `p` if available and the remote receiver has a
+  /// free RX slot. Returns false without side effects otherwise.
+  bool try_transmit(const router::Packet& p, Cycle now);
+
+  /// Called whenever the lane may have become usable (packet done, pause
+  /// over, wake complete) — the terminal hooks its scheduler here.
+  void set_ready_callback(std::function<void(Cycle)> fn) { on_ready_ = std::move(fn); }
+
+  // ---- LC hardware counters (paper §3) ----
+  [[nodiscard]] stats::BusyCounter& busy_counter() { return busy_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+
+  /// Active energy (mW·cycles): link power integrated only over the cycles
+  /// the lane was actually serializing packets. This is the
+  /// utilization-weighted power metric the paper's evaluation panels track
+  /// (a lit-but-idle laser contributes to total power, not active power).
+  [[nodiscard]] double active_energy_mw_cycles() const { return active_energy_; }
+
+ private:
+  void apply_level(power::PowerLevel target, Cycle now);
+  void on_packet_done(Cycle now);
+  void update_power(Cycle now);
+
+  des::Engine& engine_;
+  const topology::SystemConfig& cfg_;
+  const power::LinkPowerModel& pw_;
+  power::EnergyMeter& meter_;
+  std::uint32_t meter_id_;
+  topology::LaneRef ref_;
+  Receiver* rx_;
+
+  bool enabled_ = false;
+  power::PowerLevel level_ = power::PowerLevel::Off;
+  Cycle busy_until_ = 0;
+  Cycle pause_until_ = 0;
+  bool pending_disable_ = false;
+  std::optional<power::PowerLevel> pending_level_;
+
+  stats::BusyCounter busy_;
+  std::function<void(Cycle)> on_ready_;
+  std::function<void(Cycle)> on_dark_;
+  double active_energy_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace erapid::optical

@@ -1,0 +1,42 @@
+#include "optical/receiver.hpp"
+
+namespace erapid::optical {
+
+Receiver::Receiver(des::Engine& engine, router::Router& router, std::uint32_t in_port,
+                   std::uint32_t vcs, std::uint32_t credits_per_vc,
+                   std::uint32_t cycles_per_flit, std::uint32_t queue_capacity)
+    : capacity_(queue_capacity),
+      injector_(engine, router, in_port, vcs, credits_per_vc, cycles_per_flit) {
+  ERAPID_EXPECT(queue_capacity >= 1, "receiver queue needs >= 1 slot");
+  injector_.set_idle_callback([this](Cycle now) {
+    // The packet previously streaming has fully entered the router: its
+    // slot is free and the next queued packet can start.
+    ERAPID_EXPECT(reserved_ > 0, "receiver freed a slot it never reserved");
+    --reserved_;
+    pump(now);
+    if (on_slot_freed_) on_slot_freed_(now);
+  });
+}
+
+bool Receiver::reserve_slot() {
+  if (reserved_ >= capacity_) return false;
+  ++reserved_;
+  return true;
+}
+
+void Receiver::deliver(const router::Packet& p, Cycle now) {
+  ERAPID_EXPECT(reserved_ > 0, "optical packet arrived without a reserved RX slot");
+  ERAPID_EXPECT(queue_.size() < capacity_, "RX queue overflow despite reservation");
+  ++received_;
+  queue_.push_back(p);
+  pump(now);
+}
+
+void Receiver::pump(Cycle now) {
+  if (queue_.empty() || injector_.busy()) return;
+  const bool started = injector_.try_start(queue_.front(), now);
+  ERAPID_EXPECT(started, "idle injector refused a packet");
+  queue_.pop_front();
+}
+
+}  // namespace erapid::optical

@@ -1,0 +1,63 @@
+// Optical receiver — one per (board, wavelength).
+//
+// The demultiplexed signal at a board's coupler feeds one receiver per
+// wavelength (paper §2.1: "every optical receiver detects a wavelength").
+// A receiver accepts whole packets from the fiber, queues them, and streams
+// them flit-by-flit into the board router's wavelength input port through a
+// FlitInjector (electrical pacing + router credits).
+//
+// End-to-end lane flow control: the transmitting lane must reserve_slot()
+// before serializing a packet, so the RX queue can never overflow — even
+// across a DBR ownership change with packets still in the fiber (the
+// reservation count is a property of the receiver, not of the owner).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "des/engine.hpp"
+#include "router/flit.hpp"
+#include "router/injector.hpp"
+#include "router/router.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::optical {
+
+/// Wavelength receiver + RX queue + router feed.
+class Receiver {
+ public:
+  Receiver(des::Engine& engine, router::Router& router, std::uint32_t in_port,
+           std::uint32_t vcs, std::uint32_t credits_per_vc, std::uint32_t cycles_per_flit,
+           std::uint32_t queue_capacity);
+
+  /// Reserves one RX-queue slot for an upcoming transmission. Returns
+  /// false when the queue (plus in-flight reservations) is full.
+  bool reserve_slot();
+
+  /// Optical arrival of a fully serialized packet. A slot must have been
+  /// reserved by the transmitting lane.
+  void deliver(const router::Packet& p, Cycle now);
+
+  /// Fires every time a slot is freed (packet fully streamed into the
+  /// router) — the simulation routes this to the owning board's scheduler
+  /// so it can launch a blocked transmission.
+  void set_slot_freed_callback(std::function<void(Cycle)> fn) { on_slot_freed_ = std::move(fn); }
+
+  [[nodiscard]] std::uint32_t free_slots() const { return capacity_ - reserved_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t packets_received() const { return received_; }
+
+ private:
+  void pump(Cycle now);
+
+  std::uint32_t capacity_;
+  std::uint32_t reserved_ = 0;
+  std::deque<router::Packet> queue_;
+  router::FlitInjector injector_;
+  std::function<void(Cycle)> on_slot_freed_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace erapid::optical

@@ -1,0 +1,207 @@
+#include "optical/terminal.hpp"
+
+namespace erapid::optical {
+
+using power::PowerLevel;
+
+OpticalTerminal::OpticalTerminal(des::Engine& engine, const topology::SystemConfig& cfg,
+                                 const power::LinkPowerModel& pw, power::EnergyMeter& meter,
+                                 BoardId self, router::Router& router,
+                                 const std::vector<Receiver*>& receivers)
+    : engine_(engine), cfg_(cfg), pw_(pw), self_(self), router_(router) {
+  const std::uint32_t B = cfg.num_boards_total();
+  const std::uint32_t W = cfg.num_wavelengths();
+  ERAPID_EXPECT(receivers.size() == static_cast<std::size_t>(B) * W,
+                "receiver array must cover every (board, wavelength)");
+
+  flows_.reserve(B);
+  for (std::uint32_t d = 0; d < B; ++d) flows_.emplace_back(cfg.tx_queue_packets, W);
+
+  lanes_.resize(static_cast<std::size_t>(B) * W);
+  for (std::uint32_t d = 0; d < B; ++d) {
+    if (d == self_.value()) continue;
+    const BoardId dest{d};
+
+    // One remote output port per destination board, sinking into TxSink.
+    auto sink = std::make_unique<TxSink>(*this, dest, cfg.num_vcs);
+    router::OutputPortConfig opc;
+    opc.sink = sink.get();
+    opc.vcs = cfg.num_vcs;
+    opc.credits_per_vc = cfg.packet_flits;  // one packet in flight per VC
+    opc.cycles_per_flit = cfg.tx_feed_cycles_per_flit;
+    opc.wire_delay = 0;
+    const std::uint32_t port = router_.add_output(opc);
+    ERAPID_EXPECT(port == remote_out_port(dest),
+                  "remote output ports must be added in increasing board order");
+    sink->bind(port);
+    flows_[d].sink = std::move(sink);
+
+    // One lane per wavelength toward this destination.
+    for (std::uint32_t w = 0; w < W; ++w) {
+      Receiver* rx = receivers[static_cast<std::size_t>(d) * W + w];
+      auto lane = std::make_unique<Lane>(engine_, cfg_, pw_, meter,
+                                         topology::LaneRef{dest, WavelengthId{w}}, rx);
+      lane->set_ready_callback([this, dest](Cycle now) { pump_flow(dest, now); });
+      lanes_[lane_index(dest, WavelengthId{w})] = std::move(lane);
+    }
+  }
+}
+
+std::uint32_t OpticalTerminal::remote_out_port(BoardId d) const {
+  ERAPID_EXPECT(d != self_, "no remote port to self");
+  const std::uint32_t rel = d.value() < self_.value() ? d.value() : d.value() - 1;
+  return cfg_.nodes_per_board + rel;
+}
+
+std::size_t OpticalTerminal::lane_index(BoardId d, WavelengthId w) const {
+  ERAPID_EXPECT(d.value() < cfg_.num_boards_total() && w.value() < cfg_.num_wavelengths(),
+                "lane reference out of range");
+  ERAPID_EXPECT(d != self_, "a board has no lanes to itself");
+  return static_cast<std::size_t>(d.value()) * cfg_.num_wavelengths() + w.value();
+}
+
+void OpticalTerminal::apply_grant(BoardId d, WavelengthId w, PowerLevel level, Cycle now) {
+  lanes_[lane_index(d, w)]->enable(now, level);
+}
+
+void OpticalTerminal::apply_release(BoardId d, WavelengthId w, Cycle now,
+                                    std::function<void(Cycle)> on_dark) {
+  lanes_[lane_index(d, w)]->disable(now, std::move(on_dark));
+}
+
+void OpticalTerminal::request_lane_level(BoardId d, WavelengthId w, PowerLevel level,
+                                         Cycle now) {
+  lanes_[lane_index(d, w)]->request_level(level, now);
+}
+
+void OpticalTerminal::enqueue_packet(BoardId d, const router::Packet& p, Cycle now) {
+  auto& flow = flows_[d.value()];
+  ERAPID_EXPECT(flow.q.size() < cfg_.tx_queue_packets, "transmit queue overflow");
+  flow.q.push_back(p);
+  ++flow.enqueued;
+  ++enqueued_;
+  flow.occ.set_occupancy(now, static_cast<std::uint32_t>(flow.q.size()));
+  pump_flow(d, now);
+}
+
+void OpticalTerminal::pump_flow(BoardId d, Cycle now) {
+  auto& flow = flows_[d.value()];
+  const std::uint32_t W = cfg_.num_wavelengths();
+  const std::size_t base = lane_index(d, WavelengthId{0});
+  auto lane_at = [&](std::uint32_t w) -> Lane* { return lanes_[base + w].get(); };
+
+  while (!flow.q.empty()) {
+    std::vector<bool> usable(W, false);
+    bool any = false;
+    for (std::uint32_t w = 0; w < W; ++w) {
+      usable[w] = lane_at(w) ? lane_at(w)->available(now) : false;
+      any = any || usable[w];
+    }
+    if (!any) {
+      // DLS wake-on-demand: queued packets but every owned lane is dark.
+      // (If some lane is merely busy/paused, its ready callback re-pumps.)
+      for (std::uint32_t w = 0; w < W; ++w) {
+        if (lane_at(w) && lane_at(w)->can_wake()) {
+          lane_at(w)->request_level(wake_level_, now);
+          break;
+        }
+      }
+      return;
+    }
+    // Round-robin across owned lanes; a lane may still refuse if its
+    // wavelength receiver has no free RX slot — try the others.
+    bool launched = false;
+    while (any) {
+      const std::uint32_t w = flow.lane_rr.arbitrate(usable);
+      if (w == router::RoundRobinArbiter::kNoGrant) break;
+      if (lane_at(w)->try_transmit(flow.q.front(), now)) {
+        launched = true;
+        break;
+      }
+      usable[w] = false;
+      any = false;
+      for (std::uint32_t x = 0; x < W; ++x) any = any || usable[x];
+    }
+    if (!launched) return;  // all RX queues full; retried on slot-freed
+
+    flow.q.pop_front();
+    ++flow.launched;
+    flow.occ.set_occupancy(now, static_cast<std::uint32_t>(flow.q.size()));
+    if (flow.sink) flow.sink->retry_blocked(now);
+  }
+}
+
+void OpticalTerminal::harvest(Cycle window_start, Cycle now, std::vector<LaneSnapshot>& lanes,
+                              std::vector<FlowSnapshot>& flows) {
+  lanes.clear();
+  flows.clear();
+  const std::uint32_t B = cfg_.num_boards_total();
+  const std::uint32_t W = cfg_.num_wavelengths();
+  const CycleDelta window = now - window_start;
+  for (std::uint32_t d = 0; d < B; ++d) {
+    if (d == self_.value()) continue;
+    const BoardId dest{d};
+    std::uint32_t lit = 0;
+    for (std::uint32_t w = 0; w < W; ++w) {
+      Lane& ln = *lanes_[lane_index(dest, WavelengthId{w})];
+      LaneSnapshot snap;
+      snap.ref = ln.ref();
+      snap.enabled = ln.enabled();
+      snap.level = ln.level();
+      snap.link_util = ln.busy_counter().utilization(window);
+      ln.busy_counter().reset();
+      lanes.push_back(snap);
+      if (ln.enabled()) ++lit;
+    }
+    FlowSnapshot fs;
+    fs.dest = dest;
+    fs.buffer_util = flows_[d].occ.utilization(window_start, now);
+    fs.queued = static_cast<std::uint32_t>(flows_[d].q.size());
+    fs.lanes_enabled = lit;
+    flows_[d].occ.harvest(now);
+    flows.push_back(fs);
+  }
+}
+
+double OpticalTerminal::active_energy_mw_cycles() const {
+  double total = 0.0;
+  for (const auto& lane : lanes_) {
+    if (lane) total += lane->active_energy_mw_cycles();
+  }
+  return total;
+}
+
+// ---- TxSink ----------------------------------------------------------
+
+void OpticalTerminal::TxSink::receive_flit(const router::Flit& f, std::uint32_t vc,
+                                           Cycle now) {
+  auto& buf = assembly_[vc];
+  ERAPID_EXPECT(f.index == buf.size(), "flit order broken in TX reassembly");
+  buf.push_back(f);
+  if (f.tail) try_commit(vc, now);
+}
+
+void OpticalTerminal::TxSink::try_commit(std::uint32_t vc, Cycle now) {
+  auto& buf = assembly_[vc];
+  if (buf.empty() || !buf.back().tail) return;
+  auto& flow = t_.flows_[dest_.value()];
+  if (flow.q.size() >= t_.cfg_.tx_queue_packets) {
+    blocked_[vc] = true;  // retried when the queue drains
+    return;
+  }
+  blocked_[vc] = false;
+  const auto credits = static_cast<std::uint32_t>(buf.size());
+  const router::Packet p = router::packet_from_flit(buf.back());
+  buf.clear();
+  // Return the VC's credits now that the packet left the reassembly stage.
+  for (std::uint32_t i = 0; i < credits; ++i) t_.router_.return_credit(out_port_, vc);
+  t_.enqueue_packet(dest_, p, now);
+}
+
+void OpticalTerminal::TxSink::retry_blocked(Cycle now) {
+  for (std::uint32_t vc = 0; vc < blocked_.size(); ++vc) {
+    if (blocked_[vc]) try_commit(vc, now);
+  }
+}
+
+}  // namespace erapid::optical

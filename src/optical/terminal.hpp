@@ -1,0 +1,144 @@
+// Per-board optical terminal: the board-to-SRS interface of Figure 2(a).
+//
+// Owns, for each remote board d:
+//   * the per-destination transmit queue (the "transmitter queue" whose
+//     Buffer_util the LC hardware counters measure);
+//   * a TxSink attached to the board router's remote output port that
+//     reassembles flits into packets (packets, not flits, cross the
+//     optical domain — §2.1) with credit-based backpressure into the IBI;
+//   * W lanes (one per wavelength), enabled according to the global lane
+//     ownership map; a scheduler that spreads queued packets across all
+//     currently-owned lanes (the bandwidth-multiplying mechanism of §2.2).
+//
+// The terminal is entirely event-driven: the scheduler runs on packet
+// arrival, lane-ready, and RX-slot-freed events only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "optical/lane.hpp"
+#include "optical/receiver.hpp"
+#include "power/energy_meter.hpp"
+#include "power/link_power.hpp"
+#include "router/injector.hpp"
+#include "router/router.hpp"
+#include "stats/window.hpp"
+#include "topology/config.hpp"
+#include "topology/rwa.hpp"
+
+namespace erapid::optical {
+
+/// LC-visible per-lane measurement for one reconfiguration window.
+struct LaneSnapshot {
+  topology::LaneRef ref;
+  bool enabled = false;
+  power::PowerLevel level = power::PowerLevel::Off;
+  double link_util = 0.0;
+};
+
+/// LC-visible per-flow (this board → dest) measurement.
+struct FlowSnapshot {
+  BoardId dest;
+  double buffer_util = 0.0;
+  std::uint32_t queued = 0;
+  std::uint32_t lanes_enabled = 0;
+};
+
+/// Board-side optical transmit/receive complex.
+class OpticalTerminal {
+ public:
+  /// `router` must already have its D ejection outputs added (ports
+  /// 0..D-1); the terminal adds one remote output port per other board, in
+  /// increasing board order. `receivers` is the global flat array
+  /// [board * W + wavelength].
+  OpticalTerminal(des::Engine& engine, const topology::SystemConfig& cfg,
+                  const power::LinkPowerModel& pw, power::EnergyMeter& meter,
+                  BoardId self, router::Router& router,
+                  const std::vector<Receiver*>& receivers);
+
+  OpticalTerminal(const OpticalTerminal&) = delete;
+  OpticalTerminal& operator=(const OpticalTerminal&) = delete;
+
+  // ---- reconfiguration interface (driven by the RC) ----
+  void apply_grant(BoardId d, WavelengthId w, power::PowerLevel level, Cycle now);
+  void apply_release(BoardId d, WavelengthId w, Cycle now,
+                     std::function<void(Cycle)> on_dark = {});
+  void request_lane_level(BoardId d, WavelengthId w, power::PowerLevel level, Cycle now);
+
+  /// Harvests and resets the LC hardware counters for the window that
+  /// started at `window_start` and ends `now`.
+  void harvest(Cycle window_start, Cycle now, std::vector<LaneSnapshot>& lanes,
+               std::vector<FlowSnapshot>& flows);
+
+  // ---- scheduler entry points ----
+  /// Tries to launch queued packets for destination d.
+  void pump_flow(BoardId d, Cycle now);
+
+  // ---- introspection ----
+  [[nodiscard]] BoardId self() const { return self_; }
+  [[nodiscard]] std::size_t flow_queue_size(BoardId d) const { return flows_[d.value()].q.size(); }
+  [[nodiscard]] Lane& lane(BoardId d, WavelengthId w) { return *lanes_[lane_index(d, w)]; }
+  [[nodiscard]] const Lane& lane(BoardId d, WavelengthId w) const {
+    return *lanes_[lane_index(d, w)];
+  }
+  [[nodiscard]] std::uint32_t remote_out_port(BoardId d) const;
+  [[nodiscard]] std::uint64_t packets_queued_total() const { return enqueued_; }
+
+  /// Sum of active energy (mW·cycles) over all of this board's lanes.
+  [[nodiscard]] double active_energy_mw_cycles() const;
+
+  /// DLS wake policy: level a dark lane is woken to when the flow has
+  /// queued demand but no lit lane (default P_low; DPM then scales it).
+  void set_wake_level(power::PowerLevel l) { wake_level_ = l; }
+
+ private:
+  /// Reassembles router flits back into packets for one destination.
+  class TxSink : public router::FlitReceiver {
+   public:
+    TxSink(OpticalTerminal& t, BoardId dest, std::uint32_t vcs)
+        : t_(t), dest_(dest), assembly_(vcs), blocked_(vcs, false) {}
+    void bind(std::uint32_t out_port) { out_port_ = out_port; }
+    void receive_flit(const router::Flit& f, std::uint32_t vc, Cycle now) override;
+    /// Retries commits that were blocked on a full transmit queue.
+    void retry_blocked(Cycle now);
+
+   private:
+    void try_commit(std::uint32_t vc, Cycle now);
+
+    OpticalTerminal& t_;
+    BoardId dest_;
+    std::uint32_t out_port_ = 0;
+    std::vector<std::vector<router::Flit>> assembly_;
+    std::vector<bool> blocked_;
+  };
+
+  struct Flow {
+    std::deque<router::Packet> q;
+    stats::OccupancyTracker occ;
+    router::RoundRobinArbiter lane_rr;
+    std::unique_ptr<TxSink> sink;
+    std::uint64_t enqueued = 0;
+    std::uint64_t launched = 0;
+    explicit Flow(std::uint32_t cap, std::uint32_t wavelengths)
+        : occ(cap), lane_rr(wavelengths) {}
+  };
+
+  [[nodiscard]] std::size_t lane_index(BoardId d, WavelengthId w) const;
+  void enqueue_packet(BoardId d, const router::Packet& p, Cycle now);
+
+  des::Engine& engine_;
+  const topology::SystemConfig& cfg_;
+  const power::LinkPowerModel& pw_;
+  BoardId self_;
+  router::Router& router_;
+  std::vector<Flow> flows_;                   ///< indexed by dest board (self unused)
+  std::vector<std::unique_ptr<Lane>> lanes_;  ///< dest-major, W per dest, self row null
+  power::PowerLevel wake_level_ = power::PowerLevel::Low;
+  std::uint64_t enqueued_ = 0;
+};
+
+}  // namespace erapid::optical

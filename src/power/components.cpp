@@ -1,0 +1,38 @@
+#include "power/components.hpp"
+
+namespace erapid::power {
+
+namespace {
+// Normalized scaling helpers relative to the anchor point.
+double lin_v(double v) { return v / 0.9; }
+double sq_v(double v) { return (v / 0.9) * (v / 0.9); }
+double lin_br(double br) { return br / 5.0; }
+}  // namespace
+
+std::vector<ComponentPower> ComponentModel::breakdown(double v, double br) const {
+  return {
+      {"VCSEL", kVcsel0 * lin_v(v)},
+      {"VCSEL driver", kDriver0 * sq_v(v) * lin_br(br)},
+      {"photodetector", kPhotodet0 * lin_v(v) * lin_br(br)},
+      {"TIA", kTia0 * lin_v(v) * lin_br(br)},
+      {"CDR", kCdr0 * sq_v(v) * lin_br(br)},
+  };
+}
+
+double ComponentModel::total_mw(double v, double br) const {
+  double sum = 0.0;
+  for (const auto& c : breakdown(v, br)) sum += c.milliwatts;
+  return sum;
+}
+
+double ComponentModel::transmitter_mw(double v, double br) const {
+  const auto b = breakdown(v, br);
+  return b[0].milliwatts + b[1].milliwatts;
+}
+
+double ComponentModel::receiver_mw(double v, double br) const {
+  const auto b = breakdown(v, br);
+  return b[2].milliwatts + b[3].milliwatts + b[4].milliwatts;
+}
+
+}  // namespace erapid::power

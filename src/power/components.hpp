@@ -1,0 +1,66 @@
+// Component-level optical link power breakdown — regenerates Table 1.
+//
+// Scaling laws (paper §3.1, following Chen et al. [12] and Kibar et al.
+// [16]):
+//
+//   VCSEL           ∝ V_DD            (bias/modulation current driven)
+//   VCSEL driver    ∝ V_DD² · BR      (CV²f switching)
+//   photodetector   ∝ V_DD · BR
+//   TIA             ∝ V_DD · BR       (I_ds · V_DD with I_ds ∝ BR at fixed
+//                                      sensitivity)
+//   CDR             ∝ V_DD² · BR      (CV²f, C_CDR = 9.26 pF)
+//
+// Coefficients are calibrated so that at the P_high operating point
+// (5 Gb/s, 0.9 V) each component reproduces the paper's quoted values:
+// VCSEL 1.5 µW, driver 1.23 mW, photodetector 1.4 µW, TIA 25.02 mW, CDR
+// 17.05 mW (total 43.3 mW ≈ the quoted 43.03 mW link total; the residual
+// is the paper's own rounding). The quoted P_low total (8.6 mW at
+// 2.5 Gb/s/0.45 V) falls out of the scaling laws to within 1%; the quoted
+// P_mid total (26 mW) includes margin the paper does not break down, which
+// is why the *simulator* consumes the quoted per-state totals
+// (link_power.hpp) while this model documents the physics.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace erapid::power {
+
+/// One component's power at an operating point.
+struct ComponentPower {
+  std::string_view name;
+  double milliwatts;
+};
+
+/// Analytic per-component link power model.
+class ComponentModel {
+ public:
+  /// Calibrated to the paper's P_high anchors (see file comment).
+  ComponentModel() = default;
+
+  /// Component breakdown at supply voltage `v` (volts) and bit rate `br`
+  /// (Gb/s). Transmitter = VCSEL + driver; receiver = PD + TIA + CDR.
+  [[nodiscard]] std::vector<ComponentPower> breakdown(double v, double br) const;
+
+  /// Total link power (mW) at an operating point.
+  [[nodiscard]] double total_mw(double v, double br) const;
+
+  /// Transmitter-side power only (mW).
+  [[nodiscard]] double transmitter_mw(double v, double br) const;
+
+  /// Receiver-side power only (mW).
+  [[nodiscard]] double receiver_mw(double v, double br) const;
+
+ private:
+  // Anchor operating point: 5 Gb/s, 0.9 V.
+  static constexpr double kV0 = 0.9;
+  static constexpr double kBr0 = 5.0;
+  // Anchor component powers (mW) at (kV0, kBr0), from §4.1.
+  static constexpr double kVcsel0 = 1.5e-3;
+  static constexpr double kDriver0 = 1.23;
+  static constexpr double kPhotodet0 = 1.4e-3;
+  static constexpr double kTia0 = 25.02;
+  static constexpr double kCdr0 = 17.05;
+};
+
+}  // namespace erapid::power

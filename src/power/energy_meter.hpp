@@ -1,0 +1,59 @@
+// Network-wide energy accounting.
+//
+// Each lane registers its instantaneous power draw (which changes on DVS
+// transitions and laser on/off events); the meter time-integrates the sum
+// so benches can report the paper's "overall power consumption" panel as
+// the time-averaged optical power over the measurement interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/time_weighted.hpp"
+#include "util/types.hpp"
+
+namespace erapid::power {
+
+/// Aggregates per-source power signals into a network total.
+class EnergyMeter {
+ public:
+  EnergyMeter() : total_(0, 0.0) {}
+
+  /// Registers a new power source; returns its slot id. Sources must be
+  /// registered before the simulation starts (the initial level is folded
+  /// into the total at t = 0).
+  std::uint32_t add_source(double initial_mw = 0.0) {
+    levels_.push_back(initial_mw);
+    total_.add(0, initial_mw);
+    return static_cast<std::uint32_t>(levels_.size() - 1);
+  }
+
+  /// Source `id` draws `mw` milliwatts from cycle `now` onwards.
+  void set_power(std::uint32_t id, Cycle now, double mw) {
+    const double delta = mw - levels_[id];
+    if (delta == 0.0) return;
+    levels_[id] = mw;
+    total_.add(now, delta);
+  }
+
+  /// Instantaneous network power (mW).
+  [[nodiscard]] double instantaneous_mw() const { return total_.level(); }
+
+  /// Marks the start of the measurement window.
+  void checkpoint(Cycle now) { window_start_ = now, total_.checkpoint(now); }
+
+  /// Average power (mW) over [checkpoint, now].
+  [[nodiscard]] double average_mw(Cycle now) const { return total_.average(window_start_, now); }
+
+  /// Energy (mW·cycles) since construction.
+  [[nodiscard]] double energy_mw_cycles(Cycle now) const { return total_.integral(now); }
+
+  [[nodiscard]] std::size_t sources() const { return levels_.size(); }
+
+ private:
+  std::vector<double> levels_;
+  stats::TimeWeighted total_;
+  Cycle window_start_ = 0;
+};
+
+}  // namespace erapid::power

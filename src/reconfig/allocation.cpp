@@ -1,0 +1,91 @@
+#include "reconfig/allocation.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::reconfig {
+
+std::vector<Directive> allocate_lanes(BoardId dest, const std::vector<FlowStatsEntry>& flows,
+                                      const std::vector<LaneOwnership>& lanes,
+                                      const DbrPolicy& policy,
+                                      power::PowerLevel grant_level) {
+  // Classify flows.
+  std::vector<const FlowStatsEntry*> over;
+  std::vector<BoardId> under;  // flows whose lanes may be harvested
+  for (const auto& f : flows) {
+    ERAPID_EXPECT(f.src != dest, "a board does not report a flow to itself");
+    if (f.buffer_util > policy.b_max) {
+      over.push_back(&f);
+    } else if (f.buffer_util <= policy.b_min && f.queued == 0) {
+      under.push_back(f.src);
+    }
+  }
+  if (over.empty()) return {};
+
+  // Most congested first so the neediest flow gets the first (and odd)
+  // extra lane; ties broken by board id for determinism.
+  std::sort(over.begin(), over.end(), [](const FlowStatsEntry* a, const FlowStatsEntry* b) {
+    if (a->buffer_util != b->buffer_util) return a->buffer_util > b->buffer_util;
+    return a->src < b->src;
+  });
+
+  auto is_under = [&](BoardId b) {
+    return std::find(under.begin(), under.end(), b) != under.end();
+  };
+  auto is_over = [&](BoardId b) {
+    return std::any_of(over.begin(), over.end(),
+                       [&](const FlowStatsEntry* f) { return f->src == b; });
+  };
+
+  // Build the free pool: dark lanes first (no release needed), then lanes
+  // held by under-utilized flows.
+  std::vector<const LaneOwnership*> pool;
+  for (const auto& l : lanes) {
+    if (!l.owner.valid()) pool.push_back(&l);
+  }
+  for (const auto& l : lanes) {
+    if (l.owner.valid() && is_under(l.owner) && !is_over(l.owner)) pool.push_back(&l);
+  }
+  if (pool.empty()) return {};
+
+  // Round-robin: one lane per over-utilized flow per round, until either
+  // the pool or the demand is exhausted. A flow never receives a lane it
+  // already owns (that would be a pointless release+grant).
+  std::vector<Directive> out;
+  std::vector<bool> taken(pool.size(), false);
+  std::size_t remaining = pool.size();
+  // Limited-flexibility cap: lanes a flow already holds plus grants so far.
+  std::vector<std::uint32_t> held(over.size());
+  for (std::size_t i = 0; i < over.size(); ++i) held[i] = over[i]->lanes;
+  bool granted_any = true;
+  while (remaining > 0 && granted_any) {
+    granted_any = false;
+    for (std::size_t oi = 0; oi < over.size(); ++oi) {
+      const auto* f = over[oi];
+      if (remaining == 0) break;
+      if (policy.max_lanes_per_flow > 0 && held[oi] >= policy.max_lanes_per_flow) continue;
+      std::size_t pick = pool.size();
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (!taken[i] && pool[i]->owner != f->src) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == pool.size()) continue;
+      taken[pick] = true;
+      --remaining;
+      ++held[oi];
+      Directive d;
+      d.wavelength = pool[pick]->wavelength;
+      d.old_owner = pool[pick]->owner;
+      d.new_owner = f->src;
+      d.grant_level = grant_level;
+      out.push_back(d);
+      granted_any = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace erapid::reconfig

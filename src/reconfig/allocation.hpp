@@ -1,0 +1,41 @@
+// The Reconfigure-stage allocator (paper §3.2): given complete incoming-
+// link statistics for destination board d, classify each flow and move
+// lanes from under-utilized to over-utilized flows.
+//
+// Classification by Buffer_util against (B_min, B_max):
+//   under-utilized   Buffer_util <= B_min  → its lanes are re-allocatable
+//   normal           B_min < Buffer_util <= B_max → untouched
+//   over-utilized    Buffer_util >  B_max  → wants additional lanes
+//
+// The free pool is: dark lanes (λ0 and previously released wavelengths)
+// first, then lanes held by under-utilized flows (we additionally require
+// the flow's queue to be empty *now*, so no packet is ever stranded on a
+// flow whose last lane is taken). Over-utilized flows are served
+// round-robin, most-congested first, one lane per round, until the pool or
+// the demand is exhausted. Pure function — exhaustively property-tested.
+#pragma once
+
+#include <vector>
+
+#include "reconfig/messages.hpp"
+#include "reconfig/policy.hpp"
+#include "util/types.hpp"
+
+namespace erapid::reconfig {
+
+/// Current holder of each wavelength at the destination coupler;
+/// !owner.valid() means the lane is dark.
+struct LaneOwnership {
+  WavelengthId wavelength;
+  BoardId owner;
+};
+
+/// Computes the lane moves for destination `dest`. `flows` must contain
+/// one entry per source board (any order); `lanes` one entry per
+/// wavelength. `grant_level` is stamped on every directive.
+[[nodiscard]] std::vector<Directive> allocate_lanes(
+    BoardId dest, const std::vector<FlowStatsEntry>& flows,
+    const std::vector<LaneOwnership>& lanes, const DbrPolicy& policy,
+    power::PowerLevel grant_level);
+
+}  // namespace erapid::reconfig

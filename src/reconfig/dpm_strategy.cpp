@@ -1,0 +1,78 @@
+#include "reconfig/dpm_strategy.hpp"
+
+namespace erapid::reconfig {
+
+using power::PowerLevel;
+
+std::string_view to_string(DpmStrategyKind k) {
+  switch (k) {
+    case DpmStrategyKind::Threshold: return "threshold";
+    case DpmStrategyKind::Hysteresis: return "hysteresis";
+    case DpmStrategyKind::Ewma: return "ewma";
+  }
+  return "?";
+}
+
+std::optional<PowerLevel> ThresholdDpm::decide(const LaneObservation& obs) {
+  return dpm_decision(obs.level, obs.link_util, obs.buffer_util, obs.queue_empty, policy_);
+}
+
+std::optional<PowerLevel> HysteresisDpm::decide(const LaneObservation& obs) {
+  const auto raw =
+      dpm_decision(obs.level, obs.link_util, obs.buffer_util, obs.queue_empty, policy_);
+  auto& st = state_[lane_key(obs.lane)];
+  if (!raw) {
+    st.pending.reset();
+    st.streak = 0;
+    return std::nullopt;
+  }
+  if (st.pending != raw) {
+    st.pending = raw;
+    st.streak = 1;
+  } else {
+    ++st.streak;
+  }
+  if (st.streak >= required_) {
+    st.pending.reset();
+    st.streak = 0;
+    return raw;
+  }
+  return std::nullopt;
+}
+
+std::optional<PowerLevel> EwmaDpm::decide(const LaneObservation& obs) {
+  auto& st = state_[lane_key(obs.lane)];
+  if (!st.primed) {
+    st.util = obs.link_util;
+    st.buffer = obs.buffer_util;
+    st.primed = true;
+  } else {
+    st.util = alpha_ * obs.link_util + (1.0 - alpha_) * st.util;
+    st.buffer = alpha_ * obs.buffer_util + (1.0 - alpha_) * st.buffer;
+  }
+  // DLS still keys off the *instantaneous* idle window (an EWMA would keep
+  // a long-dead lane lit for many windows); DVS uses the smoothed signals.
+  if (policy_.shutdown_idle && obs.link_util == 0.0 && st.util < 0.05 && obs.queue_empty &&
+      obs.level != PowerLevel::Off) {
+    st.util = 0.0;
+    return PowerLevel::Off;
+  }
+  DpmPolicy no_dls = policy_;
+  no_dls.shutdown_idle = false;
+  return dpm_decision(obs.level, st.util, st.buffer, obs.queue_empty, no_dls);
+}
+
+std::unique_ptr<DpmStrategy> make_dpm_strategy(DpmStrategyKind kind, const DpmPolicy& policy,
+                                               const DpmStrategyParams& params) {
+  switch (kind) {
+    case DpmStrategyKind::Threshold:
+      return std::make_unique<ThresholdDpm>(policy);
+    case DpmStrategyKind::Hysteresis:
+      return std::make_unique<HysteresisDpm>(policy, params.hysteresis_windows);
+    case DpmStrategyKind::Ewma:
+      return std::make_unique<EwmaDpm>(policy, params.ewma_alpha);
+  }
+  return std::make_unique<ThresholdDpm>(policy);
+}
+
+}  // namespace erapid::reconfig

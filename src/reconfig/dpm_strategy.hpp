@@ -1,0 +1,125 @@
+// Pluggable DPM ("power scaling technique") strategies.
+//
+// The paper's conclusion names the follow-up: "In the future, we will
+// evaluate multiple power scaling techniques ... for improving the system
+// performance [and] reducing the power consumption". This module provides
+// that evaluation surface. A strategy observes one lane per
+// reconfiguration window (its Link_util, the owning flow's Buffer_util
+// and queue state) and decides the lane's next power level; strategies
+// may keep per-lane history.
+//
+// Implemented techniques:
+//   * Threshold — the paper's §3.1 rule (stateless; the default).
+//   * Hysteresis — threshold decisions must persist for K consecutive
+//     windows before they are applied, suppressing transition churn (each
+//     transition stalls the lane 65 cycles).
+//   * EWMA — predictive: an exponentially weighted moving average of
+//     utilization drives the decision, reacting to the trend rather than
+//     the last window (the paper's "power scaling can follow the traffic
+//     pattern more accurately").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "power/link_power.hpp"
+#include "reconfig/policy.hpp"
+#include "topology/rwa.hpp"
+#include "util/types.hpp"
+
+namespace erapid::reconfig {
+
+/// What one LC observed about one lane over the last window.
+struct LaneObservation {
+  topology::LaneRef lane;
+  power::PowerLevel level = power::PowerLevel::Off;
+  double link_util = 0.0;
+  double buffer_util = 0.0;
+  bool queue_empty = true;
+};
+
+/// Per-lane power scaling policy. One instance serves all lanes of one
+/// board (keyed internal state); decide() is called once per lane per
+/// power window.
+class DpmStrategy {
+ public:
+  virtual ~DpmStrategy() = default;
+
+  /// Next power level for the lane, or nullopt to stay.
+  virtual std::optional<power::PowerLevel> decide(const LaneObservation& obs) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Which strategy a ReconfigConfig selects.
+enum class DpmStrategyKind : std::uint8_t { Threshold, Hysteresis, Ewma };
+
+[[nodiscard]] std::string_view to_string(DpmStrategyKind k);
+
+/// Tuning knobs for the non-default strategies.
+struct DpmStrategyParams {
+  std::uint32_t hysteresis_windows = 2;  ///< consecutive agreeing windows
+  double ewma_alpha = 0.5;               ///< weight of the newest window
+};
+
+/// The paper's threshold rule (§3.1); stateless.
+class ThresholdDpm final : public DpmStrategy {
+ public:
+  explicit ThresholdDpm(const DpmPolicy& policy) : policy_(policy) {}
+  std::optional<power::PowerLevel> decide(const LaneObservation& obs) override;
+  [[nodiscard]] std::string_view name() const override { return "threshold"; }
+
+ private:
+  DpmPolicy policy_;
+};
+
+/// Threshold rule filtered through K-window hysteresis.
+class HysteresisDpm final : public DpmStrategy {
+ public:
+  HysteresisDpm(const DpmPolicy& policy, std::uint32_t windows)
+      : policy_(policy), required_(windows ? windows : 1) {}
+  std::optional<power::PowerLevel> decide(const LaneObservation& obs) override;
+  [[nodiscard]] std::string_view name() const override { return "hysteresis"; }
+
+ private:
+  struct State {
+    std::optional<power::PowerLevel> pending;
+    std::uint32_t streak = 0;
+  };
+  DpmPolicy policy_;
+  std::uint32_t required_;
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+/// EWMA-predicted utilization driving the threshold rule.
+class EwmaDpm final : public DpmStrategy {
+ public:
+  EwmaDpm(const DpmPolicy& policy, double alpha) : policy_(policy), alpha_(alpha) {}
+  std::optional<power::PowerLevel> decide(const LaneObservation& obs) override;
+  [[nodiscard]] std::string_view name() const override { return "ewma"; }
+
+ private:
+  struct State {
+    double util = 0.0;
+    double buffer = 0.0;
+    bool primed = false;
+  };
+  DpmPolicy policy_;
+  double alpha_;
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+/// Factory used by the reconfiguration manager.
+[[nodiscard]] std::unique_ptr<DpmStrategy> make_dpm_strategy(DpmStrategyKind kind,
+                                                             const DpmPolicy& policy,
+                                                             const DpmStrategyParams& params);
+
+/// Stable per-lane key for strategy state maps.
+[[nodiscard]] inline std::uint64_t lane_key(topology::LaneRef ref) {
+  return (static_cast<std::uint64_t>(ref.dest.value()) << 32) | ref.wavelength.value();
+}
+
+}  // namespace erapid::reconfig

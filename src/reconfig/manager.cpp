@@ -1,0 +1,210 @@
+#include "reconfig/manager.hpp"
+
+#include <algorithm>
+
+namespace erapid::reconfig {
+
+using power::PowerLevel;
+
+ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConfig& cfg,
+                                 const ReconfigConfig& rc_cfg, topology::LaneMap& lane_map,
+                                 std::vector<optical::OpticalTerminal*> terminals)
+    : engine_(engine),
+      cfg_(cfg),
+      cfg_rc_(rc_cfg),
+      lane_map_(lane_map),
+      terminals_(std::move(terminals)) {
+  ERAPID_EXPECT(terminals_.size() == cfg_.num_boards_total(),
+                "one optical terminal per board required");
+  ERAPID_EXPECT(cfg_rc_.window > 0, "reconfiguration window must be positive");
+  lane_stats_.resize(terminals_.size());
+  flow_stats_.resize(terminals_.size());
+  dpm_.reserve(terminals_.size());
+  for (std::size_t b = 0; b < terminals_.size(); ++b) {
+    dpm_.push_back(
+        make_dpm_strategy(cfg_rc_.dpm_strategy, cfg_rc_.mode.dpm, cfg_rc_.dpm_params));
+  }
+}
+
+void ReconfigManager::initialize_static_lanes() {
+  const Cycle now = engine_.now();
+  const std::uint32_t B = cfg_.num_boards_total();
+  const std::uint32_t W = cfg_.num_wavelengths();
+  for (std::uint32_t d = 0; d < B; ++d) {
+    for (std::uint32_t w = 0; w < W; ++w) {
+      const BoardId owner = lane_map_.owner(BoardId{d}, WavelengthId{w});
+      if (!owner.valid()) continue;
+      terminals_[owner.value()]->apply_grant(BoardId{d}, WavelengthId{w},
+                                             PowerLevel::High, now);
+    }
+  }
+}
+
+void ReconfigManager::start() {
+  if (running_) return;
+  running_ = true;
+  last_harvest_ = engine_.now();
+  next_window_ = engine_.schedule(cfg_rc_.window, [this] { on_window(); });
+}
+
+void ReconfigManager::stop() {
+  running_ = false;
+  next_window_.cancel();
+}
+
+void ReconfigManager::on_window() {
+  if (!running_) return;
+  ++window_index_;
+  const Cycle t = engine_.now();
+
+  const bool both = cfg_rc_.mode.power_aware && cfg_rc_.mode.bandwidth_reconfig;
+  bool do_power = cfg_rc_.mode.power_aware;
+  bool do_bandwidth = cfg_rc_.mode.bandwidth_reconfig;
+  if (both) {
+    // Paper §3.2: odd windows run the power-awareness cycle, even windows
+    // the bandwidth re-allocation cycle.
+    do_power = (window_index_ % 2 == 1);
+    do_bandwidth = !do_power;
+  }
+
+  if (do_power || do_bandwidth) harvest_all(t);
+  if (do_power) run_power_cycle(t);
+  if (do_bandwidth) run_bandwidth_cycle(t);
+
+  next_window_ = engine_.schedule(cfg_rc_.window, [this] { on_window(); });
+}
+
+void ReconfigManager::harvest_all(Cycle now) {
+  for (std::size_t b = 0; b < terminals_.size(); ++b) {
+    terminals_[b]->harvest(last_harvest_, now, lane_stats_[b], flow_stats_[b]);
+    ++counters_.chain_scans;
+    counters_.ring_hops += cfg_.num_wavelengths() + 1;  // RC→LC_0→...→RC scan
+  }
+  last_harvest_ = now;
+}
+
+void ReconfigManager::run_power_cycle(Cycle t) {
+  ++counters_.power_cycles;
+  // Power_Request circulates the on-board LC chain; every LC then decides
+  // locally. All boards run concurrently (lock-step), so decisions land
+  // after one full chain traversal.
+  const Cycle apply_at =
+      t + static_cast<CycleDelta>(cfg_.num_wavelengths() + 1) * cfg_rc_.lc_hop_cycles;
+
+  for (std::size_t b = 0; b < terminals_.size(); ++b) {
+    // Index flow stats by destination board for the buffer-utilization input.
+    const auto& flows = flow_stats_[b];
+    for (const auto& lane : lane_stats_[b]) {
+      if (!lane.enabled) continue;
+      const auto fit = std::find_if(flows.begin(), flows.end(), [&](const auto& f) {
+        return f.dest == lane.ref.dest;
+      });
+      ERAPID_EXPECT(fit != flows.end(), "flow stats missing for a lit lane");
+      LaneObservation obs;
+      obs.lane = lane.ref;
+      obs.level = lane.level;
+      obs.link_util = lane.link_util;
+      obs.buffer_util = fit->buffer_util;
+      obs.queue_empty = fit->queued == 0;
+      const auto decision = dpm_[b]->decide(obs);
+      if (!decision) continue;
+      // Shutdown is safe for any strategy: the observation shows an idle
+      // window and an empty queue, and DLS wake-on-demand recovers if
+      // traffic returns.
+      ++counters_.level_changes;
+      auto* term = terminals_[b];
+      const auto ref = lane.ref;
+      const PowerLevel target = *decision;
+      engine_.schedule_at(apply_at, [term, ref, target, this] {
+        term->request_lane_level(ref.dest, ref.wavelength, target, engine_.now());
+      });
+    }
+  }
+}
+
+void ReconfigManager::run_bandwidth_cycle(Cycle t) {
+  ++counters_.bandwidth_cycles;
+  const std::uint32_t B = cfg_.num_boards_total();
+  const std::uint32_t W = cfg_.num_wavelengths();
+  const CycleDelta chain = static_cast<CycleDelta>(W + 1) * cfg_rc_.lc_hop_cycles;
+  const CycleDelta ring = static_cast<CycleDelta>(B) * cfg_rc_.ring_hop_cycles;
+
+  // Stage boundaries (lock-step; see file comment):
+  //   Link Request completes at t + chain (outgoing stats at every RC),
+  //   Board Request at + ring (incoming stats), Reconfigure takes 1 cycle,
+  //   Board Response + ring, Link Response + chain => lasers switch.
+  const Cycle t_reconf = t + chain + ring + 1;
+  const Cycle t_apply = t_reconf + ring + chain;
+
+  counters_.ring_hops += 2ULL * B * B;  // B packets × B hops, two ring stages
+
+  engine_.schedule_at(t_reconf, [this, t_apply] {
+    const std::uint32_t nb = cfg_.num_boards_total();
+    const std::uint32_t nw = cfg_.num_wavelengths();
+
+    for (std::uint32_t d = 0; d < nb; ++d) {
+      const BoardId dest{d};
+
+      // Assemble RC_d's incoming-link table (what the Board Request stage
+      // collected): one FlowStatsEntry per source board.
+      std::vector<FlowStatsEntry> incoming;
+      for (std::uint32_t s = 0; s < nb; ++s) {
+        if (s == d) continue;
+        const auto& flows = flow_stats_[s];
+        const auto fit = std::find_if(flows.begin(), flows.end(), [&](const auto& f) {
+          return f.dest == dest;
+        });
+        ERAPID_EXPECT(fit != flows.end(), "flow stats missing in Board Request");
+        FlowStatsEntry e;
+        e.src = BoardId{s};
+        e.buffer_util = fit->buffer_util;
+        e.queued = fit->queued;
+        e.lanes = fit->lanes_enabled;
+        incoming.push_back(e);
+      }
+
+      // Current ownership of dest's coupler wavelengths.
+      std::vector<LaneOwnership> lanes;
+      for (std::uint32_t w = 0; w < nw; ++w) {
+        lanes.push_back({WavelengthId{w}, lane_map_.owner(dest, WavelengthId{w})});
+      }
+
+      const auto directives =
+          allocate_lanes(dest, incoming, lanes, cfg_rc_.mode.dbr, cfg_rc_.grant_level);
+
+      for (const auto& dir : directives) {
+        engine_.schedule_at(t_apply, [this, dest, dir] {
+          apply_directive(dest, dir, engine_.now());
+        });
+      }
+    }
+  });
+}
+
+void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle now) {
+  const WavelengthId w = dir.wavelength;
+  // Ownership may have changed since the decision (a later window's
+  // directives are scheduled only after this one applies, so in practice
+  // it cannot — but the check keeps the invariant local and fatal).
+  ERAPID_EXPECT(lane_map_.owner(dest, w) == dir.old_owner,
+                "directive raced with another ownership change");
+
+  auto grant = [this, dest, w, dir](Cycle at) {
+    lane_map_.grant(dest, w, dir.new_owner);
+    terminals_[dir.new_owner.value()]->apply_grant(dest, w, dir.grant_level, at);
+    ++counters_.lane_grants;
+  };
+
+  if (dir.old_owner.valid()) {
+    ++counters_.lane_releases;
+    terminals_[dir.old_owner.value()]->apply_release(
+        dest, w, now, [this, dest, w, grant](Cycle at) {
+          lane_map_.release(dest, w);
+          grant(at);
+        });
+  } else {
+    grant(now);
+  }
+}
+
+}  // namespace erapid::reconfig

@@ -1,0 +1,112 @@
+// The Lock-Step (LS) reconfiguration protocol engine (paper §3).
+//
+// One ReconfigManager drives the RCs of all boards. Every reconfiguration
+// window R_w it triggers either a power-awareness cycle (locally-controlled
+// DPM, §3.1) or a bandwidth re-allocation cycle (globally-coordinated DBR,
+// §3.2). With both enabled the paper's odd–even alternation applies:
+// windows 1, 3, 5, ... run DPM; windows 2, 4, 6, ... run DBR.
+//
+// Timing model. LS is *lock-step*: within a stage every RC transmits and
+// receives in unison ("as a new control packet is transmitted by RC_{i+1},
+// it receives a control packet from the previous RC_i"), so all boards
+// cross each stage boundary at the same cycle. We therefore advance the
+// protocol in synchronized stages with the full per-stage latency
+//
+//   Link Request    (W + 1) LC-chain hops        RC → LC_0 → ... → RC
+//   Board Request    B ring hops                 every RC's packet circles
+//   Reconfigure      1 cycle                     local computation
+//   Board Response   B ring hops
+//   Link Response   (W + 1) LC-chain hops, then lane enables/disables
+//
+// and move the packet *contents* at stage boundaries. This is cycle-
+// equivalent to delivering each forwarded packet individually (the data a
+// board contributes is only examined after the stage completes) and keeps
+// the protocol state machine readable. Hop counts are still tallied in
+// ControlCounters for the control-overhead ablation.
+//
+// Wavelength-collision safety: a directive that moves an owned lane first
+// disables the old owner's laser; the re-grant is chained on the lane's
+// on_dark callback, so at no instant do two boards drive one (coupler,
+// wavelength) pair. LaneMap enforces this invariant fatally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "optical/terminal.hpp"
+#include "power/link_power.hpp"
+#include "reconfig/allocation.hpp"
+#include "reconfig/dpm_strategy.hpp"
+#include "reconfig/messages.hpp"
+#include "reconfig/policy.hpp"
+#include "topology/config.hpp"
+#include "topology/rwa.hpp"
+
+namespace erapid::reconfig {
+
+/// Protocol timing and policy configuration.
+struct ReconfigConfig {
+  CycleDelta window = 2000;        ///< R_w (paper: optimum 2000 cycles)
+  CycleDelta ring_hop_cycles = 16; ///< RC → RC electrical ring hop
+  CycleDelta lc_hop_cycles = 4;    ///< RC → LC / LC → LC on-board hop
+  NetworkMode mode = NetworkMode::np_nb();
+  power::PowerLevel grant_level = power::PowerLevel::High;
+  /// Power scaling technique (future-work evaluation surface); Threshold
+  /// is the paper's §3.1 rule.
+  DpmStrategyKind dpm_strategy = DpmStrategyKind::Threshold;
+  DpmStrategyParams dpm_params;
+};
+
+/// Drives DPM + DBR over all boards' terminals.
+class ReconfigManager {
+ public:
+  ReconfigManager(des::Engine& engine, const topology::SystemConfig& cfg,
+                  const ReconfigConfig& rc_cfg, topology::LaneMap& lane_map,
+                  std::vector<optical::OpticalTerminal*> terminals);
+
+  /// Lights the static RWA lanes (call once at t=0 before traffic starts).
+  void initialize_static_lanes();
+
+  /// Begins the periodic reconfiguration windows.
+  void start();
+
+  /// Stops scheduling further windows.
+  void stop();
+
+  [[nodiscard]] const ControlCounters& counters() const { return counters_; }
+  [[nodiscard]] const topology::LaneMap& lane_map() const { return lane_map_; }
+  [[nodiscard]] const ReconfigConfig& config() const { return cfg_rc_; }
+
+ private:
+  void on_window();
+  void run_power_cycle(Cycle t);
+  void run_bandwidth_cycle(Cycle t);
+  void apply_directive(BoardId dest, const Directive& dir, Cycle now);
+
+  /// Harvests every board's LC counters for the window ending at `now`.
+  void harvest_all(Cycle now);
+
+  des::Engine& engine_;
+  const topology::SystemConfig& cfg_;
+  ReconfigConfig cfg_rc_;
+  topology::LaneMap& lane_map_;
+  std::vector<optical::OpticalTerminal*> terminals_;
+
+  // Last-window statistics per board (index = board id).
+  std::vector<std::vector<optical::LaneSnapshot>> lane_stats_;
+  std::vector<std::vector<optical::FlowSnapshot>> flow_stats_;
+
+  // One strategy instance per board (strategies hold per-lane history,
+  // mirroring the per-board LC hardware).
+  std::vector<std::unique_ptr<DpmStrategy>> dpm_;
+
+  Cycle last_harvest_ = 0;
+  std::uint64_t window_index_ = 0;
+  bool running_ = false;
+  des::EventHandle next_window_;
+  ControlCounters counters_;
+};
+
+}  // namespace erapid::reconfig

@@ -1,0 +1,58 @@
+// Control-plane message types for the Lock-Step protocol (paper §3.2,
+// Figure 4). RC–RC messages travel a unidirectional electrical ring
+// separate from the optical SRS; RC–LC messages traverse the on-board LC
+// chain. Both are modelled with explicit per-hop latencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "power/link_power.hpp"
+#include "util/types.hpp"
+
+namespace erapid::reconfig {
+
+/// Per-flow statistics one RC reports about its *outgoing* link toward the
+/// requesting board (carried in Board Request/Response packets).
+struct FlowStatsEntry {
+  BoardId src;               ///< reporting (transmitting) board
+  double buffer_util = 0.0;  ///< transmit-queue Buffer_util over last R_w
+  std::uint32_t queued = 0;  ///< packets currently waiting
+  std::uint32_t lanes = 0;   ///< lanes src currently owns toward the dest
+};
+
+/// Board Request: RC_d collects incoming-link statistics. The packet
+/// circles the ring; every RC_s appends its entry for flow s→d.
+struct BoardRequestPkt {
+  BoardId origin;  ///< the destination board whose incoming links these are
+  std::vector<FlowStatsEntry> incoming;
+};
+
+/// One lane re-allocation decided by RC_d in the Reconfigure stage.
+struct Directive {
+  WavelengthId wavelength;
+  BoardId old_owner;  ///< invalid ⇒ lane was dark (λ0 / previously released)
+  BoardId new_owner;  ///< invalid ⇒ pure release (unused by the allocator)
+  power::PowerLevel grant_level = power::PowerLevel::High;
+};
+
+/// Board Response: RC_d broadcasts its directives; each RC applies the
+/// ones naming it (release or grant) in its Link Response stage.
+struct BoardResponsePkt {
+  BoardId origin;  ///< destination board whose incoming lanes moved
+  std::vector<Directive> directives;
+};
+
+/// Control-plane cost counters (the paper argues LS has "minimal control
+/// overhead" — the ablation bench quantifies it with these).
+struct ControlCounters {
+  std::uint64_t power_cycles = 0;
+  std::uint64_t bandwidth_cycles = 0;
+  std::uint64_t ring_hops = 0;
+  std::uint64_t chain_scans = 0;
+  std::uint64_t level_changes = 0;
+  std::uint64_t lane_grants = 0;
+  std::uint64_t lane_releases = 0;
+};
+
+}  // namespace erapid::reconfig

@@ -1,0 +1,68 @@
+#include "reconfig/policy.hpp"
+
+namespace erapid::reconfig {
+
+using power::PowerLevel;
+
+NetworkMode NetworkMode::np_nb() {
+  NetworkMode m;
+  m.name = "NP-NB";
+  return m;
+}
+
+NetworkMode NetworkMode::p_nb() {
+  NetworkMode m;
+  m.name = "P-NB";
+  m.power_aware = true;
+  // §4.2: "In P-NB, the B_max is kept at 0.0 and L_max is 0.7 ... we
+  // conservatively increase the bit rate when it is about to saturate."
+  m.dpm.l_min = 0.4;  // (not stated in the paper; ablation bench sweeps it)
+  m.dpm.l_max = 0.7;
+  m.dpm.b_max = 0.0;
+  m.dpm.require_buffer_for_upscale = false;
+  return m;
+}
+
+NetworkMode NetworkMode::np_b() {
+  NetworkMode m;
+  m.name = "NP-B";
+  m.bandwidth_reconfig = true;
+  return m;
+}
+
+NetworkMode NetworkMode::p_b() {
+  NetworkMode m;
+  m.name = "P-B";
+  m.power_aware = true;
+  m.bandwidth_reconfig = true;
+  // §3.1/§4.2: L_min 0.7, L_max 0.9, B_max 0.3.
+  m.dpm.l_min = 0.7;
+  m.dpm.l_max = 0.9;
+  m.dpm.b_max = 0.3;
+  m.dpm.require_buffer_for_upscale = true;
+  m.dbr.b_min = 0.0;
+  m.dbr.b_max = 0.3;
+  return m;
+}
+
+std::optional<PowerLevel> dpm_decision(PowerLevel current, double link_util,
+                                       double buffer_util, bool queue_empty,
+                                       const DpmPolicy& policy) {
+  if (current == PowerLevel::Off) return std::nullopt;  // woken on demand, not by DPM
+
+  // DLS: a lane idle for the whole window with nothing queued goes dark.
+  if (policy.shutdown_idle && link_util == 0.0 && queue_empty) return PowerLevel::Off;
+
+  if (link_util < policy.l_min) {
+    const PowerLevel down = power::step_down(current);
+    return down == current ? std::nullopt : std::optional{down};
+  }
+  if (link_util > policy.l_max &&
+      (!policy.require_buffer_for_upscale || buffer_util > policy.b_max)) {
+    const PowerLevel up = power::step_up(current);
+    return up == current ? std::nullopt : std::optional{up};
+  }
+  return std::nullopt;
+}
+
+}  // namespace erapid::reconfig

@@ -1,0 +1,66 @@
+// Reconfiguration policies and the pure decision functions of the LS
+// technique (paper §3). Pulled out of the protocol machinery so they are
+// directly unit- and property-testable.
+//
+// Four network configurations are evaluated (Figure 3):
+//   NP-NB  non-power-aware, non-bandwidth-reconfigured (static baseline)
+//   P-NB   DPM only: conservative thresholds (L_max = 0.7, B_max = 0 —
+//          "the links are not allowed to completely saturate as there are
+//          no additional links to provide in case they are saturated")
+//   NP-B   DBR only: lanes always at P_high
+//   P-B    both, aggressive thresholds (L_min = 0.7, L_max = 0.9,
+//          B_max = 0.3 — "we aggressively push the link utilization to the
+//          limit")
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "power/link_power.hpp"
+
+namespace erapid::reconfig {
+
+/// Dynamic Power Management thresholds (§3.1).
+struct DpmPolicy {
+  double l_min = 0.7;  ///< Link_util below this → step bit rate down
+  double l_max = 0.9;  ///< Link_util above this → candidate for step up
+  double b_max = 0.3;  ///< additionally require Buffer_util above this
+  /// When false the upscale ignores b_max (the conservative P-NB variant).
+  bool require_buffer_for_upscale = true;
+  /// DLS: shut idle lanes down entirely (woken on demand).
+  bool shutdown_idle = true;
+};
+
+/// Dynamic Bandwidth Re-allocation thresholds (§3.2).
+struct DbrPolicy {
+  double b_min = 0.0;  ///< Buffer_util at/below this → lane re-allocatable
+  double b_max = 0.3;  ///< Buffer_util above this → flow needs more lanes
+  /// Limited-flexibility variant (the paper's future-work "cost-effective
+  /// design alternatives that provide limited flexibility"): cap on the
+  /// total lanes one flow may hold. 0 = full flexibility (the paper's
+  /// evaluated design).
+  std::uint32_t max_lanes_per_flow = 0;
+};
+
+/// One of the paper's four evaluated network configurations.
+struct NetworkMode {
+  std::string_view name;
+  bool power_aware = false;
+  bool bandwidth_reconfig = false;
+  DpmPolicy dpm;
+  DbrPolicy dbr;
+
+  static NetworkMode np_nb();
+  static NetworkMode p_nb();
+  static NetworkMode np_b();
+  static NetworkMode p_b();
+};
+
+/// DPM per-lane decision (§3.1). Returns the new power level, or nullopt
+/// to stay. `queue_empty` refers to the flow's transmit queue right now;
+/// DLS shutdown additionally requires a fully idle window.
+[[nodiscard]] std::optional<power::PowerLevel> dpm_decision(
+    power::PowerLevel current, double link_util, double buffer_util, bool queue_empty,
+    const DpmPolicy& policy);
+
+}  // namespace erapid::reconfig

@@ -1,0 +1,48 @@
+// Round-robin arbiter.
+//
+// The separable VC and switch allocators (router.cpp) are built from these:
+// each output (or input) keeps one arbiter; the grant pointer advances past
+// the winner so every requester is served within N grants (strong
+// fairness). Deterministic: no randomness, state advances only on grants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace erapid::router {
+
+/// Rotating-priority single-winner arbiter over `n` requesters.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::uint32_t n) : n_(n) {
+    ERAPID_EXPECT(n > 0, "arbiter needs at least one requester");
+  }
+
+  /// Picks the first set request at/after the pointer; returns the winner
+  /// index or kNoGrant. Advances the pointer past the winner.
+  static constexpr std::uint32_t kNoGrant = UINT32_MAX;
+
+  std::uint32_t arbitrate(const std::vector<bool>& requests) {
+    ERAPID_EXPECT(requests.size() == n_, "request vector width mismatch");
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const std::uint32_t cand = (ptr_ + i) % n_;
+      if (requests[cand]) {
+        ptr_ = (cand + 1) % n_;
+        return cand;
+      }
+    }
+    return kNoGrant;
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return n_; }
+  [[nodiscard]] std::uint32_t pointer() const { return ptr_; }
+  void reset() { ptr_ = 0; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t ptr_ = 0;
+};
+
+}  // namespace erapid::router

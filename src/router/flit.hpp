@@ -1,0 +1,72 @@
+// Packet and flit types.
+//
+// Paper §2.1: "Each packet, consisting of several fixed-size units called
+// flits ... Flits from different nodes are interleaved in the electrical
+// domain using virtual channels whereas packets from different boards are
+// interleaved in the optical domain." So the electrical IBI moves flits
+// (wormhole, VCs, credits) while optical lanes move whole packets.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace erapid::router {
+
+/// Network packet. Copied whole across the optical domain; flitized in the
+/// electrical domain.
+struct Packet {
+  PacketSeq seq = 0;
+  NodeId src;
+  NodeId dst;
+  std::uint32_t flits = 0;   ///< payload length in flits (64 b each)
+  Cycle created = 0;         ///< generation time (enters source queue)
+  Cycle injected = kNeverCycle;  ///< first flit entered the router
+  bool labelled = false;     ///< sampled during the measurement interval
+};
+
+/// One flow-control unit. Head flits carry routing info; every flit carries
+/// enough packet metadata to reassemble without a side table.
+struct Flit {
+  PacketSeq seq = 0;
+  std::uint32_t index = 0;  ///< position within the packet
+  bool head = false;
+  bool tail = false;
+  NodeId src;
+  NodeId dst;
+  std::uint32_t packet_flits = 0;
+  Cycle created = 0;
+  Cycle injected = kNeverCycle;
+  bool labelled = false;
+};
+
+/// Splits packet `p` into its i-th flit.
+[[nodiscard]] inline Flit make_flit(const Packet& p, std::uint32_t i) {
+  Flit f;
+  f.seq = p.seq;
+  f.index = i;
+  f.head = (i == 0);
+  f.tail = (i + 1 == p.flits);
+  f.src = p.src;
+  f.dst = p.dst;
+  f.packet_flits = p.flits;
+  f.created = p.created;
+  f.injected = p.injected;
+  f.labelled = p.labelled;
+  return f;
+}
+
+/// Rebuilds packet metadata from any of its flits (used at reassembly).
+[[nodiscard]] inline Packet packet_from_flit(const Flit& f) {
+  Packet p;
+  p.seq = f.seq;
+  p.src = f.src;
+  p.dst = f.dst;
+  p.flits = f.packet_flits;
+  p.created = f.created;
+  p.injected = f.injected;
+  p.labelled = f.labelled;
+  return p;
+}
+
+}  // namespace erapid::router

@@ -1,0 +1,205 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+
+namespace erapid::router {
+
+Router::Router(des::Engine& engine, des::ClockDomain& domain, std::string name,
+               std::uint32_t num_inputs, std::uint32_t vcs_per_input,
+               std::uint32_t vc_depth_flits, std::uint32_t credit_delay, RouteFn route)
+    : engine_(engine),
+      domain_(domain),
+      name_(std::move(name)),
+      vcs_per_input_(vcs_per_input),
+      vc_depth_(vc_depth_flits),
+      credit_delay_(credit_delay),
+      route_(std::move(route)) {
+  ERAPID_EXPECT(num_inputs > 0 && vcs_per_input > 0 && vc_depth_flits > 0,
+                "router needs inputs, VCs and buffers");
+  inputs_.resize(num_inputs);
+  for (auto& in : inputs_) in.vcs.resize(vcs_per_input_);
+  input_sa_arb_.reserve(num_inputs);
+  for (std::uint32_t i = 0; i < num_inputs; ++i) input_sa_arb_.emplace_back(vcs_per_input_);
+  domain_.add(*this);
+}
+
+std::uint32_t Router::add_output(const OutputPortConfig& cfg) {
+  ERAPID_EXPECT(cfg.sink != nullptr, "output port needs a sink");
+  ERAPID_EXPECT(cfg.vcs > 0 && cfg.credits_per_vc > 0, "output port needs downstream buffers");
+  ERAPID_EXPECT(cfg.cycles_per_flit > 0, "channel serialization must take >= 1 cycle");
+  outputs_.emplace_back(cfg, static_cast<std::uint32_t>(inputs_.size()) * vcs_per_input_,
+                        static_cast<std::uint32_t>(inputs_.size()));
+  return static_cast<std::uint32_t>(outputs_.size() - 1);
+}
+
+void Router::set_credit_return(std::uint32_t in_port, CreditFn fn) {
+  inputs_[in_port].credit_return = std::move(fn);
+}
+
+bool Router::can_accept(std::uint32_t in_port, std::uint32_t vc) const {
+  return inputs_[in_port].vcs[vc].buf.size() < vc_depth_;
+}
+
+void Router::accept_flit(std::uint32_t in_port, std::uint32_t vc, const Flit& f, Cycle now) {
+  auto& ch = inputs_[in_port].vcs[vc];
+  ERAPID_EXPECT(ch.buf.size() < vc_depth_,
+                "upstream overran input buffer credits on " + name_);
+  const bool was_empty_idle = ch.buf.empty() && ch.state == VcState::Idle;
+  ch.buf.push_back(f);
+  ++counters_.flits_in;
+  if (was_empty_idle) {
+    ERAPID_EXPECT(f.head, "a body flit reached an idle VC (wormhole order broken)");
+    ch.state = VcState::Routing;
+    ch.state_since = now;
+  }
+  domain_.wake();
+}
+
+void Router::return_credit(std::uint32_t out_port, std::uint32_t vc) {
+  auto& out = outputs_[out_port];
+  ++out.credits[vc];
+  ERAPID_EXPECT(out.credits[vc] <= out.cfg.credits_per_vc,
+                "downstream returned more credits than granted on " + name_);
+  domain_.wake();
+}
+
+void Router::tick(Cycle now) {
+  // Stage order within a tick is ST-first conceptually irrelevant because
+  // every stage transition is gated on now > state_since: a flit entering a
+  // stage this cycle cannot also leave it this cycle.
+  stage_route(now);
+  stage_vc_alloc(now);
+  stage_switch(now);
+}
+
+void Router::stage_route(Cycle now) {
+  for (auto& in : inputs_) {
+    for (auto& ch : in.vcs) {
+      if (ch.state != VcState::Routing || now <= ch.state_since) continue;
+      if (ch.buf.empty()) continue;
+      const Flit& head = ch.buf.front();
+      ERAPID_EXPECT(head.head, "RC saw a non-head flit at the front of a routing VC");
+      ch.out_port = route_(head);
+      ERAPID_EXPECT(ch.out_port < outputs_.size(), "route function returned bad port");
+      ch.state = VcState::VcAlloc;
+      ch.state_since = now;
+      ++counters_.packets_routed;
+    }
+  }
+}
+
+void Router::stage_vc_alloc(Cycle now) {
+  const std::uint32_t nflat = static_cast<std::uint32_t>(inputs_.size()) * vcs_per_input_;
+  for (std::uint32_t o = 0; o < outputs_.size(); ++o) {
+    auto& out = outputs_[o];
+    // Collect input VCs requesting this output.
+    std::vector<bool> requests(nflat, false);
+    bool any = false;
+    for (std::uint32_t i = 0; i < inputs_.size(); ++i) {
+      for (std::uint32_t v = 0; v < vcs_per_input_; ++v) {
+        const auto& ch = inputs_[i].vcs[v];
+        if (ch.state == VcState::VcAlloc && ch.out_port == o && now > ch.state_since) {
+          requests[flat(i, v)] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;
+    for (std::uint32_t dv = 0; dv < out.cfg.vcs; ++dv) {
+      if (out.vc_taken[dv]) continue;
+      const std::uint32_t winner = out.vc_arb.arbitrate(requests);
+      if (winner == RoundRobinArbiter::kNoGrant) break;
+      requests[winner] = false;
+      auto& ch = inputs_[winner / vcs_per_input_].vcs[winner % vcs_per_input_];
+      ch.state = VcState::Active;
+      ch.state_since = now;
+      ch.out_vc = dv;
+      out.vc_taken[dv] = true;
+      ++counters_.va_grants;
+    }
+  }
+}
+
+void Router::stage_switch(Cycle now) {
+  // Input-first phase: each input port nominates at most one VC.
+  const std::uint32_t ninputs = static_cast<std::uint32_t>(inputs_.size());
+  std::vector<std::uint32_t> candidate(ninputs, RoundRobinArbiter::kNoGrant);
+  for (std::uint32_t i = 0; i < ninputs; ++i) {
+    std::vector<bool> requests(vcs_per_input_, false);
+    bool any = false;
+    for (std::uint32_t v = 0; v < vcs_per_input_; ++v) {
+      const auto& ch = inputs_[i].vcs[v];
+      if (ch.state != VcState::Active || now <= ch.state_since) continue;
+      if (ch.buf.empty()) continue;
+      const auto& out = outputs_[ch.out_port];
+      if (out.credits[ch.out_vc] == 0) continue;   // downstream buffer full
+      if (out.busy_until > now) continue;          // channel serializing
+      requests[v] = true;
+      any = true;
+    }
+    if (any) candidate[i] = input_sa_arb_[i].arbitrate(requests);
+  }
+
+  // Output-first phase: each output port grants one nominating input.
+  for (std::uint32_t o = 0; o < outputs_.size(); ++o) {
+    auto& out = outputs_[o];
+    std::vector<bool> requests(ninputs, false);
+    std::uint32_t nreq = 0;
+    for (std::uint32_t i = 0; i < ninputs; ++i) {
+      if (candidate[i] == RoundRobinArbiter::kNoGrant) continue;
+      if (inputs_[i].vcs[candidate[i]].out_port == o) {
+        requests[i] = true;
+        ++nreq;
+      }
+    }
+    if (nreq == 0) continue;
+    const std::uint32_t wi = out.sa_arb.arbitrate(requests);
+    counters_.sa_conflicts += nreq - 1;
+    ++counters_.sa_grants;
+
+    // Switch traversal for the winner.
+    auto& ch = inputs_[wi].vcs[candidate[wi]];
+    Flit f = ch.buf.front();
+    ch.buf.pop_front();
+    ++counters_.flits_out;
+
+    --out.credits[ch.out_vc];
+    out.busy_until = now + out.cfg.cycles_per_flit;
+
+    // Deliver after channel serialization + wire delay.
+    const Cycle arrive = now + out.cfg.cycles_per_flit + out.cfg.wire_delay;
+    FlitReceiver* sink = out.cfg.sink;
+    const std::uint32_t dvc = ch.out_vc;
+    engine_.schedule_at(arrive, [sink, f, dvc, arrive] { sink->receive_flit(f, dvc, arrive); });
+
+    // Return one input-buffer credit upstream.
+    if (inputs_[wi].credit_return) {
+      const std::uint32_t vc = candidate[wi];
+      engine_.schedule(credit_delay_, [this, wi, vc] {
+        inputs_[wi].credit_return(vc, engine_.now());
+      });
+    }
+
+    if (f.tail) {
+      out.vc_taken[ch.out_vc] = false;
+      if (ch.buf.empty()) {
+        ch.state = VcState::Idle;
+      } else {
+        ERAPID_EXPECT(ch.buf.front().head, "flit after tail must be a head (wormhole order)");
+        ch.state = VcState::Routing;
+      }
+      ch.state_since = now;
+    }
+  }
+}
+
+bool Router::quiescent() const {
+  for (const auto& in : inputs_) {
+    for (const auto& ch : in.vcs) {
+      if (!ch.buf.empty() || ch.state != VcState::Idle) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace erapid::router

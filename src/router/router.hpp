@@ -1,0 +1,158 @@
+// Cycle-accurate virtual-channel wormhole router — the Intra-Board
+// Interconnect (IBI) of paper §2.1 / Figure 2(a).
+//
+// Microarchitecture (Table 1, SGI-Spider-derived):
+//   * per-input-port virtual channels with private flit buffers;
+//   * credit-based flow control on both sides (1-cycle credit delay);
+//   * per-packet stages: route computation (RC), VC allocation (VA);
+//   * per-flit stages: switch allocation (SA), switch traversal (ST);
+//     each stage costs one router cycle;
+//   * separable allocators built from round-robin arbiters: VA arbitrates
+//     input VCs per free output VC; SA is input-first (one candidate VC per
+//     input port) then output-first (one input per output port);
+//   * output channels serialize flits at a configurable rate (16-bit phits
+//     at 400 MHz => 4 cycles per 64-bit flit).
+//
+// Timing discipline: every stage transition is gated on `now >
+// state_since`, so a flit observes at least one cycle per stage and the
+// result is independent of same-cycle event ordering (deterministic).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "des/clock.hpp"
+#include "des/engine.hpp"
+#include "router/arbiter.hpp"
+#include "router/flit.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::router {
+
+/// Downstream endpoint of a router output port.
+class FlitReceiver {
+ public:
+  virtual ~FlitReceiver() = default;
+
+  /// Called when a flit has fully traversed the output channel. `out_vc`
+  /// is the downstream virtual channel VA assigned. The receiver owns a
+  /// buffer of the credits it granted and must return credits via the
+  /// CreditReturn handle it was constructed with.
+  virtual void receive_flit(const Flit& f, std::uint32_t out_vc, Cycle now) = 0;
+};
+
+/// Configuration of one router output port.
+struct OutputPortConfig {
+  FlitReceiver* sink = nullptr;
+  std::uint32_t vcs = 1;              ///< downstream virtual channels
+  std::uint32_t credits_per_vc = 8;   ///< downstream buffer depth (flits)
+  std::uint32_t cycles_per_flit = 4;  ///< channel serialization time
+  std::uint32_t wire_delay = 0;       ///< extra propagation cycles
+};
+
+/// Routing function: maps a head flit to an output port index.
+using RouteFn = std::function<std::uint32_t(const Flit&)>;
+
+/// Upstream credit callback: (vc, now) for one freed input-buffer slot.
+using CreditFn = std::function<void(std::uint32_t, Cycle)>;
+
+/// Aggregate router activity counters (for tests and microbenchmarks).
+struct RouterCounters {
+  std::uint64_t flits_in = 0;
+  std::uint64_t flits_out = 0;
+  std::uint64_t packets_routed = 0;
+  std::uint64_t va_grants = 0;
+  std::uint64_t sa_grants = 0;
+  std::uint64_t sa_conflicts = 0;  ///< SA requests denied per cycle
+};
+
+/// The VC wormhole router.
+class Router : public des::Clocked {
+ public:
+  Router(des::Engine& engine, des::ClockDomain& domain, std::string name,
+         std::uint32_t num_inputs, std::uint32_t vcs_per_input,
+         std::uint32_t vc_depth_flits, std::uint32_t credit_delay, RouteFn route);
+
+  /// Adds an output port; returns its index. All outputs must be added
+  /// before the first flit arrives.
+  std::uint32_t add_output(const OutputPortConfig& cfg);
+
+  /// Registers the upstream credit sink for an input port.
+  void set_credit_return(std::uint32_t in_port, CreditFn fn);
+
+  // --- upstream-facing flit interface (upstream tracks its own credits) ---
+  [[nodiscard]] bool can_accept(std::uint32_t in_port, std::uint32_t vc) const;
+  void accept_flit(std::uint32_t in_port, std::uint32_t vc, const Flit& f, Cycle now);
+
+  /// Downstream calls this when it frees one flit slot on (out_port, vc).
+  void return_credit(std::uint32_t out_port, std::uint32_t vc);
+
+  // --- des::Clocked ---
+  void tick(Cycle now) override;
+  [[nodiscard]] bool quiescent() const override;
+
+  [[nodiscard]] const RouterCounters& counters() const { return counters_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t num_inputs() const { return static_cast<std::uint32_t>(inputs_.size()); }
+  [[nodiscard]] std::uint32_t num_outputs() const { return static_cast<std::uint32_t>(outputs_.size()); }
+
+  /// Buffered flits on one input VC (tests/inspection).
+  [[nodiscard]] std::size_t vc_occupancy(std::uint32_t in_port, std::uint32_t vc) const {
+    return inputs_[in_port].vcs[vc].buf.size();
+  }
+
+ private:
+  enum class VcState : std::uint8_t { Idle, Routing, VcAlloc, Active };
+
+  struct VirtualChannel {
+    std::deque<Flit> buf;
+    VcState state = VcState::Idle;
+    Cycle state_since = 0;
+    std::uint32_t out_port = 0;
+    std::uint32_t out_vc = 0;
+  };
+
+  struct InputPort {
+    std::vector<VirtualChannel> vcs;
+    CreditFn credit_return;
+  };
+
+  struct OutputPort {
+    OutputPortConfig cfg;
+    std::vector<std::uint32_t> credits;  ///< per downstream VC
+    std::vector<bool> vc_taken;          ///< downstream VC held by an input VC
+    Cycle busy_until = 0;                ///< channel serializing until
+    RoundRobinArbiter vc_arb;            ///< VA arbiter over input VCs
+    RoundRobinArbiter sa_arb;            ///< SA arbiter over input ports
+    explicit OutputPort(const OutputPortConfig& c, std::uint32_t flat_vcs,
+                        std::uint32_t num_inputs)
+        : cfg(c), credits(c.vcs, c.credits_per_vc), vc_taken(c.vcs, false),
+          vc_arb(flat_vcs), sa_arb(num_inputs) {}
+  };
+
+  void stage_route(Cycle now);
+  void stage_vc_alloc(Cycle now);
+  void stage_switch(Cycle now);
+
+  [[nodiscard]] std::uint32_t flat(std::uint32_t in_port, std::uint32_t vc) const {
+    return in_port * vcs_per_input_ + vc;
+  }
+
+  des::Engine& engine_;
+  des::ClockDomain& domain_;
+  std::string name_;
+  std::uint32_t vcs_per_input_;
+  std::uint32_t vc_depth_;
+  std::uint32_t credit_delay_;
+  RouteFn route_;
+  std::vector<InputPort> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::vector<RoundRobinArbiter> input_sa_arb_;  ///< per input: pick one VC
+  RouterCounters counters_;
+  std::uint32_t active_vcs_ = 0;  ///< non-Idle or non-empty VC count (for quiescence)
+};
+
+}  // namespace erapid::router

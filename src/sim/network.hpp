@@ -1,0 +1,104 @@
+// Full E-RAPID system assembly.
+//
+// Instantiates and wires, for an R(C, B, D) configuration:
+//   * one IBI router per board: D node input ports + W receiver input
+//     ports; D ejection output ports + (B-1) remote output ports;
+//   * W wavelength receivers per board feeding the router;
+//   * one optical terminal per board (TX queues, lanes, scheduler);
+//   * per-node NIs and ejection units;
+//   * the global lane-ownership map and the LS reconfiguration manager.
+//
+// Delivered packets are reported through a single callback the simulation
+// driver installs (latency/throughput accounting lives there, keeping the
+// network model measurement-free).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/clock.hpp"
+#include "des/engine.hpp"
+#include "optical/receiver.hpp"
+#include "optical/terminal.hpp"
+#include "power/energy_meter.hpp"
+#include "power/link_power.hpp"
+#include "reconfig/manager.hpp"
+#include "router/injector.hpp"
+#include "router/router.hpp"
+#include "sim/node_interface.hpp"
+#include "topology/capacity.hpp"
+#include "topology/config.hpp"
+#include "topology/rwa.hpp"
+
+namespace erapid::sim {
+
+/// A complete E-RAPID network instance.
+class Network {
+ public:
+  /// `power_model` lets experiments substitute the per-level link
+  /// electricals (e.g. an electrical-SerDes baseline or ablated transition
+  /// latencies); the default is the paper's Table 1 optical model.
+  Network(des::Engine& engine, const topology::SystemConfig& cfg,
+          const reconfig::ReconfigConfig& rc_cfg,
+          const power::LinkPowerModel& power_model = power::LinkPowerModel{});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// `on_delivered(packet, now)` fires at every packet ejection.
+  void set_delivery_callback(std::function<void(const router::Packet&, Cycle)> fn) {
+    on_delivered_ = std::move(fn);
+  }
+
+  /// Lights static lanes and starts the reconfiguration windows.
+  void start(Cycle now = 0);
+
+  /// Injects a packet at its source node's NI.
+  void inject(const router::Packet& p, Cycle now);
+
+  // ---- accessors ----
+  [[nodiscard]] const topology::SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] const power::LinkPowerModel& power_model() const { return power_model_; }
+  [[nodiscard]] power::EnergyMeter& meter() { return meter_; }
+  [[nodiscard]] const topology::Rwa& rwa() const { return rwa_; }
+  [[nodiscard]] topology::LaneMap& lane_map() { return lane_map_; }
+  [[nodiscard]] reconfig::ReconfigManager& reconfig_manager() { return *manager_; }
+  [[nodiscard]] router::Router& board_router(BoardId b) { return *routers_[b.value()]; }
+  [[nodiscard]] optical::OpticalTerminal& terminal(BoardId b) { return *terminals_[b.value()]; }
+  [[nodiscard]] optical::Receiver& receiver(BoardId b, WavelengthId w) {
+    return *receivers_[static_cast<std::size_t>(b.value()) * cfg_.num_wavelengths() + w.value()];
+  }
+  [[nodiscard]] NodeInterface& node_interface(NodeId n) { return *nis_[n.value()]; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+
+  /// Total NI source-queue backlog (diagnostic; grows past saturation).
+  [[nodiscard]] std::size_t total_source_backlog() const;
+
+  /// Network-wide active energy (mW·cycles): lane power integrated only
+  /// while serializing (the paper's utilization-weighted power metric).
+  [[nodiscard]] double active_energy_mw_cycles() const;
+
+ private:
+  void build_board(BoardId b);
+
+  des::Engine& engine_;
+  topology::SystemConfig cfg_;
+  des::ClockDomain domain_;
+  power::LinkPowerModel power_model_;
+  power::EnergyMeter meter_;
+  topology::Rwa rwa_;
+  topology::LaneMap lane_map_;
+
+  std::vector<std::unique_ptr<router::Router>> routers_;
+  std::vector<std::unique_ptr<optical::Receiver>> receivers_;  ///< [b*W + w]
+  std::vector<std::unique_ptr<router::EjectionUnit>> ejections_;  ///< [node]
+  std::vector<std::unique_ptr<optical::OpticalTerminal>> terminals_;
+  std::vector<std::unique_ptr<NodeInterface>> nis_;
+  std::unique_ptr<reconfig::ReconfigManager> manager_;
+
+  std::function<void(const router::Packet&, Cycle)> on_delivered_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace erapid::sim

@@ -1,0 +1,198 @@
+#include "sim/options_io.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace erapid::sim {
+
+namespace {
+
+const std::set<std::string>& known_keys() {
+  static const std::set<std::string> keys = {
+      "system.clusters",
+      "system.boards",
+      "system.nodes_per_board",
+      "system.channel_width_bits",
+      "system.flit_bits",
+      "system.packet_flits",
+      "system.num_vcs",
+      "system.vc_buffer_flits",
+      "system.credit_delay",
+      "system.tx_queue_packets",
+      "system.rx_queue_packets",
+      "system.fiber_delay_cycles",
+      "system.tx_feed_cycles_per_flit",
+      "system.injection_queue_packets",
+      "reconfig.mode",
+      "reconfig.window",
+      "reconfig.ring_hop_cycles",
+      "reconfig.lc_hop_cycles",
+      "reconfig.dpm_strategy",
+      "reconfig.hysteresis_windows",
+      "reconfig.ewma_alpha",
+      "reconfig.l_min",
+      "reconfig.l_max",
+      "reconfig.b_max",
+      "reconfig.dbr_b_min",
+      "reconfig.dbr_b_max",
+      "reconfig.max_lanes_per_flow",
+      "reconfig.shutdown_idle",
+      "workload.pattern",
+      "workload.hotspot_fraction",
+      "workload.hotspot_node",
+      "workload.load",
+      "workload.seed",
+      "workload.warmup_cycles",
+      "workload.measure_cycles",
+      "workload.drain_limit",
+  };
+  return keys;
+}
+
+reconfig::NetworkMode parse_mode(const std::string& name) {
+  if (name == "NP-NB") return reconfig::NetworkMode::np_nb();
+  if (name == "P-NB") return reconfig::NetworkMode::p_nb();
+  if (name == "NP-B") return reconfig::NetworkMode::np_b();
+  if (name == "P-B") return reconfig::NetworkMode::p_b();
+  ERAPID_EXPECT(false, "unknown reconfig.mode: '" + name + "'");
+  return reconfig::NetworkMode::np_nb();
+}
+
+reconfig::DpmStrategyKind parse_strategy(const std::string& name) {
+  if (name == "threshold") return reconfig::DpmStrategyKind::Threshold;
+  if (name == "hysteresis") return reconfig::DpmStrategyKind::Hysteresis;
+  if (name == "ewma") return reconfig::DpmStrategyKind::Ewma;
+  ERAPID_EXPECT(false, "unknown reconfig.dpm_strategy: '" + name + "'");
+  return reconfig::DpmStrategyKind::Threshold;
+}
+
+}  // namespace
+
+SimOptions options_from_ini(const util::Ini& ini) {
+  // Reject typos loudly: every present key must be known.
+  for (const auto& [key, value] : ini.entries()) {
+    ERAPID_EXPECT(known_keys().count(key) > 0, "unknown config key: '" + key + "'");
+  }
+
+  SimOptions o;
+  auto u32 = [&](const char* key, std::uint32_t def) {
+    return static_cast<std::uint32_t>(ini.get_int(key, def));
+  };
+  o.system.clusters = u32("system.clusters", o.system.clusters);
+  o.system.boards = u32("system.boards", o.system.boards);
+  o.system.nodes_per_board = u32("system.nodes_per_board", o.system.nodes_per_board);
+  o.system.channel_width_bits = u32("system.channel_width_bits", o.system.channel_width_bits);
+  o.system.flit_bits = u32("system.flit_bits", o.system.flit_bits);
+  o.system.packet_flits = u32("system.packet_flits", o.system.packet_flits);
+  o.system.num_vcs = u32("system.num_vcs", o.system.num_vcs);
+  o.system.vc_buffer_flits = u32("system.vc_buffer_flits", o.system.vc_buffer_flits);
+  o.system.credit_delay = u32("system.credit_delay", o.system.credit_delay);
+  o.system.tx_queue_packets = u32("system.tx_queue_packets", o.system.tx_queue_packets);
+  o.system.rx_queue_packets = u32("system.rx_queue_packets", o.system.rx_queue_packets);
+  o.system.fiber_delay_cycles = u32("system.fiber_delay_cycles", o.system.fiber_delay_cycles);
+  o.system.tx_feed_cycles_per_flit =
+      u32("system.tx_feed_cycles_per_flit", o.system.tx_feed_cycles_per_flit);
+  o.system.injection_queue_packets =
+      u32("system.injection_queue_packets", o.system.injection_queue_packets);
+
+  if (const auto mode = ini.get("reconfig.mode")) o.reconfig.mode = parse_mode(*mode);
+  o.reconfig.window = static_cast<CycleDelta>(
+      ini.get_int("reconfig.window", static_cast<long>(o.reconfig.window)));
+  o.reconfig.ring_hop_cycles = static_cast<CycleDelta>(
+      ini.get_int("reconfig.ring_hop_cycles", static_cast<long>(o.reconfig.ring_hop_cycles)));
+  o.reconfig.lc_hop_cycles = static_cast<CycleDelta>(
+      ini.get_int("reconfig.lc_hop_cycles", static_cast<long>(o.reconfig.lc_hop_cycles)));
+  if (const auto strat = ini.get("reconfig.dpm_strategy")) {
+    o.reconfig.dpm_strategy = parse_strategy(*strat);
+  }
+  o.reconfig.dpm_params.hysteresis_windows =
+      u32("reconfig.hysteresis_windows", o.reconfig.dpm_params.hysteresis_windows);
+  o.reconfig.dpm_params.ewma_alpha =
+      ini.get_double("reconfig.ewma_alpha", o.reconfig.dpm_params.ewma_alpha);
+  o.reconfig.mode.dpm.l_min = ini.get_double("reconfig.l_min", o.reconfig.mode.dpm.l_min);
+  o.reconfig.mode.dpm.l_max = ini.get_double("reconfig.l_max", o.reconfig.mode.dpm.l_max);
+  o.reconfig.mode.dpm.b_max = ini.get_double("reconfig.b_max", o.reconfig.mode.dpm.b_max);
+  o.reconfig.mode.dbr.b_min =
+      ini.get_double("reconfig.dbr_b_min", o.reconfig.mode.dbr.b_min);
+  o.reconfig.mode.dbr.b_max =
+      ini.get_double("reconfig.dbr_b_max", o.reconfig.mode.dbr.b_max);
+  o.reconfig.mode.dbr.max_lanes_per_flow =
+      u32("reconfig.max_lanes_per_flow", o.reconfig.mode.dbr.max_lanes_per_flow);
+  o.reconfig.mode.dpm.shutdown_idle =
+      ini.get_bool("reconfig.shutdown_idle", o.reconfig.mode.dpm.shutdown_idle);
+
+  if (const auto pat = ini.get("workload.pattern")) {
+    const auto parsed = traffic::parse_pattern(*pat);
+    ERAPID_EXPECT(parsed.has_value(), "unknown workload.pattern: '" + *pat + "'");
+    o.pattern = *parsed;
+  }
+  o.hotspot_fraction = ini.get_double("workload.hotspot_fraction", o.hotspot_fraction);
+  o.hotspot_node = u32("workload.hotspot_node", o.hotspot_node);
+  o.load_fraction = ini.get_double("workload.load", o.load_fraction);
+  o.seed = static_cast<std::uint64_t>(ini.get_int("workload.seed", static_cast<long>(o.seed)));
+  o.warmup_cycles =
+      static_cast<Cycle>(ini.get_int("workload.warmup_cycles", static_cast<long>(o.warmup_cycles)));
+  o.measure_cycles = static_cast<Cycle>(
+      ini.get_int("workload.measure_cycles", static_cast<long>(o.measure_cycles)));
+  o.drain_limit =
+      static_cast<Cycle>(ini.get_int("workload.drain_limit", static_cast<long>(o.drain_limit)));
+  return o;
+}
+
+SimOptions load_options(const std::string& path) {
+  return options_from_ini(util::Ini::load_file(path));
+}
+
+util::Ini options_to_ini(const SimOptions& o) {
+  util::Ini ini;
+  auto set = [&](const std::string& key, auto value) {
+    std::ostringstream os;
+    os << value;
+    ini.set(key, os.str());
+  };
+  set("system.clusters", o.system.clusters);
+  set("system.boards", o.system.boards);
+  set("system.nodes_per_board", o.system.nodes_per_board);
+  set("system.channel_width_bits", o.system.channel_width_bits);
+  set("system.flit_bits", o.system.flit_bits);
+  set("system.packet_flits", o.system.packet_flits);
+  set("system.num_vcs", o.system.num_vcs);
+  set("system.vc_buffer_flits", o.system.vc_buffer_flits);
+  set("system.credit_delay", o.system.credit_delay);
+  set("system.tx_queue_packets", o.system.tx_queue_packets);
+  set("system.rx_queue_packets", o.system.rx_queue_packets);
+  set("system.fiber_delay_cycles", o.system.fiber_delay_cycles);
+  set("system.tx_feed_cycles_per_flit", o.system.tx_feed_cycles_per_flit);
+  set("system.injection_queue_packets", o.system.injection_queue_packets);
+  set("reconfig.mode", o.reconfig.mode.name);
+  set("reconfig.window", o.reconfig.window);
+  set("reconfig.ring_hop_cycles", o.reconfig.ring_hop_cycles);
+  set("reconfig.lc_hop_cycles", o.reconfig.lc_hop_cycles);
+  set("reconfig.dpm_strategy", reconfig::to_string(o.reconfig.dpm_strategy));
+  set("reconfig.hysteresis_windows", o.reconfig.dpm_params.hysteresis_windows);
+  set("reconfig.ewma_alpha", o.reconfig.dpm_params.ewma_alpha);
+  set("reconfig.l_min", o.reconfig.mode.dpm.l_min);
+  set("reconfig.l_max", o.reconfig.mode.dpm.l_max);
+  set("reconfig.b_max", o.reconfig.mode.dpm.b_max);
+  set("reconfig.dbr_b_min", o.reconfig.mode.dbr.b_min);
+  set("reconfig.dbr_b_max", o.reconfig.mode.dbr.b_max);
+  set("reconfig.max_lanes_per_flow", o.reconfig.mode.dbr.max_lanes_per_flow);
+  set("reconfig.shutdown_idle", o.reconfig.mode.dpm.shutdown_idle ? "true" : "false");
+  set("workload.pattern", traffic::pattern_name(o.pattern));
+  set("workload.hotspot_fraction", o.hotspot_fraction);
+  set("workload.hotspot_node", o.hotspot_node);
+  set("workload.load", o.load_fraction);
+  set("workload.seed", o.seed);
+  set("workload.warmup_cycles", o.warmup_cycles);
+  set("workload.measure_cycles", o.measure_cycles);
+  set("workload.drain_limit", o.drain_limit);
+  return ini;
+}
+
+void save_options(const std::string& path, const SimOptions& opts) {
+  options_to_ini(opts).save_file(path);
+}
+
+}  // namespace erapid::sim

@@ -1,0 +1,41 @@
+// SimOptions ⇄ INI config files.
+//
+// A full experiment point (system shape, Table-1 timing overrides,
+// reconfiguration policy, workload) round-trips through a plain INI file,
+// so experiments are reproducible from checked-in configs:
+//
+//   [system]
+//   boards = 8
+//   nodes_per_board = 8
+//   [reconfig]
+//   mode = P-B            ; NP-NB | P-NB | NP-B | P-B
+//   window = 2000
+//   dpm_strategy = threshold  ; threshold | hysteresis | ewma
+//   [workload]
+//   pattern = complement
+//   load = 0.6
+//   seed = 1
+//
+// Unknown keys throw (typos must not silently fall back to defaults).
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "util/ini.hpp"
+
+namespace erapid::sim {
+
+/// Builds options from a parsed INI; keys not present keep defaults.
+[[nodiscard]] SimOptions options_from_ini(const util::Ini& ini);
+
+/// Convenience: load_file + options_from_ini.
+[[nodiscard]] SimOptions load_options(const std::string& path);
+
+/// Serializes the full option set (every knob, current values).
+[[nodiscard]] util::Ini options_to_ini(const SimOptions& opts);
+
+/// Writes options_to_ini to a file.
+void save_options(const std::string& path, const SimOptions& opts);
+
+}  // namespace erapid::sim

@@ -1,0 +1,61 @@
+#include "sim/recorder.hpp"
+
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::sim {
+
+Recorder::Recorder(des::Engine& engine, Network& network, CycleDelta interval)
+    : engine_(engine), network_(network), interval_(interval) {
+  ERAPID_EXPECT(interval_ > 0, "sampling interval must be positive");
+}
+
+void Recorder::start() {
+  if (running_) return;
+  running_ = true;
+  next_ = engine_.schedule(interval_, [this] { take_sample(); });
+}
+
+void Recorder::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void Recorder::take_sample() {
+  if (!running_) return;
+  Sample s;
+  s.cycle = engine_.now();
+  s.power_mw = network_.meter().instantaneous_mw();
+  s.lanes_lit = network_.lane_map().lit_count();
+  s.delivered = network_.packets_delivered();
+  s.source_backlog = network_.total_source_backlog();
+  s.lane_grants = network_.reconfig_manager().counters().lane_grants;
+  s.level_changes = network_.reconfig_manager().counters().level_changes;
+  samples_.push_back(s);
+  next_ = engine_.schedule(interval_, [this] { take_sample(); });
+}
+
+void Recorder::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"cycle", "power_mw", "lanes_lit", "delivered",
+                             "backlog", "grants", "dvs_changes"});
+  ERAPID_EXPECT(csv.ok(), "cannot open recorder CSV: " + path);
+  for (const auto& s : samples_) {
+    csv.row_values(s.cycle, s.power_mw, s.lanes_lit, s.delivered, s.source_backlog,
+                   s.lane_grants, s.level_changes);
+  }
+}
+
+double Recorder::sampled_avg_power() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.power_mw;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Recorder::peak_power() const {
+  double peak = 0.0;
+  for (const auto& s : samples_) peak = std::max(peak, s.power_mw);
+  return peak;
+}
+
+}  // namespace erapid::sim

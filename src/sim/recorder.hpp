@@ -1,0 +1,65 @@
+// Time-series instrumentation.
+//
+// The figures in the paper are steady-state summaries; understanding *why*
+// a configuration behaves as it does needs the time dimension: when lanes
+// moved, how power tracked load, where queues built up. The Recorder
+// samples the network at a fixed cadence and exports the series as CSV
+// (one row per sample) — this is what produced the Figure 3 timelines and
+// is the intended debugging tool for new policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "sim/network.hpp"
+
+namespace erapid::sim {
+
+/// One sample of network-wide state.
+struct Sample {
+  Cycle cycle = 0;
+  double power_mw = 0.0;          ///< instantaneous optical power
+  std::uint32_t lanes_lit = 0;    ///< owned lanes network-wide
+  std::uint64_t delivered = 0;    ///< cumulative deliveries
+  std::size_t source_backlog = 0; ///< total NI queue depth
+  std::uint64_t lane_grants = 0;  ///< cumulative DBR grants
+  std::uint64_t level_changes = 0;///< cumulative DVS transitions
+};
+
+/// Periodic sampler over a Network.
+class Recorder {
+ public:
+  /// Samples every `interval` cycles once started.
+  Recorder(des::Engine& engine, Network& network, CycleDelta interval);
+
+  /// Begins sampling (first sample at now + interval).
+  void start();
+
+  /// Stops sampling (kept samples remain).
+  void stop();
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Writes "cycle,power_mw,lanes_lit,delivered,backlog,grants,dvs" rows.
+  void write_csv(const std::string& path) const;
+
+  /// Average power over the sampled period (trapezoidal on samples).
+  [[nodiscard]] double sampled_avg_power() const;
+
+  /// Peak instantaneous power seen at a sample point.
+  [[nodiscard]] double peak_power() const;
+
+ private:
+  void take_sample();
+
+  des::Engine& engine_;
+  Network& network_;
+  CycleDelta interval_;
+  bool running_ = false;
+  des::EventHandle next_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace erapid::sim

@@ -1,0 +1,104 @@
+#include "sim/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace erapid::sim {
+
+namespace {
+
+class JsonObject {
+ public:
+  explicit JsonObject(int indent) : indent_(indent) { os_.precision(15); }
+
+  template <typename T>
+  void field(const char* name, const T& value) {
+    sep();
+    os_ << '"' << name << "\": ";
+    if constexpr (std::is_same_v<T, bool>) {
+      os_ << (value ? "true" : "false");
+    } else if constexpr (std::is_convertible_v<T, std::string>) {
+      os_ << '"' << value << '"';
+    } else {
+      os_ << value;
+    }
+  }
+
+  void raw_field(const char* name, const std::string& json) {
+    sep();
+    os_ << '"' << name << "\": " << json;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return "{" + os_.str() + "\n" + pad(indent_) + "}";
+  }
+
+ private:
+  static std::string pad(int n) { return std::string(static_cast<std::size_t>(n), ' '); }
+  void sep() {
+    os_ << (first_ ? "\n" : ",\n") << pad(indent_ + 2);
+    first_ = false;
+  }
+  std::ostringstream os_;
+  int indent_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string to_json(const SimResult& r, int indent) {
+  JsonObject o(indent);
+  o.field("offered_fraction", r.offered_fraction);
+  o.field("accepted_fraction", r.accepted_fraction);
+  o.field("offered_pkt_node_cycle", r.offered_pkt_node_cycle);
+  o.field("accepted_pkt_node_cycle", r.accepted_pkt_node_cycle);
+  o.field("capacity_pkt_node_cycle", r.capacity_pkt_node_cycle);
+  o.field("latency_avg", r.latency_avg);
+  o.field("latency_p50", r.latency_p50);
+  o.field("latency_p95", r.latency_p95);
+  o.field("latency_p99", r.latency_p99);
+  o.field("latency_max", r.latency_max);
+  o.field("power_avg_mw", r.power_avg_mw);
+  o.field("active_power_avg_mw", r.active_power_avg_mw);
+  o.field("packets_generated", r.packets_generated);
+  o.field("packets_delivered_measured", r.packets_delivered_measured);
+  o.field("labelled_generated", r.labelled_generated);
+  o.field("labelled_delivered", r.labelled_delivered);
+  o.field("drained", r.drained);
+  o.field("end_cycle", r.end_cycle);
+  o.field("lane_grants", r.control.lane_grants);
+  o.field("lane_releases", r.control.lane_releases);
+  o.field("dvs_level_changes", r.control.level_changes);
+  o.field("power_cycles", r.control.power_cycles);
+  o.field("bandwidth_cycles", r.control.bandwidth_cycles);
+  o.field("ring_hops", r.control.ring_hops);
+  return o.str();
+}
+
+std::string results_to_json(
+    const std::vector<std::pair<std::string, SimResult>>& named) {
+  std::ostringstream os;
+  os << "{\n  \"results\": [";
+  bool first = true;
+  for (const auto& [name, r] : named) {
+    os << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    JsonObject o(4);
+    o.field("name", name);
+    o.raw_field("metrics", to_json(r, 4));
+    os << o.str();
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+void write_results_json(const std::string& path,
+                        const std::vector<std::pair<std::string, SimResult>>& named) {
+  std::ofstream out(path);
+  ERAPID_EXPECT(static_cast<bool>(out), "cannot open JSON report: " + path);
+  out << results_to_json(named);
+}
+
+}  // namespace erapid::sim

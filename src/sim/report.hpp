@@ -1,0 +1,27 @@
+// Machine-readable result export.
+//
+// SimResult → JSON, for downstream plotting or regression tracking without
+// scraping the console tables. Hand-rolled emitter (flat structs only; a
+// JSON library dependency is not warranted).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace erapid::sim {
+
+/// JSON object for one result.
+[[nodiscard]] std::string to_json(const SimResult& r, int indent = 0);
+
+/// JSON document: {"results": [{"name": ..., ...result fields...}, ...]}.
+[[nodiscard]] std::string results_to_json(
+    const std::vector<std::pair<std::string, SimResult>>& named);
+
+/// Writes results_to_json to a file (throws ModelInvariantError on I/O).
+void write_results_json(const std::string& path,
+                        const std::vector<std::pair<std::string, SimResult>>& named);
+
+}  // namespace erapid::sim

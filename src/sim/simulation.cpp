@@ -1,0 +1,118 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+namespace erapid::sim {
+
+Simulation::Simulation(const SimOptions& opts)
+    : opts_(opts),
+      pattern_(opts.pattern, opts.system.num_nodes(), opts.hotspot_fraction,
+               NodeId{opts.hotspot_node}),
+      capacity_(topology::CapacityModel(opts.system).uniform_capacity()) {
+  network_ = std::make_unique<Network>(engine_, opts_.system, opts_.reconfig,
+                                       opts_.power_model);
+
+  // Upper edge must exceed post-saturation latencies (complement on a
+  // static network queues labelled packets for ~100k cycles) or the
+  // reported quantiles silently saturate at the histogram edge.
+  latency_hist_ = std::make_unique<stats::Histogram>(0.0, 1048576.0, 8192);
+
+  network_->set_delivery_callback([this](const router::Packet& p, Cycle now) {
+    if (in_measurement_) ++delivered_measured_;
+    if (p.labelled) {
+      ++labelled_delivered_;
+      const auto lat = static_cast<double>(now - p.created);
+      latency_.add(lat);
+      latency_hist_->add(lat);
+    }
+  });
+
+  util::Rng master(opts_.seed);
+  sources_.reserve(opts_.system.num_nodes());
+  for (std::uint32_t n = 0; n < opts_.system.num_nodes(); ++n) {
+    const NodeId node{n};
+    sources_.push_back(std::make_unique<traffic::NodeSource>(
+        engine_, pattern_, node, opts_.system.packet_flits, master.fork(),
+        [this](const router::Packet& p, Cycle now) {
+          if (p.labelled) ++labelled_generated_;
+          network_->inject(p, now);
+        }));
+  }
+}
+
+SimResult Simulation::run() {
+  SimResult r;
+  r.capacity_pkt_node_cycle = capacity_;
+  r.offered_fraction = opts_.load_fraction;
+  r.offered_pkt_node_cycle = opts_.load_fraction * capacity_;
+
+  network_->start();
+  const double rate = r.offered_pkt_node_cycle;
+  for (auto& s : sources_) s->start(rate);
+
+  // ---- warmup ----
+  engine_.run_until(opts_.warmup_cycles);
+
+  // ---- measurement ----
+  network_->meter().checkpoint(engine_.now());
+  const double active_energy_start = network_->active_energy_mw_cycles();
+  in_measurement_ = true;
+  for (auto& s : sources_) s->set_labelling(true);
+
+  const Cycle measure_end = opts_.warmup_cycles + opts_.measure_cycles;
+  engine_.run_until(measure_end);
+
+  in_measurement_ = false;
+  for (auto& s : sources_) s->set_labelling(false);
+  r.power_avg_mw = network_->meter().average_mw(engine_.now());
+  r.active_power_avg_mw = (network_->active_energy_mw_cycles() - active_energy_start) /
+                          static_cast<double>(opts_.measure_cycles);
+
+  // ---- drain: run until every labelled packet arrives (or the cap) ----
+  const Cycle drain_end = measure_end + opts_.drain_limit;
+  while (labelled_delivered_ < labelled_generated_ && engine_.now() < drain_end) {
+    engine_.run_until(std::min<Cycle>(engine_.now() + 1000, drain_end));
+  }
+  r.drained = labelled_delivered_ >= labelled_generated_;
+
+  for (auto& s : sources_) s->stop();
+
+  // ---- metrics ----
+  const auto nodes = static_cast<double>(opts_.system.num_nodes());
+  const auto window = static_cast<double>(opts_.measure_cycles);
+  r.accepted_pkt_node_cycle = static_cast<double>(delivered_measured_) / (nodes * window);
+  r.accepted_fraction = r.accepted_pkt_node_cycle / capacity_;
+
+  r.latency_avg = latency_.mean();
+  r.latency_p50 = latency_hist_->quantile(0.50);
+  r.latency_p95 = latency_hist_->quantile(0.95);
+  r.latency_p99 = latency_hist_->quantile(0.99);
+  r.latency_max = latency_.max();
+
+  std::uint64_t generated = 0;
+  for (const auto& s : sources_) generated += s->generated();
+  r.packets_generated = generated;
+  r.packets_delivered_measured = delivered_measured_;
+  r.labelled_generated = labelled_generated_;
+  r.labelled_delivered = labelled_delivered_;
+  r.end_cycle = engine_.now();
+  r.control = network_->reconfig_manager().counters();
+  return r;
+}
+
+ModeComparison compare_modes(SimOptions base) {
+  ModeComparison out;
+  auto run_mode = [&](const reconfig::NetworkMode& mode) {
+    SimOptions o = base;
+    o.reconfig.mode = mode;
+    Simulation sim(o);
+    return sim.run();
+  };
+  out.np_nb = run_mode(reconfig::NetworkMode::np_nb());
+  out.p_nb = run_mode(reconfig::NetworkMode::p_nb());
+  out.np_b = run_mode(reconfig::NetworkMode::np_b());
+  out.p_b = run_mode(reconfig::NetworkMode::p_b());
+  return out;
+}
+
+}  // namespace erapid::sim

@@ -1,0 +1,116 @@
+// Experiment driver implementing the paper's measurement methodology
+// (§4): warm the network up under load until steady state, label the
+// packets injected during a measurement interval, then run until every
+// labelled packet is delivered (bounded by a drain cap for post-saturation
+// loads). Reports accepted throughput, labelled-packet latency statistics
+// and time-averaged optical power.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "reconfig/manager.hpp"
+#include "sim/network.hpp"
+#include "stats/histogram.hpp"
+#include "stats/streaming.hpp"
+#include "topology/capacity.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/patterns.hpp"
+
+namespace erapid::sim {
+
+/// All knobs of one simulation run.
+struct SimOptions {
+  topology::SystemConfig system;
+  reconfig::ReconfigConfig reconfig;
+  /// Per-level link electricals (Table 1 by default; substitute for
+  /// electrical-baseline or transition-latency studies).
+  power::LinkPowerModel power_model;
+  traffic::PatternKind pattern = traffic::PatternKind::Uniform;
+  double hotspot_fraction = 0.2;  ///< only for PatternKind::Hotspot
+  std::uint32_t hotspot_node = 0; ///< only for PatternKind::Hotspot
+  double load_fraction = 0.5;  ///< offered load as a fraction of N_c
+  std::uint64_t seed = 1;
+  Cycle warmup_cycles = 20000;
+  Cycle measure_cycles = 30000;
+  Cycle drain_limit = 150000;  ///< cap on the post-measurement drain
+};
+
+/// Results of one run.
+struct SimResult {
+  // Offered / accepted load, packets per node per cycle.
+  double offered_pkt_node_cycle = 0.0;
+  double accepted_pkt_node_cycle = 0.0;
+  double capacity_pkt_node_cycle = 0.0;  ///< analytic N_c
+  double offered_fraction = 0.0;         ///< = offered / N_c
+  double accepted_fraction = 0.0;        ///< = accepted / N_c
+
+  // Labelled-packet latency (cycles).
+  double latency_avg = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_max = 0.0;
+
+  // Time-averaged optical power over the measurement interval (mW):
+  // every lit laser/receiver pair counts for the full duration it is on.
+  double power_avg_mw = 0.0;
+
+  // Utilization-weighted ("active") power over the measurement interval
+  // (mW): lane power integrated only while serializing packets. This is
+  // the metric the paper's power panels track (a lit-but-idle link does
+  // not register; see DESIGN.md).
+  double active_power_avg_mw = 0.0;
+
+  // Bookkeeping.
+  std::uint64_t packets_generated = 0;
+  std::uint64_t packets_delivered_measured = 0;
+  std::uint64_t labelled_generated = 0;
+  std::uint64_t labelled_delivered = 0;
+  bool drained = false;  ///< all labelled packets arrived before the cap
+  Cycle end_cycle = 0;
+  reconfig::ControlCounters control;
+};
+
+/// One self-contained simulation (engine + network + sources + metrics).
+class Simulation {
+ public:
+  explicit Simulation(const SimOptions& opts);
+
+  /// Runs warmup → measurement → drain and returns the metrics.
+  SimResult run();
+
+  // Exposed for tests and custom experiment loops.
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] des::Engine& engine() { return engine_; }
+  [[nodiscard]] const SimOptions& options() const { return opts_; }
+  [[nodiscard]] double capacity() const { return capacity_; }
+
+ private:
+  SimOptions opts_;
+  des::Engine engine_;
+  std::unique_ptr<Network> network_;
+  traffic::TrafficPattern pattern_;
+  std::vector<std::unique_ptr<traffic::NodeSource>> sources_;
+  double capacity_;
+
+  // Measurement state.
+  stats::Streaming latency_;
+  std::unique_ptr<stats::Histogram> latency_hist_;
+  std::uint64_t delivered_measured_ = 0;
+  std::uint64_t labelled_generated_ = 0;
+  std::uint64_t labelled_delivered_ = 0;
+  bool in_measurement_ = false;
+};
+
+/// Runs the same (pattern, load) point under all four network modes —
+/// the building block of every figure bench.
+struct ModeComparison {
+  SimResult np_nb, p_nb, np_b, p_b;
+};
+[[nodiscard]] ModeComparison compare_modes(SimOptions base);
+
+}  // namespace erapid::sim

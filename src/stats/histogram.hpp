@@ -1,0 +1,45 @@
+// Fixed-width histogram with percentile queries.
+//
+// Latency distributions in interconnect studies are heavy-tailed near
+// saturation; mean alone hides the knee, so benches also report p50/p95/p99
+// from this histogram.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace erapid::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+
+  /// Lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  /// Value below which fraction `q` in [0,1] of samples fall (linear
+  /// interpolation within the containing bin; overflow maps to hi).
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace erapid::stats

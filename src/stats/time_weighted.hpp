@@ -1,0 +1,74 @@
+// Time-weighted integrators.
+//
+// Power and buffer occupancy are *levels* that persist between change
+// points, so their averages must weight each value by how long it was held:
+//   avg = ( Σ value_i × Δt_i ) / total_time.
+// TimeWeighted records level changes; callers push the new level at the
+// cycle it takes effect.
+#pragma once
+
+#include <cstdint>
+
+#include "util/expect.hpp"
+#include "util/types.hpp"
+
+namespace erapid::stats {
+
+/// Integrates a piecewise-constant signal over simulated time.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(Cycle start = 0, double initial = 0.0)
+      : last_change_(start), level_(initial) {}
+
+  /// Records that the signal takes value `level` from cycle `now` onwards.
+  void set(Cycle now, double level) {
+    accumulate_to(now);
+    level_ = level;
+  }
+
+  /// Adds `delta` to the current level at cycle `now`.
+  void add(Cycle now, double delta) { set(now, level_ + delta); }
+
+  /// Current instantaneous level.
+  [[nodiscard]] double level() const { return level_; }
+
+  /// Integral of the signal from construction/last reset up to `now`.
+  [[nodiscard]] double integral(Cycle now) const {
+    ERAPID_EXPECT(now >= last_change_, "integral() queried before last change point");
+    return integral_ + level_ * static_cast<double>(now - last_change_);
+  }
+
+  /// Time average over [window_start, now].
+  [[nodiscard]] double average(Cycle window_start, Cycle now) const {
+    if (now <= window_start) return level_;
+    return (integral(now) - checkpoint_) / static_cast<double>(now - window_start);
+  }
+
+  /// Marks `now` as the start of a new averaging window without losing the
+  /// running integral (used at the warmup/measurement boundary).
+  void checkpoint(Cycle now) {
+    accumulate_to(now);
+    checkpoint_ = integral_;
+  }
+
+  /// Full reset: forget history, keep the current level.
+  void reset(Cycle now) {
+    last_change_ = now;
+    integral_ = 0.0;
+    checkpoint_ = 0.0;
+  }
+
+ private:
+  void accumulate_to(Cycle now) {
+    ERAPID_EXPECT(now >= last_change_, "time-weighted updates must be monotonic");
+    integral_ += level_ * static_cast<double>(now - last_change_);
+    last_change_ = now;
+  }
+
+  Cycle last_change_;
+  double level_;
+  double integral_ = 0.0;
+  double checkpoint_ = 0.0;
+};
+
+}  // namespace erapid::stats

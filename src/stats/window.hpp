@@ -1,0 +1,103 @@
+// Windowed utilization counters — the "hardware counters located at each LC"
+// (paper §3): Link_util and Buffer_util are measured per reconfiguration
+// window R_w and reset when the window is harvested.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "stats/time_weighted.hpp"
+#include "util/types.hpp"
+
+namespace erapid::stats {
+
+/// Counts busy cycles within the current window. Link_util = busy / window.
+class BusyCounter {
+ public:
+  /// Records `cycles` of busy time (a lane serializing a packet calls this
+  /// once per transmitted packet with its serialization length).
+  void add_busy(CycleDelta cycles) { busy_ += cycles; }
+
+  /// Utilization over a window of `window_len` cycles, clamped to [0,1]
+  /// (a packet straddling the window boundary can overshoot slightly).
+  [[nodiscard]] double utilization(CycleDelta window_len) const {
+    if (window_len == 0) return 0.0;
+    const double u = static_cast<double>(busy_) / static_cast<double>(window_len);
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  [[nodiscard]] CycleDelta busy_cycles() const { return busy_; }
+
+  void reset() { busy_ = 0; }
+
+ private:
+  CycleDelta busy_ = 0;
+};
+
+/// Tracks queue occupancy as a fraction of capacity, time-averaged per
+/// window. Buffer_util = avg(occupancy) / capacity.
+class OccupancyTracker {
+ public:
+  explicit OccupancyTracker(std::uint32_t capacity) : capacity_(capacity) {}
+
+  void set_occupancy(Cycle now, std::uint32_t occupancy) {
+    signal_.set(now, static_cast<double>(occupancy));
+  }
+
+  /// Average occupancy fraction since the last harvest.
+  [[nodiscard]] double utilization(Cycle window_start, Cycle now) const {
+    if (capacity_ == 0) return 0.0;
+    return signal_.average(window_start, now) / static_cast<double>(capacity_);
+  }
+
+  /// Starts a new window at `now`.
+  void harvest(Cycle now) { signal_.checkpoint(now); }
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  std::uint32_t capacity_;
+  TimeWeighted signal_;
+};
+
+/// Batch-means confidence interval for steady-state estimates: samples are
+/// grouped into `batch` consecutive means whose variance estimates the
+/// sampling error of the grand mean despite autocorrelation.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size ? batch_size : 1) {}
+
+  void add(double x) {
+    batch_sum_ += x;
+    if (++in_batch_ == batch_size_) {
+      const double m = batch_sum_ / static_cast<double>(batch_size_);
+      ++k_;
+      const double d = m - mean_;
+      mean_ += d / static_cast<double>(k_);
+      m2_ += d * (m - mean_);
+      batch_sum_ = 0;
+      in_batch_ = 0;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t batches() const { return k_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Half-width of the ~95% confidence interval (normal approximation;
+  /// adequate for the dozens of batches a measurement interval yields).
+  [[nodiscard]] double ci_halfwidth() const {
+    if (k_ < 2) return 0.0;
+    const double var = m2_ / static_cast<double>(k_ - 1);
+    return 1.96 * std::sqrt(var / static_cast<double>(k_));
+  }
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::uint64_t k_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace erapid::stats

@@ -1,0 +1,76 @@
+#include "topology/capacity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace erapid::topology {
+
+double CapacityModel::uniform_capacity(double bitrate_gbps) const {
+  const auto B = static_cast<double>(cfg_.num_boards_total());
+  const auto D = static_cast<double>(cfg_.nodes_per_board);
+  const double N = B * D;
+
+  // Under uniform traffic a node sends to each of the N-1 others equally,
+  // so flow s→d (boards, s != d) carries D * D / (N - 1) packets/cycle per
+  // unit injection. Each flow has one static lane.
+  const double lane_load_per_unit = D * D / (N - 1.0);
+  const double lane_limit = lane_service_rate(bitrate_gbps) / lane_load_per_unit;
+
+  return std::min(lane_limit, injection_limit());
+}
+
+std::vector<double> CapacityModel::board_demand(
+    const std::function<NodeId(NodeId)>& dest) const {
+  const std::uint32_t B = cfg_.num_boards_total();
+  std::vector<double> demand(static_cast<std::size_t>(B) * B, 0.0);
+  for (std::uint32_t n = 0; n < cfg_.num_nodes(); ++n) {
+    const NodeId src{n};
+    const NodeId dst = dest(src);
+    const BoardId sb = cfg_.board_of(src);
+    const BoardId db = cfg_.board_of(dst);
+    if (sb == db) continue;  // local traffic never touches the optical SRS
+    demand[static_cast<std::size_t>(sb.value()) * B + db.value()] += 1.0;
+  }
+  return demand;
+}
+
+std::vector<double> CapacityModel::uniform_board_demand() const {
+  const std::uint32_t B = cfg_.num_boards_total();
+  const auto D = static_cast<double>(cfg_.nodes_per_board);
+  const double N = static_cast<double>(cfg_.num_nodes());
+  std::vector<double> demand(static_cast<std::size_t>(B) * B, 0.0);
+  for (std::uint32_t s = 0; s < B; ++s) {
+    for (std::uint32_t d = 0; d < B; ++d) {
+      if (s == d) continue;
+      demand[static_cast<std::size_t>(s) * B + d] = D * D / (N - 1.0);
+    }
+  }
+  return demand;
+}
+
+double CapacityModel::saturation_injection(
+    const std::vector<double>& demand,
+    const std::function<std::uint32_t(BoardId, BoardId)>& lanes_per_flow,
+    double bitrate_gbps) const {
+  const std::uint32_t B = cfg_.num_boards_total();
+  const double mu = lane_service_rate(bitrate_gbps);
+  double sat = injection_limit();
+  for (std::uint32_t s = 0; s < B; ++s) {
+    for (std::uint32_t d = 0; d < B; ++d) {
+      const double load = demand[static_cast<std::size_t>(s) * B + d];
+      if (load <= 0.0) continue;
+      const std::uint32_t lanes = lanes_per_flow(BoardId{s}, BoardId{d});
+      if (lanes == 0) return 0.0;  // a demanded flow with no lane never drains
+      sat = std::min(sat, mu * static_cast<double>(lanes) / load);
+    }
+  }
+  return sat;
+}
+
+double CapacityModel::static_saturation(const std::vector<double>& demand,
+                                        double bitrate_gbps) const {
+  return saturation_injection(
+      demand, [](BoardId, BoardId) { return 1u; }, bitrate_gbps);
+}
+
+}  // namespace erapid::topology

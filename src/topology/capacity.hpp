@@ -1,0 +1,65 @@
+// Analytic capacity model (paper §4: "The network capacity was determined
+// from the expression N_c (packets/node/cycle), defined as the maximum
+// sustainable throughput when a network is loaded with uniform random
+// traffic").
+//
+// The benches sweep offered load as a fraction (0.1 .. 0.9) of N_c, exactly
+// like the paper. The model also computes per-pattern static saturation
+// points used by EXPERIMENTS.md and by property tests (e.g. complement
+// traffic must saturate a static network at ≈ N_c / D).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "topology/config.hpp"
+#include "util/types.hpp"
+
+namespace erapid::topology {
+
+/// Closed-form bottleneck analysis for R(1, B, D) systems.
+class CapacityModel {
+ public:
+  explicit CapacityModel(const SystemConfig& cfg) : cfg_(cfg) {}
+
+  /// Packets/cycle one optical lane sustains at `bitrate_gbps`.
+  [[nodiscard]] double lane_service_rate(double bitrate_gbps) const {
+    return 1.0 / static_cast<double>(cfg_.serialization_cycles(bitrate_gbps));
+  }
+
+  /// Packets/node/cycle the electrical injection (or ejection) channel
+  /// sustains: one flit every cycles_per_flit cycles.
+  [[nodiscard]] double injection_limit() const {
+    return 1.0 / static_cast<double>(cfg_.cycles_per_flit_electrical() * cfg_.packet_flits);
+  }
+
+  /// N_c: uniform-random capacity in packets/node/cycle at the highest
+  /// optical bit rate. Bottleneck is min(injection channel, optical lane).
+  [[nodiscard]] double uniform_capacity(double bitrate_gbps = 5.0) const;
+
+  /// Board-to-board demand matrix for a permutation/pattern: entry
+  /// [s * B + d] is packets/cycle offered on flow s→d per unit injection
+  /// rate (1 packet/node/cycle). `dest` maps each node to its destination.
+  [[nodiscard]] std::vector<double> board_demand(
+      const std::function<NodeId(NodeId)>& dest) const;
+
+  /// Uniform-random demand matrix (each node targets all others equally).
+  [[nodiscard]] std::vector<double> uniform_board_demand() const;
+
+  /// Injection rate (packets/node/cycle) at which the hottest flow
+  /// saturates, given `lanes_per_flow(s,d)` lanes each serving
+  /// `bitrate_gbps`. Flows with zero demand are ignored.
+  [[nodiscard]] double saturation_injection(
+      const std::vector<double>& demand,
+      const std::function<std::uint32_t(BoardId, BoardId)>& lanes_per_flow,
+      double bitrate_gbps = 5.0) const;
+
+  /// Convenience: static RWA gives every remote flow exactly one lane.
+  [[nodiscard]] double static_saturation(const std::vector<double>& demand,
+                                         double bitrate_gbps = 5.0) const;
+
+ private:
+  SystemConfig cfg_;
+};
+
+}  // namespace erapid::topology

@@ -1,0 +1,107 @@
+// E-RAPID system configuration.
+//
+// A system is the 3-tuple R(C, B, D) of the paper: C clusters, B boards per
+// cluster, D nodes per board. The evaluation (and this reproduction's
+// default) uses R(1, 8, 8) = 64 nodes. All timing parameters below are the
+// Table 1 / §4.1 values:
+//
+//   router clock          400 MHz (1 cycle = 2.5 ns)
+//   electrical channel    16 bit  => 6.4 Gb/s unidirectional, 4 cycles/flit
+//   flit                  64 bit; packet 64 B = 8 flits
+//   optical bit rates     2.5 / 3.3 / 5 Gb/s  (P_low / P_mid / P_high)
+//   RC, VA, SA            one router cycle each
+//   credit delay          1 cycle
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/expect.hpp"
+#include "util/types.hpp"
+
+namespace erapid::topology {
+
+/// Static description of an E-RAPID system plus microarchitecture timing.
+struct SystemConfig {
+  // ---- R(C, B, D) ----
+  std::uint32_t clusters = 1;         ///< C: the paper evaluates C = 1.
+  std::uint32_t boards = 8;           ///< B: boards per cluster.
+  std::uint32_t nodes_per_board = 8;  ///< D: nodes per board.
+
+  // ---- electrical router (Table 1, SGI-Spider-derived) ----
+  double router_clock_ghz = 0.4;        ///< 400 MHz router clock.
+  std::uint32_t channel_width_bits = 16;  ///< electrical phit width.
+  std::uint32_t flit_bits = 64;           ///< flit size (8 B).
+  std::uint32_t packet_flits = 8;         ///< 64 B packet = 8 flits.
+  std::uint32_t num_vcs = 4;              ///< virtual channels per input port.
+  std::uint32_t vc_buffer_flits = 8;      ///< per-VC input buffer depth.
+  std::uint32_t credit_delay = 1;         ///< credit return latency (cycles).
+
+  // ---- optical layer ----
+  std::uint32_t tx_queue_packets = 16;  ///< per-destination transmit queue.
+  std::uint32_t rx_queue_packets = 8;   ///< per-wavelength receive queue.
+  std::uint32_t fiber_delay_cycles = 8; ///< propagation (≈ 20 ns ≈ 4 m fiber).
+  /// Router→transmitter feed pacing (cycles per flit). Figure 2(a) gives
+  /// every optical transmitter its own electrical feed from the IBI switch
+  /// ("spreading the traffic on the transmitter board", §2.2); since the
+  /// terminal aggregates a board's W transmitter feeds behind one
+  /// per-destination router port, that port's channel must represent their
+  /// combined width — 1 cycle/flit (a conservative fraction of W × 16 bit).
+  std::uint32_t tx_feed_cycles_per_flit = 1;
+
+  // ---- node interface ----
+  std::uint32_t injection_queue_packets = 64;  ///< NI source queue depth.
+
+  // ------------------------------------------------------------------
+  [[nodiscard]] std::uint32_t num_boards_total() const { return clusters * boards; }
+  [[nodiscard]] std::uint32_t num_nodes() const { return num_boards_total() * nodes_per_board; }
+
+  /// Wavelength count: one per board slot (λ_0 .. λ_{B-1}); λ_0 is the
+  /// "self" wavelength, unused by the static RWA and grantable by DBR.
+  [[nodiscard]] std::uint32_t num_wavelengths() const { return boards; }
+
+  /// Cycle duration in nanoseconds.
+  [[nodiscard]] double cycle_ns() const { return 1.0 / router_clock_ghz; }
+
+  /// Electrical serialization: cycles to push one flit through a channel.
+  [[nodiscard]] std::uint32_t cycles_per_flit_electrical() const {
+    return (flit_bits + channel_width_bits - 1) / channel_width_bits;
+  }
+
+  /// Packet payload in bits.
+  [[nodiscard]] std::uint32_t packet_bits() const { return packet_flits * flit_bits; }
+
+  /// Optical serialization: cycles to transmit a whole packet at
+  /// `bitrate_gbps` (packets, not flits, traverse the optical domain).
+  [[nodiscard]] CycleDelta serialization_cycles(double bitrate_gbps) const {
+    ERAPID_EXPECT(bitrate_gbps > 0.0, "bit rate must be positive");
+    const double ns = static_cast<double>(packet_bits()) / bitrate_gbps;
+    return static_cast<CycleDelta>(std::ceil(ns / cycle_ns()));
+  }
+
+  // ---- node <-> board maps ----
+  [[nodiscard]] BoardId board_of(NodeId n) const { return BoardId{n.value() / nodes_per_board}; }
+  [[nodiscard]] std::uint32_t local_index(NodeId n) const { return n.value() % nodes_per_board; }
+  [[nodiscard]] NodeId node_at(BoardId b, std::uint32_t local) const {
+    return NodeId{b.value() * nodes_per_board + local};
+  }
+
+  /// Validates structural requirements; throws ModelInvariantError.
+  void validate() const {
+    ERAPID_EXPECT(clusters >= 1, "need at least one cluster");
+    ERAPID_EXPECT(boards >= 2, "E-RAPID needs >= 2 boards for inter-board traffic");
+    ERAPID_EXPECT(nodes_per_board >= 1, "need at least one node per board");
+    ERAPID_EXPECT(flit_bits % channel_width_bits == 0,
+                  "flit must be a whole number of electrical phits");
+    ERAPID_EXPECT(num_vcs >= 1 && vc_buffer_flits >= 1, "router needs buffers");
+    ERAPID_EXPECT(packet_flits >= 1, "packet needs at least one flit");
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return "R(" + std::to_string(clusters) + "," + std::to_string(boards) + "," +
+           std::to_string(nodes_per_board) + "), " + std::to_string(num_nodes()) + " nodes";
+  }
+};
+
+}  // namespace erapid::topology

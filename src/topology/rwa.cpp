@@ -1,0 +1,59 @@
+#include "topology/rwa.hpp"
+
+namespace erapid::topology {
+
+LaneMap::LaneMap(const SystemConfig& cfg, const Rwa& rwa)
+    : boards_(cfg.num_boards_total()), wavelengths_(cfg.num_wavelengths()), rwa_(&rwa) {
+  own_.resize(static_cast<std::size_t>(boards_) * wavelengths_);
+  reset_static();
+}
+
+void LaneMap::reset_static() {
+  for (auto& o : own_) o = BoardId{};
+  for (std::uint32_t d = 0; d < boards_; ++d) {
+    for (std::uint32_t s = 0; s < boards_; ++s) {
+      if (s == d) continue;
+      const WavelengthId w = rwa_->wavelength_for(BoardId{s}, BoardId{d});
+      own_[index(BoardId{d}, w)] = BoardId{s};
+    }
+  }
+}
+
+void LaneMap::grant(BoardId d, WavelengthId w, BoardId s) {
+  ERAPID_EXPECT(s.valid() && s != d, "lane owner must be a remote board");
+  auto& slot = own_[index(d, w)];
+  ERAPID_EXPECT(!slot.valid(), "wavelength collision: lane already owned");
+  slot = s;
+}
+
+void LaneMap::release(BoardId d, WavelengthId w) {
+  auto& slot = own_[index(d, w)];
+  ERAPID_EXPECT(slot.valid(), "releasing a lane that is already dark");
+  slot = BoardId{};
+}
+
+std::vector<WavelengthId> LaneMap::lanes_of(BoardId s, BoardId d) const {
+  std::vector<WavelengthId> out;
+  for (std::uint32_t w = 0; w < wavelengths_; ++w) {
+    if (owner(d, WavelengthId{w}) == s) out.push_back(WavelengthId{w});
+  }
+  return out;
+}
+
+std::uint32_t LaneMap::lane_count(BoardId s, BoardId d) const {
+  std::uint32_t n = 0;
+  for (std::uint32_t w = 0; w < wavelengths_; ++w) {
+    if (owner(d, WavelengthId{w}) == s) ++n;
+  }
+  return n;
+}
+
+std::uint32_t LaneMap::lit_count() const {
+  std::uint32_t n = 0;
+  for (const auto& o : own_) {
+    if (o.valid()) ++n;
+  }
+  return n;
+}
+
+}  // namespace erapid::topology

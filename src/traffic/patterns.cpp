@@ -1,0 +1,114 @@
+#include "traffic/patterns.hpp"
+
+#include <bit>
+
+namespace erapid::traffic {
+
+std::string_view pattern_name(PatternKind k) {
+  switch (k) {
+    case PatternKind::Uniform: return "uniform";
+    case PatternKind::Complement: return "complement";
+    case PatternKind::Butterfly: return "butterfly";
+    case PatternKind::PerfectShuffle: return "shuffle";
+    case PatternKind::BitReverse: return "bitrev";
+    case PatternKind::Transpose: return "transpose";
+    case PatternKind::Tornado: return "tornado";
+    case PatternKind::Neighbor: return "neighbor";
+    case PatternKind::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+std::optional<PatternKind> parse_pattern(std::string_view name) {
+  for (auto k : {PatternKind::Uniform, PatternKind::Complement, PatternKind::Butterfly,
+                 PatternKind::PerfectShuffle, PatternKind::BitReverse, PatternKind::Transpose,
+                 PatternKind::Tornado, PatternKind::Neighbor, PatternKind::Hotspot}) {
+    if (pattern_name(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+TrafficPattern::TrafficPattern(PatternKind kind, std::uint32_t num_nodes,
+                               double hotspot_fraction, NodeId hotspot)
+    : kind_(kind),
+      n_(num_nodes),
+      bits_(num_nodes > 1 ? static_cast<std::uint32_t>(std::bit_width(num_nodes - 1)) : 0),
+      hotspot_fraction_(hotspot_fraction),
+      hotspot_(hotspot) {
+  ERAPID_EXPECT(num_nodes >= 2, "pattern needs >= 2 nodes");
+  const bool needs_pow2 = deterministic();
+  if (needs_pow2) {
+    ERAPID_EXPECT(std::has_single_bit(num_nodes) ||
+                      kind == PatternKind::Tornado || kind == PatternKind::Neighbor,
+                  "bit-permutation patterns need a power-of-two node count");
+  }
+  if (kind == PatternKind::Hotspot) {
+    ERAPID_EXPECT(hotspot.value() < num_nodes, "hotspot node out of range");
+    ERAPID_EXPECT(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0,
+                  "hotspot fraction must be a probability");
+  }
+}
+
+NodeId TrafficPattern::permute(NodeId src) const {
+  const std::uint32_t a = src.value();
+  const std::uint32_t n = bits_;
+  switch (kind_) {
+    case PatternKind::Complement:
+      return NodeId{(~a) & (n_ - 1)};
+    case PatternKind::Butterfly: {
+      // Swap MSB (bit n-1) and LSB (bit 0).
+      const std::uint32_t msb = (a >> (n - 1)) & 1u;
+      const std::uint32_t lsb = a & 1u;
+      std::uint32_t d = a & ~((1u << (n - 1)) | 1u);
+      d |= (lsb << (n - 1)) | msb;
+      return NodeId{d};
+    }
+    case PatternKind::PerfectShuffle: {
+      // Rotate left by one bit.
+      const std::uint32_t msb = (a >> (n - 1)) & 1u;
+      return NodeId{((a << 1) | msb) & (n_ - 1)};
+    }
+    case PatternKind::BitReverse: {
+      std::uint32_t d = 0;
+      for (std::uint32_t i = 0; i < n; ++i) d |= ((a >> i) & 1u) << (n - 1 - i);
+      return NodeId{d};
+    }
+    case PatternKind::Transpose: {
+      // Swap the high and low halves of the address bits.
+      const std::uint32_t half = n / 2;
+      const std::uint32_t lo = a & ((1u << half) - 1u);
+      const std::uint32_t hi = a >> half;
+      return NodeId{(lo << (n - half)) | hi};
+    }
+    case PatternKind::Tornado:
+      return NodeId{(a + (n_ / 2 - 1) + 1) % n_};  // half-way around, per D&T
+    case PatternKind::Neighbor:
+      return NodeId{(a + 1) % n_};
+    case PatternKind::Uniform:
+    case PatternKind::Hotspot:
+      break;
+  }
+  ERAPID_EXPECT(false, "permute() called on a stochastic pattern");
+  return NodeId{};
+}
+
+NodeId TrafficPattern::destination(NodeId src, util::Rng& rng) const {
+  switch (kind_) {
+    case PatternKind::Uniform: {
+      // Uniform over the N-1 other nodes (no self-traffic).
+      auto d = static_cast<std::uint32_t>(rng.next_below(n_ - 1));
+      if (d >= src.value()) ++d;
+      return NodeId{d};
+    }
+    case PatternKind::Hotspot: {
+      if (src != hotspot_ && rng.next_bernoulli(hotspot_fraction_)) return hotspot_;
+      auto d = static_cast<std::uint32_t>(rng.next_below(n_ - 1));
+      if (d >= src.value()) ++d;
+      return NodeId{d};
+    }
+    default:
+      return permute(src);
+  }
+}
+
+}  // namespace erapid::traffic

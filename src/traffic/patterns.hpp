@@ -1,0 +1,73 @@
+// Synthetic traffic patterns (paper §4.1).
+//
+// The paper evaluates uniform plus three adversarial bit-permutations on
+// the node index bits a_{n-1} ... a_0 (n = log2 N):
+//
+//   butterfly        a_{n-1},...,a_0  ->  a_0, a_{n-2},...,a_1, a_{n-1}
+//                    (swap MSB and LSB)
+//   complement       a_i -> NOT a_i
+//   perfect shuffle  rotate left by one: a_{n-2},...,a_0,a_{n-1}
+//
+// We add the other standard permutations from Dally & Towles [15]
+// (bit-reverse, transpose, tornado, neighbor) and a hotspot pattern for
+// the extension benches. Bit-permutations require power-of-two N.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace erapid::traffic {
+
+enum class PatternKind : std::uint8_t {
+  Uniform,
+  Complement,
+  Butterfly,
+  PerfectShuffle,
+  BitReverse,
+  Transpose,
+  Tornado,
+  Neighbor,
+  Hotspot,
+};
+
+[[nodiscard]] std::string_view pattern_name(PatternKind k);
+[[nodiscard]] std::optional<PatternKind> parse_pattern(std::string_view name);
+
+/// Maps each source node to a destination, deterministically (permutations)
+/// or stochastically (uniform / hotspot).
+class TrafficPattern {
+ public:
+  /// `num_nodes` must be a power of two for the bit-permutation kinds.
+  TrafficPattern(PatternKind kind, std::uint32_t num_nodes, double hotspot_fraction = 0.2,
+                 NodeId hotspot = NodeId{0});
+
+  /// Destination for a packet from `src`; `rng` consulted only by the
+  /// stochastic kinds.
+  [[nodiscard]] NodeId destination(NodeId src, util::Rng& rng) const;
+
+  /// True when destination(src) never depends on the RNG.
+  [[nodiscard]] bool deterministic() const {
+    return kind_ != PatternKind::Uniform && kind_ != PatternKind::Hotspot;
+  }
+
+  [[nodiscard]] PatternKind kind() const { return kind_; }
+  [[nodiscard]] std::uint32_t num_nodes() const { return n_; }
+
+  /// Fixed destination of a deterministic pattern (throws for stochastic).
+  [[nodiscard]] NodeId permute(NodeId src) const;
+
+ private:
+  PatternKind kind_;
+  std::uint32_t n_;
+  std::uint32_t bits_;
+  double hotspot_fraction_;
+  NodeId hotspot_;
+};
+
+}  // namespace erapid::traffic

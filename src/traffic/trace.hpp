@@ -1,0 +1,87 @@
+// Trace-driven traffic.
+//
+// The paper motivates reconfiguration with the spatial and temporal
+// locality of real inter-process communication ("as spatial and temporal
+// locality exists due to inter-process communication patterns ..."). The
+// synthetic Bernoulli patterns exercise spatial structure only; traces add
+// the temporal dimension: phased application behaviour whose hot flows
+// move over time — exactly what the LS protocol must chase.
+//
+// Format (plain text, diff-friendly):
+//     # erapid-trace v1
+//     <cycle> <src-node> <dst-node>
+// sorted by cycle (loader verifies).
+//
+// Besides load/save, this module synthesizes traces of three canonical
+// HPC communication idioms: a 1-D stencil (neighbor exchange per
+// timestep), a periodic all-to-all (e.g. FFT transpose), and a
+// master/worker scatter-gather.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace erapid::traffic {
+
+/// One packet-injection event.
+struct TraceEvent {
+  Cycle cycle = 0;
+  NodeId src;
+  NodeId dst;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// An in-memory, time-sorted communication trace.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Appends an event (kept sorted lazily; finalize() or load() sorts).
+  void add(Cycle cycle, NodeId src, NodeId dst);
+
+  /// Sorts by cycle (stable: same-cycle events keep insertion order) and
+  /// validates node ids against `num_nodes`.
+  void finalize(std::uint32_t num_nodes);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Cycle of the last event (0 when empty).
+  [[nodiscard]] Cycle duration() const { return events_.empty() ? 0 : events_.back().cycle; }
+
+  // ---- persistence ----
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  static Trace load(std::istream& in, std::uint32_t num_nodes);
+  static Trace load_file(const std::string& path, std::uint32_t num_nodes);
+
+ private:
+  std::vector<TraceEvent> events_;
+  bool sorted_ = true;
+};
+
+/// 1-D stencil: every `period` cycles each node exchanges one packet with
+/// each neighbor (rank ± 1, non-periodic boundary).
+[[nodiscard]] Trace make_stencil_trace(std::uint32_t num_nodes, std::uint32_t steps,
+                                       Cycle period, Cycle start = 0);
+
+/// Periodic all-to-all: every `period` cycles each node sends one packet
+/// to every other node, skewed by one `stagger` cycle per destination so
+/// the burst is not a single-cycle impulse.
+[[nodiscard]] Trace make_alltoall_trace(std::uint32_t num_nodes, std::uint32_t rounds,
+                                        Cycle period, Cycle stagger = 1, Cycle start = 0);
+
+/// Master/worker: the master (node 0) scatters one packet to each worker,
+/// workers compute for `compute` cycles, then gather back. `iterations`
+/// rounds.
+[[nodiscard]] Trace make_master_worker_trace(std::uint32_t num_nodes,
+                                             std::uint32_t iterations, Cycle compute,
+                                             Cycle start = 0);
+
+}  // namespace erapid::traffic

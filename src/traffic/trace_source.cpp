@@ -1,0 +1,39 @@
+#include "traffic/trace_source.hpp"
+
+#include "util/expect.hpp"
+
+namespace erapid::traffic {
+
+std::uint64_t TraceReplayer::next_seq_ = 1;
+
+TraceReplayer::TraceReplayer(des::Engine& engine, const Trace& trace,
+                             std::uint32_t packet_flits,
+                             std::function<void(const router::Packet&, Cycle)> deliver)
+    : engine_(engine), trace_(&trace), packet_flits_(packet_flits),
+      deliver_(std::move(deliver)) {
+  ERAPID_EXPECT(packet_flits_ >= 1, "packets need at least one flit");
+}
+
+void TraceReplayer::start(Cycle offset) {
+  const Cycle base = engine_.now() + offset;
+  // Events are captured by value (16 bytes): the schedule must not dangle
+  // if the caller mutates or destroys the Trace after start().
+  for (const TraceEvent e : trace_->events()) {
+    engine_.schedule_at(base + e.cycle, [this, e] { inject(e); });
+  }
+}
+
+void TraceReplayer::inject(const TraceEvent& e) {
+  const Cycle now = engine_.now();
+  router::Packet p;
+  p.seq = next_seq_++;
+  p.src = e.src;
+  p.dst = e.dst;
+  p.flits = packet_flits_;
+  p.created = now;
+  p.labelled = now >= label_from_ && now < label_to_;
+  ++injected_;
+  deliver_(p, now);
+}
+
+}  // namespace erapid::traffic

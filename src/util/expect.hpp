@@ -1,0 +1,40 @@
+// Runtime invariant checking.
+//
+// ERAPID_EXPECT is used for model invariants that must hold regardless of
+// build type (wavelength-collision freedom, credit conservation, ...). A
+// violated invariant throws erapid::ModelInvariantError so tests can assert
+// on it and long batch runs fail loudly instead of silently corrupting
+// statistics.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace erapid {
+
+/// Thrown when a simulator model invariant is violated.
+class ModelInvariantError : public std::logic_error {
+ public:
+  explicit ModelInvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << "model invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ModelInvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace erapid
+
+/// Check a model invariant; throws ModelInvariantError on failure.
+#define ERAPID_EXPECT(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::erapid::detail::throw_invariant(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                         \
+  } while (false)

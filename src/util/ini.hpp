@@ -1,0 +1,51 @@
+// Minimal INI parser/writer for experiment configuration files.
+//
+// Syntax:
+//   ; comment        # comment
+//   [section]
+//   key = value
+//
+// Keys are addressed "section.key"; values are strings with typed getters.
+// This backs the `--config file.ini` option of the examples, so whole
+// experiment setups are reproducible from a checked-in file.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace erapid::util {
+
+/// Parsed INI document.
+class Ini {
+ public:
+  Ini() = default;
+
+  static Ini parse(std::istream& in);
+  static Ini parse_string(const std::string& text);
+  static Ini load_file(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& def) const;
+  [[nodiscard]] long get_int(const std::string& key, long def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  /// Serializes grouped by section, keys sorted (stable round-trip).
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// All entries, keyed "section.key" (used for strict key validation).
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;  ///< "section.key" -> value
+};
+
+}  // namespace erapid::util

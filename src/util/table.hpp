@@ -1,0 +1,54 @@
+// Console table printer.
+//
+// Bench binaries reproduce the paper's figures as textual series; this
+// printer renders them as aligned columns so the "rows the paper reports"
+// are directly readable in bench_output.txt.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace erapid::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Convenience for mixed string/number rows.
+  template <typename... Ts>
+  void row_values(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(to_cell(vals)), ...);
+    row(std::move(cells));
+  }
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string fixed(double v, int digits = 4);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return fixed(static_cast<double>(v));
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace erapid::util

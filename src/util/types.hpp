@@ -1,0 +1,81 @@
+// Core scalar types and strong identifiers shared by every E-RAPID module.
+//
+// The simulator is cycle-accurate: one Cycle equals one router clock period
+// (400 MHz => 2.5 ns, see topology/config.hpp). All identifiers are small
+// integers; we wrap them in distinct enum-class-like structs only where
+// confusing them has historically caused bugs (board vs node vs wavelength).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace erapid {
+
+/// Simulation time in router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Duration in cycles (signed arithmetic is never needed; keep unsigned).
+using CycleDelta = std::uint64_t;
+
+namespace detail {
+
+/// CRTP strong integer id. Comparable, hashable, printable via value().
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  using rep_type = Rep;
+
+  Rep v{kInvalid};
+
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : v(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v; }
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.v == b.v; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.v != b.v; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.v < b.v; }
+};
+
+}  // namespace detail
+
+/// Global node index in [0, C*B*D).
+struct NodeId : detail::StrongId<NodeId> {
+  using StrongId::StrongId;
+};
+
+/// Board index in [0, B) (within the single cluster; the paper evaluates C=1).
+struct BoardId : detail::StrongId<BoardId> {
+  using StrongId::StrongId;
+};
+
+/// Wavelength index in [0, W) where W == B (one wavelength per board slot).
+struct WavelengthId : detail::StrongId<WavelengthId> {
+  using StrongId::StrongId;
+};
+
+/// Packet sequence number, unique per simulation.
+using PacketSeq = std::uint64_t;
+
+}  // namespace erapid
+
+namespace std {
+template <>
+struct hash<erapid::NodeId> {
+  size_t operator()(erapid::NodeId id) const noexcept { return std::hash<uint32_t>{}(id.v); }
+};
+template <>
+struct hash<erapid::BoardId> {
+  size_t operator()(erapid::BoardId id) const noexcept { return std::hash<uint32_t>{}(id.v); }
+};
+template <>
+struct hash<erapid::WavelengthId> {
+  size_t operator()(erapid::WavelengthId id) const noexcept { return std::hash<uint32_t>{}(id.v); }
+};
+}  // namespace std

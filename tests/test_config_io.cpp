@@ -1,0 +1,270 @@
+// Tests for the INI parser, SimOptions config round-trip, the recorder
+// time-series sampler, and the JSON result export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/options_io.hpp"
+#include "sim/recorder.hpp"
+#include "sim/report.hpp"
+#include "util/ini.hpp"
+
+namespace {
+
+using erapid::sim::load_options;
+using erapid::sim::options_from_ini;
+using erapid::sim::options_to_ini;
+using erapid::sim::SimOptions;
+using erapid::util::Ini;
+
+// ---- Ini ------------------------------------------------------------------
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto ini = Ini::parse_string("[system]\nboards = 8\n\n[workload]\nload = 0.5\n");
+  EXPECT_EQ(ini.get_int("system.boards", 0), 8);
+  EXPECT_DOUBLE_EQ(ini.get_double("workload.load", 0), 0.5);
+  EXPECT_FALSE(ini.has("system.load"));
+}
+
+TEST(Ini, CommentsAndWhitespaceIgnored) {
+  const auto ini = Ini::parse_string("; top\n# also\n[ s ]\n  k =  v  \n");
+  EXPECT_EQ(ini.get_or("s.k", ""), "v");
+}
+
+TEST(Ini, SectionlessKeysWork) {
+  const auto ini = Ini::parse_string("alpha = 3\n");
+  EXPECT_EQ(ini.get_int("alpha", 0), 3);
+}
+
+TEST(Ini, BoolParsing) {
+  const auto ini = Ini::parse_string("[a]\nx = true\ny = 0\nz = yes\n");
+  EXPECT_TRUE(ini.get_bool("a.x", false));
+  EXPECT_FALSE(ini.get_bool("a.y", true));
+  EXPECT_TRUE(ini.get_bool("a.z", false));
+  EXPECT_TRUE(ini.get_bool("a.missing", true));
+}
+
+TEST(Ini, MalformedLinesThrow) {
+  EXPECT_THROW(Ini::parse_string("[unterminated\n"), erapid::ModelInvariantError);
+  EXPECT_THROW(Ini::parse_string("no equals sign\n"), erapid::ModelInvariantError);
+  EXPECT_THROW(Ini::parse_string("= novalue\n"), erapid::ModelInvariantError);
+}
+
+TEST(Ini, SaveParsesBack) {
+  Ini ini;
+  ini.set("b.two", "2");
+  ini.set("a.one", "1");
+  ini.set("plain", "x");
+  std::ostringstream os;
+  ini.save(os);
+  const auto back = Ini::parse_string(os.str());
+  EXPECT_EQ(back.get_or("a.one", ""), "1");
+  EXPECT_EQ(back.get_or("b.two", ""), "2");
+  EXPECT_EQ(back.get_or("plain", ""), "x");
+  EXPECT_EQ(back.size(), 3u);
+}
+
+TEST(Ini, MissingFileThrows) {
+  EXPECT_THROW(Ini::load_file("/nonexistent/x.ini"), erapid::ModelInvariantError);
+}
+
+// ---- options round-trip ------------------------------------------------------
+
+TEST(OptionsIo, DefaultsSurviveRoundTrip) {
+  SimOptions def;
+  const auto ini = options_to_ini(def);
+  const auto back = options_from_ini(ini);
+  EXPECT_EQ(back.system.boards, def.system.boards);
+  EXPECT_EQ(back.system.nodes_per_board, def.system.nodes_per_board);
+  EXPECT_EQ(back.reconfig.window, def.reconfig.window);
+  EXPECT_EQ(back.pattern, def.pattern);
+  EXPECT_DOUBLE_EQ(back.load_fraction, def.load_fraction);
+  EXPECT_EQ(back.reconfig.mode.name, def.reconfig.mode.name);
+}
+
+TEST(OptionsIo, CustomValuesSurviveRoundTrip) {
+  SimOptions o;
+  o.system.boards = 4;
+  o.system.nodes_per_board = 2;
+  o.pattern = erapid::traffic::PatternKind::Complement;
+  o.load_fraction = 0.65;
+  o.seed = 99;
+  o.reconfig.mode = erapid::reconfig::NetworkMode::p_b();
+  o.reconfig.mode.dbr.max_lanes_per_flow = 3;
+  o.reconfig.window = 4000;
+  o.reconfig.dpm_strategy = erapid::reconfig::DpmStrategyKind::Ewma;
+  o.reconfig.dpm_params.ewma_alpha = 0.25;
+
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_EQ(back.system.boards, 4u);
+  EXPECT_EQ(back.pattern, erapid::traffic::PatternKind::Complement);
+  EXPECT_DOUBLE_EQ(back.load_fraction, 0.65);
+  EXPECT_EQ(back.seed, 99u);
+  EXPECT_EQ(back.reconfig.mode.name, "P-B");
+  EXPECT_EQ(back.reconfig.mode.dbr.max_lanes_per_flow, 3u);
+  EXPECT_EQ(back.reconfig.window, 4000u);
+  EXPECT_EQ(back.reconfig.dpm_strategy, erapid::reconfig::DpmStrategyKind::Ewma);
+  EXPECT_DOUBLE_EQ(back.reconfig.dpm_params.ewma_alpha, 0.25);
+}
+
+TEST(OptionsIo, UnknownKeyThrows) {
+  const auto ini = Ini::parse_string("[system]\nbords = 8\n");  // typo
+  EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, BadModeThrows) {
+  const auto ini = Ini::parse_string("[reconfig]\nmode = FULL-POWER\n");
+  EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, BadPatternThrows) {
+  const auto ini = Ini::parse_string("[workload]\npattern = zigzag\n");
+  EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, ThresholdOverridesApplyOnTopOfMode) {
+  const auto ini = Ini::parse_string("[reconfig]\nmode = P-B\nl_max = 0.8\n");
+  const auto o = options_from_ini(ini);
+  EXPECT_DOUBLE_EQ(o.reconfig.mode.dpm.l_max, 0.8);     // overridden
+  EXPECT_DOUBLE_EQ(o.reconfig.mode.dpm.l_min, 0.7);     // P-B default kept
+}
+
+TEST(OptionsIo, HotspotParamsRoundTrip) {
+  SimOptions o;
+  o.pattern = erapid::traffic::PatternKind::Hotspot;
+  o.hotspot_fraction = 0.35;
+  o.hotspot_node = 17;
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_EQ(back.pattern, erapid::traffic::PatternKind::Hotspot);
+  EXPECT_DOUBLE_EQ(back.hotspot_fraction, 0.35);
+  EXPECT_EQ(back.hotspot_node, 17u);
+}
+
+TEST(OptionsIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "erapid_opts.ini";
+  SimOptions o;
+  o.load_fraction = 0.33;
+  erapid::sim::save_options(path, o);
+  const auto back = load_options(path);
+  EXPECT_DOUBLE_EQ(back.load_fraction, 0.33);
+  std::remove(path.c_str());
+}
+
+// ---- Recorder ----------------------------------------------------------------
+
+TEST(Recorder, SamplesAtFixedCadence) {
+  erapid::topology::SystemConfig cfg;
+  cfg.boards = 2;
+  cfg.nodes_per_board = 1;
+  erapid::reconfig::ReconfigConfig rc;
+  erapid::des::Engine engine;
+  erapid::sim::Network net(engine, cfg, rc);
+  net.start();
+
+  erapid::sim::Recorder rec(engine, net, 100);
+  rec.start();
+  engine.run_until(1050);
+  EXPECT_EQ(rec.samples().size(), 10u);
+  EXPECT_EQ(rec.samples()[0].cycle, 100u);
+  EXPECT_EQ(rec.samples()[9].cycle, 1000u);
+  // Two static lanes at P_high.
+  EXPECT_NEAR(rec.samples()[5].power_mw, 2 * 43.03, 1e-9);
+  EXPECT_EQ(rec.samples()[5].lanes_lit, 2u);
+}
+
+TEST(Recorder, StopHaltsSampling) {
+  erapid::topology::SystemConfig cfg;
+  cfg.boards = 2;
+  cfg.nodes_per_board = 1;
+  erapid::reconfig::ReconfigConfig rc;
+  erapid::des::Engine engine;
+  erapid::sim::Network net(engine, cfg, rc);
+  net.start();
+  erapid::sim::Recorder rec(engine, net, 50);
+  rec.start();
+  engine.run_until(200);
+  rec.stop();
+  engine.run_until(1000);
+  EXPECT_EQ(rec.samples().size(), 4u);
+}
+
+TEST(Recorder, CsvExport) {
+  erapid::topology::SystemConfig cfg;
+  cfg.boards = 2;
+  cfg.nodes_per_board = 1;
+  erapid::reconfig::ReconfigConfig rc;
+  erapid::des::Engine engine;
+  erapid::sim::Network net(engine, cfg, rc);
+  net.start();
+  erapid::sim::Recorder rec(engine, net, 100);
+  rec.start();
+  engine.run_until(500);
+  const std::string path = testing::TempDir() + "erapid_rec.csv";
+  rec.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "cycle,power_mw,lanes_lit,delivered,backlog,grants,dvs_changes");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 5);
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, AggregatesPower) {
+  erapid::topology::SystemConfig cfg;
+  cfg.boards = 2;
+  cfg.nodes_per_board = 1;
+  erapid::reconfig::ReconfigConfig rc;
+  erapid::des::Engine engine;
+  erapid::sim::Network net(engine, cfg, rc);
+  net.start();
+  erapid::sim::Recorder rec(engine, net, 100);
+  rec.start();
+  engine.run_until(500);
+  EXPECT_NEAR(rec.sampled_avg_power(), 2 * 43.03, 1e-9);
+  EXPECT_NEAR(rec.peak_power(), 2 * 43.03, 1e-9);
+}
+
+// ---- JSON report ---------------------------------------------------------------
+
+TEST(Report, JsonContainsKeyFields) {
+  erapid::sim::SimResult r;
+  r.accepted_fraction = 0.5;
+  r.latency_avg = 123.5;
+  r.power_avg_mw = 999.25;
+  r.drained = true;
+  r.control.lane_grants = 7;
+  const auto json = erapid::sim::to_json(r);
+  EXPECT_NE(json.find("\"accepted_fraction\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_avg\": 123.5"), std::string::npos);
+  EXPECT_NE(json.find("\"drained\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"lane_grants\": 7"), std::string::npos);
+}
+
+TEST(Report, NamedResultsDocument) {
+  erapid::sim::SimResult a, b;
+  a.accepted_fraction = 0.1;
+  b.accepted_fraction = 0.2;
+  const auto doc = erapid::sim::results_to_json({{"NP-NB", a}, {"P-B", b}});
+  EXPECT_NE(doc.find("\"name\": \"NP-NB\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"P-B\""), std::string::npos);
+  EXPECT_NE(doc.find("\"results\""), std::string::npos);
+}
+
+TEST(Report, WriteFileRoundTrip) {
+  const std::string path = testing::TempDir() + "erapid_report.json";
+  erapid::sim::SimResult r;
+  erapid::sim::write_results_json(path, {{"x", r}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"x\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Unit tests for the discrete-event kernel and clock domain.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/clock.hpp"
+#include "des/engine.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using erapid::Cycle;
+using erapid::kNeverCycle;
+using erapid::des::ClockDomain;
+using erapid::des::Clocked;
+using erapid::des::Engine;
+
+TEST(Engine, StartsAtTimeZeroWithEmptyQueue) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.queue_size(), 0u);
+  EXPECT_EQ(e.next_event_time(), kNeverCycle);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTimeEventsFireInFifoOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  e.run_all();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ZeroDelayEventRunsAtCurrentTime) {
+  Engine e;
+  Cycle fired_at = kNeverCycle;
+  e.schedule(7, [&] {
+    e.schedule(0, [&] { fired_at = e.now(); });
+  });
+  e.run_all();
+  EXPECT_EQ(fired_at, 7u);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule(10, [&] {
+    EXPECT_THROW(e.schedule_at(5, [] {}), erapid::ModelInvariantError);
+  });
+  e.run_all();
+}
+
+TEST(Engine, RunUntilStopsAtLimitAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10, [&] { ++fired; });
+  e.schedule(100, [&] { ++fired; });
+  const auto n = e.run_until(50);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 50u);  // clock advances to the limit even when idle
+  e.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilLimitIsInclusive) {
+  Engine e;
+  bool fired = false;
+  e.schedule(50, [&] { fired = true; });
+  e.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  auto h = e.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Engine e;
+  auto h = e.schedule(1, [] {});
+  e.run_all();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+  h.cancel();
+}
+
+TEST(Engine, DefaultConstructedHandleIsInert) {
+  erapid::des::EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Engine, EventsScheduledDuringExecutionRun) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule(1, recurse);
+  };
+  e.schedule(1, recurse);
+  e.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(Engine, NextEventTimeSkipsCancelled) {
+  Engine e;
+  auto h = e.schedule(10, [] {});
+  e.schedule(20, [] {});
+  h.cancel();
+  EXPECT_EQ(e.next_event_time(), 20u);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.schedule(static_cast<Cycle>(i + 1), [] {});
+  e.run_all();
+  EXPECT_EQ(e.events_executed(), 10u);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1, [&] { ++fired; });
+  e.schedule(1, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step(100));
+}
+
+// ---- ClockDomain -------------------------------------------------------
+
+class CountingClocked : public Clocked {
+ public:
+  void tick(Cycle now) override {
+    ++ticks;
+    last_tick = now;
+  }
+  void post_tick(Cycle) override { ++post_ticks; }
+  [[nodiscard]] bool quiescent() const override { return quiet; }
+
+  int ticks = 0;
+  int post_ticks = 0;
+  Cycle last_tick = 0;
+  bool quiet = false;
+};
+
+TEST(ClockDomain, TicksEveryCycleWhileBusy) {
+  Engine e;
+  ClockDomain dom(e);
+  CountingClocked c;
+  dom.add(c);
+  dom.wake();
+  e.run_until(10);
+  EXPECT_EQ(c.ticks, 10);
+  EXPECT_EQ(c.post_ticks, 10);
+}
+
+TEST(ClockDomain, SleepsWhenAllQuiescent) {
+  Engine e;
+  ClockDomain dom(e);
+  CountingClocked c;
+  dom.add(c);
+  dom.wake();
+  e.run_until(5);
+  c.quiet = true;
+  e.run_until(100);
+  EXPECT_TRUE(c.ticks <= 7);  // stopped ticking shortly after quiescence
+  EXPECT_FALSE(dom.running());
+}
+
+TEST(ClockDomain, WakeRearmsAfterSleep) {
+  Engine e;
+  ClockDomain dom(e);
+  CountingClocked c;
+  c.quiet = true;
+  dom.add(c);
+  dom.wake();
+  e.run_until(10);
+  const int ticks_after_sleep = c.ticks;
+  EXPECT_EQ(ticks_after_sleep, 1);  // one tick, then slept
+
+  c.quiet = false;
+  dom.wake();
+  e.run_until(20);
+  EXPECT_GT(c.ticks, ticks_after_sleep + 5);
+}
+
+TEST(ClockDomain, WakeWhileRunningIsIdempotent) {
+  Engine e;
+  ClockDomain dom(e);
+  CountingClocked c;
+  dom.add(c);
+  dom.wake();
+  dom.wake();
+  dom.wake();
+  e.run_until(5);
+  EXPECT_EQ(c.ticks, 5);  // not double-ticked
+}
+
+TEST(ClockDomain, TwoComponentsTickInRegistrationOrder) {
+  Engine e;
+  ClockDomain dom(e);
+  std::vector<int> order;
+  struct Probe : Clocked {
+    Probe(std::vector<int>* o, int i) : order(o), id(i) {}
+    std::vector<int>* order;
+    int id;
+    void tick(Cycle) override { order->push_back(id); }
+    [[nodiscard]] bool quiescent() const override { return true; }
+  };
+  Probe a(&order, 1), b(&order, 2);
+  dom.add(a);
+  dom.add(b);
+  dom.wake();
+  e.run_until(2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Differential and fuzz tests.
+//
+//  * Engine vs a naive reference executor: random schedule/cancel
+//    workloads must execute in identical order.
+//  * Lane state machine driven by random operation sequences: the power
+//    meter must always match the lane's externally visible state and no
+//    packet may be lost.
+//  * Network churn fuzz: random small systems under random loads with
+//    aggressive reconfiguration windows — every invariant check stays
+//    quiet and labelled conservation holds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "sim/simulation.hpp"
+#include "tests_support.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using erapid::Cycle;
+using erapid::des::Engine;
+using erapid::util::Rng;
+
+// ---- Engine vs reference executor -------------------------------------------
+
+struct RefEvent {
+  Cycle when;
+  std::uint64_t seq;
+  int id;
+  bool cancelled = false;
+};
+
+TEST(EngineFuzz, MatchesReferenceExecutorOrder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Engine engine;
+    std::vector<int> engine_order;
+    std::vector<RefEvent> ref;
+    std::vector<erapid::des::EventHandle> handles;
+
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      const Cycle when = rng.next_below(1000);
+      ref.push_back({when, static_cast<std::uint64_t>(i), i});
+      handles.push_back(
+          engine.schedule_at(when, [&engine_order, i] { engine_order.push_back(i); }));
+    }
+    // Cancel a random ~25%.
+    for (int i = 0; i < n; ++i) {
+      if (rng.next_below(4) == 0) {
+        handles[static_cast<std::size_t>(i)].cancel();
+        ref[static_cast<std::size_t>(i)].cancelled = true;
+      }
+    }
+    engine.run_all();
+
+    std::stable_sort(ref.begin(), ref.end(), [](const RefEvent& a, const RefEvent& b) {
+      return a.when < b.when;  // stable keeps seq (FIFO) order at equal times
+    });
+    std::vector<int> ref_order;
+    for (const auto& e : ref) {
+      if (!e.cancelled) ref_order.push_back(e.id);
+    }
+    ASSERT_EQ(engine_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(EngineFuzz, NestedSchedulingMatchesReference) {
+  // Events that schedule follow-ups at random offsets; compare the
+  // total executed count against an analytical bound and monotone time.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    Engine engine;
+    Cycle last = 0;
+    std::uint64_t fired = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+      ++fired;
+      EXPECT_GE(engine.now(), last);
+      last = engine.now();
+      if (depth > 0) {
+        const auto kids = rng.next_below(3);
+        for (std::uint64_t k = 0; k < kids; ++k) {
+          engine.schedule(rng.next_below(50) + 1, [&spawn, depth] { spawn(depth - 1); });
+        }
+      }
+    };
+    engine.schedule(1, [&spawn] { spawn(6); });
+    engine.run_all();
+    EXPECT_GE(fired, 1u);
+    EXPECT_EQ(engine.events_executed(), fired);
+  }
+}
+
+// ---- Lane state-machine fuzz --------------------------------------------------
+
+TEST(LaneFuzz, RandomOpSequencesPreserveInvariants) {
+  using erapid::power::PowerLevel;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    erapid::test::LaneRig rig;
+    std::uint64_t transmitted = 0;
+
+    for (int op = 0; op < 200; ++op) {
+      const Cycle now = rig.engine.now();
+      switch (rng.next_below(5)) {
+        case 0:  // enable if disabled
+          if (!rig.lane->enabled()) {
+            const PowerLevel lvl = static_cast<PowerLevel>(1 + rng.next_below(3));
+            rig.lane->enable(now, lvl);
+          }
+          break;
+        case 1:  // disable if enabled
+          if (rig.lane->enabled()) rig.lane->disable(now);
+          break;
+        case 2:  // DVS request
+          if (rig.lane->enabled()) {
+            const PowerLevel lvl = static_cast<PowerLevel>(rng.next_below(4));
+            rig.lane->request_level(lvl, now);
+          }
+          break;
+        case 3:  // transmit attempt
+          if (rig.lane->try_transmit(erapid::test::LaneRig::packet(op), now)) {
+            ++transmitted;
+          }
+          break;
+        case 4:  // let time pass
+          rig.engine.run_until(now + rng.next_below(120) + 1);
+          break;
+      }
+      // Invariant: meter power reflects the lane's visible state.
+      if (!rig.lane->enabled()) {
+        EXPECT_NEAR(rig.meter.instantaneous_mw(), 0.0, 1e-9) << "seed " << seed;
+      } else {
+        EXPECT_NEAR(rig.meter.instantaneous_mw(), rig.pw.power_mw(rig.lane->level()), 1e-9)
+            << "seed " << seed;
+      }
+    }
+    // Drain: every transmitted packet must eventually eject.
+    rig.engine.run_until(rig.engine.now() + 100000);
+    EXPECT_EQ(rig.delivered.size(), transmitted) << "seed " << seed;
+  }
+}
+
+// ---- whole-network churn fuzz ----------------------------------------------------
+
+TEST(NetworkFuzz, RandomSmallSystemsConserveLabelledPackets) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 77);
+    erapid::sim::SimOptions o;
+    o.system.boards = static_cast<std::uint32_t>(2 + rng.next_below(3));       // 2..4
+    o.system.nodes_per_board = static_cast<std::uint32_t>(1 + rng.next_below(4));  // 1..4
+    o.load_fraction = 0.05 + 0.1 * rng.next_double();  // below every saturation
+    o.seed = seed;
+    o.warmup_cycles = 2000;
+    o.measure_cycles = 4000;
+    o.drain_limit = 120000;
+    o.reconfig.mode = erapid::reconfig::NetworkMode::p_b();
+    o.reconfig.window = 250 + rng.next_below(500);  // aggressive churn
+    const auto pats = {erapid::traffic::PatternKind::Uniform,
+                       erapid::traffic::PatternKind::Neighbor,
+                       erapid::traffic::PatternKind::Tornado};
+    o.pattern = *(pats.begin() + static_cast<long>(rng.next_below(pats.size())));
+
+    const auto r = erapid::sim::Simulation(o).run();
+    EXPECT_TRUE(r.drained) << "seed " << seed << " " << o.system.boards << "x"
+                           << o.system.nodes_per_board;
+    EXPECT_EQ(r.labelled_generated, r.labelled_delivered) << "seed " << seed;
+  }
+}
+
+// ---- golden regression -------------------------------------------------------------
+
+// Locks the exact deterministic behaviour of the default configuration so
+// refactors that silently change model timing are caught. Integer counts
+// must match exactly; floating-point summaries very tightly.
+TEST(Golden, DefaultUniformHalfLoadSeed1) {
+  erapid::sim::SimOptions o;
+  o.system.boards = 4;
+  o.system.nodes_per_board = 4;
+  o.load_fraction = 0.5;
+  o.seed = 1;
+  o.warmup_cycles = 4000;
+  o.measure_cycles = 8000;
+  o.drain_limit = 60000;
+  o.reconfig.mode = erapid::reconfig::NetworkMode::p_b();
+  const auto a = erapid::sim::Simulation(o).run();
+  const auto b = erapid::sim::Simulation(o).run();
+  // Self-consistency (byte-determinism) …
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered_measured, b.packets_delivered_measured);
+  EXPECT_EQ(a.control.lane_grants, b.control.lane_grants);
+  EXPECT_DOUBLE_EQ(a.latency_avg, b.latency_avg);
+  // … and the frozen golden values (see tests_support.hpp for the policy
+  // on updating these).
+  EXPECT_EQ(a.packets_generated, erapid::test::kGoldenGenerated);
+  EXPECT_EQ(a.packets_delivered_measured, erapid::test::kGoldenDelivered);
+  EXPECT_NEAR(a.latency_avg, erapid::test::kGoldenLatency, 1e-6);
+  EXPECT_NEAR(a.power_avg_mw, erapid::test::kGoldenPowerMw, 1e-6);
+}
+
+}  // namespace

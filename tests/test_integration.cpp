@@ -1,0 +1,181 @@
+// Cross-module integration tests: the paper's qualitative claims must
+// emerge from the full simulator (64-node R(1,8,8) where affordable,
+// smaller configurations elsewhere for test-time budget).
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace {
+
+using erapid::BoardId;
+using erapid::reconfig::NetworkMode;
+using erapid::sim::SimOptions;
+using erapid::sim::Simulation;
+using erapid::traffic::PatternKind;
+
+SimOptions opts_64() {
+  SimOptions o;  // R(1,8,8)
+  o.warmup_cycles = 8000;
+  o.measure_cycles = 12000;
+  o.drain_limit = 60000;
+  return o;
+}
+
+TEST(Integration, ComplementStaticSaturatesEarly) {
+  auto o = opts_64();
+  o.pattern = PatternKind::Complement;
+  o.load_fraction = 0.5;
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto r = Simulation(o).run();
+  // Analytic static saturation is ~0.128 N_c; at 0.5 N_c offered the
+  // static network must accept only a small fraction.
+  EXPECT_LT(r.accepted_fraction, 0.25);
+  EXPECT_FALSE(r.drained);  // labelled packets stuck behind saturation
+}
+
+TEST(Integration, ComplementDbrMultipliesThroughput) {
+  auto o = opts_64();
+  o.pattern = PatternKind::Complement;
+  o.load_fraction = 0.5;
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto base = Simulation(o).run();
+  o.reconfig.mode = NetworkMode::np_b();
+  const auto reconf = Simulation(o).run();
+  // Paper: ~400% improvement. Shape check: at least 2.5x here.
+  EXPECT_GT(reconf.accepted_fraction, base.accepted_fraction * 2.5);
+}
+
+TEST(Integration, ComplementDbrMovesLanesToComplementFlows) {
+  auto o = opts_64();
+  o.pattern = PatternKind::Complement;
+  o.load_fraction = 0.5;
+  o.reconfig.mode = NetworkMode::p_b();
+  Simulation sim(o);
+  (void)sim.run();
+  auto& lm = sim.network().lane_map();
+  // Each board's flow to its complement partner should hold several lanes.
+  std::uint32_t total = 0;
+  const std::uint32_t B = o.system.boards;
+  for (std::uint32_t b = 0; b < B; ++b) {
+    total += lm.lane_count(BoardId{b}, BoardId{B - 1 - b});
+  }
+  EXPECT_GT(total, B * 2);  // well above the static B lanes
+}
+
+TEST(Integration, UniformReconfigurationDoesNoHarm) {
+  auto o = opts_64();
+  o.pattern = PatternKind::Uniform;
+  o.load_fraction = 0.5;
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto base = Simulation(o).run();
+  o.reconfig.mode = NetworkMode::np_b();
+  const auto reconf = Simulation(o).run();
+  // Paper: "with reconfiguration, there is no excess latency penalty" on
+  // uniform traffic — throughput within a few percent either way.
+  EXPECT_NEAR(reconf.accepted_fraction, base.accepted_fraction, 0.05);
+}
+
+TEST(Integration, PowerAwareSavesPowerOnUniform) {
+  auto o = opts_64();
+  o.load_fraction = 0.3;
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto base = Simulation(o).run();
+  o.reconfig.mode = NetworkMode::p_b();
+  const auto pb = Simulation(o).run();
+  // Paper abstract: 25%-50% power reduction...
+  EXPECT_LT(pb.power_avg_mw, base.power_avg_mw * 0.75);
+  // ...at <5%-8% throughput cost (we allow 10% stochastic margin here).
+  EXPECT_GT(pb.accepted_fraction, base.accepted_fraction * 0.90);
+}
+
+TEST(Integration, NpBIncreasesPowerOnAdversarialTraffic) {
+  auto o = opts_64();
+  o.pattern = PatternKind::Complement;
+  o.load_fraction = 0.5;
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto base = Simulation(o).run();
+  o.reconfig.mode = NetworkMode::np_b();
+  const auto npb = Simulation(o).run();
+  // Granted lanes all burn P_high while serving real traffic: the paper's
+  // utilization-weighted power metric rises ~3x on complement (total
+  // standby power barely moves since NP-NB keeps every lane lit anyway).
+  EXPECT_GT(npb.active_power_avg_mw, base.active_power_avg_mw * 2.0);
+  EXPECT_GT(npb.power_avg_mw, base.power_avg_mw);
+}
+
+TEST(Integration, PBCheaperThanNpBOnAdversarialTraffic) {
+  auto o = opts_64();
+  o.pattern = PatternKind::Complement;
+  o.load_fraction = 0.5;
+  o.reconfig.mode = NetworkMode::np_b();
+  const auto npb = Simulation(o).run();
+  o.reconfig.mode = NetworkMode::p_b();
+  const auto pb = Simulation(o).run();
+  // Paper: P-B consumes ~25% less than NP-B at similar throughput.
+  EXPECT_LT(pb.power_avg_mw, npb.power_avg_mw);
+  EXPECT_GT(pb.accepted_fraction, npb.accepted_fraction * 0.85);
+}
+
+TEST(Integration, NoPacketIsEverLostAcrossReconfiguration) {
+  // Conservation: generated = delivered + still-in-flight. Run complement
+  // with aggressive reconfiguration, stop injection, drain fully.
+  auto o = opts_64();
+  o.system.boards = 4;
+  o.system.nodes_per_board = 4;
+  o.pattern = PatternKind::Complement;
+  o.load_fraction = 0.7;
+  o.reconfig.mode = NetworkMode::p_b();
+  Simulation sim(o);
+
+  std::uint64_t delivered = 0;
+  sim.network().set_delivery_callback(
+      [&](const erapid::router::Packet&, erapid::Cycle) { ++delivered; });
+
+  // Replicate the driver loop manually so we can drain to empty.
+  (void)sim;  // run below
+  auto& net = sim.network();
+  auto& engine = sim.engine();
+  erapid::traffic::TrafficPattern pat(o.pattern, o.system.num_nodes());
+  erapid::util::Rng rng(7);
+  std::uint64_t generated = 0;
+  net.start();
+  for (int burst = 0; burst < 20; ++burst) {
+    engine.run_until(engine.now() + 500);
+    for (std::uint32_t n = 0; n < o.system.num_nodes(); ++n) {
+      erapid::router::Packet p;
+      p.seq = ++generated;
+      p.src = erapid::NodeId{n};
+      p.dst = pat.permute(erapid::NodeId{n});
+      p.flits = o.system.packet_flits;
+      p.created = engine.now();
+      net.inject(p, engine.now());
+    }
+  }
+  engine.run_until(engine.now() + 300000);
+  EXPECT_EQ(delivered, generated);
+}
+
+TEST(Integration, SmallestSystemWorks) {
+  SimOptions o;
+  o.system.boards = 2;
+  o.system.nodes_per_board = 1;
+  o.load_fraction = 0.5;
+  o.warmup_cycles = 2000;
+  o.measure_cycles = 4000;
+  const auto r = Simulation(o).run();
+  EXPECT_GT(r.packets_delivered_measured, 0u);
+  EXPECT_TRUE(r.drained);
+}
+
+TEST(Integration, WiderSystemWorks) {
+  SimOptions o;
+  o.system.boards = 16;
+  o.system.nodes_per_board = 4;
+  o.load_fraction = 0.3;
+  o.warmup_cycles = 3000;
+  o.measure_cycles = 5000;
+  const auto r = Simulation(o).run();
+  EXPECT_GT(r.accepted_fraction, 0.2);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Unit tests for the power model: per-level link power (Table 1), the
+// component scaling laws, transitions, and energy metering.
+#include <gtest/gtest.h>
+
+#include "power/components.hpp"
+#include "power/energy_meter.hpp"
+#include "power/link_power.hpp"
+
+namespace {
+
+using erapid::power::ComponentModel;
+using erapid::power::EnergyMeter;
+using erapid::power::LinkPowerModel;
+using erapid::power::PowerLevel;
+using erapid::power::step_down;
+using erapid::power::step_up;
+
+// ---- LinkPowerModel (Table 1 values) ------------------------------------
+
+TEST(LinkPower, Table1PerLevelTotals) {
+  LinkPowerModel m;
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::High), 43.03);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Mid), 26.00);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Low), 8.60);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Off), 0.0);
+}
+
+TEST(LinkPower, Table1BitRatesAndVoltages) {
+  LinkPowerModel m;
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::High), 5.0);
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Mid), 3.3);
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Low), 2.5);
+  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::High), 0.9);
+  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::Mid), 0.6);
+  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::Low), 0.45);
+}
+
+TEST(LinkPower, VoltageTransitionsCost65Cycles) {
+  LinkPowerModel m;
+  EXPECT_EQ(m.transition_cycles(PowerLevel::Low, PowerLevel::High), 65u);
+  EXPECT_EQ(m.transition_cycles(PowerLevel::High, PowerLevel::Mid), 65u);
+  EXPECT_EQ(m.transition_cycles(PowerLevel::Off, PowerLevel::Low), 65u);
+  EXPECT_EQ(m.transition_cycles(PowerLevel::Mid, PowerLevel::Mid), 0u);
+}
+
+TEST(LinkPower, StepUpAndDownSaturate) {
+  EXPECT_EQ(step_up(PowerLevel::Low), PowerLevel::Mid);
+  EXPECT_EQ(step_up(PowerLevel::Mid), PowerLevel::High);
+  EXPECT_EQ(step_up(PowerLevel::High), PowerLevel::High);
+  EXPECT_EQ(step_down(PowerLevel::High), PowerLevel::Mid);
+  EXPECT_EQ(step_down(PowerLevel::Mid), PowerLevel::Low);
+  EXPECT_EQ(step_down(PowerLevel::Low), PowerLevel::Low);   // no DVS to Off
+  EXPECT_EQ(step_down(PowerLevel::Off), PowerLevel::Off);
+}
+
+TEST(LinkPower, PowerIsMonotoneInLevel) {
+  LinkPowerModel m;
+  EXPECT_LT(m.power_mw(PowerLevel::Off), m.power_mw(PowerLevel::Low));
+  EXPECT_LT(m.power_mw(PowerLevel::Low), m.power_mw(PowerLevel::Mid));
+  EXPECT_LT(m.power_mw(PowerLevel::Mid), m.power_mw(PowerLevel::High));
+}
+
+TEST(LinkPower, OverridesForAblation) {
+  LinkPowerModel m;
+  m.set_power_mw(PowerLevel::High, 50.0);
+  m.set_transition_cycles(100, 20);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::High), 50.0);
+  EXPECT_EQ(m.transition_cycles(PowerLevel::Low, PowerLevel::High), 100u);
+}
+
+TEST(LinkPower, FixedRateBaselineMakesDvsFree) {
+  // An electrical-baseline model pins rate and voltage at every level:
+  // transitions then cost only the CDR relock (equal voltage).
+  LinkPowerModel m;
+  for (auto l : {PowerLevel::Low, PowerLevel::Mid, PowerLevel::High}) {
+    m.set_bitrate_gbps(l, 6.4);
+    m.set_supply_v(l, 1.2);
+    m.set_power_mw(l, 128.0);
+  }
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Low), 6.4);
+  EXPECT_EQ(m.transition_cycles(PowerLevel::Low, PowerLevel::High),
+            m.freq_relock_cycles());
+}
+
+// ---- ComponentModel (§4.1 anchors & scaling laws) ------------------------
+
+TEST(Components, AnchorsReproducePaperBreakdown) {
+  ComponentModel m;
+  const auto parts = m.breakdown(0.9, 5.0);
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_NEAR(parts[0].milliwatts, 1.5e-3, 1e-9);   // VCSEL 1.5 uW
+  EXPECT_NEAR(parts[1].milliwatts, 1.23, 1e-9);     // driver
+  EXPECT_NEAR(parts[2].milliwatts, 1.4e-3, 1e-9);   // photodetector
+  EXPECT_NEAR(parts[3].milliwatts, 25.02, 1e-9);    // TIA
+  EXPECT_NEAR(parts[4].milliwatts, 17.05, 1e-9);    // CDR
+}
+
+TEST(Components, TotalAtPHighNearQuoted43mW) {
+  ComponentModel m;
+  // Component sum is 43.30 mW; the paper quotes 43.03 (its own rounding).
+  EXPECT_NEAR(m.total_mw(0.9, 5.0), 43.03, 0.35);
+}
+
+TEST(Components, PLowScalingMatchesQuoted8p6mW) {
+  ComponentModel m;
+  // The P_low total falls out of the scaling laws to within ~1%.
+  EXPECT_NEAR(m.total_mw(0.45, 2.5), 8.6, 0.15);
+}
+
+TEST(Components, ScalingLawsHaveDocumentedExponents) {
+  ComponentModel m;
+  // Driver & CDR ∝ V² · BR: halving V at fixed BR quarters them.
+  const auto hi = m.breakdown(0.9, 5.0);
+  const auto lo = m.breakdown(0.45, 5.0);
+  EXPECT_NEAR(lo[1].milliwatts / hi[1].milliwatts, 0.25, 1e-9);
+  EXPECT_NEAR(lo[4].milliwatts / hi[4].milliwatts, 0.25, 1e-9);
+  // TIA ∝ V · BR: halving V halves it.
+  EXPECT_NEAR(lo[3].milliwatts / hi[3].milliwatts, 0.5, 1e-9);
+  // VCSEL ∝ V only: independent of BR.
+  const auto slow = m.breakdown(0.9, 2.5);
+  EXPECT_NEAR(slow[0].milliwatts, hi[0].milliwatts, 1e-12);
+}
+
+TEST(Components, TxRxSplitSumsToTotal) {
+  ComponentModel m;
+  const double v = 0.6, br = 3.3;
+  EXPECT_NEAR(m.transmitter_mw(v, br) + m.receiver_mw(v, br), m.total_mw(v, br), 1e-12);
+}
+
+TEST(Components, ReceiverDominatesLinkPower) {
+  // §3.1: TIA + CDR dominate — the receiver is the power hog.
+  ComponentModel m;
+  EXPECT_GT(m.receiver_mw(0.9, 5.0), 0.9 * m.total_mw(0.9, 5.0));
+}
+
+// ---- EnergyMeter ---------------------------------------------------------
+
+TEST(EnergyMeter, IntegratesConstantSource) {
+  EnergyMeter meter;
+  const auto id = meter.add_source(0.0);
+  meter.set_power(id, 0, 10.0);
+  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(100), 1000.0);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_mw(), 10.0);
+}
+
+TEST(EnergyMeter, SumsMultipleSources) {
+  EnergyMeter meter;
+  const auto a = meter.add_source();
+  const auto b = meter.add_source();
+  meter.set_power(a, 0, 5.0);
+  meter.set_power(b, 0, 7.0);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_mw(), 12.0);
+  meter.set_power(a, 50, 0.0);
+  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(100), 12.0 * 50 + 7.0 * 50);
+}
+
+TEST(EnergyMeter, AverageOverCheckpointWindow) {
+  EnergyMeter meter;
+  const auto id = meter.add_source();
+  meter.set_power(id, 0, 100.0);
+  meter.checkpoint(1000);  // ignore the first 1000 cycles
+  meter.set_power(id, 1500, 0.0);
+  EXPECT_DOUBLE_EQ(meter.average_mw(2000), 50.0);
+}
+
+TEST(EnergyMeter, RedundantSetIsNoOp) {
+  EnergyMeter meter;
+  const auto id = meter.add_source();
+  meter.set_power(id, 0, 3.0);
+  meter.set_power(id, 10, 3.0);  // same level, later time — no accounting glitch
+  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(20), 60.0);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Parameterized property sweeps across modules (TEST_P /
+// INSTANTIATE_TEST_SUITE_P): invariants that must hold across whole
+// configuration families, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "des/clock.hpp"
+#include "des/engine.hpp"
+#include "power/link_power.hpp"
+#include "router/injector.hpp"
+#include "router/router.hpp"
+#include "sim/simulation.hpp"
+#include "topology/capacity.hpp"
+#include "topology/rwa.hpp"
+
+namespace {
+
+using namespace erapid;
+
+// ---- RWA over board counts --------------------------------------------
+
+class RwaSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RwaSweep, EveryCouplerPartitionsWavelengths) {
+  const std::uint32_t B = GetParam();
+  topology::Rwa rwa(B);
+  for (std::uint32_t d = 0; d < B; ++d) {
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t s = 0; s < B; ++s) {
+      if (s == d) continue;
+      seen.insert(rwa.wavelength_for(BoardId{s}, BoardId{d}).value());
+    }
+    EXPECT_EQ(seen.size(), B - 1);
+    EXPECT_EQ(seen.count(0), 0u);
+  }
+}
+
+TEST_P(RwaSweep, OwnerInverseHoldsEverywhere) {
+  const std::uint32_t B = GetParam();
+  topology::Rwa rwa(B);
+  for (std::uint32_t d = 0; d < B; ++d) {
+    for (std::uint32_t w = 1; w < B; ++w) {
+      const BoardId s = rwa.static_owner(BoardId{d}, WavelengthId{w});
+      EXPECT_EQ(rwa.wavelength_for(s, BoardId{d}).value(), w);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoardCounts, RwaSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u, 13u, 16u, 32u),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+// ---- serialization over (bitrate, packet size) --------------------------
+
+class SerializationSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(SerializationSweep, CyclesCoverPacketBits) {
+  const auto [gbps, flits] = GetParam();
+  topology::SystemConfig cfg;
+  cfg.packet_flits = flits;
+  const auto cycles = cfg.serialization_cycles(gbps);
+  // cycles * cycle_ns * gbps must cover the packet, without a full extra
+  // cycle of slack.
+  const double bits_capacity = static_cast<double>(cycles) * cfg.cycle_ns() * gbps;
+  EXPECT_GE(bits_capacity + 1e-9, cfg.packet_bits());
+  EXPECT_LT(bits_capacity - cfg.cycle_ns() * gbps, cfg.packet_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(RatesAndSizes, SerializationSweep,
+                         ::testing::Combine(::testing::Values(2.5, 3.3, 5.0, 10.0),
+                                            ::testing::Values(1u, 4u, 8u, 16u, 32u)));
+
+// ---- power-level monotonicity -------------------------------------------
+
+class LevelSweep : public ::testing::TestWithParam<power::PowerLevel> {};
+
+TEST_P(LevelSweep, FasterLevelNeverSlowerOrCheaper) {
+  const power::LinkPowerModel pw;
+  const auto l = GetParam();
+  const auto up = power::step_up(l);
+  EXPECT_GE(pw.bitrate_gbps(up), pw.bitrate_gbps(l));
+  EXPECT_GE(pw.power_mw(up), pw.power_mw(l));
+  EXPECT_GE(pw.supply_v(up), pw.supply_v(l));
+}
+
+TEST_P(LevelSweep, TransitionSymmetricCost) {
+  const power::LinkPowerModel pw;
+  const auto l = GetParam();
+  for (auto other : {power::PowerLevel::Off, power::PowerLevel::Low,
+                     power::PowerLevel::Mid, power::PowerLevel::High}) {
+    EXPECT_EQ(pw.transition_cycles(l, other), pw.transition_cycles(other, l));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LevelSweep,
+                         ::testing::Values(power::PowerLevel::Off, power::PowerLevel::Low,
+                                           power::PowerLevel::Mid, power::PowerLevel::High),
+                         [](const auto& info) {
+                           return std::string(power::to_string(info.param) == "P_low"
+                                                  ? "Low"
+                                              : power::to_string(info.param) == "P_mid"
+                                                  ? "Mid"
+                                              : power::to_string(info.param) == "P_high"
+                                                  ? "High"
+                                                  : "Off");
+                         });
+
+// ---- router across microarchitecture parameters --------------------------
+
+class RouterSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(RouterSweep, AllPacketsDeliveredInOrderPerVc) {
+  const auto [vcs, depth, cpf] = GetParam();
+  des::Engine engine;
+  des::ClockDomain domain(engine);
+  router::Router rt(engine, domain, "sweep", 2, vcs, depth, 1,
+                    [](const router::Flit& f) { return f.dst.value() % 2; });
+
+  struct Sink : router::FlitReceiver {
+    router::Router* rt;
+    std::uint32_t port;
+    std::vector<std::uint32_t> expect;
+    std::uint64_t packets = 0;
+    explicit Sink(std::uint32_t v) : expect(v, 0) {}
+    void receive_flit(const router::Flit& f, std::uint32_t vc, Cycle) override {
+      ASSERT_EQ(f.index, expect[vc]);
+      expect[vc] = f.tail ? 0 : f.index + 1;
+      if (f.tail) ++packets;
+      rt->return_credit(port, vc);
+    }
+  };
+  Sink s0(vcs), s1(vcs);
+  for (Sink* s : {&s0, &s1}) {
+    s->rt = &rt;
+    router::OutputPortConfig opc;
+    opc.sink = s;
+    opc.vcs = vcs;
+    opc.credits_per_vc = depth;
+    opc.cycles_per_flit = cpf;
+    s->port = rt.add_output(opc);
+  }
+
+  router::FlitInjector inj0(engine, rt, 0, vcs, depth, cpf);
+  router::FlitInjector inj1(engine, rt, 1, vcs, depth, cpf);
+  int sent0 = 0, sent1 = 0;
+  auto feed = [&](router::FlitInjector& inj, int& sent, std::uint32_t src) {
+    if (sent >= 10) return;
+    router::Packet p;
+    p.seq = static_cast<std::uint64_t>(++sent);
+    p.src = NodeId{src};
+    p.dst = NodeId{static_cast<std::uint32_t>(sent % 2)};
+    p.flits = 8;
+    inj.try_start(p, engine.now());
+  };
+  inj0.set_idle_callback([&](Cycle) { feed(inj0, sent0, 0); });
+  inj1.set_idle_callback([&](Cycle) { feed(inj1, sent1, 1); });
+  feed(inj0, sent0, 0);
+  feed(inj1, sent1, 1);
+  engine.run_until(100000);
+  EXPECT_EQ(s0.packets + s1.packets, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Microarch, RouterSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u),   // vcs
+                                            ::testing::Values(1u, 2u, 8u),   // depth
+                                            ::testing::Values(1u, 4u)),      // cycles/flit
+                         [](const auto& info) {
+                           return "v" + std::to_string(std::get<0>(info.param)) + "_d" +
+                                  std::to_string(std::get<1>(info.param)) + "_c" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+// ---- end-to-end conservation across patterns and modes --------------------
+
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<traffic::PatternKind, int>> {};
+
+std::string conservation_name(
+    const ::testing::TestParamInfo<std::tuple<traffic::PatternKind, int>>& info) {
+  static const char* modes[] = {"NPNB", "PNB", "NPB", "PB"};
+  return std::string(traffic::pattern_name(std::get<0>(info.param))) + "_" +
+         modes[std::get<1>(info.param)];
+}
+
+TEST_P(ConservationSweep, LabelledPacketsAllArriveBelowSaturation) {
+  const auto [pattern, mode_idx] = GetParam();
+  sim::SimOptions o;
+  o.system.boards = 4;
+  o.system.nodes_per_board = 4;
+  o.pattern = pattern;
+  o.load_fraction = 0.08;  // far below every pattern's static saturation
+  o.warmup_cycles = 3000;
+  o.measure_cycles = 5000;
+  o.drain_limit = 80000;
+  const reconfig::NetworkMode modes[] = {
+      reconfig::NetworkMode::np_nb(), reconfig::NetworkMode::p_nb(),
+      reconfig::NetworkMode::np_b(), reconfig::NetworkMode::p_b()};
+  o.reconfig.mode = modes[mode_idx];
+  const auto r = sim::Simulation(o).run();
+  EXPECT_TRUE(r.drained) << "labelled packets lost or stuck";
+  EXPECT_EQ(r.labelled_generated, r.labelled_delivered);
+  EXPECT_GT(r.packets_delivered_measured, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsByMode, ConservationSweep,
+    ::testing::Combine(::testing::Values(traffic::PatternKind::Uniform,
+                                         traffic::PatternKind::Complement,
+                                         traffic::PatternKind::Butterfly,
+                                         traffic::PatternKind::PerfectShuffle,
+                                         traffic::PatternKind::BitReverse,
+                                         traffic::PatternKind::Transpose,
+                                         traffic::PatternKind::Tornado,
+                                         traffic::PatternKind::Neighbor),
+                       ::testing::Range(0, 4)),
+    conservation_name);
+
+// ---- capacity model consistency over system shapes -------------------------
+
+class CapacitySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(CapacitySweep, SimulatedUniformThroughputTracksAnalyticCapacity) {
+  const auto [boards, nodes] = GetParam();
+  sim::SimOptions o;
+  o.system.boards = boards;
+  o.system.nodes_per_board = nodes;
+  o.load_fraction = 0.7;
+  o.warmup_cycles = 4000;
+  o.measure_cycles = 6000;
+  o.drain_limit = 30000;
+  const auto r = sim::Simulation(o).run();
+  // At 0.7 N_c a correctly-normalized network must accept close to the
+  // offered load; a mis-computed N_c would overdrive it into saturation.
+  EXPECT_NEAR(r.accepted_fraction, 0.7, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CapacitySweep,
+                         ::testing::Values(std::tuple{2u, 2u}, std::tuple{2u, 8u},
+                                           std::tuple{4u, 4u}, std::tuple{8u, 2u},
+                                           std::tuple{8u, 8u}),
+                         [](const auto& info) {
+                           return "B" + std::to_string(std::get<0>(info.param)) + "D" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace

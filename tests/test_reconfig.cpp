@@ -1,0 +1,352 @@
+// Unit + property tests for the LS policies: DPM decisions, the DBR
+// Reconfigure-stage allocator, and the network-mode presets.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "reconfig/allocation.hpp"
+#include "reconfig/messages.hpp"
+#include "reconfig/policy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using erapid::BoardId;
+using erapid::WavelengthId;
+using erapid::power::PowerLevel;
+using erapid::reconfig::allocate_lanes;
+using erapid::reconfig::DbrPolicy;
+using erapid::reconfig::Directive;
+using erapid::reconfig::dpm_decision;
+using erapid::reconfig::DpmPolicy;
+using erapid::reconfig::FlowStatsEntry;
+using erapid::reconfig::LaneOwnership;
+using erapid::reconfig::NetworkMode;
+
+// ---- NetworkMode presets (paper §4.2) ------------------------------------
+
+TEST(Modes, PresetFlags) {
+  EXPECT_FALSE(NetworkMode::np_nb().power_aware);
+  EXPECT_FALSE(NetworkMode::np_nb().bandwidth_reconfig);
+  EXPECT_TRUE(NetworkMode::p_nb().power_aware);
+  EXPECT_FALSE(NetworkMode::p_nb().bandwidth_reconfig);
+  EXPECT_FALSE(NetworkMode::np_b().power_aware);
+  EXPECT_TRUE(NetworkMode::np_b().bandwidth_reconfig);
+  EXPECT_TRUE(NetworkMode::p_b().power_aware);
+  EXPECT_TRUE(NetworkMode::p_b().bandwidth_reconfig);
+}
+
+TEST(Modes, PaperThresholds) {
+  const auto pnb = NetworkMode::p_nb();
+  EXPECT_DOUBLE_EQ(pnb.dpm.l_max, 0.7);
+  EXPECT_DOUBLE_EQ(pnb.dpm.b_max, 0.0);
+  EXPECT_FALSE(pnb.dpm.require_buffer_for_upscale);
+
+  const auto pb = NetworkMode::p_b();
+  EXPECT_DOUBLE_EQ(pb.dpm.l_min, 0.7);
+  EXPECT_DOUBLE_EQ(pb.dpm.l_max, 0.9);
+  EXPECT_DOUBLE_EQ(pb.dpm.b_max, 0.3);
+  EXPECT_TRUE(pb.dpm.require_buffer_for_upscale);
+  EXPECT_DOUBLE_EQ(pb.dbr.b_min, 0.0);
+  EXPECT_DOUBLE_EQ(pb.dbr.b_max, 0.3);
+}
+
+// ---- dpm_decision ---------------------------------------------------------
+
+TEST(Dpm, LowUtilizationStepsDown) {
+  DpmPolicy p;  // P-B thresholds
+  EXPECT_EQ(dpm_decision(PowerLevel::High, 0.5, 0.0, false, p), PowerLevel::Mid);
+  EXPECT_EQ(dpm_decision(PowerLevel::Mid, 0.1, 0.0, false, p), PowerLevel::Low);
+}
+
+TEST(Dpm, LowNeverStepsBelowLowByDvs) {
+  DpmPolicy p;
+  // u in (0, l_min) at Low: would step down but saturates -> no change.
+  EXPECT_EQ(dpm_decision(PowerLevel::Low, 0.2, 0.0, false, p), std::nullopt);
+}
+
+TEST(Dpm, MidBandHolds) {
+  DpmPolicy p;  // l_min 0.7, l_max 0.9
+  EXPECT_EQ(dpm_decision(PowerLevel::Mid, 0.8, 0.5, false, p), std::nullopt);
+}
+
+TEST(Dpm, HighUtilizationStepsUpOnlyWithCongestedBuffer) {
+  DpmPolicy p;  // require_buffer_for_upscale = true, b_max 0.3
+  EXPECT_EQ(dpm_decision(PowerLevel::Low, 0.95, 0.1, false, p), std::nullopt);
+  EXPECT_EQ(dpm_decision(PowerLevel::Low, 0.95, 0.5, false, p), PowerLevel::Mid);
+  EXPECT_EQ(dpm_decision(PowerLevel::Mid, 0.95, 0.5, false, p), PowerLevel::High);
+}
+
+TEST(Dpm, ConservativeVariantIgnoresBuffer) {
+  DpmPolicy p;
+  p.l_max = 0.7;
+  p.b_max = 0.0;
+  p.require_buffer_for_upscale = false;
+  EXPECT_EQ(dpm_decision(PowerLevel::Low, 0.75, 0.0, false, p), PowerLevel::Mid);
+}
+
+TEST(Dpm, HighSaturates) {
+  DpmPolicy p;
+  EXPECT_EQ(dpm_decision(PowerLevel::High, 0.99, 0.9, false, p), std::nullopt);
+}
+
+TEST(Dpm, IdleLaneWithEmptyQueueShutsDown) {
+  DpmPolicy p;
+  EXPECT_EQ(dpm_decision(PowerLevel::Low, 0.0, 0.0, true, p), PowerLevel::Off);
+  EXPECT_EQ(dpm_decision(PowerLevel::High, 0.0, 0.0, true, p), PowerLevel::Off);
+}
+
+TEST(Dpm, IdleLaneWithQueuedPacketsStaysOn) {
+  DpmPolicy p;
+  // Queue not empty: must not shut down (packets would strand).
+  const auto d = dpm_decision(PowerLevel::Low, 0.0, 0.0, false, p);
+  EXPECT_NE(d, std::optional{PowerLevel::Off});
+}
+
+TEST(Dpm, ShutdownDisabledKeepsIdleLaneLit) {
+  DpmPolicy p;
+  p.shutdown_idle = false;
+  const auto d = dpm_decision(PowerLevel::High, 0.0, 0.0, true, p);
+  // Steps down instead of shutting off.
+  EXPECT_EQ(d, PowerLevel::Mid);
+}
+
+TEST(Dpm, OffLaneIsNeverTouched) {
+  DpmPolicy p;
+  EXPECT_EQ(dpm_decision(PowerLevel::Off, 0.0, 0.0, true, p), std::nullopt);
+  EXPECT_EQ(dpm_decision(PowerLevel::Off, 0.9, 0.9, false, p), std::nullopt);
+}
+
+// ---- allocate_lanes ---------------------------------------------------------
+
+// Helpers to build the allocator inputs for an 8-board system, dest = 0.
+constexpr std::uint32_t kBoards = 8;
+
+std::vector<LaneOwnership> static_lanes_for_dest0() {
+  // Static RWA: owner of (dest 0, w) is board (0 + w) % 8; λ0 dark.
+  std::vector<LaneOwnership> lanes;
+  lanes.push_back({WavelengthId{0}, BoardId{}});
+  for (std::uint32_t w = 1; w < kBoards; ++w) {
+    lanes.push_back({WavelengthId{w}, BoardId{w}});
+  }
+  return lanes;
+}
+
+std::vector<FlowStatsEntry> quiet_flows() {
+  std::vector<FlowStatsEntry> flows;
+  for (std::uint32_t s = 1; s < kBoards; ++s) {
+    flows.push_back({BoardId{s}, 0.0, 0, 1});
+  }
+  return flows;
+}
+
+TEST(Allocator, NoCongestionNoDirectives) {
+  const auto d = allocate_lanes(BoardId{0}, quiet_flows(), static_lanes_for_dest0(),
+                                DbrPolicy{}, PowerLevel::High);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Allocator, CongestedFlowGetsDarkLaneFirst) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;  // board 1 congested
+  flows[0].queued = 10;
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  ASSERT_FALSE(d.empty());
+  // First grant must be the dark λ0 lane (no release needed).
+  EXPECT_EQ(d[0].wavelength.value(), 0u);
+  EXPECT_FALSE(d[0].old_owner.valid());
+  EXPECT_EQ(d[0].new_owner, BoardId{1});
+}
+
+TEST(Allocator, IdleFlowsLanesAreHarvested) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;  // board 1 over-utilized
+  flows[0].queued = 4;
+  // All other flows idle (buffer_util 0, queued 0) -> their lanes movable.
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  // λ0 plus the six idle flows' lanes = 7 grants, all to board 1.
+  EXPECT_EQ(d.size(), 7u);
+  std::set<std::uint32_t> ws;
+  for (const auto& dir : d) {
+    EXPECT_EQ(dir.new_owner, BoardId{1});
+    ws.insert(dir.wavelength.value());
+  }
+  EXPECT_EQ(ws.size(), 7u);
+  // Board 1's own static lane (w=1) is never re-granted to itself.
+  EXPECT_EQ(ws.count(1), 0u);
+}
+
+TEST(Allocator, NormalFlowsKeepTheirLanes) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;   // board 1 over
+  flows[1].buffer_util = 0.15;  // board 2 normal (0 < b <= 0.3)
+  for (std::size_t i = 2; i < flows.size(); ++i) flows[i].buffer_util = 0.2;
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  ASSERT_EQ(d.size(), 1u);  // only the dark λ0
+  EXPECT_EQ(d[0].wavelength.value(), 0u);
+}
+
+TEST(Allocator, QueuedPacketsBlockHarvest) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;
+  flows[1].queued = 1;  // board 2: window-idle but a packet just arrived
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  for (const auto& dir : d) {
+    EXPECT_NE(dir.old_owner, BoardId{2}) << "took a lane with queued packets";
+  }
+}
+
+TEST(Allocator, MultipleCongestedFlowsShareRoundRobin) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;  // board 1
+  flows[2].buffer_util = 0.8;  // board 3
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  std::map<std::uint32_t, int> grants;
+  for (const auto& dir : d) ++grants[dir.new_owner.value()];
+  ASSERT_EQ(grants.size(), 2u);
+  // 6 movable lanes (λ0 + 5 idle flows, boards 1 and 3 keep theirs):
+  // split 3 / 3.
+  EXPECT_EQ(grants[1], 3);
+  EXPECT_EQ(grants[3], 3);
+}
+
+TEST(Allocator, MostCongestedServedFirst) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.5;  // board 1
+  flows[2].buffer_util = 0.95; // board 3 — hotter
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  ASSERT_FALSE(d.empty());
+  EXPECT_EQ(d[0].new_owner, BoardId{3});
+}
+
+TEST(Allocator, GrantLevelStamped) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::Mid);
+  ASSERT_FALSE(d.empty());
+  for (const auto& dir : d) EXPECT_EQ(dir.grant_level, PowerLevel::Mid);
+}
+
+TEST(Allocator, EverythingCongestedNothingMoves) {
+  auto flows = quiet_flows();
+  for (auto& f : flows) {
+    f.buffer_util = 0.9;
+    f.queued = 5;
+  }
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), DbrPolicy{},
+                                PowerLevel::High);
+  // Only λ0 is free; round-robin hands it to the most congested flow.
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].wavelength.value(), 0u);
+}
+
+TEST(Allocator, LaneCapLimitsGrants) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;  // board 1, currently holds 1 lane
+  flows[0].queued = 10;
+  DbrPolicy policy;
+  policy.max_lanes_per_flow = 3;
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), policy,
+                                PowerLevel::High);
+  // Holds 1, cap 3 -> at most 2 additional grants.
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Allocator, LaneCapAlreadyReachedMeansNoGrant) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;
+  flows[0].lanes = 4;
+  DbrPolicy policy;
+  policy.max_lanes_per_flow = 4;
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), policy,
+                                PowerLevel::High);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Allocator, CapZeroMeansUnlimited) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;
+  DbrPolicy policy;
+  policy.max_lanes_per_flow = 0;
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), policy,
+                                PowerLevel::High);
+  EXPECT_EQ(d.size(), 7u);
+}
+
+TEST(Allocator, CapSharedFairlyAmongCongestedFlows) {
+  auto flows = quiet_flows();
+  flows[0].buffer_util = 0.9;  // board 1
+  flows[2].buffer_util = 0.8;  // board 3
+  DbrPolicy policy;
+  policy.max_lanes_per_flow = 2;  // each holds 1 -> one more each
+  const auto d = allocate_lanes(BoardId{0}, flows, static_lanes_for_dest0(), policy,
+                                PowerLevel::High);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_NE(d[0].new_owner, d[1].new_owner);
+}
+
+// Property test: for random inputs the allocator never emits a directive
+// that (a) grants a flow a lane it already owns, (b) releases a lane of a
+// flow with queued packets, (c) double-assigns a wavelength, or (d) grants
+// to a non-congested flow.
+TEST(Allocator, RandomizedInvariants) {
+  erapid::util::Rng rng(1234);
+  const DbrPolicy policy;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<FlowStatsEntry> flows;
+    std::map<std::uint32_t, FlowStatsEntry*> by_src;
+    for (std::uint32_t s = 1; s < kBoards; ++s) {
+      FlowStatsEntry f;
+      f.src = BoardId{s};
+      f.buffer_util = rng.next_double();
+      f.queued = static_cast<std::uint32_t>(rng.next_below(4));
+      flows.push_back(f);
+    }
+    std::vector<LaneOwnership> lanes;
+    for (std::uint32_t w = 0; w < kBoards; ++w) {
+      // Random owner (or dark), never the destination itself.
+      const auto pick = rng.next_below(kBoards + 1);
+      LaneOwnership l{WavelengthId{w}, BoardId{}};
+      if (pick >= 1 && pick < kBoards) l.owner = BoardId{static_cast<std::uint32_t>(pick)};
+      lanes.push_back(l);
+    }
+
+    const auto dirs = allocate_lanes(BoardId{0}, flows, lanes, policy, PowerLevel::High);
+
+    std::set<std::uint32_t> granted_w;
+    for (const auto& d : dirs) {
+      // (c) each wavelength moved at most once
+      EXPECT_TRUE(granted_w.insert(d.wavelength.value()).second);
+      // consistency with the input ownership
+      const auto& lane = lanes[d.wavelength.value()];
+      EXPECT_EQ(lane.owner, d.old_owner);
+      // (a) no self-grant
+      EXPECT_NE(d.old_owner, d.new_owner);
+      // (d) receiver must be over-utilized
+      const auto fit = std::find_if(flows.begin(), flows.end(), [&](const auto& f) {
+        return f.src == d.new_owner;
+      });
+      ASSERT_NE(fit, flows.end());
+      EXPECT_GT(fit->buffer_util, policy.b_max);
+      // (b) released flow had empty queue and under-threshold buffer
+      if (d.old_owner.valid()) {
+        const auto oit = std::find_if(flows.begin(), flows.end(), [&](const auto& f) {
+          return f.src == d.old_owner;
+        });
+        ASSERT_NE(oit, flows.end());
+        EXPECT_LE(oit->buffer_util, policy.b_min);
+        EXPECT_EQ(oit->queued, 0u);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for the simulation driver: methodology (warmup/measure/drain),
+// determinism, and basic sanity of the reported metrics.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace {
+
+using erapid::reconfig::NetworkMode;
+using erapid::sim::SimOptions;
+using erapid::sim::SimResult;
+using erapid::sim::Simulation;
+using erapid::traffic::PatternKind;
+
+SimOptions small_opts() {
+  SimOptions o;
+  o.system.boards = 4;
+  o.system.nodes_per_board = 4;
+  o.load_fraction = 0.4;
+  o.warmup_cycles = 4000;
+  o.measure_cycles = 8000;
+  o.drain_limit = 60000;
+  return o;
+}
+
+TEST(Simulation, LowLoadDeliversOfferedThroughput) {
+  auto o = small_opts();
+  const auto r = Simulation(o).run();
+  // Well under saturation: accepted ≈ offered (within stochastic noise).
+  EXPECT_NEAR(r.accepted_fraction, r.offered_fraction, 0.06);
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.packets_generated, 0u);
+  EXPECT_EQ(r.labelled_generated, r.labelled_delivered);
+}
+
+TEST(Simulation, LatencyIsPositiveAndBounded) {
+  auto o = small_opts();
+  const auto r = Simulation(o).run();
+  EXPECT_GT(r.latency_avg, 10.0);     // several pipeline + serialization steps
+  EXPECT_LT(r.latency_avg, 5000.0);   // far from saturation
+  EXPECT_GE(r.latency_p99, r.latency_p50);
+  EXPECT_GE(r.latency_max, r.latency_avg);
+}
+
+TEST(Simulation, DeterministicForSameSeed) {
+  auto o = small_opts();
+  const auto a = Simulation(o).run();
+  const auto b = Simulation(o).run();
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered_measured, b.packets_delivered_measured);
+  EXPECT_DOUBLE_EQ(a.latency_avg, b.latency_avg);
+  EXPECT_DOUBLE_EQ(a.power_avg_mw, b.power_avg_mw);
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  auto o = small_opts();
+  const auto a = Simulation(o).run();
+  o.seed = 999;
+  const auto b = Simulation(o).run();
+  EXPECT_NE(a.packets_generated, b.packets_generated);
+}
+
+TEST(Simulation, NpNbPowerIsAllLanesAtPHigh) {
+  auto o = small_opts();
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto r = Simulation(o).run();
+  // 4 boards × 3 static lanes × 43.03 mW, constant.
+  EXPECT_NEAR(r.power_avg_mw, 12 * 43.03, 1e-6);
+}
+
+TEST(Simulation, PowerAwareModeUsesLessPowerAtLowLoad) {
+  auto o = small_opts();
+  o.load_fraction = 0.2;
+  o.reconfig.mode = NetworkMode::np_nb();
+  const auto base = Simulation(o).run();
+  o.reconfig.mode = NetworkMode::p_nb();
+  const auto pa = Simulation(o).run();
+  EXPECT_LT(pa.power_avg_mw, base.power_avg_mw * 0.9);
+}
+
+TEST(Simulation, Offered90PercentStillDrainsUniform) {
+  auto o = small_opts();
+  o.load_fraction = 0.9;
+  const auto r = Simulation(o).run();
+  EXPECT_GT(r.accepted_fraction, 0.75);
+}
+
+TEST(Simulation, ControlCountersPopulatedInPB) {
+  auto o = small_opts();
+  o.pattern = PatternKind::Complement;
+  o.reconfig.mode = NetworkMode::p_b();
+  const auto r = Simulation(o).run();
+  EXPECT_GT(r.control.power_cycles, 0u);
+  EXPECT_GT(r.control.bandwidth_cycles, 0u);
+  EXPECT_GT(r.control.lane_grants, 0u);
+}
+
+TEST(Simulation, CustomPowerModelDrivesLanes) {
+  // A fixed-6.4 Gb/s "electrical" model must change both power accounting
+  // and serialization timing end-to-end.
+  auto o = small_opts();
+  o.load_fraction = 0.2;
+  for (auto l : {erapid::power::PowerLevel::Low, erapid::power::PowerLevel::Mid,
+                 erapid::power::PowerLevel::High}) {
+    o.power_model.set_power_mw(l, 128.0);
+    o.power_model.set_bitrate_gbps(l, 6.4);
+    o.power_model.set_supply_v(l, 1.2);
+  }
+  const auto r = Simulation(o).run();
+  // 4 boards x 3 lanes x 128 mW, constant under NP-NB.
+  EXPECT_NEAR(r.power_avg_mw, 12 * 128.0, 1e-6);
+  EXPECT_TRUE(r.drained);
+}
+
+TEST(Simulation, CapacityMatchesAnalyticModel) {
+  auto o = small_opts();
+  Simulation sim(o);
+  const erapid::topology::CapacityModel cm(o.system);
+  EXPECT_DOUBLE_EQ(sim.capacity(), cm.uniform_capacity());
+}
+
+TEST(Simulation, CompareModesRunsAllFour) {
+  auto o = small_opts();
+  o.measure_cycles = 4000;
+  const auto cmp = erapid::sim::compare_modes(o);
+  EXPECT_GT(cmp.np_nb.packets_generated, 0u);
+  EXPECT_GT(cmp.p_nb.packets_generated, 0u);
+  EXPECT_GT(cmp.np_b.packets_generated, 0u);
+  EXPECT_GT(cmp.p_b.packets_generated, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Unit tests for utilities: RNG, CSV, table printer, CLI, strong ids.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using erapid::BoardId;
+using erapid::NodeId;
+using erapid::util::Cli;
+using erapid::util::CsvWriter;
+using erapid::util::Rng;
+using erapid::util::TablePrinter;
+
+// ---- RNG ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 64ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng r(3);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bernoulli(0.0));
+    EXPECT_TRUE(r.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The fork and the parent should not emit identical sequences.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, MeanOfUniformDoublesIsHalf) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+// ---- strong ids --------------------------------------------------------
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId n;
+  EXPECT_FALSE(n.valid());
+  EXPECT_TRUE(NodeId{3}.valid());
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(BoardId{2}, BoardId{2});
+  EXPECT_NE(BoardId{2}, BoardId{3});
+  EXPECT_LT(BoardId{2}, BoardId{3});
+}
+
+// ---- CSV ---------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "erapid_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.row_values(1, 2.5);
+    w.row_values("x,y", "q\"z");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"q\"\"z\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = testing::TempDir() + "erapid_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), erapid::ModelInvariantError);
+  std::remove(path.c_str());
+}
+
+// ---- table printer -----------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.row_values("x", 1);
+  t.row_values("longer", 22);
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FixedFormatsDigits) {
+  EXPECT_EQ(TablePrinter::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fixed(2.0, 1), "2.0");
+}
+
+// ---- CLI ---------------------------------------------------------------
+
+TEST(Cli, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--load=0.5", "--name=abc"};
+  const auto cli = Cli::parse(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("load", 0), 0.5);
+  EXPECT_EQ(cli.get_or("name", ""), "abc");
+}
+
+TEST(Cli, ParsesKeySpaceValue) {
+  const char* argv[] = {"prog", "--load", "0.7"};
+  const auto cli = Cli::parse(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("load", 0), 0.7);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  const char* argv[] = {"prog", "--verbose"};
+  const auto cli = Cli::parse(2, argv);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("other", false));
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  const char* argv[] = {"prog", "pos1", "--k=v", "pos2"};
+  const auto cli = Cli::parse(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, IntParsingWithDefault) {
+  const char* argv[] = {"prog", "--n=12"};
+  const auto cli = Cli::parse(2, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 12);
+  EXPECT_EQ(cli.get_int("missing", 99), 99);
+}
+
+}  // namespace
