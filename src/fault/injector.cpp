@@ -1,0 +1,147 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::fault {
+
+namespace {
+
+std::size_t stage_index(reconfig::CtrlStage s) {
+  return s == reconfig::CtrlStage::PowerChain ? 0 : 1;
+}
+
+std::size_t target_index(CtrlTarget t) { return t == CtrlTarget::Chain ? 0 : 1; }
+
+}  // namespace
+
+FaultInjector::FaultInjector(des::Engine& engine, const topology::SystemConfig& cfg,
+                             topology::LaneMap& lane_map,
+                             reconfig::ReconfigManager& manager,
+                             std::vector<optical::OpticalTerminal*> terminals,
+                             FaultPlan plan)
+    : engine_(engine),
+      cfg_(cfg),
+      lane_map_(lane_map),
+      manager_(manager),
+      terminals_(std::move(terminals)),
+      plan_(std::move(plan)),
+      rng_(plan_.seed) {
+  ERAPID_EXPECT(terminals_.size() == cfg_.num_boards_total(),
+                "one optical terminal per board required");
+  plan_.validate(cfg_);
+  drop_budget_[0].assign(terminals_.size(), 0);
+  drop_budget_[1].assign(terminals_.size(), 0);
+}
+
+void FaultInjector::arm() {
+  if (plan_.empty()) return;
+  ERAPID_EXPECT(!armed_, "fault plan armed twice");
+  armed_ = true;
+
+  const bool any_ctrl =
+      plan_.ctrl_drop_prob > 0.0 ||
+      std::any_of(plan_.events.begin(), plan_.events.end(),
+                  [](const FaultEvent& e) { return e.kind == FaultKind::CtrlDrop; });
+  const bool any_lane_fail =
+      std::any_of(plan_.events.begin(), plan_.events.end(),
+                  [](const FaultEvent& e) { return e.kind == FaultKind::LaneFail; });
+
+  if (any_ctrl) {
+    manager_.set_ctrl_fault_hook([this](reconfig::CtrlStage s, BoardId b, std::uint32_t) {
+      return ctrl_fault(s, b);
+    });
+  }
+  if (any_lane_fail) {
+    manager_.set_grant_observer([this](BoardId src, BoardId dest, Cycle at) {
+      on_grant(src, dest, at);
+    });
+    manager_.set_window_observer([this](std::uint64_t, Cycle) {
+      if (!pending_.empty()) ++stats_.degraded_windows;
+    });
+  }
+
+  for (const auto& e : plan_.events) {
+    ERAPID_EXPECT(e.at >= engine_.now(), "fault event scheduled in the past: " + e.format());
+    engine_.schedule_at(e.at, [this, e] { inject(e); });
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& e) {
+  const Cycle now = engine_.now();
+  switch (e.kind) {
+    case FaultKind::LaneFail:
+      inject_lane_fail(e.dest, e.wavelength, now);
+      break;
+    case FaultKind::LaserDegrade:
+      inject_laser_degrade(e, now);
+      break;
+    case FaultKind::CtrlDrop:
+      drop_budget_[target_index(e.target)][e.board.value()] += e.count;
+      break;
+  }
+}
+
+void FaultInjector::inject_lane_fail(BoardId dest, WavelengthId w, Cycle now) {
+  if (lane_map_.is_failed(dest, w)) return;  // double failure is idempotent
+  const BoardId owner = lane_map_.owner(dest, w);
+  lane_map_.mark_failed(dest, w);
+  ++stats_.lanes_failed;
+  stats_.first_failure = std::min(stats_.first_failure, now);
+  if (owner.valid()) {
+    stats_.packets_rehomed += terminals_[owner.value()]->fail_lane(dest, w, now);
+    pending_.push_back({owner, dest, now});
+  }
+}
+
+void FaultInjector::inject_laser_degrade(const FaultEvent& e, Cycle now) {
+  // The fault is the owning transmitter's VCSEL losing drive margin; a dark
+  // lane has no driving laser, so degrading it is a no-op.
+  const BoardId owner = lane_map_.owner(e.dest, e.wavelength);
+  if (!owner.valid()) return;
+  auto* term = terminals_[owner.value()];
+  term->cap_lane_level(e.dest, e.wavelength, e.cap, now);
+  ++stats_.lanes_degraded;
+  stats_.first_failure = std::min(stats_.first_failure, now);
+  if (e.duration > 0) {
+    const BoardId dest = e.dest;
+    const WavelengthId w = e.wavelength;
+    engine_.schedule(e.duration, [term, dest, w] { term->clear_lane_level_cap(dest, w); });
+  }
+}
+
+void FaultInjector::on_grant(BoardId src, BoardId dest, Cycle at) {
+  // Any lane src gains toward dest re-homes the broken flow: the scheduler
+  // spreads the queue over all owned lanes, so one replacement suffices.
+  const auto it = std::find_if(pending_.begin(), pending_.end(), [&](const PendingReroute& p) {
+    return p.src == src && p.dest == dest;
+  });
+  if (it == pending_.end()) return;
+  ++stats_.reroutes_completed;
+  stats_.last_recovery = std::max(stats_.last_recovery, at);
+  stats_.worst_time_to_reroute = std::max(stats_.worst_time_to_reroute, at - it->failed_at);
+  pending_.erase(it);
+}
+
+bool FaultInjector::ctrl_fault(reconfig::CtrlStage stage, BoardId b) {
+  auto& budget = drop_budget_[stage_index(stage)][b.value()];
+  if (budget > 0) {
+    --budget;
+    return true;
+  }
+  return rng_.next_bernoulli(plan_.ctrl_drop_prob);
+}
+
+RecoveryStats FaultInjector::stats() const {
+  RecoveryStats s = stats_;
+  s.reroutes_pending = pending_.size();
+  const auto& c = manager_.counters();
+  s.ctrl_drops = c.ctrl_drops;
+  s.ctrl_retries = c.ctrl_retries;
+  s.ctrl_timeouts = c.ctrl_timeouts;
+  s.stale_directives = c.stale_directives;
+  return s;
+}
+
+}  // namespace erapid::fault

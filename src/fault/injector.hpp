@@ -1,0 +1,111 @@
+// FaultInjector — replays a FaultPlan against a live network and measures
+// how the Lock-Step plane recovers.
+//
+// The injector owns no model state: it schedules its events on the shared
+// DES engine and mutates the same LaneMap / OpticalTerminal / Reconfig-
+// Manager objects the protocol uses, so a failure is indistinguishable
+// from real hardware dying mid-window. With an empty plan arm() schedules
+// nothing and installs no hooks — the event stream (and therefore every
+// statistic) is byte-identical to a run without the fault subsystem.
+//
+// Recovery measurement. When a lane owned by board s dies, the flow s→d
+// it carried is "pending reroute" until s next gains *any* lane toward d
+// (observed through the manager's grant hook) — at which point the DBR
+// plane has re-homed the flow and time-to-reroute is the grant cycle
+// minus the failure cycle. A reconfiguration window that opens while any
+// reroute is pending counts as degraded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "fault/plan.hpp"
+#include "optical/terminal.hpp"
+#include "reconfig/manager.hpp"
+#include "topology/config.hpp"
+#include "topology/rwa.hpp"
+#include "util/rng.hpp"
+
+namespace erapid::fault {
+
+/// What the faults did and how the protocol absorbed them. ctrl_* and
+/// stale_directives mirror the manager's ControlCounters (copied at
+/// stats() time so the struct is self-contained for reports).
+struct RecoveryStats {
+  std::uint64_t lanes_failed = 0;    ///< permanent lane deaths injected
+  std::uint64_t lanes_degraded = 0;  ///< laser caps applied (skips dark lanes)
+  std::uint64_t packets_rehomed = 0; ///< in-flight packets re-queued on failure
+  std::uint64_t reroutes_completed = 0;
+  std::uint64_t reroutes_pending = 0;   ///< failed flows never re-homed
+  std::uint64_t degraded_windows = 0;   ///< windows opened with a reroute pending
+  Cycle first_failure = kNeverCycle;
+  Cycle last_recovery = 0;
+  CycleDelta worst_time_to_reroute = 0;
+
+  std::uint64_t ctrl_drops = 0;
+  std::uint64_t ctrl_retries = 0;
+  std::uint64_t ctrl_timeouts = 0;
+  std::uint64_t stale_directives = 0;
+
+  /// True when any fault actually touched the run (gates report output).
+  [[nodiscard]] bool any() const {
+    return lanes_failed || lanes_degraded || ctrl_drops || ctrl_timeouts ||
+           stale_directives;
+  }
+};
+
+/// Schedules a FaultPlan's events and tracks recovery.
+class FaultInjector {
+ public:
+  /// `terminals` is indexed by board id (same vector the manager holds).
+  /// Validates the plan against `cfg` (throws on out-of-range events).
+  FaultInjector(des::Engine& engine, const topology::SystemConfig& cfg,
+                topology::LaneMap& lane_map, reconfig::ReconfigManager& manager,
+                std::vector<optical::OpticalTerminal*> terminals, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules all plan events and installs the manager hooks. No-op for
+  /// an empty plan. Call once, before the first event's cycle.
+  void arm();
+
+  /// Live recovery metrics (control counters copied from the manager).
+  [[nodiscard]] RecoveryStats stats() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Failed flows still awaiting a replacement grant.
+  [[nodiscard]] std::size_t pending_reroutes() const { return pending_.size(); }
+
+ private:
+  struct PendingReroute {
+    BoardId src;
+    BoardId dest;
+    Cycle failed_at;
+  };
+
+  void inject(const FaultEvent& e);
+  void inject_lane_fail(BoardId dest, WavelengthId w, Cycle now);
+  void inject_laser_degrade(const FaultEvent& e, Cycle now);
+  void on_grant(BoardId src, BoardId dest, Cycle at);
+  [[nodiscard]] bool ctrl_fault(reconfig::CtrlStage stage, BoardId b);
+
+  des::Engine& engine_;
+  const topology::SystemConfig& cfg_;
+  topology::LaneMap& lane_map_;
+  reconfig::ReconfigManager& manager_;
+  std::vector<optical::OpticalTerminal*> terminals_;
+  FaultPlan plan_;
+  util::Rng rng_;  ///< dedicated stream for random ctrl loss (plan.seed)
+
+  bool armed_ = false;
+  RecoveryStats stats_;
+  std::vector<PendingReroute> pending_;
+  /// Outstanding deterministic ctrl_drop budget, [stage][board] — the hook
+  /// consumes these before drawing from the random process.
+  std::vector<std::uint32_t> drop_budget_[2];
+};
+
+}  // namespace erapid::fault

@@ -1,0 +1,177 @@
+#include "fault/plan.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace erapid::fault {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& tok, const std::string& spec) {
+  ERAPID_EXPECT(!tok.empty(), "empty number in fault spec: '" + spec + "'");
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    ERAPID_EXPECT(c >= '0' && c <= '9', "bad number '" + tok + "' in fault spec: '" + spec + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Parses a "<letter><number>" token like "d2" / "w1" / "b0" / "n3".
+std::uint32_t parse_tagged(const std::string& tok, char tag, const std::string& spec) {
+  ERAPID_EXPECT(tok.size() >= 2 && tok[0] == tag,
+                std::string("expected '") + tag + "<n>' in fault spec: '" + spec + "'");
+  return static_cast<std::uint32_t>(parse_u64(tok.substr(1), spec));
+}
+
+power::PowerLevel parse_cap(const std::string& tok, const std::string& spec) {
+  if (tok == "low") return power::PowerLevel::Low;
+  if (tok == "mid") return power::PowerLevel::Mid;
+  if (tok == "high") return power::PowerLevel::High;
+  ERAPID_EXPECT(false, "bad degradation cap '" + tok + "' (low|mid|high) in fault spec: '" +
+                           spec + "'");
+  return power::PowerLevel::Low;
+}
+
+std::string cap_name(power::PowerLevel cap) {
+  switch (cap) {
+    case power::PowerLevel::Low: return "low";
+    case power::PowerLevel::Mid: return "mid";
+    case power::PowerLevel::High: return "high";
+    case power::PowerLevel::Off: break;
+  }
+  ERAPID_EXPECT(false, "degradation cap cannot be OFF");
+  return "";
+}
+
+}  // namespace
+
+FaultEvent FaultEvent::parse(const std::string& spec) {
+  const auto at_pos = spec.find('@');
+  ERAPID_EXPECT(at_pos != std::string::npos, "fault spec missing '@cycle': '" + spec + "'");
+  const std::string kind = spec.substr(0, at_pos);
+  const auto toks = split(spec.substr(at_pos + 1), ':');
+  ERAPID_EXPECT(!toks.empty(), "fault spec missing cycle: '" + spec + "'");
+
+  FaultEvent e;
+  e.at = parse_u64(toks[0], spec);
+
+  if (kind == "lane_fail") {
+    ERAPID_EXPECT(toks.size() == 3, "lane_fail@<cycle>:d<dest>:w<wavelength>: '" + spec + "'");
+    e.kind = FaultKind::LaneFail;
+    e.dest = BoardId{parse_tagged(toks[1], 'd', spec)};
+    e.wavelength = WavelengthId{parse_tagged(toks[2], 'w', spec)};
+  } else if (kind == "laser_degrade") {
+    ERAPID_EXPECT(toks.size() == 5,
+                  "laser_degrade@<cycle>:d<dest>:w<wavelength>:<low|mid|high>:<duration>: '" +
+                      spec + "'");
+    e.kind = FaultKind::LaserDegrade;
+    e.dest = BoardId{parse_tagged(toks[1], 'd', spec)};
+    e.wavelength = WavelengthId{parse_tagged(toks[2], 'w', spec)};
+    e.cap = parse_cap(toks[3], spec);
+    e.duration = parse_u64(toks[4], spec);
+  } else if (kind == "ctrl_drop") {
+    ERAPID_EXPECT(toks.size() == 3 || toks.size() == 4,
+                  "ctrl_drop@<cycle>:<ring|chain>:b<board>[:n<count>]: '" + spec + "'");
+    e.kind = FaultKind::CtrlDrop;
+    if (toks[1] == "ring") {
+      e.target = CtrlTarget::Ring;
+    } else if (toks[1] == "chain") {
+      e.target = CtrlTarget::Chain;
+    } else {
+      ERAPID_EXPECT(false, "ctrl_drop target must be ring|chain: '" + spec + "'");
+    }
+    e.board = BoardId{parse_tagged(toks[2], 'b', spec)};
+    e.count = toks.size() == 4 ? parse_tagged(toks[3], 'n', spec) : 1;
+    ERAPID_EXPECT(e.count >= 1, "ctrl_drop count must be >= 1: '" + spec + "'");
+  } else {
+    ERAPID_EXPECT(false, "unknown fault kind '" + kind + "' in spec: '" + spec + "'");
+  }
+  return e;
+}
+
+std::string FaultEvent::format() const {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultKind::LaneFail:
+      os << "lane_fail@" << at << ":d" << dest.value() << ":w" << wavelength.value();
+      break;
+    case FaultKind::LaserDegrade:
+      os << "laser_degrade@" << at << ":d" << dest.value() << ":w" << wavelength.value()
+         << ":" << cap_name(cap) << ":" << duration;
+      break;
+    case FaultKind::CtrlDrop:
+      os << "ctrl_drop@" << at << ":" << (target == CtrlTarget::Ring ? "ring" : "chain")
+         << ":b" << board.value();
+      if (count != 1) os << ":n" << count;
+      break;
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse_events(const std::string& specs) {
+  FaultPlan plan;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      plan.events.push_back(FaultEvent::parse(cur));
+      cur.clear();
+    }
+  };
+  for (const char c : specs) {
+    if (c == ' ' || c == '\t' || c == ',' || c == ';') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  return plan;
+}
+
+std::string FaultPlan::format_events() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) out += ' ';
+    out += e.format();
+  }
+  return out;
+}
+
+void FaultPlan::validate(const topology::SystemConfig& cfg) const {
+  const std::uint32_t B = cfg.num_boards_total();
+  const std::uint32_t W = cfg.num_wavelengths();
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case FaultKind::LaneFail:
+      case FaultKind::LaserDegrade:
+        ERAPID_EXPECT(e.dest.value() < B, "fault dest board out of range: " + e.format());
+        ERAPID_EXPECT(e.wavelength.value() < W,
+                      "fault wavelength out of range: " + e.format());
+        break;
+      case FaultKind::CtrlDrop:
+        ERAPID_EXPECT(e.board.value() < B, "fault board out of range: " + e.format());
+        break;
+    }
+  }
+  ERAPID_EXPECT(ctrl_drop_prob >= 0.0 && ctrl_drop_prob <= 1.0,
+                "fault.ctrl_drop_prob must be in [0, 1]");
+}
+
+}  // namespace erapid::fault

@@ -1,0 +1,101 @@
+// Fault plan — the deterministic schedule of perturbations one simulation
+// injects against the Lock-Step reconfiguration plane.
+//
+// The paper's evaluation exercises only the happy path: no lane dies, no
+// control packet is lost. Reconfigurable optics exist to absorb exactly
+// these perturbations (cf. Han et al., arXiv:2112.02083; D3NOC,
+// arXiv:1708.06721), so the plan models three fault classes:
+//
+//   * permanent lane failure  — the (dest, wavelength) channel goes dark
+//     forever; the owner's in-flight packet is re-homed and DBR re-solves
+//     the allocation around the dead lane;
+//   * transient laser degradation — the owning transmitter's VCSEL can no
+//     longer sustain its rated drive: its power level is capped for a
+//     duration (bandwidth drops, the flow backs up, DBR compensates);
+//   * control-packet loss — a board's Lock-Step packet on the RC ring or
+//     the on-board LC chain is dropped `count` consecutive times; the RC
+//     retries (bounded) and eventually sits the window out.
+//
+// Everything is deterministic: explicit events fire at fixed cycles, and
+// the optional random control-loss process draws from a dedicated
+// seed-pinned RNG stream, so two runs of the same plan are byte-identical.
+//
+// A plan round-trips through a single INI value (sim/options_io key
+// "fault.events") as a whitespace-separated list of event specs:
+//
+//   lane_fail@5000:d2:w1
+//   laser_degrade@8000:d3:w2:low:4000
+//   ctrl_drop@6000:ring:b1:n2
+//   ctrl_drop@7000:chain:b0
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/link_power.hpp"
+#include "topology/config.hpp"
+#include "util/types.hpp"
+
+namespace erapid::fault {
+
+/// The three modelled fault classes.
+enum class FaultKind : std::uint8_t { LaneFail, LaserDegrade, CtrlDrop };
+
+/// Which control-plane medium a CtrlDrop targets.
+enum class CtrlTarget : std::uint8_t { Ring, Chain };
+
+/// One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::LaneFail;
+  Cycle at = 0;  ///< injection time (absolute simulation cycle)
+
+  // LaneFail / LaserDegrade: the victim lane (dest coupler, wavelength).
+  BoardId dest;
+  WavelengthId wavelength;
+
+  // LaserDegrade only.
+  power::PowerLevel cap = power::PowerLevel::Low;  ///< forced maximum level
+  CycleDelta duration = 0;                         ///< 0 = until end of run
+
+  // CtrlDrop only.
+  CtrlTarget target = CtrlTarget::Ring;
+  BoardId board;            ///< whose control packet is lost
+  std::uint32_t count = 1;  ///< consecutive attempts dropped
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+
+  /// Parses one event spec (grammar in the file comment). Throws
+  /// ModelInvariantError on malformed specs.
+  [[nodiscard]] static FaultEvent parse(const std::string& spec);
+
+  /// Inverse of parse (exact round-trip).
+  [[nodiscard]] std::string format() const;
+};
+
+/// The full fault schedule for one run.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Random control-plane loss: each (stage, board, attempt) transmission
+  /// is independently lost with this probability, drawn from a dedicated
+  /// RNG stream seeded with `seed` (never from the workload RNG).
+  double ctrl_drop_prob = 0.0;
+  std::uint64_t seed = 1;
+
+  /// True when the plan perturbs nothing — the simulation must then be
+  /// byte-identical to a build without the fault subsystem.
+  [[nodiscard]] bool empty() const { return events.empty() && ctrl_drop_prob == 0.0; }
+
+  /// Parses a whitespace/comma/semicolon-separated list of event specs.
+  [[nodiscard]] static FaultPlan parse_events(const std::string& specs);
+
+  /// Serializes events back to the spec list ("" when none).
+  [[nodiscard]] std::string format_events() const;
+
+  /// Rejects events that reference boards/wavelengths outside `cfg` or
+  /// lanes a board would drive to itself.
+  void validate(const topology::SystemConfig& cfg) const;
+};
+
+}  // namespace erapid::fault

@@ -6,6 +6,12 @@ namespace erapid::optical {
 
 using power::PowerLevel;
 
+namespace {
+PowerLevel min_level(PowerLevel a, PowerLevel b) {
+  return static_cast<std::uint8_t>(a) < static_cast<std::uint8_t>(b) ? a : b;
+}
+}  // namespace
+
 Lane::Lane(des::Engine& engine, const topology::SystemConfig& cfg,
            const power::LinkPowerModel& pw, power::EnergyMeter& meter,
            topology::LaneRef ref, Receiver* rx)
@@ -19,11 +25,12 @@ void Lane::update_power(Cycle now) {
 }
 
 void Lane::enable(Cycle now, PowerLevel level) {
+  ERAPID_EXPECT(!failed_, "enabling a failed lane");
   ERAPID_EXPECT(!enabled_, "enabling a lane this board already holds");
   ERAPID_EXPECT(level != PowerLevel::Off, "enable requires an active power level");
   enabled_ = true;
   pending_disable_ = false;
-  apply_level(level, now);
+  apply_level(min_level(level, level_cap_), now);
 }
 
 void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
@@ -45,6 +52,7 @@ void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
 void Lane::request_level(PowerLevel target, Cycle now) {
   ERAPID_EXPECT(enabled_, "DVS on a lane this board does not hold");
   if (pending_disable_) return;  // release already decided; don't fight it
+  target = min_level(target, level_cap_);
   if (target == level_ && !pending_level_) return;
   if (transmitting(now)) {
     pending_level_ = target;  // applied when the packet completes
@@ -85,12 +93,56 @@ bool Lane::try_transmit(const router::Packet& p, Cycle now) {
 
   const Cycle arrive = busy_until_ + cfg_.fiber_delay_cycles;
   const router::Packet copy = p;
-  engine_.schedule_at(busy_until_, [this] { on_packet_done(engine_.now()); });
-  engine_.schedule_at(arrive, [this, copy] { rx_->deliver(copy, engine_.now()); });
+  in_flight_ = copy;
+  busy_event_ = engine_.schedule_at(busy_until_, [this] { on_packet_done(engine_.now()); });
+  deliver_event_ =
+      engine_.schedule_at(arrive, [this, copy] { rx_->deliver(copy, engine_.now()); });
   return true;
 }
 
+std::optional<router::Packet> Lane::fail(Cycle now) {
+  ERAPID_EXPECT(!failed_, "failing a lane twice");
+  failed_ = true;
+  std::optional<router::Packet> aborted;
+  if (transmitting(now) && in_flight_) {
+    // Still serializing: the remaining bits never leave the VCSEL. Cancel
+    // both the completion and the fiber delivery, hand the RX slot back,
+    // and surface the packet for re-homing. (A packet already fully in the
+    // fiber is photons in flight — it arrives regardless.)
+    busy_event_.cancel();
+    deliver_event_.cancel();
+    rx_->abort_reservation();
+    aborted = std::move(in_flight_);
+    // Un-charge the serialization cycles that never happened.
+    const CycleDelta unspent = busy_until_ - now;
+    active_energy_ -= pw_.power_mw(level_) * static_cast<double>(unspent);
+    --packets_sent_;
+    busy_until_ = now;
+  }
+  in_flight_.reset();
+  enabled_ = false;
+  pending_disable_ = false;
+  pending_level_.reset();
+  on_dark_ = nullptr;
+  level_ = PowerLevel::Off;
+  update_power(now);
+  return aborted;
+}
+
+void Lane::set_level_cap(PowerLevel cap, Cycle now) {
+  ERAPID_EXPECT(cap != PowerLevel::Off, "degradation cap must be an active level; use fail()");
+  level_cap_ = cap;
+  if (failed_ || !enabled_) return;
+  if (pending_level_) pending_level_ = min_level(*pending_level_, cap);
+  if (static_cast<std::uint8_t>(level_) > static_cast<std::uint8_t>(cap)) {
+    request_level(cap, now);
+  }
+}
+
+void Lane::clear_level_cap() { level_cap_ = PowerLevel::High; }
+
 void Lane::on_packet_done(Cycle now) {
+  in_flight_.reset();  // the packet is fully in the fiber from here on
   if (pending_disable_) {
     pending_disable_ = false;
     enabled_ = false;

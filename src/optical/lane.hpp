@@ -13,9 +13,14 @@
 //   paused   — bit-rate/voltage transition until pause_until (the paper's
 //              "transmitter ... stops transmission for the duration",
 //              65 cycles for voltage moves, 12 for CDR-only relock).
+//   failed   — fault injection killed the laser: permanently dark, refuses
+//              enable/transmit; a packet mid-serialization is aborted and
+//              handed back through fail() for re-homing.
 //
 // Level changes and disables requested mid-packet are deferred to packet
-// completion (packets are atomic in the optical domain).
+// completion (packets are atomic in the optical domain). A degraded laser
+// (fault injection) carries a level *cap*: requests above the cap are
+// clamped, modelling a VCSEL that can no longer sustain its rated drive.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +52,8 @@ class Lane {
   [[nodiscard]] bool enabled() const { return enabled_; }
   [[nodiscard]] power::PowerLevel level() const { return level_; }
   [[nodiscard]] topology::LaneRef ref() const { return ref_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] power::PowerLevel level_cap() const { return level_cap_; }
 
   /// Ready to start a packet right now.
   [[nodiscard]] bool available(Cycle now) const {
@@ -58,6 +65,24 @@ class Lane {
   [[nodiscard]] bool can_wake() const {
     return enabled_ && level_ == power::PowerLevel::Off && !pending_disable_;
   }
+
+  // ---- fault injection ----
+  /// Permanent laser failure. The lane goes dark immediately (no graceful
+  /// drain: the light just dies). If a packet was mid-serialization its
+  /// fiber delivery is cancelled, the remote RX reservation is returned,
+  /// and the packet is handed back for re-homing on a surviving lane. A
+  /// pending release's on_dark chain is dropped (the re-grant it carried is
+  /// re-decided by the next reconfiguration window).
+  [[nodiscard]] std::optional<router::Packet> fail(Cycle now);
+
+  /// Transient laser degradation: clamps every level request (current and
+  /// future) to at most `cap` until clear_level_cap. Capping below the
+  /// current level forces an immediate (packet-atomic) down-transition.
+  void set_level_cap(power::PowerLevel cap, Cycle now);
+
+  /// Ends the degradation. The lane does not spontaneously re-raise its
+  /// level; the next DPM/DBR decision may.
+  void clear_level_cap();
 
   [[nodiscard]] bool transmitting(Cycle now) const { return now < busy_until_; }
   [[nodiscard]] bool paused(Cycle now) const { return now < pause_until_; }
@@ -111,11 +136,16 @@ class Lane {
   Receiver* rx_;
 
   bool enabled_ = false;
+  bool failed_ = false;
   power::PowerLevel level_ = power::PowerLevel::Off;
+  power::PowerLevel level_cap_ = power::PowerLevel::High;
   Cycle busy_until_ = 0;
   Cycle pause_until_ = 0;
   bool pending_disable_ = false;
   std::optional<power::PowerLevel> pending_level_;
+  std::optional<router::Packet> in_flight_;
+  des::EventHandle busy_event_;
+  des::EventHandle deliver_event_;
 
   stats::BusyCounter busy_;
   std::function<void(Cycle)> on_ready_;

@@ -24,6 +24,11 @@ bool Receiver::reserve_slot() {
   return true;
 }
 
+void Receiver::abort_reservation() {
+  ERAPID_EXPECT(reserved_ > 0, "aborting a reservation that was never made");
+  --reserved_;
+}
+
 void Receiver::deliver(const router::Packet& p, Cycle now) {
   ERAPID_EXPECT(reserved_ > 0, "optical packet arrived without a reserved RX slot");
   ERAPID_EXPECT(queue_.size() < capacity_, "RX queue overflow despite reservation");

@@ -39,6 +39,11 @@ class Receiver {
   /// reserved by the transmitting lane.
   void deliver(const router::Packet& p, Cycle now);
 
+  /// Returns a reservation whose packet will never arrive (the transmitting
+  /// lane failed mid-flight). The freed slot is NOT announced through the
+  /// slot-freed callback: the caller re-homes the aborted packet itself.
+  void abort_reservation();
+
   /// Fires every time a slot is freed (packet fully streamed into the
   /// router) — the simulation routes this to the owning board's scheduler
   /// so it can launch a blocked transmission.

@@ -74,6 +74,30 @@ void OpticalTerminal::request_lane_level(BoardId d, WavelengthId w, PowerLevel l
   lanes_[lane_index(d, w)]->request_level(level, now);
 }
 
+std::uint32_t OpticalTerminal::fail_lane(BoardId d, WavelengthId w, Cycle now) {
+  Lane& ln = *lanes_[lane_index(d, w)];
+  const auto aborted = ln.fail(now);
+  if (!aborted) return 0;
+  // Re-home the aborted packet at the head of its flow queue: it was
+  // already committed to the optical domain, so it goes out first on the
+  // next surviving lane. The deque may transiently exceed tx_queue_packets
+  // by this one packet (Buffer_util can momentarily read above 1).
+  auto& flow = flows_[d.value()];
+  flow.q.push_front(*aborted);
+  flow.occ.set_occupancy(now, static_cast<std::uint32_t>(flow.q.size()));
+  pump_flow(d, now);
+  return 1;
+}
+
+void OpticalTerminal::cap_lane_level(BoardId d, WavelengthId w, power::PowerLevel cap,
+                                     Cycle now) {
+  lanes_[lane_index(d, w)]->set_level_cap(cap, now);
+}
+
+void OpticalTerminal::clear_lane_level_cap(BoardId d, WavelengthId w) {
+  lanes_[lane_index(d, w)]->clear_level_cap();
+}
+
 void OpticalTerminal::enqueue_packet(BoardId d, const router::Packet& p, Cycle now) {
   auto& flow = flows_[d.value()];
   ERAPID_EXPECT(flow.q.size() < cfg_.tx_queue_packets, "transmit queue overflow");

@@ -69,6 +69,18 @@ class OpticalTerminal {
                      std::function<void(Cycle)> on_dark = {});
   void request_lane_level(BoardId d, WavelengthId w, power::PowerLevel level, Cycle now);
 
+  // ---- fault interface (driven by the FaultInjector) ----
+  /// Permanently fails this board's laser on lane (d, w). An in-flight
+  /// packet is re-homed to the front of the flow's transmit queue (it will
+  /// relaunch on a surviving lane or wait for a re-grant). Returns the
+  /// number of packets re-homed (0 or 1).
+  std::uint32_t fail_lane(BoardId d, WavelengthId w, Cycle now);
+
+  /// Degrades this board's laser on lane (d, w): clamps its power level to
+  /// `cap` until clear_lane_level_cap.
+  void cap_lane_level(BoardId d, WavelengthId w, power::PowerLevel cap, Cycle now);
+  void clear_lane_level_cap(BoardId d, WavelengthId w);
+
   /// Harvests and resets the LC hardware counters for the window that
   /// started at `window_start` and ends `now`.
   void harvest(Cycle window_start, Cycle now, std::vector<LaneSnapshot>& lanes,

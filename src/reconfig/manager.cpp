@@ -57,6 +57,8 @@ void ReconfigManager::on_window() {
   ++window_index_;
   const Cycle t = engine_.now();
 
+  if (window_observer_) window_observer_(window_index_, t);
+
   const bool both = cfg_rc_.mode.power_aware && cfg_rc_.mode.bandwidth_reconfig;
   bool do_power = cfg_rc_.mode.power_aware;
   bool do_bandwidth = cfg_rc_.mode.bandwidth_reconfig;
@@ -83,15 +85,35 @@ void ReconfigManager::harvest_all(Cycle now) {
   last_harvest_ = now;
 }
 
+std::optional<std::uint32_t> ReconfigManager::ctrl_attempts(CtrlStage stage, BoardId b) {
+  if (!ctrl_fault_) return 0;
+  std::uint32_t attempt = 0;
+  while (ctrl_fault_(stage, b, attempt)) {
+    ++counters_.ctrl_drops;
+    if (attempt >= cfg_rc_.ctrl_retry_limit) {
+      ++counters_.ctrl_timeouts;
+      return std::nullopt;  // board sits this window's cycle out
+    }
+    ++attempt;
+    ++counters_.ctrl_retries;
+  }
+  return attempt;
+}
+
 void ReconfigManager::run_power_cycle(Cycle t) {
   ++counters_.power_cycles;
   // Power_Request circulates the on-board LC chain; every LC then decides
   // locally. All boards run concurrently (lock-step), so decisions land
-  // after one full chain traversal.
-  const Cycle apply_at =
-      t + static_cast<CycleDelta>(cfg_.num_wavelengths() + 1) * cfg_rc_.lc_hop_cycles;
+  // after one full chain traversal. A board whose chain packet is lost
+  // times out and retransmits (each retry re-walks the chain); after
+  // ctrl_retry_limit losses it keeps last window's levels.
+  const CycleDelta chain =
+      static_cast<CycleDelta>(cfg_.num_wavelengths() + 1) * cfg_rc_.lc_hop_cycles;
 
   for (std::size_t b = 0; b < terminals_.size(); ++b) {
+    const auto attempts = ctrl_attempts(CtrlStage::PowerChain, BoardId{static_cast<std::uint32_t>(b)});
+    if (!attempts) continue;
+    const Cycle apply_at = t + static_cast<CycleDelta>(1 + *attempts) * chain;
     // Index flow stats by destination board for the buffer-utilization input.
     const auto& flows = flow_stats_[b];
     for (const auto& lane : lane_stats_[b]) {
@@ -129,20 +151,43 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
   const CycleDelta chain = static_cast<CycleDelta>(W + 1) * cfg_rc_.lc_hop_cycles;
   const CycleDelta ring = static_cast<CycleDelta>(B) * cfg_rc_.ring_hop_cycles;
 
+  // Fault model: each RC's ring circulation (its Board Request out and the
+  // matching Board Response back) can be lost. Lock-step means a
+  // retransmission stalls the *stage* for everyone by one extra ring
+  // rotation; a board that exhausts its retries is simply absent from this
+  // window — its stats are missing (no lane granted to it, none harvested
+  // from it) and its own coupler keeps last window's allocation.
+  std::vector<char> lost(B, 0);
+  CycleDelta extra_rounds = 0;
+  std::uint64_t ring_retries = 0;
+  if (ctrl_fault_) {
+    for (std::uint32_t b = 0; b < B; ++b) {
+      const auto attempts = ctrl_attempts(CtrlStage::BandwidthRing, BoardId{b});
+      if (!attempts) {
+        lost[b] = 1;
+      } else {
+        extra_rounds = std::max<CycleDelta>(extra_rounds, *attempts);
+        ring_retries += *attempts;
+      }
+    }
+  }
+
   // Stage boundaries (lock-step; see file comment):
   //   Link Request completes at t + chain (outgoing stats at every RC),
   //   Board Request at + ring (incoming stats), Reconfigure takes 1 cycle,
   //   Board Response + ring, Link Response + chain => lasers switch.
-  const Cycle t_reconf = t + chain + ring + 1;
+  const Cycle t_reconf = t + chain + ring * (1 + extra_rounds) + 1;
   const Cycle t_apply = t_reconf + ring + chain;
 
   counters_.ring_hops += 2ULL * B * B;  // B packets × B hops, two ring stages
+  counters_.ring_hops += ring_retries * B;  // each retransmission re-circles
 
-  engine_.schedule_at(t_reconf, [this, t_apply] {
+  engine_.schedule_at(t_reconf, [this, t_apply, lost = std::move(lost)] {
     const std::uint32_t nb = cfg_.num_boards_total();
     const std::uint32_t nw = cfg_.num_wavelengths();
 
     for (std::uint32_t d = 0; d < nb; ++d) {
+      if (lost[d]) continue;  // RC_d never completed its circulation
       const BoardId dest{d};
 
       // Assemble RC_d's incoming-link table (what the Board Request stage
@@ -150,6 +195,7 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
       std::vector<FlowStatsEntry> incoming;
       for (std::uint32_t s = 0; s < nb; ++s) {
         if (s == d) continue;
+        if (lost[s]) continue;  // s's entry was in the lost circulation
         const auto& flows = flow_stats_[s];
         const auto fit = std::find_if(flows.begin(), flows.end(), [&](const auto& f) {
           return f.dest == dest;
@@ -163,9 +209,12 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
         incoming.push_back(e);
       }
 
-      // Current ownership of dest's coupler wavelengths.
+      // Current ownership of dest's coupler wavelengths. Failed lanes are
+      // excluded: the allocation is re-solved around them, so a dead lane
+      // can neither be harvested nor granted.
       std::vector<LaneOwnership> lanes;
       for (std::uint32_t w = 0; w < nw; ++w) {
+        if (lane_map_.is_failed(dest, WavelengthId{w})) continue;
         lanes.push_back({WavelengthId{w}, lane_map_.owner(dest, WavelengthId{w})});
       }
 
@@ -183,6 +232,13 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
 
 void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle now) {
   const WavelengthId w = dir.wavelength;
+  // The lane may have died between the Reconfigure stage and the Link
+  // Response landing (fault injection): the directive is stale — drop it
+  // and let the next window re-solve around the failure.
+  if (lane_map_.is_failed(dest, w)) {
+    ++counters_.stale_directives;
+    return;
+  }
   // Ownership may have changed since the decision (a later window's
   // directives are scheduled only after this one applies, so in practice
   // it cannot — but the check keeps the invariant local and fatal).
@@ -190,9 +246,17 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
                 "directive raced with another ownership change");
 
   auto grant = [this, dest, w, dir](Cycle at) {
+    // The lane can fail while the old owner's in-flight packet drains
+    // (apply_release chains the re-grant on lane darkness); a grant must
+    // never land on a failed lane.
+    if (lane_map_.is_failed(dest, w)) {
+      ++counters_.stale_directives;
+      return;
+    }
     lane_map_.grant(dest, w, dir.new_owner);
     terminals_[dir.new_owner.value()]->apply_grant(dest, w, dir.grant_level, at);
     ++counters_.lane_grants;
+    if (grant_observer_) grant_observer_(dir.new_owner, dest, at);
   };
 
   if (dir.old_owner.valid()) {

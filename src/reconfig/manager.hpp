@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "des/engine.hpp"
@@ -57,6 +58,11 @@ struct ReconfigConfig {
   /// is the paper's §3.1 rule.
   DpmStrategyKind dpm_strategy = DpmStrategyKind::Threshold;
   DpmStrategyParams dpm_params;
+  /// Bounded retry for lost control packets (fault injection): how many
+  /// retransmissions an RC attempts after an LC-chain or ring timeout
+  /// before the board sits the window out. Each retry re-pays the stage's
+  /// full hop latency.
+  std::uint32_t ctrl_retry_limit = 3;
 };
 
 /// Drives DPM + DBR over all boards' terminals.
@@ -79,11 +85,37 @@ class ReconfigManager {
   [[nodiscard]] const topology::LaneMap& lane_map() const { return lane_map_; }
   [[nodiscard]] const ReconfigConfig& config() const { return cfg_rc_; }
 
+  // ---- fault-injection plumbing ----------------------------------------
+  // All hooks default to unset; the no-fault event stream is untouched.
+
+  /// Asked once per (stage, board, attempt) when a control packet is about
+  /// to traverse its medium; returning true means that attempt's packet is
+  /// lost and the RC retries (up to ctrl_retry_limit) before giving up.
+  using CtrlFaultHook = std::function<bool(CtrlStage, BoardId, std::uint32_t attempt)>;
+  void set_ctrl_fault_hook(CtrlFaultHook hook) { ctrl_fault_ = std::move(hook); }
+
+  /// Observes every lane grant as it lands (src gains a lane toward dest) —
+  /// the fault injector measures time-to-reroute with this.
+  void set_grant_observer(std::function<void(BoardId src, BoardId dest, Cycle)> fn) {
+    grant_observer_ = std::move(fn);
+  }
+
+  /// Observes every reconfiguration window boundary (before the cycle runs).
+  void set_window_observer(std::function<void(std::uint64_t index, Cycle)> fn) {
+    window_observer_ = std::move(fn);
+  }
+
  private:
   void on_window();
   void run_power_cycle(Cycle t);
   void run_bandwidth_cycle(Cycle t);
   void apply_directive(BoardId dest, const Directive& dir, Cycle now);
+
+  /// Plays one board's control transmission against the fault hook.
+  /// Returns the number of retransmissions that were needed (0 = clean
+  /// first attempt), or nullopt when the retry budget was exhausted (the
+  /// board times out of this window's cycle).
+  [[nodiscard]] std::optional<std::uint32_t> ctrl_attempts(CtrlStage stage, BoardId b);
 
   /// Harvests every board's LC counters for the window ending at `now`.
   void harvest_all(Cycle now);
@@ -107,6 +139,10 @@ class ReconfigManager {
   bool running_ = false;
   des::EventHandle next_window_;
   ControlCounters counters_;
+
+  CtrlFaultHook ctrl_fault_;
+  std::function<void(BoardId, BoardId, Cycle)> grant_observer_;
+  std::function<void(std::uint64_t, Cycle)> window_observer_;
 };
 
 }  // namespace erapid::reconfig

@@ -43,8 +43,17 @@ struct BoardResponsePkt {
   std::vector<Directive> directives;
 };
 
+/// Which control-plane medium a Lock-Step message traverses. Used by the
+/// fault hook to decide whether a given board's packet is lost this stage.
+enum class CtrlStage : std::uint8_t {
+  PowerChain,     ///< Power_Request/Response on the on-board LC chain
+  BandwidthRing,  ///< Board Request/Response circulation on the RC ring
+};
+
 /// Control-plane cost counters (the paper argues LS has "minimal control
-/// overhead" — the ablation bench quantifies it with these).
+/// overhead" — the ablation bench quantifies it with these). The ctrl_*
+/// fields count fault-injected control-packet losses and the Lock-Step
+/// recovery they triggered; all three stay zero without a fault plan.
 struct ControlCounters {
   std::uint64_t power_cycles = 0;
   std::uint64_t bandwidth_cycles = 0;
@@ -53,6 +62,10 @@ struct ControlCounters {
   std::uint64_t level_changes = 0;
   std::uint64_t lane_grants = 0;
   std::uint64_t lane_releases = 0;
+  std::uint64_t ctrl_drops = 0;     ///< control packets lost/corrupted
+  std::uint64_t ctrl_retries = 0;   ///< retransmissions after an LC/RC timeout
+  std::uint64_t ctrl_timeouts = 0;  ///< boards that sat a window out (retries exhausted)
+  std::uint64_t stale_directives = 0;  ///< directives dropped (lane failed mid-protocol)
 };
 
 }  // namespace erapid::reconfig

@@ -39,6 +39,10 @@ const std::set<std::string>& known_keys() {
       "reconfig.dbr_b_max",
       "reconfig.max_lanes_per_flow",
       "reconfig.shutdown_idle",
+      "reconfig.ctrl_retry_limit",
+      "fault.events",
+      "fault.ctrl_drop_prob",
+      "fault.seed",
       "workload.pattern",
       "workload.hotspot_fraction",
       "workload.hotspot_node",
@@ -122,6 +126,15 @@ SimOptions options_from_ini(const util::Ini& ini) {
       u32("reconfig.max_lanes_per_flow", o.reconfig.mode.dbr.max_lanes_per_flow);
   o.reconfig.mode.dpm.shutdown_idle =
       ini.get_bool("reconfig.shutdown_idle", o.reconfig.mode.dpm.shutdown_idle);
+  o.reconfig.ctrl_retry_limit =
+      u32("reconfig.ctrl_retry_limit", o.reconfig.ctrl_retry_limit);
+
+  if (const auto events = ini.get("fault.events")) {
+    o.fault = fault::FaultPlan::parse_events(*events);
+  }
+  o.fault.ctrl_drop_prob = ini.get_double("fault.ctrl_drop_prob", o.fault.ctrl_drop_prob);
+  o.fault.seed =
+      static_cast<std::uint64_t>(ini.get_int("fault.seed", static_cast<long>(o.fault.seed)));
 
   if (const auto pat = ini.get("workload.pattern")) {
     const auto parsed = traffic::parse_pattern(*pat);
@@ -180,6 +193,10 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("reconfig.dbr_b_max", o.reconfig.mode.dbr.b_max);
   set("reconfig.max_lanes_per_flow", o.reconfig.mode.dbr.max_lanes_per_flow);
   set("reconfig.shutdown_idle", o.reconfig.mode.dpm.shutdown_idle ? "true" : "false");
+  set("reconfig.ctrl_retry_limit", o.reconfig.ctrl_retry_limit);
+  if (!o.fault.events.empty()) set("fault.events", o.fault.format_events());
+  set("fault.ctrl_drop_prob", o.fault.ctrl_drop_prob);
+  set("fault.seed", o.fault.seed);
   set("workload.pattern", traffic::pattern_name(o.pattern));
   set("workload.hotspot_fraction", o.hotspot_fraction);
   set("workload.hotspot_node", o.hotspot_node);

@@ -31,6 +31,7 @@ void Recorder::take_sample() {
   s.source_backlog = network_.total_source_backlog();
   s.lane_grants = network_.reconfig_manager().counters().lane_grants;
   s.level_changes = network_.reconfig_manager().counters().level_changes;
+  s.lanes_failed = network_.lane_map().failed_count();
   samples_.push_back(s);
   next_ = engine_.schedule(interval_, [this] { take_sample(); });
 }

@@ -26,6 +26,7 @@ struct Sample {
   std::size_t source_backlog = 0; ///< total NI queue depth
   std::uint64_t lane_grants = 0;  ///< cumulative DBR grants
   std::uint64_t level_changes = 0;///< cumulative DVS transitions
+  std::uint32_t lanes_failed = 0; ///< permanently failed lanes (fault injection)
 };
 
 /// Periodic sampler over a Network.

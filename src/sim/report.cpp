@@ -74,6 +74,26 @@ std::string to_json(const SimResult& r, int indent) {
   o.field("power_cycles", r.control.power_cycles);
   o.field("bandwidth_cycles", r.control.bandwidth_cycles);
   o.field("ring_hops", r.control.ring_hops);
+  // Fault-free runs must serialize byte-identically to builds predating
+  // the fault subsystem, so the fault block only appears when faults hit.
+  if (r.fault.any()) {
+    JsonObject f(indent + 2);
+    f.field("lanes_failed", r.fault.lanes_failed);
+    f.field("lanes_degraded", r.fault.lanes_degraded);
+    f.field("packets_rehomed", r.fault.packets_rehomed);
+    f.field("reroutes_completed", r.fault.reroutes_completed);
+    f.field("reroutes_pending", r.fault.reroutes_pending);
+    f.field("degraded_windows", r.fault.degraded_windows);
+    f.field("first_failure",
+            r.fault.first_failure == kNeverCycle ? Cycle{0} : r.fault.first_failure);
+    f.field("last_recovery", r.fault.last_recovery);
+    f.field("worst_time_to_reroute", r.fault.worst_time_to_reroute);
+    f.field("ctrl_drops", r.fault.ctrl_drops);
+    f.field("ctrl_retries", r.fault.ctrl_retries);
+    f.field("ctrl_timeouts", r.fault.ctrl_timeouts);
+    f.field("stale_directives", r.fault.stale_directives);
+    o.raw_field("fault", f.str());
+  }
   return o.str();
 }
 

@@ -12,6 +12,16 @@ Simulation::Simulation(const SimOptions& opts)
   network_ = std::make_unique<Network>(engine_, opts_.system, opts_.reconfig,
                                        opts_.power_model);
 
+  std::vector<optical::OpticalTerminal*> terminals;
+  terminals.reserve(opts_.system.num_boards_total());
+  for (std::uint32_t b = 0; b < opts_.system.num_boards_total(); ++b) {
+    terminals.push_back(&network_->terminal(BoardId{b}));
+  }
+  injector_ = std::make_unique<fault::FaultInjector>(
+      engine_, network_->config(), network_->lane_map(), network_->reconfig_manager(),
+      std::move(terminals), opts_.fault);
+  injector_->arm();
+
   // Upper edge must exceed post-saturation latencies (complement on a
   // static network queues labelled packets for ~100k cycles) or the
   // reported quantiles silently saturate at the histogram edge.
@@ -97,6 +107,7 @@ SimResult Simulation::run() {
   r.labelled_delivered = labelled_delivered_;
   r.end_cycle = engine_.now();
   r.control = network_->reconfig_manager().counters();
+  r.fault = injector_->stats();
   return r;
 }
 

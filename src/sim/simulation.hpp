@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "reconfig/manager.hpp"
 #include "sim/network.hpp"
 #include "stats/histogram.hpp"
@@ -37,6 +39,10 @@ struct SimOptions {
   Cycle warmup_cycles = 20000;
   Cycle measure_cycles = 30000;
   Cycle drain_limit = 150000;  ///< cap on the post-measurement drain
+  /// Faults injected during the run (default: none — the fault subsystem
+  /// then schedules no events and the run is identical to a fault-free
+  /// build).
+  fault::FaultPlan fault;
 };
 
 /// Results of one run.
@@ -73,6 +79,7 @@ struct SimResult {
   bool drained = false;  ///< all labelled packets arrived before the cap
   Cycle end_cycle = 0;
   reconfig::ControlCounters control;
+  fault::RecoveryStats fault;  ///< all-zero (any() == false) without a plan
 };
 
 /// One self-contained simulation (engine + network + sources + metrics).
@@ -88,11 +95,13 @@ class Simulation {
   [[nodiscard]] des::Engine& engine() { return engine_; }
   [[nodiscard]] const SimOptions& options() const { return opts_; }
   [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] fault::FaultInjector& fault_injector() { return *injector_; }
 
  private:
   SimOptions opts_;
   des::Engine engine_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   traffic::TrafficPattern pattern_;
   std::vector<std::unique_ptr<traffic::NodeSource>> sources_;
   double capacity_;

@@ -5,6 +5,7 @@ namespace erapid::topology {
 LaneMap::LaneMap(const SystemConfig& cfg, const Rwa& rwa)
     : boards_(cfg.num_boards_total()), wavelengths_(cfg.num_wavelengths()), rwa_(&rwa) {
   own_.resize(static_cast<std::size_t>(boards_) * wavelengths_);
+  failed_.assign(own_.size(), 0);
   reset_static();
 }
 
@@ -14,6 +15,7 @@ void LaneMap::reset_static() {
     for (std::uint32_t s = 0; s < boards_; ++s) {
       if (s == d) continue;
       const WavelengthId w = rwa_->wavelength_for(BoardId{s}, BoardId{d});
+      if (is_failed(BoardId{d}, w)) continue;  // failed lanes stay dark
       own_[index(BoardId{d}, w)] = BoardId{s};
     }
   }
@@ -21,6 +23,7 @@ void LaneMap::reset_static() {
 
 void LaneMap::grant(BoardId d, WavelengthId w, BoardId s) {
   ERAPID_EXPECT(s.valid() && s != d, "lane owner must be a remote board");
+  ERAPID_EXPECT(!is_failed(d, w), "granting a failed lane");
   auto& slot = own_[index(d, w)];
   ERAPID_EXPECT(!slot.valid(), "wavelength collision: lane already owned");
   slot = s;
@@ -30,6 +33,20 @@ void LaneMap::release(BoardId d, WavelengthId w) {
   auto& slot = own_[index(d, w)];
   ERAPID_EXPECT(slot.valid(), "releasing a lane that is already dark");
   slot = BoardId{};
+}
+
+void LaneMap::mark_failed(BoardId d, WavelengthId w) {
+  const std::size_t i = index(d, w);
+  failed_[i] = 1;
+  own_[i] = BoardId{};
+}
+
+std::uint32_t LaneMap::failed_count() const {
+  std::uint32_t n = 0;
+  for (const auto f : failed_) {
+    if (f) ++n;
+  }
+  return n;
 }
 
 std::vector<WavelengthId> LaneMap::lanes_of(BoardId s, BoardId d) const {

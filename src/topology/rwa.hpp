@@ -70,7 +70,9 @@ class Rwa {
 /// Invariants enforced on every mutation:
 ///  * a lane has at most one owner (coupler wavelength-collision freedom);
 ///  * the owner is never the destination itself (a board does not transmit
-///    optically to its own coupler).
+///    optically to its own coupler);
+///  * a failed lane (fault injection) is permanently dark: it can never be
+///    granted again, so the allocator re-solves around it.
 class LaneMap {
  public:
   LaneMap(const SystemConfig& cfg, const Rwa& rwa);
@@ -87,6 +89,18 @@ class LaneMap {
 
   /// Releases lane (d, w); it must currently be owned.
   void release(BoardId d, WavelengthId w);
+
+  /// Permanently fails lane (d, w): evicts the current owner (if any) and
+  /// bars all future grants. Idempotent.
+  void mark_failed(BoardId d, WavelengthId w);
+
+  /// True if the lane has been marked failed by fault injection.
+  [[nodiscard]] bool is_failed(BoardId d, WavelengthId w) const {
+    return failed_[index(d, w)] != 0;
+  }
+
+  /// Number of lanes marked failed network-wide.
+  [[nodiscard]] std::uint32_t failed_count() const;
 
   /// All wavelengths board `s` currently drives toward destination `d`.
   [[nodiscard]] std::vector<WavelengthId> lanes_of(BoardId s, BoardId d) const;
@@ -114,6 +128,7 @@ class LaneMap {
   std::uint32_t wavelengths_;
   const Rwa* rwa_;
   std::vector<BoardId> own_;
+  std::vector<char> failed_;  ///< 1 = lane permanently failed (never granted)
 };
 
 }  // namespace erapid::topology

@@ -142,6 +142,46 @@ TEST(OptionsIo, HotspotParamsRoundTrip) {
   EXPECT_EQ(back.hotspot_node, 17u);
 }
 
+TEST(OptionsIo, FaultPlanSurvivesRoundTrip) {
+  SimOptions o;
+  o.fault = erapid::fault::FaultPlan::parse_events(
+      "lane_fail@5000:d2:w1 laser_degrade@8000:d3:w2:low:4000 "
+      "ctrl_drop@6000:ring:b1:n2 ctrl_drop@7000:chain:b0");
+  o.fault.ctrl_drop_prob = 0.125;
+  o.fault.seed = 77;
+  o.reconfig.ctrl_retry_limit = 5;
+
+  const auto back = options_from_ini(options_to_ini(o));
+  ASSERT_EQ(back.fault.events.size(), 4u);
+  EXPECT_EQ(back.fault.events, o.fault.events);
+  EXPECT_EQ(back.fault.format_events(), o.fault.format_events());
+  EXPECT_DOUBLE_EQ(back.fault.ctrl_drop_prob, 0.125);
+  EXPECT_EQ(back.fault.seed, 77u);
+  EXPECT_EQ(back.reconfig.ctrl_retry_limit, 5u);
+}
+
+TEST(OptionsIo, FaultKeysParseFromIniText) {
+  const auto ini = Ini::parse_string(
+      "[fault]\nevents = lane_fail@100:d1:w1\nctrl_drop_prob = 0.01\nseed = 3\n"
+      "[reconfig]\nctrl_retry_limit = 2\n");
+  const auto o = options_from_ini(ini);
+  ASSERT_EQ(o.fault.events.size(), 1u);
+  EXPECT_EQ(o.fault.events[0].kind, erapid::fault::FaultKind::LaneFail);
+  EXPECT_DOUBLE_EQ(o.fault.ctrl_drop_prob, 0.01);
+  EXPECT_EQ(o.fault.seed, 3u);
+  EXPECT_EQ(o.reconfig.ctrl_retry_limit, 2u);
+  EXPECT_FALSE(o.fault.empty());
+
+  // Defaults: no fault section at all means an empty (inert) plan.
+  const auto clean = options_from_ini(Ini::parse_string(""));
+  EXPECT_TRUE(clean.fault.empty());
+}
+
+TEST(OptionsIo, MalformedFaultEventsThrow) {
+  const auto ini = Ini::parse_string("[fault]\nevents = lane_fail@abc:d1:w1\n");
+  EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);
+}
+
 TEST(OptionsIo, FileRoundTrip) {
   const std::string path = testing::TempDir() + "erapid_opts.ini";
   SimOptions o;

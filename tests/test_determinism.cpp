@@ -1,0 +1,123 @@
+// Determinism and golden-fixture regression tests.
+//
+// The DES engine promises byte-identical behaviour for identical seeds
+// (FIFO tie-breaking at equal timestamps, no wall-clock or address-based
+// ordering anywhere). These tests pin that promise end-to-end through the
+// JSON report: every mode, with and without a fault plan, run twice, must
+// serialize to the exact same string.
+//
+// The golden fixture locks the complete report of the small Fig. 5 uniform
+// configuration byte-for-byte against a committed file. Tolerance is zero:
+// any diff means model timing or policy semantics changed — regenerate
+// with ERAPID_REGEN_GOLDEN=1 only when the change is intended, and say so
+// in the commit message (policy in tests_support.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace erapid;
+
+sim::SimOptions base_options() {
+  sim::SimOptions o;
+  o.system.boards = 4;
+  o.system.nodes_per_board = 4;
+  o.load_fraction = 0.5;
+  o.seed = 1;
+  o.warmup_cycles = 4000;
+  o.measure_cycles = 8000;
+  o.drain_limit = 60000;
+  return o;
+}
+
+fault::FaultPlan storm_plan() {
+  auto plan = fault::FaultPlan::parse_events(
+      "lane_fail@5000:d1:w1 laser_degrade@6000:d2:w2:low:3000 "
+      "ctrl_drop@7000:ring:b1:n2 ctrl_drop@9000:chain:b0");
+  plan.ctrl_drop_prob = 0.05;
+  plan.seed = 42;
+  return plan;
+}
+
+class DeterminismByMode : public testing::TestWithParam<reconfig::NetworkMode> {};
+
+TEST_P(DeterminismByMode, SameSeedTwiceIsByteIdentical) {
+  sim::SimOptions o = base_options();
+  o.reconfig.mode = GetParam();
+  const auto a = sim::to_json(sim::Simulation(o).run());
+  const auto b = sim::to_json(sim::Simulation(o).run());
+  EXPECT_EQ(a, b);
+  // No-fault reports must not mention the fault subsystem at all.
+  EXPECT_EQ(a.find("\"fault\""), std::string::npos);
+}
+
+TEST_P(DeterminismByMode, SameSeedTwiceWithFaultPlanIsByteIdentical) {
+  sim::SimOptions o = base_options();
+  o.reconfig.mode = GetParam();
+  o.fault = storm_plan();
+  const auto a = sim::to_json(sim::Simulation(o).run());
+  const auto b = sim::to_json(sim::Simulation(o).run());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismByMode,
+                         testing::Values(reconfig::NetworkMode::np_nb(),
+                                         reconfig::NetworkMode::p_nb(),
+                                         reconfig::NetworkMode::np_b(),
+                                         reconfig::NetworkMode::p_b()),
+                         [](const auto& info) {
+                           std::string n(info.param.name);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Determinism, FaultPlanChangesReportButStaysDeterministic) {
+  sim::SimOptions o = base_options();
+  o.reconfig.mode = reconfig::NetworkMode::p_b();
+  const auto clean = sim::to_json(sim::Simulation(o).run());
+  o.fault = storm_plan();
+  const auto faulty = sim::to_json(sim::Simulation(o).run());
+  EXPECT_NE(clean, faulty);
+  EXPECT_NE(faulty.find("\"fault\""), std::string::npos);
+  EXPECT_NE(faulty.find("\"lanes_failed\": 1"), std::string::npos);
+}
+
+// ---- golden fixture ---------------------------------------------------------
+
+std::string fixture_path() {
+  return std::string(ERAPID_TEST_DATA_DIR) + "/golden_fig5_uniform.json";
+}
+
+TEST(Golden, Fig5UniformReportMatchesCommittedFixtureExactly) {
+  sim::SimOptions o = base_options();  // the Fig. 5 uniform small config
+  o.reconfig.mode = reconfig::NetworkMode::p_b();
+  const auto report = sim::to_json(sim::Simulation(o).run()) + "\n";
+
+  if (std::getenv("ERAPID_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(fixture_path());
+    ASSERT_TRUE(out) << "cannot write " << fixture_path();
+    out << report;
+    GTEST_SKIP() << "regenerated " << fixture_path();
+  }
+
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in) << "missing fixture " << fixture_path()
+                  << " (regenerate with ERAPID_REGEN_GOLDEN=1)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(report, ss.str())
+      << "golden report drifted — if the semantic change is intended, "
+         "regenerate with ERAPID_REGEN_GOLDEN=1 and call it out in the "
+         "commit message";
+}
+
+}  // namespace

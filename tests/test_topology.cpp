@@ -180,6 +180,56 @@ TEST(LaneMap, DoubleGrantIsWavelengthCollision) {
                erapid::ModelInvariantError);
 }
 
+// Sanitizer builds intercept abort and break gtest's death-test forking;
+// the invariant itself is still exercised by DoubleGrantIsWavelengthCollision.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ERAPID_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ERAPID_SANITIZED 1
+#endif
+#endif
+
+// Two boards driving one (coupler, wavelength) pair is a physical
+// impossibility, so model code that swallows ModelInvariantError (noexcept
+// protocol callbacks, destructor paths) must still die, not limp on with a
+// corrupted ownership matrix: the throw escalates to std::terminate.
+TEST(LaneMapDeathTest, WavelengthCollisionEscalatesToAbort) {
+#if defined(ERAPID_SANITIZED)
+  GTEST_SKIP() << "death test skipped under sanitizers";
+#else
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const auto cfg = paper_config();
+  Rwa rwa(cfg.boards);
+  LaneMap map(cfg, rwa);
+  map.grant(BoardId{3}, WavelengthId{0}, BoardId{1});
+  auto drive_second_laser = [&]() noexcept {
+    map.grant(BoardId{3}, WavelengthId{0}, BoardId{2});
+  };
+  EXPECT_DEATH(drive_second_laser(), "wavelength collision");
+#endif
+}
+
+TEST(LaneMap, FailedLaneIsEvictedAndUngrantable) {
+  const auto cfg = paper_config();
+  Rwa rwa(cfg.boards);
+  LaneMap map(cfg, rwa);
+  const auto w = rwa.wavelength_for(BoardId{1}, BoardId{3});
+  ASSERT_EQ(map.owner(BoardId{3}, w), BoardId{1});
+
+  map.mark_failed(BoardId{3}, w);
+  EXPECT_TRUE(map.is_failed(BoardId{3}, w));
+  EXPECT_FALSE(map.owner(BoardId{3}, w).valid());
+  EXPECT_EQ(map.failed_count(), 1u);
+  EXPECT_EQ(map.lit_count(), cfg.boards * (cfg.boards - 1) - 1);
+  EXPECT_THROW(map.grant(BoardId{3}, w, BoardId{1}), erapid::ModelInvariantError);
+
+  // reset_static must re-seed around the dead lane, not resurrect it.
+  map.reset_static();
+  EXPECT_TRUE(map.is_failed(BoardId{3}, w));
+  EXPECT_FALSE(map.owner(BoardId{3}, w).valid());
+}
+
 TEST(LaneMap, ReleaseOfDarkLaneThrows) {
   const auto cfg = paper_config();
   Rwa rwa(cfg.boards);
