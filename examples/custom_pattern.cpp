@@ -67,7 +67,10 @@ int run(int argc, char** argv) {
   util::TablePrinter table({"metric", "value"});
   table.row_values("packets delivered", delivered);
   table.row_values("avg latency (cycles)",
-                   util::TablePrinter::fixed(delivered ? latency_sum / delivered : 0, 1));
+                   util::TablePrinter::fixed(
+                       delivered ? static_cast<double>(latency_sum) / static_cast<double>(delivered)
+                                 : 0.0,
+                       1));
   table.row_values("lane grants", ctl.lane_grants);
   table.row_values("lane releases", ctl.lane_releases);
   table.row_values("DVS level changes", ctl.level_changes);

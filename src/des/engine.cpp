@@ -3,7 +3,8 @@
 namespace erapid::des {
 
 EventHandle Engine::schedule_at(Cycle when, EventFn fn) {
-  ERAPID_EXPECT(when >= now_, "cannot schedule an event in the past");
+  ERAPID_REQUIRE(when >= now_,
+                 "cannot schedule an event in the past: when=" << when << " now=" << now_);
   auto alive = std::make_shared<bool>(true);
   queue_.push(Entry{when, seq_++, std::move(fn), alive});
   return EventHandle(alive);
@@ -30,6 +31,11 @@ bool Engine::step(Cycle limit) {
   }
   Entry e = queue_.top();
   queue_.pop();
+  // Monotone event time: the calendar never hands back an event before the
+  // current cycle (schedule_at guards the insert side; this pins the pop
+  // side against heap-ordering regressions).
+  ERAPID_INVARIANT(e.when >= now_,
+                   "event calendar time ran backwards: when=" << e.when << " now=" << now_);
   now_ = e.when;
   *e.alive = false;
   ++executed_;

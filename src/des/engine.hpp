@@ -59,7 +59,11 @@ class Engine {
 
   /// Schedules `fn` to run `delay` cycles from now. delay == 0 runs later
   /// in the current cycle (after all earlier-scheduled same-time events).
-  EventHandle schedule(CycleDelta delay, EventFn fn) { return schedule_at(now_ + delay, std::move(fn)); }
+  EventHandle schedule(CycleDelta delay, EventFn fn) {
+    ERAPID_REQUIRE(delay <= kNeverCycle - now_,
+                   "event delay overflows the cycle counter: delay=" << delay);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()).
   EventHandle schedule_at(Cycle when, EventFn fn);
@@ -87,8 +91,8 @@ class Engine {
 
  private:
   struct Entry {
-    Cycle when;
-    std::uint64_t seq;
+    Cycle when = 0;
+    std::uint64_t seq = 0;
     EventFn fn;
     std::shared_ptr<bool> alive;
   };

@@ -80,6 +80,8 @@ void FaultInjector::inject(const FaultEvent& e) {
     case FaultKind::CtrlDrop:
       drop_budget_[target_index(e.target)][e.board.value()] += e.count;
       break;
+    default:
+      ERAPID_UNREACHABLE("unmodeled fault kind " << static_cast<int>(e.kind));
   }
 }
 

@@ -83,7 +83,7 @@ class FaultInjector {
   struct PendingReroute {
     BoardId src;
     BoardId dest;
-    Cycle failed_at;
+    Cycle failed_at = 0;
   };
 
   void inject(const FaultEvent& e);

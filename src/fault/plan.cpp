@@ -56,8 +56,7 @@ std::string cap_name(power::PowerLevel cap) {
     case power::PowerLevel::High: return "high";
     case power::PowerLevel::Off: break;
   }
-  ERAPID_EXPECT(false, "degradation cap cannot be OFF");
-  return "";
+  ERAPID_UNREACHABLE("degradation cap cannot be OFF");
 }
 
 }  // namespace
@@ -121,6 +120,8 @@ std::string FaultEvent::format() const {
          << ":b" << board.value();
       if (count != 1) os << ":n" << count;
       break;
+    default:
+      ERAPID_UNREACHABLE("unmodeled fault kind " << static_cast<int>(kind));
   }
   return os.str();
 }
@@ -168,6 +169,8 @@ void FaultPlan::validate(const topology::SystemConfig& cfg) const {
       case FaultKind::CtrlDrop:
         ERAPID_EXPECT(e.board.value() < B, "fault board out of range: " + e.format());
         break;
+      default:
+        ERAPID_UNREACHABLE("unmodeled fault kind " << static_cast<int>(e.kind));
     }
   }
   ERAPID_EXPECT(ctrl_drop_prob >= 0.0 && ctrl_drop_prob <= 1.0,

@@ -16,7 +16,7 @@ Lane::Lane(des::Engine& engine, const topology::SystemConfig& cfg,
            const power::LinkPowerModel& pw, power::EnergyMeter& meter,
            topology::LaneRef ref, Receiver* rx)
     : engine_(engine), cfg_(cfg), pw_(pw), meter_(meter), ref_(ref), rx_(rx) {
-  ERAPID_EXPECT(rx_ != nullptr, "lane needs its wavelength receiver");
+  ERAPID_REQUIRE(rx_ != nullptr, "lane needs its wavelength receiver");
   meter_id_ = meter_.add_source(0.0);
 }
 
@@ -25,16 +25,16 @@ void Lane::update_power(Cycle now) {
 }
 
 void Lane::enable(Cycle now, PowerLevel level) {
-  ERAPID_EXPECT(!failed_, "enabling a failed lane");
-  ERAPID_EXPECT(!enabled_, "enabling a lane this board already holds");
-  ERAPID_EXPECT(level != PowerLevel::Off, "enable requires an active power level");
+  ERAPID_REQUIRE(!failed_, "enabling a failed lane");
+  ERAPID_REQUIRE(!enabled_, "enabling a lane this board already holds");
+  ERAPID_REQUIRE(level != PowerLevel::Off, "enable requires an active power level");
   enabled_ = true;
   pending_disable_ = false;
   apply_level(min_level(level, level_cap_), now);
 }
 
 void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
-  ERAPID_EXPECT(enabled_, "disabling a lane this board does not hold");
+  ERAPID_REQUIRE(enabled_, "disabling a lane this board does not hold");
   if (transmitting(now)) {
     pending_disable_ = true;  // finished in on_packet_done
     pending_level_.reset();
@@ -50,7 +50,7 @@ void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
 }
 
 void Lane::request_level(PowerLevel target, Cycle now) {
-  ERAPID_EXPECT(enabled_, "DVS on a lane this board does not hold");
+  ERAPID_REQUIRE(enabled_, "DVS on a lane this board does not hold");
   if (pending_disable_) return;  // release already decided; don't fight it
   target = min_level(target, level_cap_);
   if (target == level_ && !pending_level_) return;
@@ -101,7 +101,7 @@ bool Lane::try_transmit(const router::Packet& p, Cycle now) {
 }
 
 std::optional<router::Packet> Lane::fail(Cycle now) {
-  ERAPID_EXPECT(!failed_, "failing a lane twice");
+  ERAPID_REQUIRE(!failed_, "failing a lane twice");
   failed_ = true;
   std::optional<router::Packet> aborted;
   if (transmitting(now) && in_flight_) {
@@ -130,7 +130,7 @@ std::optional<router::Packet> Lane::fail(Cycle now) {
 }
 
 void Lane::set_level_cap(PowerLevel cap, Cycle now) {
-  ERAPID_EXPECT(cap != PowerLevel::Off, "degradation cap must be an active level; use fail()");
+  ERAPID_REQUIRE(cap != PowerLevel::Off, "degradation cap must be an active level; use fail()");
   level_cap_ = cap;
   if (failed_ || !enabled_) return;
   if (pending_level_) pending_level_ = min_level(*pending_level_, cap);

@@ -7,11 +7,11 @@ Receiver::Receiver(des::Engine& engine, router::Router& router, std::uint32_t in
                    std::uint32_t cycles_per_flit, std::uint32_t queue_capacity)
     : capacity_(queue_capacity),
       injector_(engine, router, in_port, vcs, credits_per_vc, cycles_per_flit) {
-  ERAPID_EXPECT(queue_capacity >= 1, "receiver queue needs >= 1 slot");
+  ERAPID_REQUIRE(queue_capacity >= 1, "receiver queue needs >= 1 slot");
   injector_.set_idle_callback([this](Cycle now) {
     // The packet previously streaming has fully entered the router: its
     // slot is free and the next queued packet can start.
-    ERAPID_EXPECT(reserved_ > 0, "receiver freed a slot it never reserved");
+    ERAPID_INVARIANT(reserved_ > 0, "receiver freed a slot it never reserved");
     --reserved_;
     pump(now);
     if (on_slot_freed_) on_slot_freed_(now);
@@ -25,13 +25,13 @@ bool Receiver::reserve_slot() {
 }
 
 void Receiver::abort_reservation() {
-  ERAPID_EXPECT(reserved_ > 0, "aborting a reservation that was never made");
+  ERAPID_REQUIRE(reserved_ > 0, "aborting a reservation that was never made");
   --reserved_;
 }
 
 void Receiver::deliver(const router::Packet& p, Cycle now) {
-  ERAPID_EXPECT(reserved_ > 0, "optical packet arrived without a reserved RX slot");
-  ERAPID_EXPECT(queue_.size() < capacity_, "RX queue overflow despite reservation");
+  ERAPID_REQUIRE(reserved_ > 0, "optical packet arrived without a reserved RX slot");
+  ERAPID_INVARIANT(queue_.size() < capacity_, "RX queue overflow despite reservation");
   ++received_;
   queue_.push_back(p);
   pump(now);

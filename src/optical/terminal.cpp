@@ -54,9 +54,9 @@ std::uint32_t OpticalTerminal::remote_out_port(BoardId d) const {
 }
 
 std::size_t OpticalTerminal::lane_index(BoardId d, WavelengthId w) const {
-  ERAPID_EXPECT(d.value() < cfg_.num_boards_total() && w.value() < cfg_.num_wavelengths(),
-                "lane reference out of range");
-  ERAPID_EXPECT(d != self_, "a board has no lanes to itself");
+  ERAPID_REQUIRE(d.value() < cfg_.num_boards_total() && w.value() < cfg_.num_wavelengths(),
+                 "lane reference out of range: d=" << d.value() << " w=" << w.value());
+  ERAPID_REQUIRE(d != self_, "a board has no lanes to itself: d=" << d.value());
   return static_cast<std::size_t>(d.value()) * cfg_.num_wavelengths() + w.value();
 }
 

@@ -29,7 +29,7 @@ namespace erapid::power {
 /// One component's power at an operating point.
 struct ComponentPower {
   std::string_view name;
-  double milliwatts;
+  double milliwatts = 0.0;
 };
 
 /// Analytic per-component link power model.

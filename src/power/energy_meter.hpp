@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "stats/time_weighted.hpp"
+#include "util/expect.hpp"
 #include "util/types.hpp"
 
 namespace erapid::power {
@@ -30,6 +31,9 @@ class EnergyMeter {
 
   /// Source `id` draws `mw` milliwatts from cycle `now` onwards.
   void set_power(std::uint32_t id, Cycle now, double mw) {
+    ERAPID_REQUIRE(id < levels_.size(),
+                   "unregistered power source id=" << id << " (have " << levels_.size() << ")");
+    ERAPID_REQUIRE(mw >= 0.0, "power draw cannot be negative: " << mw << " mW");
     const double delta = mw - levels_[id];
     if (delta == 0.0) return;
     levels_[id] = mw;

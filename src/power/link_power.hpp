@@ -37,7 +37,7 @@ enum class PowerLevel : std::uint8_t { Off = 0, Low = 1, Mid = 2, High = 3 };
     case PowerLevel::Mid: return "P_mid";
     case PowerLevel::High: return "P_high";
   }
-  return "?";
+  ERAPID_UNREACHABLE("unmodeled power level " << static_cast<int>(l));
 }
 
 /// One step up, saturating at High.
@@ -79,9 +79,18 @@ class LinkPowerModel {
 
   /// Overrides for ablation studies and non-optical baselines (e.g. a
   /// fixed-rate electrical SerDes link pins all levels to one rate).
-  void set_power_mw(PowerLevel l, double mw) { table_[idx(l)].power_mw = mw; }
-  void set_bitrate_gbps(PowerLevel l, double gbps) { table_[idx(l)].bitrate_gbps = gbps; }
-  void set_supply_v(PowerLevel l, double v) { table_[idx(l)].supply_v = v; }
+  void set_power_mw(PowerLevel l, double mw) {
+    ERAPID_REQUIRE(mw >= 0.0, "link power cannot be negative: " << mw << " mW");
+    table_[idx(l)].power_mw = mw;
+  }
+  void set_bitrate_gbps(PowerLevel l, double gbps) {
+    ERAPID_REQUIRE(gbps >= 0.0, "bit rate cannot be negative: " << gbps << " Gb/s");
+    table_[idx(l)].bitrate_gbps = gbps;
+  }
+  void set_supply_v(PowerLevel l, double v) {
+    ERAPID_REQUIRE(v >= 0.0, "supply voltage cannot be negative: " << v << " V");
+    table_[idx(l)].supply_v = v;
+  }
   void set_transition_cycles(CycleDelta voltage, CycleDelta freq) {
     voltage_transition_cycles_ = voltage;
     freq_relock_cycles_ = freq;
@@ -92,12 +101,19 @@ class LinkPowerModel {
 
  private:
   struct LevelSpec {
-    double bitrate_gbps;
-    double supply_v;
-    double power_mw;
+    double bitrate_gbps = 0.0;
+    double supply_v = 0.0;
+    double power_mw = 0.0;
   };
 
-  static constexpr std::size_t idx(PowerLevel l) { return static_cast<std::size_t>(l); }
+  /// Maps a level to its table slot; rejects raw values outside the DVS
+  /// bounds [Off, High] (a corrupted message or bad cast would otherwise
+  /// read past the table).
+  static std::size_t idx(PowerLevel l) {
+    ERAPID_REQUIRE(static_cast<std::uint8_t>(l) <= static_cast<std::uint8_t>(PowerLevel::High),
+                   "power level outside DVS bounds: " << static_cast<int>(l));
+    return static_cast<std::size_t>(l);
+  }
 
   std::array<LevelSpec, 4> table_{{
       {0.0, 0.0, 0.0},      // Off: laser and receiver dark

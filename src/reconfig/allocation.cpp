@@ -10,11 +10,24 @@ std::vector<Directive> allocate_lanes(BoardId dest, const std::vector<FlowStatsE
                                       const std::vector<LaneOwnership>& lanes,
                                       const DbrPolicy& policy,
                                       power::PowerLevel grant_level) {
+  // Each wavelength has exactly one ownership slot at this coupler; a
+  // duplicate entry means the caller's lane map is corrupt and every
+  // decision below would double-spend a lane.
+  ERAPID_REQUIRE(([&] {
+                   for (std::size_t i = 0; i < lanes.size(); ++i)
+                     for (std::size_t j = i + 1; j < lanes.size(); ++j)
+                       if (lanes[i].wavelength == lanes[j].wavelength) return false;
+                   return true;
+                 }()),
+                 "duplicate wavelength in lane ownership for dest=" << dest.value());
+
   // Classify flows.
   std::vector<const FlowStatsEntry*> over;
   std::vector<BoardId> under;  // flows whose lanes may be harvested
   for (const auto& f : flows) {
-    ERAPID_EXPECT(f.src != dest, "a board does not report a flow to itself");
+    ERAPID_REQUIRE(f.src.valid() && f.src != dest,
+                   "flow stats entry must name a remote source board, got src="
+                       << f.src.value() << " dest=" << dest.value());
     if (f.buffer_util > policy.b_max) {
       over.push_back(&f);
     } else if (f.buffer_util <= policy.b_min && f.queued == 0) {
@@ -85,6 +98,25 @@ std::vector<Directive> allocate_lanes(BoardId dest, const std::vector<FlowStatsE
       granted_any = true;
     }
   }
+  // Allocation conservation: a re-solve only *moves* lanes. Every directive
+  // names a distinct wavelength drawn from the input ownership, so Σ lanes
+  // per channel is constant across the re-solve (a lane leaves old_owner
+  // and arrives at new_owner; dark lanes come from the dark pool).
+  ERAPID_INVARIANT(([&] {
+                     for (std::size_t i = 0; i < out.size(); ++i) {
+                       for (std::size_t j = i + 1; j < out.size(); ++j)
+                         if (out[i].wavelength == out[j].wavelength) return false;
+                       const auto it = std::find_if(
+                           lanes.begin(), lanes.end(), [&](const LaneOwnership& l) {
+                             return l.wavelength == out[i].wavelength;
+                           });
+                       if (it == lanes.end() || it->owner != out[i].old_owner) return false;
+                       if (!out[i].new_owner.valid() || out[i].new_owner == out[i].old_owner)
+                         return false;
+                     }
+                     return true;
+                   }()),
+                   "lane conservation violated in re-solve for dest=" << dest.value());
   return out;
 }
 

@@ -10,7 +10,7 @@ std::string_view to_string(DpmStrategyKind k) {
     case DpmStrategyKind::Hysteresis: return "hysteresis";
     case DpmStrategyKind::Ewma: return "ewma";
   }
-  return "?";
+  ERAPID_UNREACHABLE("unmodeled DPM strategy kind " << static_cast<int>(k));
 }
 
 std::optional<PowerLevel> ThresholdDpm::decide(const LaneObservation& obs) {
@@ -72,7 +72,7 @@ std::unique_ptr<DpmStrategy> make_dpm_strategy(DpmStrategyKind kind, const DpmPo
     case DpmStrategyKind::Ewma:
       return std::make_unique<EwmaDpm>(policy, params.ewma_alpha);
   }
-  return std::make_unique<ThresholdDpm>(policy);
+  ERAPID_UNREACHABLE("unmodeled DPM strategy kind " << static_cast<int>(kind));
 }
 
 }  // namespace erapid::reconfig

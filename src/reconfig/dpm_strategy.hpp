@@ -20,10 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
 
 #include "power/link_power.hpp"
 #include "reconfig/policy.hpp"
@@ -91,13 +91,17 @@ class HysteresisDpm final : public DpmStrategy {
   };
   DpmPolicy policy_;
   std::uint32_t required_;
-  std::unordered_map<std::uint64_t, State> state_;
+  // Ordered map: per-lane state lookup must be insertion-order independent
+  // (determinism contract, DESIGN.md §7).
+  std::map<std::uint64_t, State> state_;
 };
 
 /// EWMA-predicted utilization driving the threshold rule.
 class EwmaDpm final : public DpmStrategy {
  public:
-  EwmaDpm(const DpmPolicy& policy, double alpha) : policy_(policy), alpha_(alpha) {}
+  EwmaDpm(const DpmPolicy& policy, double alpha) : policy_(policy), alpha_(alpha) {
+    ERAPID_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA weight must be in (0, 1], got " << alpha);
+  }
   std::optional<power::PowerLevel> decide(const LaneObservation& obs) override;
   [[nodiscard]] std::string_view name() const override { return "ewma"; }
 
@@ -109,7 +113,8 @@ class EwmaDpm final : public DpmStrategy {
   };
   DpmPolicy policy_;
   double alpha_;
-  std::unordered_map<std::uint64_t, State> state_;
+  // Ordered map: see HysteresisDpm::state_.
+  std::map<std::uint64_t, State> state_;
 };
 
 /// Factory used by the reconfiguration manager.

@@ -14,9 +14,13 @@ ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConf
       cfg_rc_(rc_cfg),
       lane_map_(lane_map),
       terminals_(std::move(terminals)) {
-  ERAPID_EXPECT(terminals_.size() == cfg_.num_boards_total(),
-                "one optical terminal per board required");
-  ERAPID_EXPECT(cfg_rc_.window > 0, "reconfiguration window must be positive");
+  ERAPID_REQUIRE(terminals_.size() == cfg_.num_boards_total(),
+                 "one optical terminal per board required: got " << terminals_.size()
+                     << " terminals for " << cfg_.num_boards_total() << " boards");
+  ERAPID_REQUIRE(cfg_rc_.window > 0, "reconfiguration window must be positive");
+  ERAPID_REQUIRE(cfg_rc_.ring_hop_cycles > 0 && cfg_rc_.lc_hop_cycles > 0,
+                 "control-plane hops take >= 1 cycle: ring=" << cfg_rc_.ring_hop_cycles
+                     << " lc=" << cfg_rc_.lc_hop_cycles);
   lane_stats_.resize(terminals_.size());
   flow_stats_.resize(terminals_.size());
   dpm_.reserve(terminals_.size());
@@ -101,6 +105,12 @@ std::optional<std::uint32_t> ReconfigManager::ctrl_attempts(CtrlStage stage, Boa
 }
 
 void ReconfigManager::run_power_cycle(Cycle t) {
+  // Lock-Step window parity (§3.2): with both planes enabled, DPM owns the
+  // odd windows; a power cycle on an even window means the alternation
+  // logic regressed.
+  ERAPID_INVARIANT(!(cfg_rc_.mode.power_aware && cfg_rc_.mode.bandwidth_reconfig) ||
+                       window_index_ % 2 == 1,
+                   "LS parity: power cycle on even window " << window_index_);
   ++counters_.power_cycles;
   // Power_Request circulates the on-board LC chain; every LC then decides
   // locally. All boards run concurrently (lock-step), so decisions land
@@ -145,6 +155,11 @@ void ReconfigManager::run_power_cycle(Cycle t) {
 }
 
 void ReconfigManager::run_bandwidth_cycle(Cycle t) {
+  // Lock-Step window parity (§3.2): DBR owns the even windows (see
+  // run_power_cycle).
+  ERAPID_INVARIANT(!(cfg_rc_.mode.power_aware && cfg_rc_.mode.bandwidth_reconfig) ||
+                       window_index_ % 2 == 0,
+                   "LS parity: bandwidth cycle on odd window " << window_index_);
   ++counters_.bandwidth_cycles;
   const std::uint32_t B = cfg_.num_boards_total();
   const std::uint32_t W = cfg_.num_wavelengths();

@@ -48,21 +48,39 @@ NetworkMode NetworkMode::p_b() {
 std::optional<PowerLevel> dpm_decision(PowerLevel current, double link_util,
                                        double buffer_util, bool queue_empty,
                                        const DpmPolicy& policy) {
-  if (current == PowerLevel::Off) return std::nullopt;  // woken on demand, not by DPM
+  // Utilizations are window-averaged ratios; anything outside [0, 1] means
+  // an LC counter overflowed or a harvest window inverted.
+  ERAPID_REQUIRE(link_util >= 0.0 && link_util <= 1.0,
+                 "Link_util must be a ratio in [0, 1], got " << link_util);
+  ERAPID_REQUIRE(buffer_util >= 0.0 && buffer_util <= 1.0,
+                 "Buffer_util must be a ratio in [0, 1], got " << buffer_util);
 
-  // DLS: a lane idle for the whole window with nothing queued goes dark.
-  if (policy.shutdown_idle && link_util == 0.0 && queue_empty) return PowerLevel::Off;
+  // DVS bounds: a DPM decision is a no-op, a single DVS step, or a DLS
+  // shutdown — never a jump outside [Off, High] and never "change to the
+  // level we already hold". Every exit path funnels through this check.
+  const auto checked = [&](std::optional<PowerLevel> decision) {
+    ERAPID_INVARIANT(!decision || (*decision != current &&
+                                   *decision <= PowerLevel::High &&
+                                   (*decision != PowerLevel::Off || policy.shutdown_idle)),
+                     "DPM decision outside DVS bounds");
+    return decision;
+  };
 
+  if (current == PowerLevel::Off) return checked(std::nullopt);  // woken on demand, not by DPM
+  if (policy.shutdown_idle && link_util == 0.0 && queue_empty) {
+    // DLS: a lane idle for the whole window with nothing queued goes dark.
+    return checked(PowerLevel::Off);
+  }
   if (link_util < policy.l_min) {
     const PowerLevel down = power::step_down(current);
-    return down == current ? std::nullopt : std::optional{down};
+    return checked(down == current ? std::nullopt : std::optional{down});
   }
   if (link_util > policy.l_max &&
       (!policy.require_buffer_for_upscale || buffer_util > policy.b_max)) {
     const PowerLevel up = power::step_up(current);
-    return up == current ? std::nullopt : std::optional{up};
+    return checked(up == current ? std::nullopt : std::optional{up});
   }
-  return std::nullopt;
+  return checked(std::nullopt);
 }
 
 }  // namespace erapid::reconfig

@@ -22,16 +22,22 @@ void LaneMap::reset_static() {
 }
 
 void LaneMap::grant(BoardId d, WavelengthId w, BoardId s) {
-  ERAPID_EXPECT(s.valid() && s != d, "lane owner must be a remote board");
-  ERAPID_EXPECT(!is_failed(d, w), "granting a failed lane");
+  ERAPID_REQUIRE(s.valid() && s != d,
+                 "lane owner must be a remote board: s=" << s.value() << " d=" << d.value());
+  ERAPID_REQUIRE(!is_failed(d, w), "granting a failed lane: d=" << d.value() << " w=" << w.value());
   auto& slot = own_[index(d, w)];
-  ERAPID_EXPECT(!slot.valid(), "wavelength collision: lane already owned");
+  // Lane <-> wavelength bijection: at most one transmitter per (coupler,
+  // wavelength) pair, ever.
+  ERAPID_INVARIANT(!slot.valid(), "wavelength collision: lane d=" << d.value() << " w="
+                                      << w.value() << " already owned by board "
+                                      << slot.value());
   slot = s;
 }
 
 void LaneMap::release(BoardId d, WavelengthId w) {
   auto& slot = own_[index(d, w)];
-  ERAPID_EXPECT(slot.valid(), "releasing a lane that is already dark");
+  ERAPID_REQUIRE(slot.valid(),
+                 "releasing a lane that is already dark: d=" << d.value() << " w=" << w.value());
   slot = BoardId{};
 }
 

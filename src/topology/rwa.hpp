@@ -37,12 +37,12 @@ struct LaneRef {
 class Rwa {
  public:
   explicit Rwa(std::uint32_t boards) : boards_(boards) {
-    ERAPID_EXPECT(boards >= 2, "RWA needs >= 2 boards");
+    ERAPID_REQUIRE(boards >= 2, "RWA needs >= 2 boards, got " << boards);
   }
 
   /// λ index board `s` uses to reach board `d` under the static assignment.
   [[nodiscard]] WavelengthId wavelength_for(BoardId s, BoardId d) const {
-    ERAPID_EXPECT(s != d, "no wavelength is assigned for self-communication");
+    ERAPID_REQUIRE(s != d, "no wavelength is assigned for self-communication");
     const std::uint32_t w = (s.value() + boards_ - d.value()) % boards_;
     return WavelengthId{w};
   }
@@ -120,7 +120,8 @@ class LaneMap {
 
  private:
   [[nodiscard]] std::size_t index(BoardId d, WavelengthId w) const {
-    ERAPID_EXPECT(d.value() < boards_ && w.value() < wavelengths_, "lane out of range");
+    ERAPID_REQUIRE(d.value() < boards_ && w.value() < wavelengths_,
+                   "lane out of range: d=" << d.value() << " w=" << w.value());
     return static_cast<std::size_t>(d.value()) * wavelengths_ + w.value();
   }
 

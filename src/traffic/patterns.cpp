@@ -16,7 +16,7 @@ std::string_view pattern_name(PatternKind k) {
     case PatternKind::Neighbor: return "neighbor";
     case PatternKind::Hotspot: return "hotspot";
   }
-  return "?";
+  ERAPID_UNREACHABLE("unmodeled pattern kind " << static_cast<int>(k));
 }
 
 std::optional<PatternKind> parse_pattern(std::string_view name) {
@@ -88,8 +88,7 @@ NodeId TrafficPattern::permute(NodeId src) const {
     case PatternKind::Hotspot:
       break;
   }
-  ERAPID_EXPECT(false, "permute() called on a stochastic pattern");
-  return NodeId{};
+  ERAPID_UNREACHABLE("permute() called on a stochastic pattern");
 }
 
 NodeId TrafficPattern::destination(NodeId src, util::Rng& rng) const {

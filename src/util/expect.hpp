@@ -1,10 +1,33 @@
-// Runtime invariant checking.
+// Contract and invariant layer.
 //
-// ERAPID_EXPECT is used for model invariants that must hold regardless of
-// build type (wavelength-collision freedom, credit conservation, ...). A
-// violated invariant throws erapid::ModelInvariantError so tests can assert
-// on it and long batch runs fail loudly instead of silently corrupting
-// statistics.
+// Three macro families, all throwing erapid::ModelInvariantError with a
+// rich diagnostic (kind, stringified condition, file:line, function, and a
+// streamed message) so tests can assert on violations and long batch runs
+// fail loudly instead of silently corrupting statistics:
+//
+//   ERAPID_REQUIRE(cond, msg)    precondition on a public API — the caller
+//                                handed us an argument or drove a state
+//                                machine outside its domain.
+//   ERAPID_INVARIANT(cond, msg)  internal model invariant — if this fires
+//                                the *model* is wrong (conservation,
+//                                monotonicity, bijection properties).
+//   ERAPID_UNREACHABLE(msg)      control flow that must be dead: the
+//                                fallthrough of an exhaustive enum switch,
+//                                the else of a total classification. Always
+//                                active (an unmodeled message value must
+//                                never be processed silently).
+//
+// The message argument supports stream syntax:
+//
+//   ERAPID_REQUIRE(when >= now_, "when=" << when << " now=" << now_);
+//
+// Contract checks default ON in every build type. Defining
+// ERAPID_NO_CONTRACTS (cmake -DERAPID_NO_CONTRACTS=ON) compiles
+// ERAPID_REQUIRE / ERAPID_INVARIANT out for maximum-speed Release batch
+// sweeps; their conditions are then *not evaluated*, so conditions must be
+// side-effect free. ERAPID_UNREACHABLE and the legacy ERAPID_EXPECT stay
+// active in all configurations (ERAPID_EXPECT also guards input validation
+// — config parsing, file I/O — which is error handling, not a contract).
 #pragma once
 
 #include <sstream>
@@ -13,28 +36,66 @@
 
 namespace erapid {
 
-/// Thrown when a simulator model invariant is violated.
+/// Thrown when a simulator model invariant or API contract is violated.
 class ModelInvariantError : public std::logic_error {
  public:
   explicit ModelInvariantError(const std::string& what) : std::logic_error(what) {}
 };
 
 namespace detail {
-[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line,
-                                         const std::string& msg) {
+
+[[noreturn]] inline void throw_contract(const char* kind, const char* expr, const char* file,
+                                        int line, const char* func, const std::string& msg) {
   std::ostringstream os;
-  os << "model invariant violated: (" << expr << ") at " << file << ":" << line;
+  os << kind << ": (" << expr << ") in " << func << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw ModelInvariantError(os.str());
 }
+
 }  // namespace detail
 
 }  // namespace erapid
 
-/// Check a model invariant; throws ModelInvariantError on failure.
-#define ERAPID_EXPECT(cond, msg)                                              \
-  do {                                                                        \
-    if (!(cond)) {                                                            \
-      ::erapid::detail::throw_invariant(#cond, __FILE__, __LINE__, (msg));    \
-    }                                                                         \
+/// Builds a std::string from a stream-style message fragment.
+#define ERAPID_DETAIL_MSG(msg)      \
+  ([&]() -> std::string {           \
+    std::ostringstream erapid_os_;  \
+    erapid_os_ << msg;              \
+    return erapid_os_.str();        \
+  }())
+
+#define ERAPID_DETAIL_CHECK(kind, cond, msg)                                        \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::erapid::detail::throw_contract(kind, #cond, __FILE__, __LINE__,             \
+                                       static_cast<const char*>(__func__),          \
+                                       ERAPID_DETAIL_MSG(msg));                     \
+    }                                                                               \
   } while (false)
+
+/// Swallows a contract without evaluating it (keeps variables "used").
+#define ERAPID_DETAIL_NOP(cond, msg)                    \
+  do {                                                  \
+    (void)sizeof((cond) ? 1 : 0);                       \
+    (void)sizeof(ERAPID_DETAIL_MSG(msg));               \
+  } while (false)
+
+/// Legacy check macro: input validation and model invariants that must hold
+/// regardless of build type. Active in every configuration.
+#define ERAPID_EXPECT(cond, msg) ERAPID_DETAIL_CHECK("model invariant violated", cond, msg)
+
+/// Unreachable control flow; always active.
+#define ERAPID_UNREACHABLE(msg)                                                       \
+  ::erapid::detail::throw_contract("unreachable code reached", "false", __FILE__,     \
+                                   __LINE__, static_cast<const char*>(__func__),      \
+                                   ERAPID_DETAIL_MSG(msg))
+
+#if defined(ERAPID_NO_CONTRACTS)
+#define ERAPID_REQUIRE(cond, msg) ERAPID_DETAIL_NOP(cond, msg)
+#define ERAPID_INVARIANT(cond, msg) ERAPID_DETAIL_NOP(cond, msg)
+#else
+/// Precondition on a public API entry point.
+#define ERAPID_REQUIRE(cond, msg) ERAPID_DETAIL_CHECK("precondition violated", cond, msg)
+/// Internal model invariant (conservation, monotonicity, bijection).
+#define ERAPID_INVARIANT(cond, msg) ERAPID_DETAIL_CHECK("invariant violated", cond, msg)
+#endif

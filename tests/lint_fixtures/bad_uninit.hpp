@@ -1,0 +1,10 @@
+// det-lint fixture: uninitialized scalar members -> `uninit-member`.
+#pragma once
+#include <cstdint>
+
+struct BadConfig {
+  double threshold;
+  std::uint32_t window;
+  bool enabled;
+  int* sink;
+};

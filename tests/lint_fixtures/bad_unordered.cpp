@@ -1,0 +1,12 @@
+// det-lint fixture: every line here should trip `unordered-container`.
+#include <unordered_map>
+#include <unordered_set>
+
+struct BadState {
+  std::unordered_map<int, double> by_lane;
+  std::unordered_set<int> seen;
+};
+
+void iterate(const BadState& s) {
+  for (const auto& [k, v] : s.by_lane) (void)k, (void)v;
+}

@@ -1,0 +1,12 @@
+// det-lint fixture: every hazard below carries an in-place suppression —
+// zero findings expected.
+#include <unordered_map>  // det-lint: allow(unordered-container)
+#include <cstdlib>
+
+// det-lint: allow(unordered-container)
+std::unordered_map<int, int> lookup_only;
+
+int seeded_elsewhere() {
+  // det-lint: allow(nondet-source)
+  return std::rand();
+}

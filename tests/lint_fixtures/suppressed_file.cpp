@@ -1,0 +1,7 @@
+// det-lint fixture: file-wide suppression — zero findings expected.
+// det-lint: allow-file(unordered-container)
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> a;
+std::unordered_set<int> b;

@@ -109,6 +109,91 @@ TEST(OptionsIo, CustomValuesSurviveRoundTrip) {
   EXPECT_DOUBLE_EQ(back.reconfig.dpm_params.ewma_alpha, 0.25);
 }
 
+// Determinism contract (DESIGN.md §7): every options struct must be fully
+// initialized by default construction — an indeterminate member would make
+// two "identical" runs diverge. Default-construct each one, read every
+// scalar back (uninitialized reads are UB and trip MSan/valgrind in the
+// sanitizer CI job), and check the documented defaults.
+TEST(OptionsIo, EveryOptionsStructDefaultConstructsInitialized) {
+  const erapid::topology::SystemConfig sys;
+  EXPECT_EQ(sys.clusters, 1u);
+  EXPECT_EQ(sys.boards, 8u);
+  EXPECT_EQ(sys.nodes_per_board, 8u);
+  EXPECT_DOUBLE_EQ(sys.router_clock_ghz, 0.4);
+  EXPECT_EQ(sys.channel_width_bits, 16u);
+  EXPECT_EQ(sys.flit_bits, 64u);
+  EXPECT_EQ(sys.packet_flits, 8u);
+  EXPECT_EQ(sys.num_vcs, 4u);
+  EXPECT_EQ(sys.vc_buffer_flits, 8u);
+  EXPECT_EQ(sys.credit_delay, 1u);
+  EXPECT_EQ(sys.tx_queue_packets, 16u);
+  EXPECT_EQ(sys.rx_queue_packets, 8u);
+  EXPECT_EQ(sys.fiber_delay_cycles, 8u);
+  EXPECT_EQ(sys.tx_feed_cycles_per_flit, 1u);
+  EXPECT_EQ(sys.injection_queue_packets, 64u);
+  EXPECT_NO_THROW(sys.validate());
+
+  const erapid::reconfig::DpmPolicy dpm;
+  EXPECT_DOUBLE_EQ(dpm.l_min, 0.7);
+  EXPECT_DOUBLE_EQ(dpm.l_max, 0.9);
+  EXPECT_DOUBLE_EQ(dpm.b_max, 0.3);
+  EXPECT_TRUE(dpm.require_buffer_for_upscale);
+  EXPECT_TRUE(dpm.shutdown_idle);
+
+  const erapid::reconfig::DbrPolicy dbr;
+  EXPECT_DOUBLE_EQ(dbr.b_min, 0.0);
+  EXPECT_DOUBLE_EQ(dbr.b_max, 0.3);
+  EXPECT_EQ(dbr.max_lanes_per_flow, 0u);
+
+  const erapid::reconfig::DpmStrategyParams params;
+  EXPECT_EQ(params.hysteresis_windows, 2u);
+  EXPECT_DOUBLE_EQ(params.ewma_alpha, 0.5);
+
+  const erapid::reconfig::ReconfigConfig rc;
+  EXPECT_EQ(rc.window, 2000u);
+  EXPECT_EQ(rc.ring_hop_cycles, 16u);
+  EXPECT_EQ(rc.lc_hop_cycles, 4u);
+  EXPECT_EQ(rc.mode.name, "NP-NB");
+  EXPECT_EQ(rc.grant_level, erapid::power::PowerLevel::High);
+  EXPECT_EQ(rc.dpm_strategy, erapid::reconfig::DpmStrategyKind::Threshold);
+  EXPECT_EQ(rc.ctrl_retry_limit, 3u);
+
+  const erapid::power::LinkPowerModel pw;
+  EXPECT_DOUBLE_EQ(pw.power_mw(erapid::power::PowerLevel::Off), 0.0);
+  EXPECT_DOUBLE_EQ(pw.power_mw(erapid::power::PowerLevel::High), 43.03);
+  EXPECT_EQ(pw.voltage_transition_cycles(), 65u);
+  EXPECT_EQ(pw.freq_relock_cycles(), 12u);
+
+  const erapid::fault::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.ctrl_drop_prob, 0.0);
+
+  const SimOptions def;
+  EXPECT_EQ(def.pattern, erapid::traffic::PatternKind::Uniform);
+  EXPECT_DOUBLE_EQ(def.hotspot_fraction, 0.2);
+  EXPECT_EQ(def.hotspot_node, 0u);
+  EXPECT_DOUBLE_EQ(def.load_fraction, 0.5);
+  EXPECT_EQ(def.seed, 1u);
+  EXPECT_EQ(def.warmup_cycles, 20000u);
+  EXPECT_EQ(def.measure_cycles, 30000u);
+  EXPECT_EQ(def.drain_limit, 150000u);
+}
+
+// Serialize → parse → serialize must be a fixed point: any field dropped or
+// renamed by one direction of the round-trip shows up as INI-text drift.
+TEST(OptionsIo, SerializeParseSerializeIsIdempotent) {
+  SimOptions o;
+  o.system.boards = 4;
+  o.reconfig.mode = erapid::reconfig::NetworkMode::p_b();
+  o.reconfig.dpm_strategy = erapid::reconfig::DpmStrategyKind::Hysteresis;
+  o.fault = erapid::fault::FaultPlan::parse_events("lane_fail@5000:d2:w1");
+
+  std::ostringstream first, second;
+  options_to_ini(o).save(first);
+  options_to_ini(options_from_ini(options_to_ini(o))).save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(OptionsIo, UnknownKeyThrows) {
   const auto ini = Ini::parse_string("[system]\nbords = 8\n");  // typo
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);

@@ -72,8 +72,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismByMode,
                                          reconfig::NetworkMode::p_nb(),
                                          reconfig::NetworkMode::np_b(),
                                          reconfig::NetworkMode::p_b()),
-                         [](const auto& info) {
-                           std::string n(info.param.name);
+                         [](const auto& param_info) {
+                           std::string n(param_info.param.name);
                            for (auto& c : n) {
                              if (c == '-') c = '_';
                            }

@@ -2,6 +2,11 @@
 // hysteresis, EWMA) — the paper's future-work evaluation surface.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <map>
+#include <optional>
+#include <vector>
+
 #include "reconfig/dpm_strategy.hpp"
 #include "sim/simulation.hpp"
 
@@ -100,6 +105,42 @@ TEST(EwmaStrategy, DlsStillFiresAfterSustainedIdle) {
   EXPECT_EQ(decision, PowerLevel::Off);
 }
 
+// Determinism regression (DESIGN.md §7): stateful strategies key per-lane
+// state by lane, and the order in which lanes are first observed must not
+// leak into any lane's decision stream. This is what changing the state
+// maps from unordered_map to std::map pins down — were iteration order ever
+// used, the interleaving below would produce divergent decisions.
+TEST(StatefulStrategies, DecisionsIndependentOfLaneInsertionOrder) {
+  const std::uint32_t lanes[] = {7, 3, 11, 1, 5};
+  constexpr int kWindows = 6;
+  auto util_for = [](std::uint32_t lane, int window) {
+    // Distinct per-lane trajectories crossing both thresholds.
+    return (lane % 2 == 0 || window < 3) ? 0.5 : 0.95;
+  };
+
+  for (auto kind : {DpmStrategyKind::Hysteresis, DpmStrategyKind::Ewma}) {
+    DpmStrategyParams params;
+    params.hysteresis_windows = 2;
+    params.ewma_alpha = 0.5;
+    auto forward = make_dpm_strategy(kind, DpmPolicy{}, params);
+    auto reversed = make_dpm_strategy(kind, DpmPolicy{}, params);
+
+    // decisions[lane] collected with lanes visited in opposite orders.
+    std::map<std::uint32_t, std::vector<std::optional<PowerLevel>>> fwd, rev;
+    for (int w = 0; w < kWindows; ++w) {
+      for (auto it = std::begin(lanes); it != std::end(lanes); ++it) {
+        fwd[*it].push_back(forward->decide(obs(util_for(*it, w), 0.5, PowerLevel::Mid,
+                                               false, *it)));
+      }
+      for (auto it = std::rbegin(lanes); it != std::rend(lanes); ++it) {
+        rev[*it].push_back(reversed->decide(obs(util_for(*it, w), 0.5, PowerLevel::Mid,
+                                                false, *it)));
+      }
+    }
+    EXPECT_EQ(fwd, rev) << "lane order leaked into " << to_string(kind) << " decisions";
+  }
+}
+
 TEST(Factory, BuildsEveryKind) {
   for (auto kind :
        {DpmStrategyKind::Threshold, DpmStrategyKind::Hysteresis, DpmStrategyKind::Ewma}) {
@@ -133,8 +174,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, StrategySweep,
                          ::testing::Values(DpmStrategyKind::Threshold,
                                            DpmStrategyKind::Hysteresis,
                                            DpmStrategyKind::Ewma),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(StrategyEndToEnd, HysteresisReducesTransitionChurn) {

@@ -56,17 +56,17 @@ TEST(FaultSpec, CtrlDropRoundTrip) {
 }
 
 TEST(FaultSpec, MalformedSpecsThrow) {
-  EXPECT_THROW(FaultEvent::parse("lane_fail5000:d2:w1"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("lane_fail@:d2:w1"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("lane_fail@5000:d2"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("lane_fail@5000:w1:d2"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("lane_fail@5000:d2:w1:extra"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("laser_degrade@1:d0:w1:off:100"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("laser_degrade@1:d0:w1:low"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("ctrl_drop@1:bus:b0"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("ctrl_drop@1:ring:b0:n0"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("meteor_strike@1:d0:w0"), ModelInvariantError);
-  EXPECT_THROW(FaultEvent::parse("lane_fail@50x0:d2:w1"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail5000:d2:w1"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@:d2:w1"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@5000:d2"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@5000:w1:d2"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@5000:d2:w1:extra"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("laser_degrade@1:d0:w1:off:100"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("laser_degrade@1:d0:w1:low"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("ctrl_drop@1:bus:b0"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("ctrl_drop@1:ring:b0:n0"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("meteor_strike@1:d0:w0"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@50x0:d2:w1"), ModelInvariantError);
 }
 
 TEST(FaultSpec, ListParsingAcceptsMixedSeparators) {

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/det_lint.py.
+
+Runs the linter over the fixture corpus in tests/lint_fixtures/: each bad_*
+fixture must trip exactly its rule, the good fixtures must be clean, and
+in-place / file-wide suppressions must be honored. Registered in CTest as
+`lint.self_test`.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+FIXTURES = TESTS_DIR / "lint_fixtures"
+
+sys.path.insert(0, str(REPO_ROOT / "tools" / "lint"))
+import det_lint  # noqa: E402
+
+
+def lint(name, rules=None):
+    path = FIXTURES / name
+    return det_lint.lint_path(path, set(rules or det_lint.RULES))
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class BadFixturesTrip(unittest.TestCase):
+    def test_unordered_container(self):
+        findings = lint("bad_unordered.cpp")
+        self.assertEqual(rules_of(findings), {"unordered-container"})
+        # Both includes and both member declarations.
+        self.assertGreaterEqual(len(findings), 4)
+
+    def test_nondet_source(self):
+        findings = lint("bad_nondet.cpp")
+        self.assertEqual(rules_of(findings), {"nondet-source"})
+        lines = {f.line for f in findings}
+        # random_device/rand, time(), steady_clock, clock() all fire.
+        self.assertGreaterEqual(len(lines), 4)
+
+    def test_pointer_order(self):
+        findings = lint("bad_pointer_order.cpp")
+        self.assertEqual(rules_of(findings), {"pointer-order"})
+        # Pointer-keyed map, pointer-keyed set, pointer comparator lambda.
+        self.assertGreaterEqual(len(findings), 3)
+
+    def test_uninit_member(self):
+        findings = lint("bad_uninit.hpp")
+        self.assertEqual(rules_of(findings), {"uninit-member"})
+        # threshold, window, enabled, sink.
+        self.assertEqual(len(findings), 4)
+
+    def test_enum_switch_default(self):
+        findings = lint("bad_enum_switch.cpp")
+        self.assertEqual(rules_of(findings), {"enum-switch-default"})
+        self.assertEqual(len(findings), 1)
+
+
+class GoodFixturesClean(unittest.TestCase):
+    def test_good_header(self):
+        self.assertEqual(lint("good.hpp"), [])
+
+    def test_good_source(self):
+        self.assertEqual(lint("good.cpp"), [])
+
+
+class SuppressionsHonored(unittest.TestCase):
+    def test_inline_allow(self):
+        self.assertEqual(lint("suppressed.cpp"), [])
+
+    def test_file_allow(self):
+        self.assertEqual(lint("suppressed_file.cpp"), [])
+
+    def test_allow_only_covers_named_rule(self):
+        # The same suppression comment must not silence a different rule.
+        findings = lint("bad_unordered.cpp", rules=["unordered-container"])
+        self.assertTrue(findings)
+
+
+class RuleSelection(unittest.TestCase):
+    def test_rule_subset_filters(self):
+        findings = lint("bad_unordered.cpp", rules=["nondet-source"])
+        self.assertEqual(findings, [])
+
+    def test_unknown_rule_is_usage_error(self):
+        rc = det_lint.main([str(FIXTURES / "good.cpp"), "--rules", "no-such-rule"])
+        self.assertEqual(rc, 2)
+
+
+class CliContract(unittest.TestCase):
+    def test_exit_codes_and_json_report(self):
+        with tempfile.TemporaryDirectory() as td:
+            report = Path(td) / "report.json"
+            rc_bad = det_lint.main([str(FIXTURES / "bad_uninit.hpp"), "--json", str(report)])
+            self.assertEqual(rc_bad, 1)
+            doc = json.loads(report.read_text())
+            self.assertEqual(doc["tool"], "det-lint")
+            self.assertEqual(doc["finding_count"], 4)
+            self.assertTrue(all(f["rule"] == "uninit-member" for f in doc["findings"]))
+            self.assertTrue(all("file" in f and "line" in f for f in doc["findings"]))
+
+            rc_good = det_lint.main([str(FIXTURES / "good.cpp"), "--json", str(report)])
+            self.assertEqual(rc_good, 0)
+            self.assertEqual(json.loads(report.read_text())["finding_count"], 0)
+
+    def test_src_tree_is_clean(self):
+        # The enforced gate: the simulator source must stay hazard-free.
+        rc = det_lint.main([str(REPO_ROOT / "src")])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

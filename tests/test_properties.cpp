@@ -50,8 +50,8 @@ TEST_P(RwaSweep, OwnerInverseHoldsEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(BoardCounts, RwaSweep,
                          ::testing::Values(2u, 3u, 4u, 5u, 8u, 13u, 16u, 32u),
-                         [](const auto& info) {
-                           return "B" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "B" + std::to_string(param_info.param);
                          });
 
 // ---- serialization over (bitrate, packet size) --------------------------
@@ -100,12 +100,12 @@ TEST_P(LevelSweep, TransitionSymmetricCost) {
 INSTANTIATE_TEST_SUITE_P(Levels, LevelSweep,
                          ::testing::Values(power::PowerLevel::Off, power::PowerLevel::Low,
                                            power::PowerLevel::Mid, power::PowerLevel::High),
-                         [](const auto& info) {
-                           return std::string(power::to_string(info.param) == "P_low"
+                         [](const auto& param_info) {
+                           return std::string(power::to_string(param_info.param) == "P_low"
                                                   ? "Low"
-                                              : power::to_string(info.param) == "P_mid"
+                                              : power::to_string(param_info.param) == "P_mid"
                                                   ? "Mid"
-                                              : power::to_string(info.param) == "P_high"
+                                              : power::to_string(param_info.param) == "P_high"
                                                   ? "High"
                                                   : "Off");
                          });
@@ -171,10 +171,10 @@ INSTANTIATE_TEST_SUITE_P(Microarch, RouterSweep,
                          ::testing::Combine(::testing::Values(1u, 2u, 4u),   // vcs
                                             ::testing::Values(1u, 2u, 8u),   // depth
                                             ::testing::Values(1u, 4u)),      // cycles/flit
-                         [](const auto& info) {
-                           return "v" + std::to_string(std::get<0>(info.param)) + "_d" +
-                                  std::to_string(std::get<1>(info.param)) + "_c" +
-                                  std::to_string(std::get<2>(info.param));
+                         [](const auto& param_info) {
+                           return "v" + std::to_string(std::get<0>(param_info.param)) + "_d" +
+                                  std::to_string(std::get<1>(param_info.param)) + "_c" +
+                                  std::to_string(std::get<2>(param_info.param));
                          });
 
 // ---- end-to-end conservation across patterns and modes --------------------
@@ -183,10 +183,10 @@ class ConservationSweep
     : public ::testing::TestWithParam<std::tuple<traffic::PatternKind, int>> {};
 
 std::string conservation_name(
-    const ::testing::TestParamInfo<std::tuple<traffic::PatternKind, int>>& info) {
+    const ::testing::TestParamInfo<std::tuple<traffic::PatternKind, int>>& param_info) {
   static const char* modes[] = {"NPNB", "PNB", "NPB", "PB"};
-  return std::string(traffic::pattern_name(std::get<0>(info.param))) + "_" +
-         modes[std::get<1>(info.param)];
+  return std::string(traffic::pattern_name(std::get<0>(param_info.param))) + "_" +
+         modes[std::get<1>(param_info.param)];
 }
 
 TEST_P(ConservationSweep, LabelledPacketsAllArriveBelowSaturation) {
@@ -246,9 +246,9 @@ INSTANTIATE_TEST_SUITE_P(Shapes, CapacitySweep,
                          ::testing::Values(std::tuple{2u, 2u}, std::tuple{2u, 8u},
                                            std::tuple{4u, 4u}, std::tuple{8u, 2u},
                                            std::tuple{8u, 8u}),
-                         [](const auto& info) {
-                           return "B" + std::to_string(std::get<0>(info.param)) + "D" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return "B" + std::to_string(std::get<0>(param_info.param)) + "D" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 }  // namespace

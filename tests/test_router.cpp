@@ -208,7 +208,7 @@ TEST(Router, ContendingInputsShareOneOutputFairly) {
   // Both inputs made progress (strong fairness, no starvation).
   bool saw1 = false, saw2 = false;
   for (const auto& a : rig.sink0->arrivals) {
-    saw1 = saw1 || a.flit.seq >= 100u && a.flit.seq < 200u;
+    saw1 = saw1 || (a.flit.seq >= 100u && a.flit.seq < 200u);
     saw2 = saw2 || a.flit.seq >= 200u;
   }
   EXPECT_TRUE(saw1);

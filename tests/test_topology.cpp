@@ -139,7 +139,7 @@ TEST(Rwa, CouplerSeesEveryWavelengthExactlyOnce) {
 
 TEST(Rwa, SelfCommunicationThrows) {
   Rwa rwa(4);
-  EXPECT_THROW(rwa.wavelength_for(BoardId{2}, BoardId{2}), erapid::ModelInvariantError);
+  EXPECT_THROW((void)rwa.wavelength_for(BoardId{2}, BoardId{2}), erapid::ModelInvariantError);
 }
 
 // ---- LaneMap -----------------------------------------------------------

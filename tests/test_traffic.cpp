@@ -105,8 +105,8 @@ INSTANTIATE_TEST_SUITE_P(AllPermutations, PermutationBijectionTest,
                                            PatternKind::PerfectShuffle,
                                            PatternKind::BitReverse, PatternKind::Transpose,
                                            PatternKind::Tornado, PatternKind::Neighbor),
-                         [](const auto& info) {
-                           return std::string(pattern_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(pattern_name(param_info.param));
                          });
 
 TEST(Patterns, UniformNeverSelfSends) {
@@ -152,7 +152,7 @@ TEST(Patterns, HotspotBiasesTowardHotNode) {
 
 TEST(Patterns, PermuteOnStochasticThrows) {
   TrafficPattern p(PatternKind::Uniform, 64);
-  EXPECT_THROW(p.permute(NodeId{0}), erapid::ModelInvariantError);
+  EXPECT_THROW((void)p.permute(NodeId{0}), erapid::ModelInvariantError);
 }
 
 TEST(Patterns, NonPowerOfTwoRejectedForBitPermutations) {

@@ -1,0 +1,396 @@
+#!/usr/bin/env python3
+"""det-lint — determinism-hazard linter for the E-RAPID simulator.
+
+The whole evaluation rests on same-seed byte-identical simulation
+(tests/test_determinism.cpp pins it dynamically); this linter prevents the
+classic discrete-event-simulation determinism hazards from creeping in
+statically. It is a line-oriented heuristic checker, not a compiler: it is
+deliberately conservative and every rule can be suppressed in place with
+
+    // det-lint: allow(<rule>)            -- same line or the line above
+    // det-lint: allow-file(<rule>)       -- anywhere in the file
+
+Rules
+-----
+  unordered-container   declaration/use of std::unordered_{map,set,multimap,
+                        multiset}. Iteration order is libstdc++-internal and
+                        seed-independent runs may diverge the moment anyone
+                        iterates (and everyone eventually iterates).
+  nondet-source         wall-clock / environmental entropy in model code:
+                        std::rand, srand, std::random_device, time(),
+                        gettimeofday, clock(), std::chrono::{system,steady,
+                        high_resolution}_clock. Model code draws randomness
+                        only from the seeded erapid::util RNG and reads time
+                        only from des::Engine::now().
+  pointer-order         pointer values used as ordering keys: ordered
+                        associative containers keyed by a pointer type, or
+                        std::sort/std::less over raw pointers. Heap addresses
+                        differ run to run (ASLR), so any pointer-keyed order
+                        is nondeterministic.
+  uninit-member         scalar (arithmetic / pointer / enum-class-style)
+                        struct member without a default initializer in a
+                        header. An uninitialized config/message field reads
+                        stack garbage — the nondeterminism shows up miles
+                        downstream in a power/bandwidth decision.
+  enum-switch-default   a switch over scoped enumerators with neither a
+                        `default:` label nor an ERAPID_UNREACHABLE
+                        immediately after the switch. Message-carried enum
+                        values (src/reconfig/messages.hpp handlers) must
+                        fail loudly on unmodeled values, not fall through
+                        silently.
+
+Exit status: 0 clean, 1 unsuppressed findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "unordered-container",
+    "nondet-source",
+    "pointer-order",
+    "uninit-member",
+    "enum-switch-default",
+)
+
+SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+SUPPRESS_FILE_RE = re.compile(r"//\s*det-lint:\s*allow-file\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+
+NONDET_SOURCE_RES = (
+    re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("),
+    re.compile(r"\bstd::random_device\b|(?<![\w:])random_device\b"),
+    re.compile(r"(?<![\w:.])time\s*\(|\bstd::time\b"),
+    re.compile(r"\bgettimeofday\b"),
+    re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
+    re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"),
+)
+
+# std::map/std::set/std::less whose key type is a raw pointer:
+#   std::map<Foo*, ...>, std::set<const Bar *>, std::less<T*>
+POINTER_KEYED_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset|less)\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*[,>]"
+)
+# a comparator lambda ordering raw pointers directly: [...](T* a, T* b) { ... a < b ... }
+POINTER_CMP_LAMBDA_RE = re.compile(
+    r"\[[^\]]*\]\s*\(\s*(?:const\s+)?[\w:]+\s*\*\s*(\w+)\s*,\s*(?:const\s+)?[\w:]+\s*\*\s*(\w+)\s*\)"
+)
+
+# Scalar member declarations we require an initializer for. Matches e.g.
+#   double x;   std::uint32_t n;   bool b;   Cycle when;   Foo* p;
+SCALAR_TYPES = (
+    r"bool|char|short|int|long|float|double|(?:un)?signed(?:\s+\w+)*|std::size_t|"
+    r"std::u?int(?:8|16|32|64)_t|size_t|u?int(?:8|16|32|64)_t|"
+    r"Cycle|CycleDelta|PacketSeq"
+)
+UNINIT_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:" + SCALAR_TYPES + r")\s+\w+(?:\s*,\s*\w+)*\s*;\s*(?:///?.*)?$"
+)
+UNINIT_PTR_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[\w:]+(?:\s*<[^;=]*>)?\s*\*\s*\w+\s*;\s*(?:///?.*)?$"
+)
+
+SWITCH_RE = re.compile(r"(?<!\w)switch\s*\(")
+CASE_SCOPED_RE = re.compile(r"\bcase\s+[\w:]+::\w+\s*:")
+DEFAULT_RE = re.compile(r"(?<!\w)default\s*:")
+UNREACHABLE_AFTER_RE = re.compile(r"ERAPID_UNREACHABLE|__builtin_unreachable|std::unreachable")
+
+
+def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blanks out string/char literals, // and /* */ comments (tracking block
+    state across lines) so rules never fire inside them."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a line comment
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str, snippet: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.snippet = snippet.strip()
+
+    def as_dict(self) -> dict:
+        return {
+            "file": str(self.path),
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}\n    {self.snippet}"
+
+
+class FileLinter:
+    def __init__(self, path: Path, text: str, rules: set[str]):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.rules = rules
+        self.findings: list[Finding] = []
+        # Per-line suppressions: rule -> set of line numbers they cover.
+        self.suppressed: dict[str, set[int]] = {r: set() for r in RULES}
+        self.file_suppressed: set[str] = set()
+        self.code_lines: list[str] = []
+        self._preprocess()
+
+    def _preprocess(self) -> None:
+        in_block = False
+        for lineno, raw in enumerate(self.raw_lines, 1):
+            for m in SUPPRESS_RE.finditer(raw):
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    if rule in self.suppressed:
+                        # A suppression covers its own line and the next line
+                        # (so a comment line above the flagged code works).
+                        self.suppressed[rule].update((lineno, lineno + 1))
+            for m in SUPPRESS_FILE_RE.finditer(raw):
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    self.file_suppressed.add(rule)
+            code, in_block = strip_comments_and_strings(raw, in_block)
+            self.code_lines.append(code)
+
+    def report(self, lineno: int, rule: str, message: str) -> None:
+        if rule not in self.rules:
+            return
+        if rule in self.file_suppressed or lineno in self.suppressed[rule]:
+            return
+        snippet = self.raw_lines[lineno - 1] if lineno - 1 < len(self.raw_lines) else ""
+        self.findings.append(Finding(self.path, lineno, rule, message, snippet))
+
+    # ---- per-line rules ---------------------------------------------------
+
+    def lint_lines(self) -> None:
+        for lineno, code in enumerate(self.code_lines, 1):
+            if "#include" in code:
+                if UNORDERED_RE.search(code) or "<unordered_map>" in code or "<unordered_set>" in code:
+                    self.report(lineno, "unordered-container",
+                                "unordered container header included; iteration order is "
+                                "nondeterministic — use std::map/std::set or an index-keyed vector")
+                continue
+            if UNORDERED_RE.search(code):
+                self.report(lineno, "unordered-container",
+                            "unordered container; iteration order is nondeterministic — "
+                            "use std::map/std::set or an index-keyed vector")
+            for rx in NONDET_SOURCE_RES:
+                if rx.search(code):
+                    self.report(lineno, "nondet-source",
+                                "wall-clock / environmental entropy in model code — draw "
+                                "randomness from the seeded RNG and time from Engine::now()")
+                    break
+            if POINTER_KEYED_RE.search(code):
+                self.report(lineno, "pointer-order",
+                            "ordered container/comparator keyed by a raw pointer; heap "
+                            "addresses vary run to run — key by a stable id instead")
+            m = POINTER_CMP_LAMBDA_RE.search(code)
+            if m:
+                a, b = m.group(1), m.group(2)
+                rest = code[m.end():]
+                if re.search(rf"\b{re.escape(a)}\s*<\s*{re.escape(b)}\b|\b{re.escape(b)}\s*<\s*{re.escape(a)}\b", rest):
+                    self.report(lineno, "pointer-order",
+                                "comparator orders raw pointer values — compare a stable "
+                                "field (id, key) instead")
+
+    # ---- struct-member rule ----------------------------------------------
+
+    def lint_uninit_members(self) -> None:
+        if self.path.suffix not in (".hpp", ".h"):
+            return
+        depth = 0
+        # Stack entries: (brace depth inside which the aggregate body lives,
+        # True once a user-declared constructor was seen).
+        struct_stack: list[list] = []
+        pending_struct = False
+        for lineno, code in enumerate(self.code_lines, 1):
+            stripped = code.strip()
+            starts_struct = re.match(r"(?:template\s*<[^>]*>\s*)?(?:struct|class)\s+\w+", stripped)
+            if starts_struct and ";" not in stripped.split("{")[0]:
+                pending_struct = True
+                pending_is_struct = stripped.startswith("struct") or "struct " in stripped.split("{")[0]
+            in_struct = bool(struct_stack) and depth == struct_stack[-1][0]
+            if in_struct and not starts_struct:
+                if re.search(r"\b\w+\s*\([^)]*\)\s*(?::|{|=\s*default)", code) and "=" not in stripped.split("(")[0]:
+                    struct_stack[-1][1] = True  # looks like a constructor/method — aggregate no more
+                if UNINIT_MEMBER_RE.match(code) or UNINIT_PTR_MEMBER_RE.match(code):
+                    if "static" not in code and "constexpr" not in code and "using" not in code:
+                        self.report(lineno, "uninit-member",
+                                    "scalar member without a default initializer — a "
+                                    "default-constructed instance reads garbage; add "
+                                    "`= 0` / `{}` / `= nullptr`")
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    if pending_struct:
+                        if pending_is_struct:
+                            struct_stack.append([depth, False])
+                        pending_struct = False
+                elif ch == "}":
+                    if struct_stack and depth == struct_stack[-1][0]:
+                        struct_stack.pop()
+                    depth -= 1
+            if pending_struct and ";" in code:
+                pending_struct = False  # forward declaration
+
+    # ---- switch rule ------------------------------------------------------
+
+    def lint_enum_switches(self) -> None:
+        n = len(self.code_lines)
+        for lineno, code in enumerate(self.code_lines, 1):
+            m = SWITCH_RE.search(code)
+            if not m:
+                continue
+            # Find the switch body: first '{' at or after the switch keyword,
+            # then scan to its matching '}'.
+            depth = 0
+            body: list[tuple[int, str]] = []
+            started = False
+            end_line = None
+            start_col = m.start()
+            i = lineno - 1
+            col = start_col
+            while i < n:
+                line = self.code_lines[i]
+                for j in range(col, len(line)):
+                    ch = line[j]
+                    if ch == "{":
+                        depth += 1
+                        started = True
+                    elif ch == "}":
+                        depth -= 1
+                        if started and depth == 0:
+                            end_line = i
+                            break
+                if end_line is not None:
+                    break
+                body.append((i + 1, line))
+                i += 1
+                col = 0
+            if end_line is None:
+                continue
+            body_text = "\n".join(t for (_, t) in body[1:]) if len(body) > 1 else ""
+            # Include the end line's prefix too.
+            body_text += "\n" + self.code_lines[end_line]
+            if not CASE_SCOPED_RE.search(body_text):
+                continue  # not an enum-class switch
+            if DEFAULT_RE.search(body_text):
+                continue
+            # Accept `switch (...) {...} ERAPID_UNREACHABLE(...)` within the
+            # two lines after the closing brace (keeps -Wswitch exhaustiveness
+            # while still failing loudly on unmodeled values).
+            tail = "\n".join(self.code_lines[end_line:min(n, end_line + 3)])
+            if UNREACHABLE_AFTER_RE.search(tail):
+                continue
+            self.report(lineno, "enum-switch-default",
+                        "enum-class switch with no `default:` and no trailing "
+                        "ERAPID_UNREACHABLE — an unmodeled value falls through silently")
+
+    def run(self) -> list[Finding]:
+        self.lint_lines()
+        self.lint_uninit_members()
+        self.lint_enum_switches()
+        return self.findings
+
+
+def lint_path(path: Path, rules: set[str]) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"det-lint: cannot read {path}: {e}", file=sys.stderr)
+        return []
+    return FileLinter(path, text, rules).run()
+
+
+def collect_files(roots: list[Path]) -> list[Path]:
+    exts = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(p for p in sorted(root.rglob("*")) if p.suffix in exts)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="det_lint.py", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--json", metavar="FILE", help="write a machine-readable report")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated subset of rules to run (default: all)")
+    ap.add_argument("--list-rules", action="store_true", help="print rule names and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+
+    rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    unknown = rules - set(RULES)
+    if unknown:
+        print(f"det-lint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in collect_files([Path(p) for p in args.paths]):
+        findings.extend(lint_path(path, rules))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+
+    for f in findings:
+        print(f)
+    if args.json:
+        report = {
+            "tool": "det-lint",
+            "rules": sorted(rules),
+            "finding_count": len(findings),
+            "findings": [f.as_dict() for f in findings],
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    if findings:
+        print(f"det-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
