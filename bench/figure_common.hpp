@@ -7,10 +7,20 @@
 // (Iterations(1): the simulation *is* the measured unit of work), collects
 // the SimResults, and finally prints the three panels as aligned tables —
 // the same series the paper reports.
+// Setting ERAPID_BENCH_JSON=<dir> additionally writes a machine-readable
+// BENCH_<slug>.json artifact there (schema erapid-bench-1): one record per
+// (mode, load) point with throughput, latency, power/energy and the
+// wall-clock runtime of the whole point measured here in the harness —
+// never inside the simulator, which must stay wall-clock free. CI uploads
+// these artifacts; ERAPID_GIT_REV stamps the producing revision.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -35,8 +45,10 @@ inline std::vector<reconfig::NetworkMode> all_modes() {
 /// Collects results across benchmark invocations of one binary.
 class FigureStore {
  public:
-  void put(const std::string& mode, double load, const sim::SimResult& r) {
+  void put(const std::string& mode, double load, const sim::SimResult& r,
+           double wall_ms = 0.0) {
     results_[{mode, load}] = r;
+    wall_ms_[{mode, load}] = wall_ms;
   }
 
   /// Prints the paper's three panels (throughput, latency, power).
@@ -92,8 +104,54 @@ class FigureStore {
 
   [[nodiscard]] bool empty() const { return results_.empty(); }
 
+  /// Writes the BENCH_<slug>.json artifact (schema erapid-bench-1) into
+  /// `dir`. `slug` must already be filename-safe. Returns the path.
+  std::string write_json(const std::string& dir, const std::string& slug,
+                         const std::string& figure, const std::string& pattern) const {
+    const char* rev_env = std::getenv("ERAPID_GIT_REV");
+    const std::string rev = rev_env != nullptr ? rev_env : "unknown";
+    const std::string path = dir + "/BENCH_" + slug + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot open " << path << " for writing\n";
+      return {};
+    }
+    out.precision(15);
+    out << "{\n"
+        << "  \"schema\": \"erapid-bench-1\",\n"
+        << "  \"bench\": \"" << figure << "\",\n"
+        << "  \"pattern\": \"" << pattern << "\",\n"
+        << "  \"git_rev\": \"" << rev << "\",\n"
+        << "  \"points\": [";
+    bool first = true;
+    for (const auto& [key, r] : results_) {
+      const auto wall_it = wall_ms_.find(key);
+      const double wall = wall_it == wall_ms_.end() ? 0.0 : wall_it->second;
+      out << (first ? "\n" : ",\n") << "    {"
+          << "\"mode\": \"" << key.first << "\", "
+          << "\"load\": " << key.second << ", "
+          << "\"throughput_xNc\": " << r.accepted_fraction << ", "
+          << "\"latency_avg_cycles\": " << r.latency_avg << ", "
+          << "\"latency_p99_cycles\": " << r.latency_p99 << ", "
+          << "\"power_avg_mw\": " << r.power_avg_mw << ", "
+          << "\"active_power_avg_mw\": " << r.active_power_avg_mw << ", "
+          << "\"energy_per_packet_mw_cycles\": "
+          << (r.packets_delivered_measured > 0
+                  ? r.power_avg_mw * static_cast<double>(r.end_cycle) /
+                        static_cast<double>(r.packets_delivered_measured)
+                  : 0.0)
+          << ", "
+          << "\"drained\": " << (r.drained ? "true" : "false") << ", "
+          << "\"wall_ms\": " << wall << "}";
+      first = false;
+    }
+    out << "\n  ]\n}\n";
+    return path;
+  }
+
  private:
   std::map<std::pair<std::string, double>, sim::SimResult> results_;
+  std::map<std::pair<std::string, double>, double> wall_ms_;
 };
 
 inline FigureStore& store() {
@@ -112,11 +170,14 @@ inline sim::SimOptions figure_options() {
   return o;
 }
 
-/// Runs one (mode, load) point and records it.
+/// Runs one (mode, load) point and records it. Wall time is measured here,
+/// around the whole simulation — model code itself never reads a wall clock.
 inline void run_point(benchmark::State& state, traffic::PatternKind pattern,
                       const reconfig::NetworkMode& mode, double load) {
   sim::SimResult result;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
     sim::SimOptions o = figure_options();
     o.pattern = pattern;
     o.load_fraction = load;
@@ -124,11 +185,14 @@ inline void run_point(benchmark::State& state, traffic::PatternKind pattern,
     sim::Simulation s(o);
     result = s.run();
     benchmark::DoNotOptimize(&result);  // lvalue-double DoNotOptimize miscompiles on this gcc
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
   }
   state.counters["thru_xNc"] = result.accepted_fraction;
   state.counters["lat_cyc"] = result.latency_avg;
   state.counters["power_mW"] = result.power_avg_mw;
-  store().put(std::string(mode.name), load, result);
+  store().put(std::string(mode.name), load, result, wall_ms);
 }
 
 /// Registers the full 4-mode × 9-load sweep for one pattern.
@@ -147,6 +211,20 @@ inline void register_figure(traffic::PatternKind pattern) {
   }
 }
 
+/// Filename-safe slug for the JSON artifact name.
+inline std::string bench_slug(const std::string& figure) {
+  std::string slug;
+  for (char c : figure) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
 /// Standard main body for a figure bench.
 inline int figure_main(int argc, char** argv, traffic::PatternKind pattern,
                        const std::string& figure) {
@@ -154,7 +232,14 @@ inline int figure_main(int argc, char** argv, traffic::PatternKind pattern,
   register_figure(pattern);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  store().print(figure, std::string(traffic::pattern_name(pattern)));
+  const std::string pattern_str(traffic::pattern_name(pattern));
+  store().print(figure, pattern_str);
+  if (const char* json_dir = std::getenv("ERAPID_BENCH_JSON");
+      json_dir != nullptr && !store().empty()) {
+    const auto path =
+        store().write_json(json_dir, bench_slug(figure), figure, pattern_str);
+    if (!path.empty()) std::cout << "\nbench JSON written to " << path << "\n";
+  }
   return 0;
 }
 

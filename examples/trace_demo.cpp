@@ -1,0 +1,50 @@
+// Trace demo: run one small P-B simulation with the observability
+// subsystem on and write a Chrome/Perfetto trace plus the metrics
+// snapshot. Load the trace in ui.perfetto.dev (or chrome://tracing), or
+// post-process it with tools/trace/summarize_trace.py.
+//
+//   ./trace_demo [--trace out.trace.json] [--format chrome|csv]
+//                [--boards 4] [--nodes-per-board 4] [--load 0.5] [--seed 1]
+//                [--interval 500] [--events]
+//
+// CI runs this binary as the instrumented smoke simulation and validates
+// the emitted trace with the summarizer.
+#include <iostream>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace erapid;
+
+  const auto cli = util::Cli::parse(argc, argv);
+  sim::SimOptions opts;
+  opts.system.boards = static_cast<std::uint32_t>(cli.get_int("boards", 4));
+  opts.system.nodes_per_board =
+      static_cast<std::uint32_t>(cli.get_int("nodes-per-board", 4));
+  opts.reconfig.mode = reconfig::NetworkMode::p_b();
+  opts.load_fraction = cli.get_double("load", 0.5);
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opts.warmup_cycles = 4000;
+  opts.measure_cycles = 8000;
+  opts.drain_limit = 60000;
+
+  opts.obs.enabled = true;
+  opts.obs.trace_path = cli.get_or("trace", std::string("trace_demo.trace.json"));
+  opts.obs.trace_format = cli.get_or("format", std::string("chrome"));
+  opts.obs.counter_interval =
+      static_cast<CycleDelta>(cli.get_int("interval", 500));
+  opts.obs.trace_events = cli.has("events");
+
+  sim::Simulation simulation(opts);
+  const auto result = simulation.run();
+
+#if defined(ERAPID_NO_OBS)
+  std::cout << "built with ERAPID_NO_OBS: no trace written\n";
+#else
+  std::cout << "trace written to " << opts.obs.trace_path << "\n";
+#endif
+  std::cout << sim::to_json(result) << "\n";
+  return 0;
+}

@@ -8,7 +8,7 @@ void ClockDomain::wake() {
   // Tick at the next cycle boundary: if wake() is called mid-cycle (from an
   // event at time t), the first tick runs at t+1 so the waking signal is
   // visible with the usual one-cycle latency.
-  engine_.schedule(1, [this] { tick_once(); });
+  engine_.schedule(1, [this] { tick_once(); }, "clock.tick");
 }
 
 void ClockDomain::tick_once() {
@@ -28,7 +28,7 @@ void ClockDomain::tick_once() {
     running_ = false;  // sleep; wake() rearms
     return;
   }
-  engine_.schedule(1, [this] { tick_once(); });
+  engine_.schedule(1, [this] { tick_once(); }, "clock.tick");
 }
 
 }  // namespace erapid::des

@@ -2,11 +2,11 @@
 
 namespace erapid::des {
 
-EventHandle Engine::schedule_at(Cycle when, EventFn fn) {
+EventHandle Engine::schedule_at(Cycle when, EventFn fn, const char* tag) {
   ERAPID_REQUIRE(when >= now_,
                  "cannot schedule an event in the past: when=" << when << " now=" << now_);
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{when, seq_++, std::move(fn), alive});
+  queue_.push(Entry{when, seq_++, std::move(fn), alive, tag});
   return EventHandle(alive);
 }
 
@@ -39,7 +39,13 @@ bool Engine::step(Cycle limit) {
   now_ = e.when;
   *e.alive = false;
   ++executed_;
-  e.fn();
+  if (hook_ == nullptr) {
+    e.fn();
+  } else {
+    hook_->on_dispatch_begin(e.tag, now_);
+    e.fn();
+    hook_->on_dispatch_end(e.tag, now_, queue_.size(), executed_);
+  }
   return true;
 }
 

@@ -50,6 +50,20 @@ class EventHandle {
 /// The event calendar and simulation clock.
 class Engine {
  public:
+  /// Observer of every dispatched event — the observability layer installs
+  /// one for self-profiling (spans per event tag, queue-depth tracks).
+  /// Kept as a local interface so des/ stays free of higher-layer
+  /// dependencies; unset (the default) costs one branch per event.
+  struct DispatchHook {
+    virtual ~DispatchHook() = default;
+    /// Fires immediately before an event's callback runs. `tag` is the
+    /// static label given at schedule time, or nullptr for untagged events.
+    virtual void on_dispatch_begin(const char* tag, Cycle now) = 0;
+    /// Fires after the callback returns, with post-dispatch calendar state.
+    virtual void on_dispatch_end(const char* tag, Cycle now, std::size_t queue_size,
+                                 std::uint64_t executed) = 0;
+  };
+
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -59,14 +73,18 @@ class Engine {
 
   /// Schedules `fn` to run `delay` cycles from now. delay == 0 runs later
   /// in the current cycle (after all earlier-scheduled same-time events).
-  EventHandle schedule(CycleDelta delay, EventFn fn) {
+  /// `tag` must point at storage outliving the event (string literals).
+  EventHandle schedule(CycleDelta delay, EventFn fn, const char* tag = nullptr) {
     ERAPID_REQUIRE(delay <= kNeverCycle - now_,
                    "event delay overflows the cycle counter: delay=" << delay);
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, std::move(fn), tag);
   }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(Cycle when, EventFn fn);
+  EventHandle schedule_at(Cycle when, EventFn fn, const char* tag = nullptr);
+
+  /// Installs (or clears, with nullptr) the dispatch observer.
+  void set_dispatch_hook(DispatchHook* hook) { hook_ = hook; }
 
   /// Runs events until the queue is empty or `limit` time is passed.
   /// Returns the number of events executed.
@@ -95,6 +113,7 @@ class Engine {
     std::uint64_t seq = 0;
     EventFn fn;
     std::shared_ptr<bool> alive;
+    const char* tag = nullptr;  ///< static schedule-site label (observability)
   };
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -110,6 +129,7 @@ class Engine {
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  DispatchHook* hook_ = nullptr;
 };
 
 }  // namespace erapid::des

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/probe.hpp"
 #include "util/expect.hpp"
 
 namespace erapid::fault {
@@ -20,19 +21,26 @@ FaultInjector::FaultInjector(des::Engine& engine, const topology::SystemConfig& 
                              topology::LaneMap& lane_map,
                              reconfig::ReconfigManager& manager,
                              std::vector<optical::OpticalTerminal*> terminals,
-                             FaultPlan plan)
+                             FaultPlan plan, obs::Hub* hub)
     : engine_(engine),
       cfg_(cfg),
       lane_map_(lane_map),
       manager_(manager),
       terminals_(std::move(terminals)),
       plan_(std::move(plan)),
-      rng_(plan_.seed) {
+      rng_(plan_.seed),
+      hub_(hub) {
   ERAPID_EXPECT(terminals_.size() == cfg_.num_boards_total(),
                 "one optical terminal per board required");
   plan_.validate(cfg_);
   drop_budget_[0].assign(terminals_.size(), 0);
   drop_budget_[1].assign(terminals_.size(), 0);
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr && hub_->enabled()) {
+    m_faults_ = hub_->metrics().counter("fault.injected");
+    m_reroute_wait_ = hub_->metrics().series("fault.reroute_wait");
+  }
+#endif
 }
 
 void FaultInjector::arm() {
@@ -64,7 +72,7 @@ void FaultInjector::arm() {
 
   for (const auto& e : plan_.events) {
     ERAPID_EXPECT(e.at >= engine_.now(), "fault event scheduled in the past: " + e.format());
-    engine_.schedule_at(e.at, [this, e] { inject(e); });
+    engine_.schedule_at(e.at, [this, e] { inject(e); }, "fault.inject");
   }
 }
 
@@ -91,6 +99,16 @@ void FaultInjector::inject_lane_fail(BoardId dest, WavelengthId w, Cycle now) {
   lane_map_.mark_failed(dest, w);
   ++stats_.lanes_failed;
   stats_.first_failure = std::min(stats_.first_failure, now);
+  ERAPID_COUNTER(hub_, m_faults_, 1);
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    obs::Args args;
+    args.add("dest", std::uint64_t{dest.value()})
+        .add("wavelength", std::uint64_t{w.value()})
+        .add("owner", owner.valid() ? std::uint64_t{owner.value()} : std::uint64_t{0});
+    ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.lane_fail", now, args.str());
+  }
+#endif
   if (owner.valid()) {
     stats_.packets_rehomed += terminals_[owner.value()]->fail_lane(dest, w, now);
     pending_.push_back({owner, dest, now});
@@ -106,10 +124,32 @@ void FaultInjector::inject_laser_degrade(const FaultEvent& e, Cycle now) {
   term->cap_lane_level(e.dest, e.wavelength, e.cap, now);
   ++stats_.lanes_degraded;
   stats_.first_failure = std::min(stats_.first_failure, now);
+  ERAPID_COUNTER(hub_, m_faults_, 1);
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    obs::Args args;
+    args.add("dest", std::uint64_t{e.dest.value()})
+        .add("wavelength", std::uint64_t{e.wavelength.value()})
+        .add("owner", std::uint64_t{owner.value()})
+        .add("cap", std::uint64_t{static_cast<std::uint8_t>(e.cap)});
+    ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.laser_degrade", now, args.str());
+  }
+#endif
   if (e.duration > 0) {
     const BoardId dest = e.dest;
     const WavelengthId w = e.wavelength;
-    engine_.schedule(e.duration, [term, dest, w] { term->clear_lane_level_cap(dest, w); });
+    engine_.schedule(e.duration, [this, ob = owner.value(), dest, w] {
+      terminals_[ob]->clear_lane_level_cap(dest, w);
+#if !defined(ERAPID_NO_OBS)
+      if (hub_ != nullptr) {
+        obs::Args args;
+        args.add("dest", std::uint64_t{dest.value()})
+            .add("wavelength", std::uint64_t{w.value()});
+        ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.cap_clear", engine_.now(),
+                             args.str());
+      }
+#endif
+    }, "fault.cap_clear");
   }
 }
 
@@ -123,6 +163,16 @@ void FaultInjector::on_grant(BoardId src, BoardId dest, Cycle at) {
   ++stats_.reroutes_completed;
   stats_.last_recovery = std::max(stats_.last_recovery, at);
   stats_.worst_time_to_reroute = std::max(stats_.worst_time_to_reroute, at - it->failed_at);
+  ERAPID_OBSERVE(hub_, m_reroute_wait_, static_cast<double>(at - it->failed_at));
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    obs::Args args;
+    args.add("src", std::uint64_t{src.value()})
+        .add("dest", std::uint64_t{dest.value()})
+        .add("wait", std::uint64_t{at - it->failed_at});
+    ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.reroute_done", at, args.str());
+  }
+#endif
   pending_.erase(it);
 }
 

@@ -60,9 +60,11 @@ class FaultInjector {
  public:
   /// `terminals` is indexed by board id (same vector the manager holds).
   /// Validates the plan against `cfg` (throws on out-of-range events).
+  /// `hub` (optional) receives fault/recovery instant marks.
   FaultInjector(des::Engine& engine, const topology::SystemConfig& cfg,
                 topology::LaneMap& lane_map, reconfig::ReconfigManager& manager,
-                std::vector<optical::OpticalTerminal*> terminals, FaultPlan plan);
+                std::vector<optical::OpticalTerminal*> terminals, FaultPlan plan,
+                obs::Hub* hub = nullptr);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -103,6 +105,9 @@ class FaultInjector {
   bool armed_ = false;
   RecoveryStats stats_;
   std::vector<PendingReroute> pending_;
+  obs::Hub* hub_;
+  obs::MetricId m_faults_ = 0;
+  obs::MetricId m_reroute_wait_ = 0;
   /// Outstanding deterministic ctrl_drop budget, [stage][board] — the hook
   /// consumes these before drawing from the random process.
   std::vector<std::uint32_t> drop_budget_[2];

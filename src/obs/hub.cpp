@@ -1,0 +1,79 @@
+#include "obs/hub.hpp"
+
+#include "util/expect.hpp"
+
+namespace erapid::obs {
+
+Hub::Hub(const ObsConfig& cfg) : cfg_(cfg) {
+  if (!cfg_.enabled) return;
+  ERAPID_EXPECT(cfg_.counter_interval > 0, "obs.counter_interval must be positive");
+  if (!cfg_.trace_path.empty()) {
+    if (cfg_.trace_format == "chrome") {
+      trace_ = std::make_unique<ChromeTraceWriter>(cfg_.trace_path);
+    } else if (cfg_.trace_format == "csv") {
+      trace_ = std::make_unique<CsvTimelineWriter>(cfg_.trace_path);
+    } else {
+      ERAPID_EXPECT(false, "unknown obs.trace_format: '" + cfg_.trace_format +
+                               "' (chrome | csv)");
+    }
+    t_engine_ = trace_->register_track(Tracks::kEngine);
+    t_reconfig_ = trace_->register_track(Tracks::kReconfig);
+    t_lanes_ = trace_->register_track(Tracks::kLanes);
+    t_power_ = trace_->register_track(Tracks::kPower);
+    t_fault_ = trace_->register_track(Tracks::kFault);
+    t_counters_ = trace_->register_track(Tracks::kCounters);
+  }
+  m_events_ = metrics_.counter("des.events");
+  m_queue_depth_ = metrics_.series("des.queue_depth");
+  m_events_per_cycle_ = metrics_.series("des.events_per_cycle");
+}
+
+Hub::~Hub() { close(profile_cycle_); }
+
+void Hub::close(Cycle now) {
+  if (closed_) return;
+  closed_ = true;
+  if (events_this_cycle_ > 0) {
+    metrics_.observe(m_events_per_cycle_, static_cast<double>(events_this_cycle_));
+    events_this_cycle_ = 0;
+  }
+  if (trace_) trace_->close(now);
+}
+
+void Hub::on_dispatch_begin(const char* tag, Cycle now) {
+  if (!cfg_.enabled) return;
+  if (trace_ && cfg_.trace_events) {
+    trace_->begin(t_engine_, tag != nullptr ? tag : "event", now);
+  }
+}
+
+void Hub::on_dispatch_end(const char* tag, Cycle now, std::size_t queue_size,
+                          std::uint64_t /*executed*/) {
+  if (!cfg_.enabled) return;
+  metrics_.add(m_events_);
+  metrics_.observe(m_queue_depth_, static_cast<double>(queue_size));
+
+  const char* label = tag != nullptr ? tag : "event";
+  auto it = tag_counters_.find(label);
+  if (it == tag_counters_.end()) {
+    it = tag_counters_.emplace(label, metrics_.counter(std::string("des.tag.") + label))
+             .first;
+  }
+  metrics_.add(it->second);
+
+  // Events-per-cycle self-profiling: flush the tally when time advances.
+  if (now != profile_cycle_) {
+    if (events_this_cycle_ > 0) {
+      metrics_.observe(m_events_per_cycle_, static_cast<double>(events_this_cycle_));
+    }
+    profile_cycle_ = now;
+    events_this_cycle_ = 0;
+  }
+  ++events_this_cycle_;
+
+  if (trace_ && cfg_.trace_events) {
+    trace_->end(t_engine_, label, now);
+  }
+}
+
+}  // namespace erapid::obs

@@ -1,0 +1,116 @@
+// Observability hub — one per Simulation, threaded through the model layers.
+//
+// The Hub owns the optional TraceSink and the MetricsRegistry and is the
+// single object instrumented components talk to. Every component takes an
+// `obs::Hub*` defaulting to nullptr, so
+//
+//   * library users and tests that build components directly pay nothing
+//     and change nothing;
+//   * with obs off (the default) the only cost at a probe site is one
+//     null-pointer test — the golden fixture pins that the event stream is
+//     byte-identical to pre-obs builds;
+//   * with ERAPID_NO_OBS defined the probe macros (probe.hpp) compile to
+//     nothing at all.
+//
+// The Hub also implements des::Engine::DispatchHook: installed by the
+// Simulation driver, it self-profiles the event calendar (events per tag,
+// queue depth, events/sim-cycle counter tracks) without des/ depending on
+// the obs layer.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "des/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/types.hpp"
+
+namespace erapid::obs {
+
+/// Runtime observability options (the `obs.*` INI section).
+struct ObsConfig {
+  /// Master switch: off keeps the simulation byte-identical to a build
+  /// without the subsystem.
+  bool enabled = false;
+  /// Trace output path; empty = metrics only, no trace file.
+  std::string trace_path;
+  /// "chrome" (trace-event JSON) or "csv" (timeline rows).
+  std::string trace_format = "chrome";
+  /// Cadence of sampled counter tracks (power, backlog, lanes lit).
+  CycleDelta counter_interval = 500;
+  /// Verbose per-event dispatch spans in the trace (large files; off by
+  /// default — the aggregated des.* counter tracks are usually enough).
+  bool trace_events = false;
+};
+
+/// Well-known track names (one source of truth for writers and the
+/// summarize_trace.py validator).
+struct Tracks {
+  static constexpr const char* kEngine = "des.engine";
+  static constexpr const char* kReconfig = "reconfig";
+  static constexpr const char* kLanes = "optical.lanes";
+  static constexpr const char* kPower = "power";
+  static constexpr const char* kFault = "fault";
+  static constexpr const char* kCounters = "counters";
+};
+
+/// Central observability context (see file comment).
+class Hub final : public des::Engine::DispatchHook {
+ public:
+  explicit Hub(const ObsConfig& cfg);
+  ~Hub() override;
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  /// Master toggle — probe macros check this before touching anything.
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] const ObsConfig& config() const { return cfg_; }
+
+  /// Null when tracing is off (metrics may still be on).
+  [[nodiscard]] TraceSink* trace() { return trace_.get(); }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Pre-registered tracks (all writers see the same set in the same order,
+  // so chrome and csv backends agree on track ids).
+  [[nodiscard]] TrackId track_engine() const { return t_engine_; }
+  [[nodiscard]] TrackId track_reconfig() const { return t_reconfig_; }
+  [[nodiscard]] TrackId track_lanes() const { return t_lanes_; }
+  [[nodiscard]] TrackId track_power() const { return t_power_; }
+  [[nodiscard]] TrackId track_fault() const { return t_fault_; }
+  [[nodiscard]] TrackId track_counters() const { return t_counters_; }
+
+  /// Finalizes the trace file. Idempotent.
+  void close(Cycle now);
+
+  // ---- des::Engine::DispatchHook (engine self-profiling) ----
+  void on_dispatch_begin(const char* tag, Cycle now) override;
+  void on_dispatch_end(const char* tag, Cycle now, std::size_t queue_size,
+                       std::uint64_t executed) override;
+
+ private:
+  ObsConfig cfg_;
+  std::unique_ptr<TraceSink> trace_;
+  MetricsRegistry metrics_;
+
+  TrackId t_engine_ = 0;
+  TrackId t_reconfig_ = 0;
+  TrackId t_lanes_ = 0;
+  TrackId t_power_ = 0;
+  TrackId t_fault_ = 0;
+  TrackId t_counters_ = 0;
+
+  // Engine self-profiling state.
+  MetricId m_events_ = 0;
+  MetricId m_queue_depth_ = 0;
+  MetricId m_events_per_cycle_ = 0;
+  /// Per-tag dispatch counters, created on first sight of each tag.
+  std::map<std::string, MetricId> tag_counters_;
+  Cycle profile_cycle_ = 0;
+  std::uint64_t events_this_cycle_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace erapid::obs

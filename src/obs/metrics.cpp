@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace erapid::obs {
+
+MetricId MetricsRegistry::get_or_create(const std::string& name, Kind kind, Cycle start,
+                                        double initial) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    ERAPID_EXPECT(entries_[it->second].kind == kind,
+                  "metric '" + name + "' re-registered with a different kind");
+    return it->second;
+  }
+  Entry e;
+  e.name = name;
+  e.kind = kind;
+  e.level = stats::TimeWeighted(start, initial);
+  entries_.push_back(std::move(e));
+  const auto id = static_cast<MetricId>(entries_.size() - 1);
+  index_.emplace(name, id);
+  return id;
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  return get_or_create(name, Kind::Counter, 0, 0.0);
+}
+
+MetricId MetricsRegistry::gauge(const std::string& name, Cycle start, double initial) {
+  return get_or_create(name, Kind::Gauge, start, initial);
+}
+
+MetricId MetricsRegistry::series(const std::string& name) {
+  return get_or_create(name, Kind::Series, 0, 0.0);
+}
+
+MetricId MetricsRegistry::timeline(const std::string& name) {
+  return get_or_create(name, Kind::Timeline, 0, 0.0);
+}
+
+const MetricsRegistry::Entry& MetricsRegistry::at(MetricId id, Kind kind) const {
+  ERAPID_REQUIRE(id < entries_.size(), "unregistered metric id=" << id);
+  ERAPID_REQUIRE(entries_[id].kind == kind,
+                 "metric '" << entries_[id].name << "' used as the wrong kind");
+  return entries_[id];
+}
+
+MetricsRegistry::Entry& MetricsRegistry::at(MetricId id, Kind kind) {
+  return const_cast<Entry&>(static_cast<const MetricsRegistry&>(*this).at(id, kind));
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
+  at(id, Kind::Counter).count += delta;
+}
+
+void MetricsRegistry::set_gauge(MetricId id, Cycle now, double level) {
+  at(id, Kind::Gauge).level.set(now, level);
+}
+
+void MetricsRegistry::observe(MetricId id, double sample) {
+  at(id, Kind::Series).samples.add(sample);
+}
+
+void MetricsRegistry::record(MetricId id, Cycle cycle, double value) {
+  Entry& e = at(id, Kind::Timeline);
+  ERAPID_EXPECT(e.points.empty() || cycle >= e.points.back().cycle,
+                "timeline samples must be recorded in time order");
+  e.points.push_back({cycle, value});
+  e.samples.add(value);
+}
+
+std::uint64_t MetricsRegistry::counter_value(MetricId id) const {
+  return at(id, Kind::Counter).count;
+}
+
+double MetricsRegistry::gauge_level(MetricId id) const {
+  return at(id, Kind::Gauge).level.level();
+}
+
+double MetricsRegistry::gauge_average(MetricId id, Cycle window_start, Cycle now) const {
+  return at(id, Kind::Gauge).level.average(window_start, now);
+}
+
+const stats::Streaming& MetricsRegistry::series_stats(MetricId id) const {
+  return at(id, Kind::Series).samples;
+}
+
+const std::vector<TimelinePoint>& MetricsRegistry::timeline_points(MetricId id) const {
+  return at(id, Kind::Timeline).points;
+}
+
+const stats::Streaming& MetricsRegistry::timeline_stats(MetricId id) const {
+  return at(id, Kind::Timeline).samples;
+}
+
+namespace {
+
+std::string distribution_json(const char* count_key, const stats::Streaming& s) {
+  std::ostringstream os;
+  os << "{\"" << count_key << "\": " << s.count()
+     << ", \"min\": " << format_trace_value(s.min())
+     << ", \"mean\": " << format_trace_value(s.mean())
+     << ", \"max\": " << format_trace_value(s.max()) << '}';
+  return os.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render(const Entry& e, Cycle now) {
+  switch (e.kind) {
+    case Kind::Counter:
+      return std::to_string(e.count);
+    case Kind::Gauge:
+      return "{\"level\": " + format_trace_value(e.level.level()) +
+             ", \"avg\": " + format_trace_value(e.level.average(0, now)) + "}";
+    case Kind::Series:
+      return distribution_json("count", e.samples);
+    case Kind::Timeline:
+      return distribution_json("samples", e.samples);
+  }
+  ERAPID_UNREACHABLE("unmodeled metric kind " << static_cast<int>(e.kind));
+}
+
+std::vector<std::pair<std::string, std::string>> MetricsRegistry::snapshot(Cycle now) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(index_.size());
+  for (const auto& [name, id] : index_) out.emplace_back(name, render(entries_[id], now));
+  return out;
+}
+
+std::string MetricsRegistry::to_json(Cycle now, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  // index_ iterates name-sorted: snapshot order is instrumentation-order
+  // independent.
+  for (const auto& [name, id] : index_) {
+    os << (first ? "\n" : ",\n") << pad << '"' << json_escape(name)
+       << "\": " << render(entries_[id], now);
+    first = false;
+  }
+  os << '\n' << std::string(static_cast<std::size_t>(indent), ' ') << '}';
+  return os.str();
+}
+
+}  // namespace erapid::obs

@@ -1,0 +1,101 @@
+// MetricsRegistry — named counters, gauges and series with one owner.
+//
+// Every quantity the simulator measures over time flows through here so
+// perf/policy PRs report through a single schema instead of ad-hoc member
+// vectors. Four metric kinds:
+//
+//   counter   monotone u64 (events dispatched, packets re-homed, ...)
+//   gauge     piecewise-constant level, time-weighted over simulated time
+//             (stats::TimeWeighted): instantaneous power, queue depth.
+//   series    per-sample scalar distribution (stats::Streaming): per-lane
+//             utilization at harvest, per-window lanes moved.
+//   timeline  periodically sampled (cycle, value) points kept in full —
+//             what sim::Recorder exports as CSV; also summarised as a
+//             Streaming distribution.
+//
+// Registration and snapshot order is name-sorted (std::map index), so the
+// JSON snapshot is deterministic regardless of instrumentation order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/streaming.hpp"
+#include "stats/time_weighted.hpp"
+#include "util/expect.hpp"
+#include "util/types.hpp"
+
+namespace erapid::obs {
+
+/// Handle for a registered metric.
+using MetricId = std::uint32_t;
+
+/// One point of a timeline metric.
+struct TimelinePoint {
+  Cycle cycle = 0;
+  double value = 0.0;
+};
+
+/// Name-indexed metric store (see file comment for the four kinds).
+class MetricsRegistry {
+ public:
+  // ---- registration (get-or-create; kind mismatch on reuse is fatal) ----
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name, Cycle start = 0, double initial = 0.0);
+  MetricId series(const std::string& name);
+  MetricId timeline(const std::string& name);
+
+  // ---- updates ----
+  void add(MetricId id, std::uint64_t delta = 1);
+  void set_gauge(MetricId id, Cycle now, double level);
+  void observe(MetricId id, double sample);
+  void record(MetricId id, Cycle cycle, double value);
+
+  // ---- reads ----
+  [[nodiscard]] std::uint64_t counter_value(MetricId id) const;
+  [[nodiscard]] double gauge_level(MetricId id) const;
+  [[nodiscard]] double gauge_average(MetricId id, Cycle window_start, Cycle now) const;
+  [[nodiscard]] const stats::Streaming& series_stats(MetricId id) const;
+  [[nodiscard]] const std::vector<TimelinePoint>& timeline_points(MetricId id) const;
+  /// Streaming summary (count/min/mean/max) of a timeline's values.
+  [[nodiscard]] const stats::Streaming& timeline_stats(MetricId id) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Snapshot of every metric, name-sorted, as one JSON object:
+  ///   counters  -> integer
+  ///   gauges    -> {"level": x, "avg": time-weighted avg over [0, now]}
+  ///   series    -> {"count": n, "min": ..., "mean": ..., "max": ...}
+  ///   timelines -> {"samples": n, "min": ..., "mean": ..., "max": ...}
+  /// (`indent` matches sim::report's hand-rolled emitter conventions.)
+  [[nodiscard]] std::string to_json(Cycle now, int indent = 0) const;
+
+  /// Name-sorted (name, rendered JSON value) pairs — what SimResult carries
+  /// so sim::report can emit the snapshot with its own indentation.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot(Cycle now) const;
+
+ private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Series, Timeline };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t count = 0;          ///< Counter
+    stats::TimeWeighted level;        ///< Gauge
+    stats::Streaming samples;         ///< Series + Timeline summary
+    std::vector<TimelinePoint> points;///< Timeline
+  };
+
+  MetricId get_or_create(const std::string& name, Kind kind, Cycle start, double initial);
+  [[nodiscard]] const Entry& at(MetricId id, Kind kind) const;
+  [[nodiscard]] Entry& at(MetricId id, Kind kind);
+  [[nodiscard]] static std::string render(const Entry& e, Cycle now);
+
+  std::vector<Entry> entries_;
+  std::map<std::string, MetricId> index_;
+};
+
+}  // namespace erapid::obs

@@ -1,0 +1,157 @@
+// Structured trace sinks — the time-resolved complement to SimResult.
+//
+// A TraceSink receives a deterministic stream of simulation events (spans,
+// instant marks, counter samples) and serializes it to disk. Two backends:
+//
+//   ChromeTraceWriter  — Chrome/Perfetto trace-event JSON (load the file in
+//                        chrome://tracing or ui.perfetto.dev). Tracks map to
+//                        tids of one synthetic process; async spans carry an
+//                        id so overlapping lifecycles (lane grants) render
+//                        correctly.
+//   CsvTimelineWriter  — one row per event, for awk/pandas post-processing
+//                        without a JSON parser.
+//
+// Determinism contract (DESIGN.md §8): every timestamp is simulated time
+// (des::Engine::now() cycles) — never wall clock; event order is the
+// deterministic DES execution order; numeric formatting is fixed-precision.
+// Two same-seed runs therefore produce byte-identical trace files, and the
+// golden-trace test pins that promise.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace erapid::obs {
+
+/// Handle for a registered track (a named timeline in the viewer).
+using TrackId = std::uint32_t;
+
+/// Deterministic `{"k":v,...}` builder for event argument payloads.
+class Args {
+ public:
+  Args& add(const char* key, std::uint64_t v);
+  Args& add(const char* key, std::int64_t v);
+  Args& add(const char* key, double v);
+  Args& add(const char* key, const std::string& v);
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+  [[nodiscard]] bool empty() const { return body_.empty(); }
+
+ private:
+  void sep();
+  std::string body_;
+};
+
+/// Abstract deterministic trace consumer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Registers a named track; events reference it by the returned id.
+  /// Tracks registered in deterministic (construction) order only.
+  virtual TrackId register_track(const std::string& name) = 0;
+
+  /// A span of simulated time [ts, ts + dur] whose end is known at
+  /// emission (e.g. a Lock-Step window). Spans on one track must not
+  /// overlap.
+  virtual void complete(TrackId track, const char* name, Cycle ts, CycleDelta dur,
+                        const std::string& args_json = "") = 0;
+
+  /// Open-ended span pair on one track (strictly nested / sequential).
+  virtual void begin(TrackId track, const char* name, Cycle ts) = 0;
+  virtual void end(TrackId track, const char* name, Cycle ts) = 0;
+
+  /// Async span pair: lifecycles that overlap on a track (lane grant →
+  /// release) are disambiguated by `id`.
+  virtual void async_begin(TrackId track, const char* name, std::uint64_t id, Cycle ts,
+                           const std::string& args_json = "") = 0;
+  virtual void async_end(TrackId track, const char* name, std::uint64_t id, Cycle ts) = 0;
+
+  /// Instantaneous mark (fault injected, DBR re-solve, ...).
+  virtual void instant(TrackId track, const char* name, Cycle ts,
+                       const std::string& args_json = "") = 0;
+
+  /// Sample of a counter track (power, queue depth, lanes lit, ...).
+  virtual void counter(TrackId track, const char* name, Cycle ts, double value) = 0;
+
+  /// Finalizes the output (writes footers). Idempotent; called before
+  /// destruction by the owner.
+  virtual void close(Cycle now) = 0;
+
+  /// False when the output file could not be opened or written.
+  [[nodiscard]] virtual bool ok() const = 0;
+};
+
+/// Chrome trace-event JSON backend (streaming writer).
+class ChromeTraceWriter final : public TraceSink {
+ public:
+  explicit ChromeTraceWriter(const std::string& path);
+  ~ChromeTraceWriter() override;
+
+  TrackId register_track(const std::string& name) override;
+  void complete(TrackId track, const char* name, Cycle ts, CycleDelta dur,
+                const std::string& args_json) override;
+  void begin(TrackId track, const char* name, Cycle ts) override;
+  void end(TrackId track, const char* name, Cycle ts) override;
+  void async_begin(TrackId track, const char* name, std::uint64_t id, Cycle ts,
+                   const std::string& args_json) override;
+  void async_end(TrackId track, const char* name, std::uint64_t id, Cycle ts) override;
+  void instant(TrackId track, const char* name, Cycle ts,
+               const std::string& args_json) override;
+  void counter(TrackId track, const char* name, Cycle ts, double value) override;
+  void close(Cycle now) override;
+  [[nodiscard]] bool ok() const override { return static_cast<bool>(out_); }
+
+  /// Trace schema version stamped into the file footer.
+  static constexpr const char* kSchema = "erapid-trace-1";
+
+ private:
+  void event_prefix(const char* ph, TrackId track, const char* name, Cycle ts);
+
+  std::ofstream out_;
+  std::uint32_t next_track_ = 0;
+  std::uint64_t events_ = 0;
+  bool closed_ = false;
+};
+
+/// Compact CSV backend: cycle,kind,track,name,id,value,args.
+class CsvTimelineWriter final : public TraceSink {
+ public:
+  explicit CsvTimelineWriter(const std::string& path);
+  ~CsvTimelineWriter() override;
+
+  TrackId register_track(const std::string& name) override;
+  void complete(TrackId track, const char* name, Cycle ts, CycleDelta dur,
+                const std::string& args_json) override;
+  void begin(TrackId track, const char* name, Cycle ts) override;
+  void end(TrackId track, const char* name, Cycle ts) override;
+  void async_begin(TrackId track, const char* name, std::uint64_t id, Cycle ts,
+                   const std::string& args_json) override;
+  void async_end(TrackId track, const char* name, std::uint64_t id, Cycle ts) override;
+  void instant(TrackId track, const char* name, Cycle ts,
+               const std::string& args_json) override;
+  void counter(TrackId track, const char* name, Cycle ts, double value) override;
+  void close(Cycle now) override;
+  [[nodiscard]] bool ok() const override { return static_cast<bool>(out_); }
+
+ private:
+  void row(Cycle ts, const char* kind, TrackId track, const char* name,
+           const std::string& id, const std::string& value, const std::string& args);
+
+  std::ofstream out_;
+  std::vector<std::string> track_names_;
+  bool closed_ = false;
+};
+
+/// Formats a double exactly like the trace writers do (shortest fixed form,
+/// deterministic across runs of the same binary).
+[[nodiscard]] std::string format_trace_value(double v);
+
+/// JSON string escaping for names/args emitted by the writers.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace erapid::obs

@@ -75,7 +75,7 @@ void Lane::apply_level(PowerLevel target, Cycle now) {
       // Only announce readiness if no later transition extended the pause.
       const Cycle now2 = engine_.now();
       if (now2 >= pause_until_ && on_ready_) on_ready_(now2);
-    });
+    }, "lane.relock");
   } else if (on_ready_) {
     on_ready_(now);
   }
@@ -94,9 +94,10 @@ bool Lane::try_transmit(const router::Packet& p, Cycle now) {
   const Cycle arrive = busy_until_ + cfg_.fiber_delay_cycles;
   const router::Packet copy = p;
   in_flight_ = copy;
-  busy_event_ = engine_.schedule_at(busy_until_, [this] { on_packet_done(engine_.now()); });
-  deliver_event_ =
-      engine_.schedule_at(arrive, [this, copy] { rx_->deliver(copy, engine_.now()); });
+  busy_event_ = engine_.schedule_at(
+      busy_until_, [this] { on_packet_done(engine_.now()); }, "lane.tx_done");
+  deliver_event_ = engine_.schedule_at(
+      arrive, [this, copy] { rx_->deliver(copy, engine_.now()); }, "lane.deliver");
   return true;
 }
 

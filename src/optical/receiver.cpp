@@ -1,13 +1,22 @@
 #include "optical/receiver.hpp"
 
+#include "obs/probe.hpp"
+
 namespace erapid::optical {
 
 Receiver::Receiver(des::Engine& engine, router::Router& router, std::uint32_t in_port,
                    std::uint32_t vcs, std::uint32_t credits_per_vc,
-                   std::uint32_t cycles_per_flit, std::uint32_t queue_capacity)
+                   std::uint32_t cycles_per_flit, std::uint32_t queue_capacity,
+                   obs::Hub* hub)
     : capacity_(queue_capacity),
-      injector_(engine, router, in_port, vcs, credits_per_vc, cycles_per_flit) {
+      injector_(engine, router, in_port, vcs, credits_per_vc, cycles_per_flit),
+      hub_(hub) {
   ERAPID_REQUIRE(queue_capacity >= 1, "receiver queue needs >= 1 slot");
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr && hub_->enabled()) {
+    m_rx_ = hub_->metrics().counter("optical.rx_packets");
+  }
+#endif
   injector_.set_idle_callback([this](Cycle now) {
     // The packet previously streaming has fully entered the router: its
     // slot is free and the next queued packet can start.
@@ -33,6 +42,7 @@ void Receiver::deliver(const router::Packet& p, Cycle now) {
   ERAPID_REQUIRE(reserved_ > 0, "optical packet arrived without a reserved RX slot");
   ERAPID_INVARIANT(queue_.size() < capacity_, "RX queue overflow despite reservation");
   ++received_;
+  ERAPID_COUNTER(hub_, m_rx_, 1);
   queue_.push_back(p);
   pump(now);
 }

@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "des/engine.hpp"
+#include "obs/hub.hpp"
 #include "router/flit.hpp"
 #include "router/injector.hpp"
 #include "router/router.hpp"
@@ -27,9 +28,10 @@ namespace erapid::optical {
 /// Wavelength receiver + RX queue + router feed.
 class Receiver {
  public:
+  /// `hub` (optional) tallies delivered optical packets system-wide.
   Receiver(des::Engine& engine, router::Router& router, std::uint32_t in_port,
            std::uint32_t vcs, std::uint32_t credits_per_vc, std::uint32_t cycles_per_flit,
-           std::uint32_t queue_capacity);
+           std::uint32_t queue_capacity, obs::Hub* hub = nullptr);
 
   /// Reserves one RX-queue slot for an upcoming transmission. Returns
   /// false when the queue (plus in-flight reservations) is full.
@@ -63,6 +65,8 @@ class Receiver {
   router::FlitInjector injector_;
   std::function<void(Cycle)> on_slot_freed_;
   std::uint64_t received_ = 0;
+  obs::Hub* hub_;
+  obs::MetricId m_rx_ = 0;
 };
 
 }  // namespace erapid::optical

@@ -1,5 +1,7 @@
 #include "optical/terminal.hpp"
 
+#include "obs/probe.hpp"
+
 namespace erapid::optical {
 
 using power::PowerLevel;
@@ -7,8 +9,8 @@ using power::PowerLevel;
 OpticalTerminal::OpticalTerminal(des::Engine& engine, const topology::SystemConfig& cfg,
                                  const power::LinkPowerModel& pw, power::EnergyMeter& meter,
                                  BoardId self, router::Router& router,
-                                 const std::vector<Receiver*>& receivers)
-    : engine_(engine), cfg_(cfg), pw_(pw), self_(self), router_(router) {
+                                 const std::vector<Receiver*>& receivers, obs::Hub* hub)
+    : engine_(engine), cfg_(cfg), pw_(pw), self_(self), router_(router), hub_(hub) {
   const std::uint32_t B = cfg.num_boards_total();
   const std::uint32_t W = cfg.num_wavelengths();
   ERAPID_EXPECT(receivers.size() == static_cast<std::size_t>(B) * W,
@@ -45,6 +47,19 @@ OpticalTerminal::OpticalTerminal(des::Engine& engine, const topology::SystemConf
       lanes_[lane_index(dest, WavelengthId{w})] = std::move(lane);
     }
   }
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr && hub_->enabled()) {
+    m_lane_util_ = hub_->metrics().series("optical.lane_util");
+    m_buffer_util_ = hub_->metrics().series("optical.buffer_util");
+    m_tx_packets_ = hub_->metrics().counter("optical.tx_packets");
+  }
+#endif
+}
+
+std::uint64_t OpticalTerminal::lane_span_id(BoardId d, WavelengthId w) const {
+  const std::uint64_t B = cfg_.num_boards_total();
+  const std::uint64_t W = cfg_.num_wavelengths();
+  return (self_.value() * B + d.value()) * W + w.value();
 }
 
 std::uint32_t OpticalTerminal::remote_out_port(BoardId d) const {
@@ -62,10 +77,23 @@ std::size_t OpticalTerminal::lane_index(BoardId d, WavelengthId w) const {
 
 void OpticalTerminal::apply_grant(BoardId d, WavelengthId w, PowerLevel level, Cycle now) {
   lanes_[lane_index(d, w)]->enable(now, level);
+#if !defined(ERAPID_NO_OBS)
+  // Grant→release lifecycle as an async span: ownerships of one coupler
+  // wavelength overlap in time across boards, so the id keys each holder.
+  if (hub_ != nullptr) {
+    obs::Args args;
+    args.add("owner", std::uint64_t{self_.value()})
+        .add("dest", std::uint64_t{d.value()})
+        .add("wavelength", std::uint64_t{w.value()});
+    ERAPID_TRACE_ASYNC_BEGIN(hub_, hub_->track_lanes(), "lane.owned", lane_span_id(d, w),
+                             now, args.str());
+  }
+#endif
 }
 
 void OpticalTerminal::apply_release(BoardId d, WavelengthId w, Cycle now,
                                     std::function<void(Cycle)> on_dark) {
+  ERAPID_TRACE_ASYNC_END(hub_, hub_->track_lanes(), "lane.owned", lane_span_id(d, w), now);
   lanes_[lane_index(d, w)]->disable(now, std::move(on_dark));
 }
 
@@ -150,6 +178,7 @@ void OpticalTerminal::pump_flow(BoardId d, Cycle now) {
 
     flow.q.pop_front();
     ++flow.launched;
+    ERAPID_COUNTER(hub_, m_tx_packets_, 1);
     flow.occ.set_occupancy(now, static_cast<std::uint32_t>(flow.q.size()));
     if (flow.sink) flow.sink->retry_blocked(now);
   }
@@ -174,12 +203,14 @@ void OpticalTerminal::harvest(Cycle window_start, Cycle now, std::vector<LaneSna
       snap.level = ln.level();
       snap.link_util = ln.busy_counter().utilization(window);
       ln.busy_counter().reset();
+      if (snap.enabled) ERAPID_OBSERVE(hub_, m_lane_util_, snap.link_util);
       lanes.push_back(snap);
       if (ln.enabled()) ++lit;
     }
     FlowSnapshot fs;
     fs.dest = dest;
     fs.buffer_util = flows_[d].occ.utilization(window_start, now);
+    ERAPID_OBSERVE(hub_, m_buffer_util_, fs.buffer_util);
     fs.queued = static_cast<std::uint32_t>(flows_[d].q.size());
     fs.lanes_enabled = lit;
     flows_[d].occ.harvest(now);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "obs/hub.hpp"
 #include "optical/lane.hpp"
 #include "optical/receiver.hpp"
 #include "power/energy_meter.hpp"
@@ -54,11 +55,12 @@ class OpticalTerminal {
   /// `router` must already have its D ejection outputs added (ports
   /// 0..D-1); the terminal adds one remote output port per other board, in
   /// increasing board order. `receivers` is the global flat array
-  /// [board * W + wavelength].
+  /// [board * W + wavelength]. `hub` (optional) receives lane grant→release
+  /// async spans and harvest-time utilization series.
   OpticalTerminal(des::Engine& engine, const topology::SystemConfig& cfg,
                   const power::LinkPowerModel& pw, power::EnergyMeter& meter,
                   BoardId self, router::Router& router,
-                  const std::vector<Receiver*>& receivers);
+                  const std::vector<Receiver*>& receivers, obs::Hub* hub = nullptr);
 
   OpticalTerminal(const OpticalTerminal&) = delete;
   OpticalTerminal& operator=(const OpticalTerminal&) = delete;
@@ -142,6 +144,11 @@ class OpticalTerminal {
   [[nodiscard]] std::size_t lane_index(BoardId d, WavelengthId w) const;
   void enqueue_packet(BoardId d, const router::Packet& p, Cycle now);
 
+  /// Trace id for the grant→release async span of lane (self, d, w):
+  /// globally unique across terminals so overlapping lifecycles render
+  /// as separate arrows in the viewer.
+  [[nodiscard]] std::uint64_t lane_span_id(BoardId d, WavelengthId w) const;
+
   des::Engine& engine_;
   const topology::SystemConfig& cfg_;
   const power::LinkPowerModel& pw_;
@@ -151,6 +158,10 @@ class OpticalTerminal {
   std::vector<std::unique_ptr<Lane>> lanes_;  ///< dest-major, W per dest, self row null
   power::PowerLevel wake_level_ = power::PowerLevel::Low;
   std::uint64_t enqueued_ = 0;
+  obs::Hub* hub_;
+  obs::MetricId m_lane_util_ = 0;
+  obs::MetricId m_buffer_util_ = 0;
+  obs::MetricId m_tx_packets_ = 0;
 };
 
 }  // namespace erapid::optical

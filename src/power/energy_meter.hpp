@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/hub.hpp"
+#include "obs/probe.hpp"
 #include "stats/time_weighted.hpp"
 #include "util/expect.hpp"
 #include "util/types.hpp"
@@ -29,6 +31,17 @@ class EnergyMeter {
     return static_cast<std::uint32_t>(levels_.size() - 1);
   }
 
+  /// Mirrors every network-power change onto the hub: a "power.total_mw"
+  /// trace counter track (the energy timeline) and a time-weighted gauge.
+  void attach_hub(obs::Hub* hub) {
+    hub_ = hub;
+#if !defined(ERAPID_NO_OBS)
+    if (hub_ != nullptr && hub_->enabled()) {
+      m_total_ = hub_->metrics().gauge("power.total_mw");
+    }
+#endif
+  }
+
   /// Source `id` draws `mw` milliwatts from cycle `now` onwards.
   void set_power(std::uint32_t id, Cycle now, double mw) {
     ERAPID_REQUIRE(id < levels_.size(),
@@ -38,6 +51,8 @@ class EnergyMeter {
     if (delta == 0.0) return;
     levels_[id] = mw;
     total_.add(now, delta);
+    ERAPID_GAUGE_SET(hub_, m_total_, now, total_.level());
+    ERAPID_TRACE_COUNTER(hub_, hub_->track_power(), "power.total_mw", now, total_.level());
   }
 
   /// Instantaneous network power (mW).
@@ -58,6 +73,8 @@ class EnergyMeter {
   std::vector<double> levels_;
   stats::TimeWeighted total_;
   Cycle window_start_ = 0;
+  obs::Hub* hub_ = nullptr;
+  obs::MetricId m_total_ = 0;
 };
 
 }  // namespace erapid::power

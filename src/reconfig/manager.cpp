@@ -2,18 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/probe.hpp"
+
 namespace erapid::reconfig {
 
 using power::PowerLevel;
 
 ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConfig& cfg,
                                  const ReconfigConfig& rc_cfg, topology::LaneMap& lane_map,
-                                 std::vector<optical::OpticalTerminal*> terminals)
+                                 std::vector<optical::OpticalTerminal*> terminals,
+                                 obs::Hub* hub)
     : engine_(engine),
       cfg_(cfg),
       cfg_rc_(rc_cfg),
       lane_map_(lane_map),
-      terminals_(std::move(terminals)) {
+      terminals_(std::move(terminals)),
+      hub_(hub) {
   ERAPID_REQUIRE(terminals_.size() == cfg_.num_boards_total(),
                  "one optical terminal per board required: got " << terminals_.size()
                      << " terminals for " << cfg_.num_boards_total() << " boards");
@@ -23,11 +27,20 @@ ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConf
                      << " lc=" << cfg_rc_.lc_hop_cycles);
   lane_stats_.resize(terminals_.size());
   flow_stats_.resize(terminals_.size());
+  board_level_changes_.resize(terminals_.size(), 0);
   dpm_.reserve(terminals_.size());
   for (std::size_t b = 0; b < terminals_.size(); ++b) {
     dpm_.push_back(
         make_dpm_strategy(cfg_rc_.dpm_strategy, cfg_rc_.mode.dpm, cfg_rc_.dpm_params));
   }
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr && hub_->enabled()) {
+    m_windows_ = hub_->metrics().counter("reconfig.windows");
+    m_lanes_moved_ = hub_->metrics().series("reconfig.dbr_lanes_moved");
+    m_grants_ = hub_->metrics().counter("reconfig.lane_grants");
+    m_level_changes_ = hub_->metrics().counter("reconfig.level_changes");
+  }
+#endif
 }
 
 void ReconfigManager::initialize_static_lanes() {
@@ -48,7 +61,8 @@ void ReconfigManager::start() {
   if (running_) return;
   running_ = true;
   last_harvest_ = engine_.now();
-  next_window_ = engine_.schedule(cfg_rc_.window, [this] { on_window(); });
+  next_window_ = engine_.schedule(
+      cfg_rc_.window, [this] { on_window(); }, "reconfig.window");
 }
 
 void ReconfigManager::stop() {
@@ -73,11 +87,25 @@ void ReconfigManager::on_window() {
     do_bandwidth = !do_power;
   }
 
+  // The Lock-Step window as a trace span: the R_w parity (DPM on odd, DBR
+  // on even) is directly visible on the reconfig track.
+  ERAPID_COUNTER(hub_, m_windows_, 1);
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    const char* kind = do_power ? "window.dpm" : (do_bandwidth ? "window.dbr" : "window.idle");
+    obs::Args args;
+    args.add("index", window_index_).add("parity", std::uint64_t{window_index_ % 2});
+    ERAPID_TRACE_SPAN(hub_, hub_->track_reconfig(), kind, t,
+                      static_cast<CycleDelta>(cfg_rc_.window), args.str());
+  }
+#endif
+
   if (do_power || do_bandwidth) harvest_all(t);
   if (do_power) run_power_cycle(t);
   if (do_bandwidth) run_bandwidth_cycle(t);
 
-  next_window_ = engine_.schedule(cfg_rc_.window, [this] { on_window(); });
+  next_window_ = engine_.schedule(
+      cfg_rc_.window, [this] { on_window(); }, "reconfig.window");
 }
 
 void ReconfigManager::harvest_all(Cycle now) {
@@ -126,6 +154,7 @@ void ReconfigManager::run_power_cycle(Cycle t) {
     const Cycle apply_at = t + static_cast<CycleDelta>(1 + *attempts) * chain;
     // Index flow stats by destination board for the buffer-utilization input.
     const auto& flows = flow_stats_[b];
+    std::uint64_t changes_before = board_level_changes_[b];
     for (const auto& lane : lane_stats_[b]) {
       if (!lane.enabled) continue;
       const auto fit = std::find_if(flows.begin(), flows.end(), [&](const auto& f) {
@@ -144,13 +173,26 @@ void ReconfigManager::run_power_cycle(Cycle t) {
       // window and an empty queue, and DLS wake-on-demand recovers if
       // traffic returns.
       ++counters_.level_changes;
+      ++board_level_changes_[b];
+      ERAPID_COUNTER(hub_, m_level_changes_, 1);
       auto* term = terminals_[b];
       const auto ref = lane.ref;
       const PowerLevel target = *decision;
       engine_.schedule_at(apply_at, [term, ref, target, this] {
         term->request_lane_level(ref.dest, ref.wavelength, target, engine_.now());
-      });
+      }, "reconfig.dpm_apply");
     }
+    // One counter track per LC chain (board): cumulative DVS transitions,
+    // sampled only on windows where this board's levels actually moved.
+#if !defined(ERAPID_NO_OBS)
+    if (hub_ != nullptr && board_level_changes_[b] != changes_before) {
+      const std::string track = "dpm.level_changes.b" + std::to_string(b);
+      ERAPID_TRACE_COUNTER(hub_, hub_->track_counters(), track.c_str(), t,
+                           static_cast<double>(board_level_changes_[b]));
+    }
+#else
+    (void)changes_before;
+#endif
   }
 }
 
@@ -200,6 +242,9 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
   engine_.schedule_at(t_reconf, [this, t_apply, lost = std::move(lost)] {
     const std::uint32_t nb = cfg_.num_boards_total();
     const std::uint32_t nw = cfg_.num_wavelengths();
+    std::uint64_t lanes_moved = 0;
+    std::uint64_t boards_lost = 0;
+    for (std::uint32_t b = 0; b < nb; ++b) boards_lost += lost[b] ? 1 : 0;
 
     for (std::uint32_t d = 0; d < nb; ++d) {
       if (lost[d]) continue;  // RC_d never completed its circulation
@@ -236,13 +281,29 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
       const auto directives =
           allocate_lanes(dest, incoming, lanes, cfg_rc_.mode.dbr, cfg_rc_.grant_level);
 
+      lanes_moved += directives.size();
       for (const auto& dir : directives) {
         engine_.schedule_at(t_apply, [this, dest, dir] {
           apply_directive(dest, dir, engine_.now());
-        });
+        }, "reconfig.dbr_apply");
       }
     }
-  });
+
+    // The Reconfigure stage's outcome as one instant mark: how many lanes
+    // the global re-solve decided to move, and how many RCs sat it out.
+    ERAPID_OBSERVE(hub_, m_lanes_moved_, static_cast<double>(lanes_moved));
+#if !defined(ERAPID_NO_OBS)
+    if (hub_ != nullptr) {
+      obs::Args args;
+      args.add("lanes_moved", lanes_moved).add("boards_lost", boards_lost);
+      ERAPID_TRACE_INSTANT(hub_, hub_->track_reconfig(), "dbr.resolve",
+                           engine_.now(), args.str());
+    }
+#else
+    (void)lanes_moved;
+    (void)boards_lost;
+#endif
+  }, "reconfig.dbr_resolve");
 }
 
 void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle now) {
@@ -271,11 +332,26 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
     lane_map_.grant(dest, w, dir.new_owner);
     terminals_[dir.new_owner.value()]->apply_grant(dest, w, dir.grant_level, at);
     ++counters_.lane_grants;
+    ERAPID_COUNTER(hub_, m_grants_, 1);
+    if (hub_ != nullptr) {
+      obs::Args args;
+      args.add("owner", std::uint64_t{dir.new_owner.value()})
+          .add("dest", std::uint64_t{dest.value()})
+          .add("wavelength", std::uint64_t{w.value()});
+      ERAPID_TRACE_INSTANT(hub_, hub_->track_lanes(), "lane.grant", at, args.str());
+    }
     if (grant_observer_) grant_observer_(dir.new_owner, dest, at);
   };
 
   if (dir.old_owner.valid()) {
     ++counters_.lane_releases;
+    if (hub_ != nullptr) {
+      obs::Args args;
+      args.add("owner", std::uint64_t{dir.old_owner.value()})
+          .add("dest", std::uint64_t{dest.value()})
+          .add("wavelength", std::uint64_t{w.value()});
+      ERAPID_TRACE_INSTANT(hub_, hub_->track_lanes(), "lane.release", now, args.str());
+    }
     terminals_[dir.old_owner.value()]->apply_release(
         dest, w, now, [this, dest, w, grant](Cycle at) {
           lane_map_.release(dest, w);

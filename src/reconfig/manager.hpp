@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "obs/hub.hpp"
 #include "optical/terminal.hpp"
 #include "power/link_power.hpp"
 #include "reconfig/allocation.hpp"
@@ -68,9 +69,12 @@ struct ReconfigConfig {
 /// Drives DPM + DBR over all boards' terminals.
 class ReconfigManager {
  public:
+  /// `hub` (optional) receives Lock-Step window spans, DBR re-solve marks
+  /// and per-LC level-transition counter tracks.
   ReconfigManager(des::Engine& engine, const topology::SystemConfig& cfg,
                   const ReconfigConfig& rc_cfg, topology::LaneMap& lane_map,
-                  std::vector<optical::OpticalTerminal*> terminals);
+                  std::vector<optical::OpticalTerminal*> terminals,
+                  obs::Hub* hub = nullptr);
 
   /// Lights the static RWA lanes (call once at t=0 before traffic starts).
   void initialize_static_lanes();
@@ -143,6 +147,15 @@ class ReconfigManager {
   CtrlFaultHook ctrl_fault_;
   std::function<void(BoardId, BoardId, Cycle)> grant_observer_;
   std::function<void(std::uint64_t, Cycle)> window_observer_;
+
+  // ---- observability ----------------------------------------------------
+  obs::Hub* hub_;
+  /// Per-board DVS level-change tally (feeds the per-LC counter tracks).
+  std::vector<std::uint64_t> board_level_changes_;
+  obs::MetricId m_windows_ = 0;
+  obs::MetricId m_lanes_moved_ = 0;
+  obs::MetricId m_grants_ = 0;
+  obs::MetricId m_level_changes_ = 0;
 };
 
 }  // namespace erapid::reconfig

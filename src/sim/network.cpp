@@ -4,8 +4,9 @@ namespace erapid::sim {
 
 Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
                  const reconfig::ReconfigConfig& rc_cfg,
-                 const power::LinkPowerModel& power_model)
+                 const power::LinkPowerModel& power_model, obs::Hub* hub)
     : engine_(engine),
+      hub_(hub),
       cfg_(cfg),
       domain_(engine),
       power_model_(power_model),
@@ -28,9 +29,10 @@ Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
   std::vector<optical::Receiver*> rx_view;
   rx_view.reserve(receivers_.size());
   for (const auto& r : receivers_) rx_view.push_back(r.get());
+  meter_.attach_hub(hub_);
   for (std::uint32_t b = 0; b < B; ++b) {
     terminals_[b] = std::make_unique<optical::OpticalTerminal>(
-        engine_, cfg_, power_model_, meter_, BoardId{b}, *routers_[b], rx_view);
+        engine_, cfg_, power_model_, meter_, BoardId{b}, *routers_[b], rx_view, hub_);
   }
 
   // Receiver slot-freed events go to whichever board currently owns the
@@ -54,11 +56,13 @@ Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
   }
 
   manager_ = std::make_unique<reconfig::ReconfigManager>(
-      engine_, cfg_, rc_cfg, lane_map_, [this] {
+      engine_, cfg_, rc_cfg, lane_map_,
+      [this] {
         std::vector<optical::OpticalTerminal*> v;
         for (const auto& t : terminals_) v.push_back(t.get());
         return v;
-      }());
+      }(),
+      hub_);
 }
 
 void Network::build_board(BoardId b) {
@@ -106,7 +110,7 @@ void Network::build_board(BoardId b) {
         std::make_unique<optical::Receiver>(engine_, rt, D + w, cfg_.num_vcs,
                                             cfg_.vc_buffer_flits,
                                             cfg_.cycles_per_flit_electrical(),
-                                            cfg_.rx_queue_packets);
+                                            cfg_.rx_queue_packets, hub_);
   }
 }
 

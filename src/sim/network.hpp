@@ -38,10 +38,13 @@ class Network {
  public:
   /// `power_model` lets experiments substitute the per-level link
   /// electricals (e.g. an electrical-SerDes baseline or ablated transition
-  /// latencies); the default is the paper's Table 1 optical model.
+  /// latencies); the default is the paper's Table 1 optical model. `hub`
+  /// (optional) is threaded to every instrumented component (manager,
+  /// terminals, receivers, energy meter).
   Network(des::Engine& engine, const topology::SystemConfig& cfg,
           const reconfig::ReconfigConfig& rc_cfg,
-          const power::LinkPowerModel& power_model = power::LinkPowerModel{});
+          const power::LinkPowerModel& power_model = power::LinkPowerModel{},
+          obs::Hub* hub = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -83,6 +86,7 @@ class Network {
   void build_board(BoardId b);
 
   des::Engine& engine_;
+  obs::Hub* hub_;
   topology::SystemConfig cfg_;
   des::ClockDomain domain_;
   power::LinkPowerModel power_model_;

@@ -51,6 +51,11 @@ const std::set<std::string>& known_keys() {
       "workload.warmup_cycles",
       "workload.measure_cycles",
       "workload.drain_limit",
+      "obs.enabled",
+      "obs.trace",
+      "obs.trace_format",
+      "obs.counter_interval",
+      "obs.trace_events",
   };
   return keys;
 }
@@ -151,6 +156,17 @@ SimOptions options_from_ini(const util::Ini& ini) {
       ini.get_int("workload.measure_cycles", static_cast<long>(o.measure_cycles)));
   o.drain_limit =
       static_cast<Cycle>(ini.get_int("workload.drain_limit", static_cast<long>(o.drain_limit)));
+
+  o.obs.enabled = ini.get_bool("obs.enabled", o.obs.enabled);
+  if (const auto trace = ini.get("obs.trace")) o.obs.trace_path = *trace;
+  if (const auto fmt = ini.get("obs.trace_format")) {
+    ERAPID_EXPECT(*fmt == "chrome" || *fmt == "csv",
+                  "unknown obs.trace_format: '" + *fmt + "' (chrome|csv)");
+    o.obs.trace_format = *fmt;
+  }
+  o.obs.counter_interval = static_cast<CycleDelta>(
+      ini.get_int("obs.counter_interval", static_cast<long>(o.obs.counter_interval)));
+  o.obs.trace_events = ini.get_bool("obs.trace_events", o.obs.trace_events);
   return o;
 }
 
@@ -205,6 +221,11 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("workload.warmup_cycles", o.warmup_cycles);
   set("workload.measure_cycles", o.measure_cycles);
   set("workload.drain_limit", o.drain_limit);
+  set("obs.enabled", o.obs.enabled ? "true" : "false");
+  if (!o.obs.trace_path.empty()) set("obs.trace", o.obs.trace_path);
+  set("obs.trace_format", o.obs.trace_format);
+  set("obs.counter_interval", o.obs.counter_interval);
+  set("obs.trace_events", o.obs.trace_events ? "true" : "false");
   return ini;
 }
 

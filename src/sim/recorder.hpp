@@ -6,6 +6,12 @@
 // samples the network at a fixed cadence and exports the series as CSV
 // (one row per sample) — this is what produced the Figure 3 timelines and
 // is the intended debugging tool for new policies.
+//
+// Storage lives in an obs::MetricsRegistry (one timeline metric per
+// column) rather than an ad-hoc sample vector: attached to a Hub the
+// series land in the run's metrics snapshot and are mirrored onto trace
+// counter tracks; standalone the Recorder owns a private registry and
+// behaves exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,8 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "obs/hub.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 
 namespace erapid::sim {
@@ -32,8 +40,12 @@ struct Sample {
 /// Periodic sampler over a Network.
 class Recorder {
  public:
-  /// Samples every `interval` cycles once started.
-  Recorder(des::Engine& engine, Network& network, CycleDelta interval);
+  /// Samples every `interval` cycles once started. With a live `hub` the
+  /// timelines are registered in the hub's MetricsRegistry (prefix
+  /// "recorder.") and every sample is also emitted on the trace's counter
+  /// tracks; without one a private registry keeps the data local.
+  Recorder(des::Engine& engine, Network& network, CycleDelta interval,
+           obs::Hub* hub = nullptr);
 
   /// Begins sampling (first sample at now + interval).
   void start();
@@ -41,7 +53,10 @@ class Recorder {
   /// Stops sampling (kept samples remain).
   void stop();
 
-  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  /// Rebuilds the row view from the per-column timelines.
+  [[nodiscard]] std::vector<Sample> samples() const;
+
+  [[nodiscard]] std::size_t sample_count() const;
 
   /// Writes "cycle,power_mw,lanes_lit,delivered,backlog,grants,dvs" rows.
   void write_csv(const std::string& path) const;
@@ -54,13 +69,25 @@ class Recorder {
 
  private:
   void take_sample();
+  [[nodiscard]] obs::MetricsRegistry& registry();
+  [[nodiscard]] const obs::MetricsRegistry& registry() const;
 
   des::Engine& engine_;
   Network& network_;
   CycleDelta interval_;
+  obs::Hub* hub_;
+  /// Backing store when no hub is attached (or obs is off).
+  obs::MetricsRegistry own_;
   bool running_ = false;
   des::EventHandle next_;
-  std::vector<Sample> samples_;
+
+  obs::MetricId m_power_ = 0;
+  obs::MetricId m_lanes_lit_ = 0;
+  obs::MetricId m_delivered_ = 0;
+  obs::MetricId m_backlog_ = 0;
+  obs::MetricId m_grants_ = 0;
+  obs::MetricId m_level_changes_ = 0;
+  obs::MetricId m_lanes_failed_ = 0;
 };
 
 }  // namespace erapid::sim

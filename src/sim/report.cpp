@@ -94,6 +94,13 @@ std::string to_json(const SimResult& r, int indent) {
     f.field("stale_directives", r.fault.stale_directives);
     o.raw_field("fault", f.str());
   }
+  // Same byte-compatibility rule for observability: the snapshot block only
+  // appears when a run carried a live metrics registry.
+  if (!r.metrics.empty()) {
+    JsonObject m(indent + 2);
+    for (const auto& [name, value] : r.metrics) m.raw_field(name.c_str(), value);
+    o.raw_field("obs_metrics", m.str());
+  }
   return o.str();
 }
 

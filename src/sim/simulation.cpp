@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/probe.hpp"
+
 namespace erapid::sim {
 
 Simulation::Simulation(const SimOptions& opts)
@@ -9,8 +11,24 @@ Simulation::Simulation(const SimOptions& opts)
       pattern_(opts.pattern, opts.system.num_nodes(), opts.hotspot_fraction,
                NodeId{opts.hotspot_node}),
       capacity_(topology::CapacityModel(opts.system).uniform_capacity()) {
+#if !defined(ERAPID_NO_OBS)
+  // With obs off the hub stays null and every probe site reduces to one
+  // branch: the event stream (and golden fixture) is untouched.
+  if (opts_.obs.enabled) {
+    hub_ = std::make_unique<obs::Hub>(opts_.obs);
+    engine_.set_dispatch_hook(hub_.get());
+    m_latency_ = hub_->metrics().series("sim.packet_latency");
+    m_delivered_ = hub_->metrics().counter("sim.packets_delivered");
+  }
+#endif
   network_ = std::make_unique<Network>(engine_, opts_.system, opts_.reconfig,
-                                       opts_.power_model);
+                                       opts_.power_model, hub_.get());
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    recorder_ = std::make_unique<Recorder>(engine_, *network_, opts_.obs.counter_interval,
+                                           hub_.get());
+  }
+#endif
 
   std::vector<optical::OpticalTerminal*> terminals;
   terminals.reserve(opts_.system.num_boards_total());
@@ -19,7 +37,7 @@ Simulation::Simulation(const SimOptions& opts)
   }
   injector_ = std::make_unique<fault::FaultInjector>(
       engine_, network_->config(), network_->lane_map(), network_->reconfig_manager(),
-      std::move(terminals), opts_.fault);
+      std::move(terminals), opts_.fault, hub_.get());
   injector_->arm();
 
   // Upper edge must exceed post-saturation latencies (complement on a
@@ -29,11 +47,13 @@ Simulation::Simulation(const SimOptions& opts)
 
   network_->set_delivery_callback([this](const router::Packet& p, Cycle now) {
     if (in_measurement_) ++delivered_measured_;
+    ERAPID_COUNTER(hub_.get(), m_delivered_, 1);
     if (p.labelled) {
       ++labelled_delivered_;
       const auto lat = static_cast<double>(now - p.created);
       latency_.add(lat);
       latency_hist_->add(lat);
+      ERAPID_OBSERVE(hub_.get(), m_latency_, lat);
     }
   });
 
@@ -59,11 +79,18 @@ SimResult Simulation::run() {
   network_->start();
   const double rate = r.offered_pkt_node_cycle;
   for (auto& s : sources_) s->start(rate);
+#if !defined(ERAPID_NO_OBS)
+  if (recorder_ != nullptr) recorder_->start();
+#endif
 
   // ---- warmup ----
+  ERAPID_TRACE_SPAN(hub_.get(), hub_->track_engine(), "phase.warmup", engine_.now(),
+                    opts_.warmup_cycles, "");
   engine_.run_until(opts_.warmup_cycles);
 
   // ---- measurement ----
+  ERAPID_TRACE_SPAN(hub_.get(), hub_->track_engine(), "phase.measure", engine_.now(),
+                    opts_.measure_cycles, "");
   network_->meter().checkpoint(engine_.now());
   const double active_energy_start = network_->active_energy_mw_cycles();
   in_measurement_ = true;
@@ -79,6 +106,7 @@ SimResult Simulation::run() {
                           static_cast<double>(opts_.measure_cycles);
 
   // ---- drain: run until every labelled packet arrives (or the cap) ----
+  ERAPID_TRACE_INSTANT(hub_.get(), hub_->track_engine(), "phase.drain", engine_.now(), "");
   const Cycle drain_end = measure_end + opts_.drain_limit;
   while (labelled_delivered_ < labelled_generated_ && engine_.now() < drain_end) {
     engine_.run_until(std::min<Cycle>(engine_.now() + 1000, drain_end));
@@ -108,6 +136,13 @@ SimResult Simulation::run() {
   r.end_cycle = engine_.now();
   r.control = network_->reconfig_manager().counters();
   r.fault = injector_->stats();
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    if (recorder_ != nullptr) recorder_->stop();
+    r.metrics = hub_->metrics().snapshot(engine_.now());
+    hub_->close(engine_.now());
+  }
+#endif
   return r;
 }
 

@@ -14,8 +14,10 @@
 #include "des/engine.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "obs/hub.hpp"
 #include "reconfig/manager.hpp"
 #include "sim/network.hpp"
+#include "sim/recorder.hpp"
 #include "stats/histogram.hpp"
 #include "stats/streaming.hpp"
 #include "topology/capacity.hpp"
@@ -43,6 +45,10 @@ struct SimOptions {
   /// then schedules no events and the run is identical to a fault-free
   /// build).
   fault::FaultPlan fault;
+  /// Observability (tracing + metrics; the `obs.*` INI section). Disabled
+  /// by default: the run is byte-identical to a build without the obs
+  /// subsystem.
+  obs::ObsConfig obs;
 };
 
 /// Results of one run.
@@ -80,6 +86,9 @@ struct SimResult {
   Cycle end_cycle = 0;
   reconfig::ControlCounters control;
   fault::RecoveryStats fault;  ///< all-zero (any() == false) without a plan
+  /// Name-sorted metrics snapshot (name, rendered JSON value); empty when
+  /// obs is off — the JSON report then matches pre-obs builds byte-exactly.
+  std::vector<std::pair<std::string, std::string>> metrics;
 };
 
 /// One self-contained simulation (engine + network + sources + metrics).
@@ -96,11 +105,15 @@ class Simulation {
   [[nodiscard]] const SimOptions& options() const { return opts_; }
   [[nodiscard]] double capacity() const { return capacity_; }
   [[nodiscard]] fault::FaultInjector& fault_injector() { return *injector_; }
+  /// Null unless obs.enabled (or under ERAPID_NO_OBS builds).
+  [[nodiscard]] obs::Hub* hub() { return hub_.get(); }
 
  private:
   SimOptions opts_;
   des::Engine engine_;
+  std::unique_ptr<obs::Hub> hub_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<fault::FaultInjector> injector_;
   traffic::TrafficPattern pattern_;
   std::vector<std::unique_ptr<traffic::NodeSource>> sources_;
@@ -113,6 +126,8 @@ class Simulation {
   std::uint64_t labelled_generated_ = 0;
   std::uint64_t labelled_delivered_ = 0;
   bool in_measurement_ = false;
+  obs::MetricId m_latency_ = 0;
+  obs::MetricId m_delivered_ = 0;
 };
 
 /// Runs the same (pattern, load) point under all four network modes —

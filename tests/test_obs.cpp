@@ -1,0 +1,312 @@
+// Observability subsystem tests.
+//
+// Three layers of guarantees, strongest first:
+//
+//   1. Inertness: with obs off the simulation result serializes identically
+//      to an obs-on run's core fields, and the report carries no
+//      "obs_metrics" block (the golden fixture in test_determinism.cpp
+//      additionally pins the obs-off report byte-for-byte).
+//   2. Determinism: two same-seed traced runs write byte-identical trace
+//      files (both backends), and a committed golden trace pins the tiny
+//      4-board run's full event stream. Regenerate with
+//      ERAPID_REGEN_GOLDEN=1 only when the change is intended.
+//   3. Compile-out: built with ERAPID_NO_OBS the probes vanish — a run with
+//      obs.enabled=true produces no trace file and no metrics snapshot.
+//      This binary is part of the NO_OBS CI matrix, so both sides of the
+//      #if are exercised.
+//
+// Plus unit tests for the Args builder, the MetricsRegistry kinds, and the
+// trace writers (always compiled; only the probe macros gate on
+// ERAPID_NO_OBS).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/hub.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace erapid;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing file " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[maybe_unused]] bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+sim::SimOptions base_options() {
+  sim::SimOptions o;
+  o.system.boards = 4;
+  o.system.nodes_per_board = 4;
+  o.reconfig.mode = reconfig::NetworkMode::p_b();
+  o.load_fraction = 0.5;
+  o.seed = 1;
+  o.warmup_cycles = 4000;
+  o.measure_cycles = 8000;
+  o.drain_limit = 60000;
+  return o;
+}
+
+// ---- unit: Args builder -----------------------------------------------------
+
+TEST(Args, BuildsDeterministicJsonObject) {
+  obs::Args a;
+  EXPECT_TRUE(a.empty());
+  a.add("board", std::uint64_t{3})
+      .add("delta", std::int64_t{-2})
+      .add("util", 0.25)
+      .add("kind", std::string("dbr"));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.str(), "{\"board\":3,\"delta\":-2,\"util\":0.25,\"kind\":\"dbr\"}");
+}
+
+TEST(Args, EscapesStrings) {
+  obs::Args a;
+  a.add("s", std::string("a\"b\\c"));
+  EXPECT_EQ(a.str(), "{\"s\":\"a\\\"b\\\\c\"}");
+}
+
+TEST(TraceFormat, ValueFormattingIsStable) {
+  EXPECT_EQ(obs::format_trace_value(0.0), "0");
+  EXPECT_EQ(obs::format_trace_value(2.0), "2");
+  EXPECT_EQ(obs::format_trace_value(0.25), "0.25");
+  // Same value, same string — the determinism contract for counters.
+  EXPECT_EQ(obs::format_trace_value(1.0 / 3.0), obs::format_trace_value(1.0 / 3.0));
+}
+
+// ---- unit: MetricsRegistry --------------------------------------------------
+
+TEST(MetricsRegistry, CounterGaugeSeriesTimeline) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("a.count");
+  const auto g = reg.gauge("b.level", 0, 10.0);
+  const auto s = reg.series("c.samples");
+  const auto t = reg.timeline("d.points");
+
+  reg.add(c, 2);
+  reg.add(c);
+  EXPECT_EQ(reg.counter_value(c), 3u);
+
+  reg.set_gauge(g, 50, 30.0);
+  EXPECT_EQ(reg.gauge_level(g), 30.0);
+  // 10 for 50 cycles then 30 for 50 cycles -> average 20.
+  EXPECT_DOUBLE_EQ(reg.gauge_average(g, 0, 100), 20.0);
+
+  reg.observe(s, 1.0);
+  reg.observe(s, 3.0);
+  EXPECT_EQ(reg.series_stats(s).count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.series_stats(s).mean(), 2.0);
+
+  reg.record(t, 0, 5.0);
+  reg.record(t, 100, 15.0);
+  ASSERT_EQ(reg.timeline_points(t).size(), 2u);
+  EXPECT_EQ(reg.timeline_points(t)[1].cycle, 100u);
+  EXPECT_DOUBLE_EQ(reg.timeline_stats(t).max(), 15.0);
+}
+
+TEST(MetricsRegistry, RegistrationIsGetOrCreate) {
+  obs::MetricsRegistry reg;
+  const auto a = reg.counter("same.name");
+  const auto b = reg.counter("same.name");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  obs::MetricsRegistry reg;
+  reg.counter("zzz.last");
+  reg.counter("aaa.first");
+  reg.counter("mmm.middle");
+  const auto snap = reg.snapshot(0);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "aaa.first");
+  EXPECT_EQ(snap[1].first, "mmm.middle");
+  EXPECT_EQ(snap[2].first, "zzz.last");
+}
+
+// ---- unit: trace writers ----------------------------------------------------
+
+TEST(ChromeTraceWriter, EmitsSchemaFooterAndTracks) {
+  const auto path = tmp_path("unit_chrome.trace.json");
+  {
+    obs::ChromeTraceWriter w(path);
+    ASSERT_TRUE(w.ok());
+    const auto track = w.register_track("unit.track");
+    w.complete(track, "span.one", 10, 5, "{\"k\":1}");
+    w.instant(track, "mark", 12, "");
+    w.counter(track, "level", 15, 2.5);
+    w.async_begin(track, "owned", 7, 20, "");
+    w.async_end(track, "owned", 7, 30);
+    w.close(40);
+    w.close(40);  // idempotent
+  }
+  const auto text = slurp(path);
+  EXPECT_NE(text.find(obs::ChromeTraceWriter::kSchema), std::string::npos);
+  EXPECT_NE(text.find("\"unit.track\""), std::string::npos);
+  EXPECT_NE(text.find("\"span.one\""), std::string::npos);
+  EXPECT_NE(text.find("\"end_cycle\":40"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTimelineWriter, EmitsHeaderAndRows) {
+  const auto path = tmp_path("unit_timeline.trace.csv");
+  {
+    obs::CsvTimelineWriter w(path);
+    ASSERT_TRUE(w.ok());
+    const auto track = w.register_track("unit.track");
+    w.complete(track, "span.one", 10, 5, "");
+    w.counter(track, "level", 15, 2.5);
+    w.close(40);
+  }
+  const auto text = slurp(path);
+  EXPECT_EQ(text.rfind("cycle,kind,track,name,id,value,args\n", 0), 0u);
+  EXPECT_NE(text.find("10,span,unit.track,span.one,,5,"), std::string::npos);
+  EXPECT_NE(text.find("15,counter,unit.track,level,,2.5,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- integration: inertness -------------------------------------------------
+
+TEST(ObsInert, DisabledRunCarriesNoMetricsBlock) {
+  sim::SimOptions o = base_options();
+  const auto r = sim::Simulation(o).run();
+  EXPECT_TRUE(r.metrics.empty());
+  EXPECT_EQ(sim::to_json(r).find("obs_metrics"), std::string::npos);
+}
+
+#if !defined(ERAPID_NO_OBS)
+
+TEST(ObsInert, EnabledRunLeavesCoreResultUntouched) {
+  sim::SimOptions off = base_options();
+  const auto report_off = sim::to_json(sim::Simulation(off).run());
+
+  sim::SimOptions on = base_options();
+  on.obs.enabled = true;  // metrics only, no trace file
+  auto r = sim::Simulation(on).run();
+  EXPECT_FALSE(r.metrics.empty());
+  // Core fields must match the obs-off run exactly: strip the snapshot and
+  // the reports must be byte-identical.
+  r.metrics.clear();
+  EXPECT_EQ(sim::to_json(r), report_off);
+}
+
+// ---- integration: trace determinism -----------------------------------------
+
+std::string run_traced(const std::string& path, const std::string& format,
+                       std::uint64_t seed = 1) {
+  sim::SimOptions o = base_options();
+  o.seed = seed;
+  o.obs.enabled = true;
+  o.obs.trace_path = path;
+  o.obs.trace_format = format;
+  (void)sim::Simulation(o).run();
+  const auto text = slurp(path);
+  std::remove(path.c_str());
+  return text;
+}
+
+TEST(ObsDeterminism, SameSeedChromeTracesAreByteIdentical) {
+  const auto a = run_traced(tmp_path("det_a.trace.json"), "chrome");
+  const auto b = run_traced(tmp_path("det_b.trace.json"), "chrome");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(ObsDeterminism, SameSeedCsvTracesAreByteIdentical) {
+  const auto a = run_traced(tmp_path("det_a.trace.csv"), "csv");
+  const auto b = run_traced(tmp_path("det_b.trace.csv"), "csv");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(ObsDeterminism, DifferentSeedsDiverge) {
+  // Sanity check that the byte-identity above is not vacuous.
+  const auto a = run_traced(tmp_path("seed1.trace.json"), "chrome", 1);
+  const auto b = run_traced(tmp_path("seed2.trace.json"), "chrome", 2);
+  EXPECT_NE(a, b);
+}
+
+// ---- golden trace fixture ---------------------------------------------------
+
+std::string trace_fixture_path() {
+  return std::string(ERAPID_TEST_DATA_DIR) + "/golden_trace_small.json";
+}
+
+TEST(GoldenTrace, SmallRunTraceMatchesCommittedFixtureExactly) {
+  sim::SimOptions o = base_options();
+  o.warmup_cycles = 2000;
+  o.measure_cycles = 4000;
+  o.drain_limit = 20000;
+  o.obs.enabled = true;
+  o.obs.trace_path = tmp_path("golden_candidate.trace.json");
+  o.obs.counter_interval = 1000;
+  (void)sim::Simulation(o).run();
+  const auto trace = slurp(o.obs.trace_path);
+  std::remove(o.obs.trace_path.c_str());
+
+  if (std::getenv("ERAPID_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(trace_fixture_path());
+    ASSERT_TRUE(out) << "cannot write " << trace_fixture_path();
+    out << trace;
+    GTEST_SKIP() << "regenerated " << trace_fixture_path();
+  }
+
+  std::ifstream in(trace_fixture_path());
+  ASSERT_TRUE(in) << "missing fixture " << trace_fixture_path()
+                  << " (regenerate with ERAPID_REGEN_GOLDEN=1)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(trace, ss.str())
+      << "golden trace drifted — if the instrumentation change is intended, "
+         "regenerate with ERAPID_REGEN_GOLDEN=1 and call it out in the "
+         "commit message";
+}
+
+#else  // ERAPID_NO_OBS
+
+TEST(ObsCompiledOut, EnabledOptionsProduceNothing) {
+  sim::SimOptions o = base_options();
+  o.obs.enabled = true;
+  o.obs.trace_path = tmp_path("no_obs.trace.json");
+  const auto r = sim::Simulation(o).run();
+  EXPECT_TRUE(r.metrics.empty());
+  EXPECT_EQ(sim::to_json(r).find("obs_metrics"), std::string::npos);
+  EXPECT_FALSE(file_exists(o.obs.trace_path));
+}
+
+TEST(ObsCompiledOut, ProbeMacroArgumentsAreNotEvaluated) {
+  // The macros must compile away completely: argument expressions with side
+  // effects never run under ERAPID_NO_OBS.
+  [[maybe_unused]] obs::Hub* hub = nullptr;
+  int touched = 0;
+  [[maybe_unused]] auto touch = [&touched]() {
+    ++touched;
+    return obs::MetricId{0};
+  };
+  ERAPID_COUNTER(hub, touch(), 1);
+  ERAPID_OBSERVE(hub, touch(), 1.0);
+  EXPECT_EQ(touched, 0);
+}
+
+#endif  // ERAPID_NO_OBS
+
+}  // namespace

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Self-test for tools/trace/summarize_trace.py.
+
+Builds tiny synthetic traces in both writer formats (Chrome JSON and the
+CSV timeline) and checks that the summarizer aggregates spans, counters,
+instants, async pairs and the window timeline correctly, rejects
+schema/format drift, and keeps its CLI exit-code contract. Registered in
+CTest as `lint.trace_tool_self_test`.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools" / "trace"))
+import summarize_trace  # noqa: E402
+
+
+def chrome_doc(events, schema=summarize_trace.SCHEMA, end_cycle=100):
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "erapid"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "des.engine"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+         "args": {"name": "reconfig"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 2,
+         "args": {"name": "optical.lanes"}},
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ns",
+        "otherData": {"schema": schema, "end_cycle": end_cycle,
+                      "events": len(events)},
+    }
+
+
+EVENTS = [
+    {"name": "phase.warmup", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 40},
+    {"name": "window.dpm", "ph": "X", "pid": 0, "tid": 1, "ts": 10, "dur": 20,
+     "args": {"index": 1, "parity": 1}},
+    {"name": "window.dbr", "ph": "X", "pid": 0, "tid": 1, "ts": 30, "dur": 20,
+     "args": {"index": 2, "parity": 0}},
+    {"name": "lane.owned", "ph": "b", "pid": 0, "tid": 2, "ts": 5,
+     "cat": "erapid", "id": 7, "args": {"owner": 0}},
+    {"name": "lane.owned", "ph": "e", "pid": 0, "tid": 2, "ts": 35,
+     "cat": "erapid", "id": 7},
+    {"name": "lane.owned", "ph": "b", "pid": 0, "tid": 2, "ts": 40,
+     "cat": "erapid", "id": 9, "args": {"owner": 1}},
+    {"name": "dbr.resolve", "ph": "i", "pid": 0, "tid": 1, "ts": 30, "s": "t",
+     "args": {"lanes_moved": 2}},
+    {"name": "power.total_mw", "ph": "C", "pid": 0, "tid": 1, "ts": 0,
+     "args": {"value": 10.0}},
+    {"name": "power.total_mw", "ph": "C", "pid": 0, "tid": 1, "ts": 50,
+     "args": {"value": 30.0}},
+]
+
+CSV_ROWS = [
+    "cycle,kind,track,name,id,value,args",
+    "0,span,des.engine,phase.warmup,,40,",
+    '10,span,reconfig,window.dpm,,20,"{""index"":1,""parity"":1}"',
+    '30,span,reconfig,window.dbr,,20,"{""index"":2,""parity"":0}"',
+    '5,abegin,optical.lanes,lane.owned,7,,"{""owner"":0}"',
+    "35,aend,optical.lanes,lane.owned,7,,",
+    '40,abegin,optical.lanes,lane.owned,9,,"{""owner"":1}"',
+    '30,instant,reconfig,dbr.resolve,,,"{""lanes_moved"":2}"',
+    "0,counter,power,power.total_mw,,10,",
+    "50,counter,power,power.total_mw,,30,",
+]
+
+
+def write_chrome(tmp, events=EVENTS, **kw):
+    path = Path(tmp) / "t.trace.json"
+    path.write_text(json.dumps(chrome_doc(events, **kw)))
+    return path
+
+
+def write_csv(tmp, rows=CSV_ROWS):
+    path = Path(tmp) / "t.trace.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+def span(doc, track, name):
+    for e in doc["spans"]:
+        if e["track"] == track and e["name"] == name:
+            return e
+    return None
+
+
+class AggregationBothFormats(unittest.TestCase):
+    def check_doc(self, doc):
+        warmup = span(doc, "des.engine", "phase.warmup")
+        self.assertEqual(warmup["count"], 1)
+        self.assertEqual(warmup["total_dur"], 40)
+
+        owned = span(doc, "optical.lanes", "lane.owned")
+        self.assertEqual(owned["count"], 1)  # id=7 paired; id=9 stays open
+        self.assertEqual(owned["total_dur"], 30)
+        self.assertEqual(doc["unclosed_spans"], 1)
+
+        power = doc["counters"]["power.total_mw"]
+        self.assertEqual(power["count"], 2)
+        self.assertEqual(power["min"], 10.0)
+        self.assertEqual(power["max"], 30.0)
+        self.assertEqual(power["mean"], 20.0)
+        self.assertEqual(power["last"], 30.0)
+
+        self.assertEqual(
+            doc["instants"],
+            [{"track": "reconfig", "name": "dbr.resolve", "count": 1}],
+        )
+
+        self.assertEqual(len(doc["windows"]), 2)
+        first, second = doc["windows"]
+        self.assertEqual((first["start"], first["kind"], first["index"],
+                          first["parity"]), (10, "dpm", 1, 1))
+        self.assertEqual((second["start"], second["kind"], second["index"],
+                          second["parity"]), (30, "dbr", 2, 0))
+
+    def test_chrome(self):
+        with tempfile.TemporaryDirectory() as td:
+            doc = summarize_trace.load(write_chrome(td), "auto").to_doc()
+        self.assertEqual(doc["end_cycle"], 100)
+        self.check_doc(doc)
+
+    def test_csv(self):
+        with tempfile.TemporaryDirectory() as td:
+            doc = summarize_trace.load(write_csv(td), "auto").to_doc()
+        self.check_doc(doc)
+
+
+class ValidationRejects(unittest.TestCase):
+    def test_wrong_schema(self):
+        with tempfile.TemporaryDirectory() as td:
+            path = write_chrome(td, schema="erapid-trace-999")
+            with self.assertRaises(summarize_trace.TraceError):
+                summarize_trace.load(path, "chrome")
+
+    def test_not_a_trace(self):
+        with tempfile.TemporaryDirectory() as td:
+            path = Path(td) / "x.json"
+            path.write_text('{"hello": 1}')
+            with self.assertRaises(summarize_trace.TraceError):
+                summarize_trace.load(path, "chrome")
+
+    def test_csv_bad_header(self):
+        with tempfile.TemporaryDirectory() as td:
+            path = write_csv(td, rows=["cycle,what,track", "0,span,x"])
+            with self.assertRaises(summarize_trace.TraceError):
+                summarize_trace.load(path, "csv")
+
+    def test_end_without_begin(self):
+        events = [{"name": "lane.owned", "ph": "e", "pid": 0, "tid": 2,
+                   "ts": 3, "cat": "erapid", "id": 99}]
+        with tempfile.TemporaryDirectory() as td:
+            path = write_chrome(td, events=events)
+            with self.assertRaises(summarize_trace.TraceError):
+                summarize_trace.load(path, "chrome")
+
+
+class CliContract(unittest.TestCase):
+    def test_exit_codes_and_json_report(self):
+        with tempfile.TemporaryDirectory() as td:
+            good = write_chrome(td)
+            report = Path(td) / "summary.json"
+            rc = summarize_trace.main([str(good), "--json", str(report)])
+            self.assertEqual(rc, 0)
+            doc = json.loads(report.read_text())
+            self.assertEqual(doc["tool"], "summarize_trace")
+            self.assertEqual(doc["schema"], summarize_trace.SCHEMA)
+            self.check_rc_bad(td)
+
+    def check_rc_bad(self, td):
+        bad = Path(td) / "bad.json"
+        bad.write_text("not json at all")
+        self.assertEqual(summarize_trace.main([str(bad)]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
