@@ -141,8 +141,14 @@ class FigureStore {
                         static_cast<double>(r.packets_delivered_measured)
                   : 0.0)
           << ", "
-          << "\"drained\": " << (r.drained ? "true" : "false") << ", "
-          << "\"wall_ms\": " << wall << "}";
+          << "\"drained\": " << (r.drained ? "true" : "false");
+      // Monitor verdicts stamp the artifact only when the point ran with
+      // monitors configured, keeping monitor-free artifacts unchanged.
+      if (!r.monitors.empty()) {
+        out << ", \"monitors_ok\": " << (r.monitors_ok() ? "true" : "false")
+            << ", \"monitor_violations\": " << r.monitor_violations;
+      }
+      out << ", \"wall_ms\": " << wall << "}";
       first = false;
     }
     out << "\n  ]\n}\n";

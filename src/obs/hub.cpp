@@ -22,10 +22,17 @@ Hub::Hub(const ObsConfig& cfg) : cfg_(cfg) {
     t_power_ = trace_->register_track(Tracks::kPower);
     t_fault_ = trace_->register_track(Tracks::kFault);
     t_counters_ = trace_->register_track(Tracks::kCounters);
+    // The monitors track exists only when a monitor is configured, so
+    // monitor-free traces (and the golden fixture) keep their track list.
+    if (cfg_.monitors.any()) t_monitors_ = trace_->register_track(Tracks::kMonitors);
   }
   m_events_ = metrics_.counter("des.events");
   m_queue_depth_ = metrics_.series("des.queue_depth");
   m_events_per_cycle_ = metrics_.series("des.events_per_cycle");
+  if (cfg_.monitors.any()) {
+    monitors_ = std::make_unique<MonitorSet>(cfg_.monitors, cfg_.monitor_fail_fast,
+                                             trace_.get(), t_monitors_, metrics_);
+  }
 }
 
 Hub::~Hub() { close(profile_cycle_); }
@@ -54,12 +61,15 @@ void Hub::on_dispatch_end(const char* tag, Cycle now, std::size_t queue_size,
   metrics_.observe(m_queue_depth_, static_cast<double>(queue_size));
 
   const char* label = tag != nullptr ? tag : "event";
-  auto it = tag_counters_.find(label);
-  if (it == tag_counters_.end()) {
-    it = tag_counters_.emplace(label, metrics_.counter(std::string("des.tag.") + label))
-             .first;
+  auto it = tag_metrics_.find(label);
+  if (it == tag_metrics_.end()) {
+    TagMetrics tm;
+    tm.count = metrics_.counter(std::string("des.tag.") + label);
+    tm.cost = metrics_.histogram(std::string("des.dispatch_cost.") + label);
+    it = tag_metrics_.emplace(label, tm).first;
   }
-  metrics_.add(it->second);
+  metrics_.add(it->second.count);
+  metrics_.observe(it->second.cost, static_cast<double>(queue_size));
 
   // Events-per-cycle self-profiling: flush the tally when time advances.
   if (now != profile_cycle_) {

@@ -23,12 +23,13 @@
 
 #include "des/engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace erapid::obs {
 
-/// Runtime observability options (the `obs.*` INI section).
+/// Runtime observability options (the `obs.*` + `monitor.*` INI sections).
 struct ObsConfig {
   /// Master switch: off keeps the simulation byte-identical to a build
   /// without the subsystem.
@@ -37,11 +38,18 @@ struct ObsConfig {
   std::string trace_path;
   /// "chrome" (trace-event JSON) or "csv" (timeline rows).
   std::string trace_format = "chrome";
-  /// Cadence of sampled counter tracks (power, backlog, lanes lit).
+  /// Cadence of sampled counter tracks (power, backlog, lanes lit) — and
+  /// of the power-cap monitor's envelope checks.
   CycleDelta counter_interval = 500;
   /// Verbose per-event dispatch spans in the trace (large files; off by
   /// default — the aggregated des.* counter tracks are usually enough).
   bool trace_events = false;
+  /// Runtime envelope checks (the `monitor.*` section); all off by
+  /// default — the report then carries no `obs_monitors` block.
+  MonitorConfig monitors;
+  /// A monitor violation ends the simulation through the contract layer
+  /// instead of just being reported.
+  bool monitor_fail_fast = false;
 };
 
 /// Well-known track names (one source of truth for writers and the
@@ -53,6 +61,9 @@ struct Tracks {
   static constexpr const char* kPower = "power";
   static constexpr const char* kFault = "fault";
   static constexpr const char* kCounters = "counters";
+  /// Registered only when at least one monitor is configured, so
+  /// monitor-free traces stay byte-identical to pre-monitor builds.
+  static constexpr const char* kMonitors = "obs.monitors";
 };
 
 /// Central observability context (see file comment).
@@ -72,6 +83,9 @@ class Hub final : public des::Engine::DispatchHook {
   [[nodiscard]] TraceSink* trace() { return trace_.get(); }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  /// Null unless at least one `monitor.*` check is configured.
+  [[nodiscard]] MonitorSet* monitors() { return monitors_.get(); }
+  [[nodiscard]] const MonitorSet* monitors() const { return monitors_.get(); }
 
   // Pre-registered tracks (all writers see the same set in the same order,
   // so chrome and csv backends agree on track ids).
@@ -81,6 +95,7 @@ class Hub final : public des::Engine::DispatchHook {
   [[nodiscard]] TrackId track_power() const { return t_power_; }
   [[nodiscard]] TrackId track_fault() const { return t_fault_; }
   [[nodiscard]] TrackId track_counters() const { return t_counters_; }
+  [[nodiscard]] TrackId track_monitors() const { return t_monitors_; }
 
   /// Finalizes the trace file. Idempotent.
   void close(Cycle now);
@@ -94,6 +109,7 @@ class Hub final : public des::Engine::DispatchHook {
   ObsConfig cfg_;
   std::unique_ptr<TraceSink> trace_;
   MetricsRegistry metrics_;
+  std::unique_ptr<MonitorSet> monitors_;
 
   TrackId t_engine_ = 0;
   TrackId t_reconfig_ = 0;
@@ -101,13 +117,21 @@ class Hub final : public des::Engine::DispatchHook {
   TrackId t_power_ = 0;
   TrackId t_fault_ = 0;
   TrackId t_counters_ = 0;
+  TrackId t_monitors_ = 0;
 
   // Engine self-profiling state.
   MetricId m_events_ = 0;
   MetricId m_queue_depth_ = 0;
   MetricId m_events_per_cycle_ = 0;
-  /// Per-tag dispatch counters, created on first sight of each tag.
-  std::map<std::string, MetricId> tag_counters_;
+  /// Per-tag dispatch metrics, created on first sight of each tag:
+  /// a monotone dispatch counter plus a calendar-cost histogram (queue
+  /// depth at dispatch — the deterministic proxy for per-event dispatch
+  /// cost; wall clocks are banned in model code).
+  struct TagMetrics {
+    MetricId count = 0;
+    MetricId cost = 0;
+  };
+  std::map<std::string, TagMetrics> tag_metrics_;
   Cycle profile_cycle_ = 0;
   std::uint64_t events_this_cycle_ = 0;
   bool closed_ = false;

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "obs/trace.hpp"
@@ -40,6 +42,23 @@ MetricId MetricsRegistry::timeline(const std::string& name) {
   return get_or_create(name, Kind::Timeline, 0, 0.0);
 }
 
+MetricId MetricsRegistry::histogram(const std::string& name) {
+  const auto id = get_or_create(name, Kind::Histogram, 0, 0.0);
+  entries_[id].buckets.resize(kHistogramBuckets, 0);
+  return id;
+}
+
+std::size_t histogram_bucket_of(double sample) {
+  // The scheme is pure arithmetic on the sample value — no run-dependent
+  // state — so equal samples land in equal buckets across runs. Negative
+  // and sub-1 samples share bucket 0; ilogb on finite positives >= 1 gives
+  // floor(log2(sample)) exactly.
+  if (!(sample >= 1.0)) return 0;
+  const int lg = std::ilogb(sample);
+  const auto bucket = static_cast<std::size_t>(lg) + 1;
+  return bucket < kHistogramBuckets ? bucket : kHistogramBuckets - 1;
+}
+
 const MetricsRegistry::Entry& MetricsRegistry::at(MetricId id, Kind kind) const {
   ERAPID_REQUIRE(id < entries_.size(), "unregistered metric id=" << id);
   ERAPID_REQUIRE(entries_[id].kind == kind,
@@ -60,7 +79,12 @@ void MetricsRegistry::set_gauge(MetricId id, Cycle now, double level) {
 }
 
 void MetricsRegistry::observe(MetricId id, double sample) {
-  at(id, Kind::Series).samples.add(sample);
+  ERAPID_REQUIRE(id < entries_.size(), "unregistered metric id=" << id);
+  Entry& e = entries_[id];
+  ERAPID_REQUIRE(e.kind == Kind::Series || e.kind == Kind::Histogram,
+                 "metric '" << e.name << "' used as the wrong kind");
+  e.samples.add(sample);
+  if (e.kind == Kind::Histogram) ++e.buckets[histogram_bucket_of(sample)];
 }
 
 void MetricsRegistry::record(MetricId id, Cycle cycle, double value) {
@@ -95,6 +119,49 @@ const stats::Streaming& MetricsRegistry::timeline_stats(MetricId id) const {
   return at(id, Kind::Timeline).samples;
 }
 
+const stats::Streaming& MetricsRegistry::histogram_stats(MetricId id) const {
+  return at(id, Kind::Histogram).samples;
+}
+
+std::uint64_t MetricsRegistry::histogram_bucket_count(MetricId id, std::size_t bucket) const {
+  const Entry& e = at(id, Kind::Histogram);
+  ERAPID_REQUIRE(bucket < e.buckets.size(), "histogram bucket " << bucket << " out of range");
+  return e.buckets[bucket];
+}
+
+namespace {
+
+/// Quantile over log2 buckets: walk to the bucket containing the q-th
+/// sample, interpolate linearly inside it, clamp to observed [min, max].
+double bucket_quantile(const std::vector<std::uint64_t>& buckets, const stats::Streaming& s,
+                       double q) {
+  if (s.count() == 0) return 0.0;
+  ERAPID_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q=" << q << " outside [0,1]");
+  const double target = q * static_cast<double>(s.count());
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto next = seen + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      const double v = lo + (hi - lo) * frac;
+      return std::min(std::max(v, s.min()), s.max());
+    }
+    seen = next;
+  }
+  return s.max();
+}
+
+}  // namespace
+
+double MetricsRegistry::histogram_quantile(MetricId id, double q) const {
+  const Entry& e = at(id, Kind::Histogram);
+  return bucket_quantile(e.buckets, e.samples, q);
+}
+
 namespace {
 
 std::string distribution_json(const char* count_key, const stats::Streaming& s) {
@@ -119,6 +186,25 @@ std::string MetricsRegistry::render(const Entry& e, Cycle now) {
       return distribution_json("count", e.samples);
     case Kind::Timeline:
       return distribution_json("samples", e.samples);
+    case Kind::Histogram: {
+      std::ostringstream os;
+      os << "{\"count\": " << e.samples.count()
+         << ", \"min\": " << format_trace_value(e.samples.min())
+         << ", \"mean\": " << format_trace_value(e.samples.mean())
+         << ", \"max\": " << format_trace_value(e.samples.max())
+         << ", \"p50\": " << format_trace_value(bucket_quantile(e.buckets, e.samples, 0.50))
+         << ", \"p95\": " << format_trace_value(bucket_quantile(e.buckets, e.samples, 0.95))
+         << ", \"p99\": " << format_trace_value(bucket_quantile(e.buckets, e.samples, 0.99))
+         << ", \"buckets\": [";
+      bool first = true;
+      for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+        if (e.buckets[i] == 0) continue;
+        os << (first ? "" : ", ") << '[' << i << ", " << e.buckets[i] << ']';
+        first = false;
+      }
+      os << "]}";
+      return os.str();
+    }
   }
   ERAPID_UNREACHABLE("unmodeled metric kind " << static_cast<int>(e.kind));
 }

@@ -2,7 +2,7 @@
 //
 // Every quantity the simulator measures over time flows through here so
 // perf/policy PRs report through a single schema instead of ad-hoc member
-// vectors. Four metric kinds:
+// vectors. Five metric kinds:
 //
 //   counter   monotone u64 (events dispatched, packets re-homed, ...)
 //   gauge     piecewise-constant level, time-weighted over simulated time
@@ -12,6 +12,12 @@
 //   timeline  periodically sampled (cycle, value) points kept in full —
 //             what sim::Recorder exports as CSV; also summarised as a
 //             Streaming distribution.
+//   histogram per-sample distribution with percentile queries over fixed
+//             log2 buckets (bucket 0 = [0,1), bucket i = [2^(i-1), 2^i)):
+//             packet latency, LS window durations, DBR convergence time.
+//             The bucket scheme is value-independent, so two runs bucket
+//             identical samples identically and the snapshot (count, min,
+//             mean, max, p50/p95/p99, sparse buckets) is deterministic.
 //
 // Registration and snapshot order is name-sorted (std::map index), so the
 // JSON snapshot is deterministic regardless of instrumentation order.
@@ -39,7 +45,14 @@ struct TimelinePoint {
   double value = 0.0;
 };
 
-/// Name-indexed metric store (see file comment for the four kinds).
+/// Number of log2 buckets of a histogram metric: bucket 0 holds [0, 1),
+/// bucket i >= 1 holds [2^(i-1), 2^i); the last bucket absorbs overflow.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index a sample falls into under the fixed log2 scheme.
+[[nodiscard]] std::size_t histogram_bucket_of(double sample);
+
+/// Name-indexed metric store (see file comment for the five kinds).
 class MetricsRegistry {
  public:
   // ---- registration (get-or-create; kind mismatch on reuse is fatal) ----
@@ -47,10 +60,12 @@ class MetricsRegistry {
   MetricId gauge(const std::string& name, Cycle start = 0, double initial = 0.0);
   MetricId series(const std::string& name);
   MetricId timeline(const std::string& name);
+  MetricId histogram(const std::string& name);
 
   // ---- updates ----
   void add(MetricId id, std::uint64_t delta = 1);
   void set_gauge(MetricId id, Cycle now, double level);
+  /// Accepts series *and* histogram metrics (same probe macro serves both).
   void observe(MetricId id, double sample);
   void record(MetricId id, Cycle cycle, double value);
 
@@ -62,14 +77,26 @@ class MetricsRegistry {
   [[nodiscard]] const std::vector<TimelinePoint>& timeline_points(MetricId id) const;
   /// Streaming summary (count/min/mean/max) of a timeline's values.
   [[nodiscard]] const stats::Streaming& timeline_stats(MetricId id) const;
+  /// Streaming summary (count/min/mean/max) of a histogram's samples.
+  [[nodiscard]] const stats::Streaming& histogram_stats(MetricId id) const;
+  /// Samples landed in log2 bucket `bucket` (see histogram_bucket_of).
+  [[nodiscard]] std::uint64_t histogram_bucket_count(MetricId id, std::size_t bucket) const;
+  /// Value below which fraction `q` in [0,1] of samples fall. Linear
+  /// interpolation inside the containing log2 bucket, clamped to the
+  /// observed [min, max]; 0 with no samples. Deterministic: depends only
+  /// on the multiset of samples, never on insertion order.
+  [[nodiscard]] double histogram_quantile(MetricId id, double q) const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Snapshot of every metric, name-sorted, as one JSON object:
-  ///   counters  -> integer
-  ///   gauges    -> {"level": x, "avg": time-weighted avg over [0, now]}
-  ///   series    -> {"count": n, "min": ..., "mean": ..., "max": ...}
-  ///   timelines -> {"samples": n, "min": ..., "mean": ..., "max": ...}
+  ///   counters   -> integer
+  ///   gauges     -> {"level": x, "avg": time-weighted avg over [0, now]}
+  ///   series     -> {"count": n, "min": ..., "mean": ..., "max": ...}
+  ///   timelines  -> {"samples": n, "min": ..., "mean": ..., "max": ...}
+  ///   histograms -> {"count": n, "min": ..., "mean": ..., "max": ...,
+  ///                  "p50": ..., "p95": ..., "p99": ...,
+  ///                  "buckets": [[bucket, count], ...]}  (sparse, ordered)
   /// (`indent` matches sim::report's hand-rolled emitter conventions.)
   [[nodiscard]] std::string to_json(Cycle now, int indent = 0) const;
 
@@ -78,15 +105,16 @@ class MetricsRegistry {
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot(Cycle now) const;
 
  private:
-  enum class Kind : std::uint8_t { Counter, Gauge, Series, Timeline };
+  enum class Kind : std::uint8_t { Counter, Gauge, Series, Timeline, Histogram };
 
   struct Entry {
     std::string name;
     Kind kind = Kind::Counter;
     std::uint64_t count = 0;          ///< Counter
     stats::TimeWeighted level;        ///< Gauge
-    stats::Streaming samples;         ///< Series + Timeline summary
+    stats::Streaming samples;         ///< Series + Timeline/Histogram summary
     std::vector<TimelinePoint> points;///< Timeline
+    std::vector<std::uint64_t> buckets;///< Histogram (kHistogramBuckets)
   };
 
   MetricId get_or_create(const std::string& name, Kind kind, Cycle start, double initial);

@@ -1,0 +1,111 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::obs {
+
+MonitorSet::MonitorSet(const MonitorConfig& cfg, bool fail_fast, TraceSink* trace,
+                       TrackId track, MetricsRegistry& metrics)
+    : fail_fast_(fail_fast), trace_(trace), track_(track), metrics_(metrics) {
+  ERAPID_REQUIRE(cfg.any(), "MonitorSet built with no check configured");
+  ERAPID_REQUIRE(cfg.power_cap_mw >= 0.0 && cfg.throughput_floor >= 0.0 &&
+                     cfg.p99_latency_ceiling >= 0.0,
+                 "monitor thresholds must be non-negative");
+  m_violations_ = metrics_.counter("monitor.violations");
+
+  power_ = {"power_cap_mw", cfg.power_cap_mw, cfg.power_cap_mw > 0.0, 0.0, false, 0, 0};
+  throughput_ = {"throughput_floor", cfg.throughput_floor, cfg.throughput_floor > 0.0,
+                 0.0, false, 0, 0};
+  p99_ = {"p99_latency_ceiling", cfg.p99_latency_ceiling, cfg.p99_latency_ceiling > 0.0,
+          0.0, false, 0, 0};
+  quiescence_ = {"quiescence_deadline", static_cast<double>(cfg.quiescence_deadline),
+                 cfg.quiescence_deadline > 0, 0.0, false, 0, 0};
+}
+
+void MonitorSet::fire(Check& c, Cycle now, double value) {
+  if (c.violations == 0) c.first_violation = now;
+  ++c.violations;
+  metrics_.add(m_violations_);
+  if (trace_ != nullptr) {
+    Args args;
+    args.add("threshold", c.threshold).add("value", value);
+    trace_->instant(track_, (std::string("monitor.") + c.name).c_str(), now, args.str());
+  }
+  // Fail-fast rides the contract layer: the throw unwinds out of the DES
+  // event (or the finalize call) into Simulation::run's caller, exactly
+  // like a model-invariant violation would.
+  ERAPID_EXPECT(!fail_fast_, "monitor " << c.name << " violated at cycle " << now
+                                        << ": value " << value << " vs threshold "
+                                        << c.threshold << " (obs.monitor_fail_fast)");
+}
+
+void MonitorSet::check_ceiling(Check& c, Cycle now, double value) {
+  if (!c.enabled) return;
+  if (!c.observed || value > c.worst) c.worst = value;
+  c.observed = true;
+  if (value > c.threshold) fire(c, now, value);
+}
+
+void MonitorSet::check_floor(Check& c, Cycle now, double value) {
+  if (!c.enabled) return;
+  if (!c.observed || value < c.worst) c.worst = value;
+  c.observed = true;
+  if (value < c.threshold) fire(c, now, value);
+}
+
+void MonitorSet::sample_power(Cycle now, double mw) { check_ceiling(power_, now, mw); }
+
+void MonitorSet::dbr_resolve(Cycle now) {
+  if (quiescence_.enabled) pending_resolves_.push_back(now);
+}
+
+void MonitorSet::dbr_quiesced(Cycle resolve_at, Cycle last_settle) {
+  if (!quiescence_.enabled) return;
+  const auto it =
+      std::find(pending_resolves_.begin(), pending_resolves_.end(), resolve_at);
+  if (it != pending_resolves_.end()) pending_resolves_.erase(it);
+  check_ceiling(quiescence_, last_settle,
+                static_cast<double>(last_settle - resolve_at));
+}
+
+void MonitorSet::finalize(const FinalSample& fin) {
+  ERAPID_REQUIRE(!finalized_, "MonitorSet finalized twice");
+  finalized_ = true;
+  check_floor(throughput_, fin.now, fin.accepted_fraction);
+  check_ceiling(p99_, fin.now, fin.latency_p99);
+  // Re-solves whose grants never settled count as unconverged once the
+  // run outlived their deadline (a grant chained on a lane that never
+  // went dark, or a run ending mid-reconfiguration).
+  for (const Cycle at : pending_resolves_) {
+    if (fin.now > at && fin.now - at > static_cast<Cycle>(quiescence_.threshold)) {
+      check_ceiling(quiescence_, fin.now, static_cast<double>(fin.now - at));
+    }
+  }
+  pending_resolves_.clear();
+}
+
+std::uint64_t MonitorSet::violations() const {
+  return power_.violations + throughput_.violations + p99_.violations +
+         quiescence_.violations;
+}
+
+std::vector<std::pair<std::string, std::string>> MonitorSet::report() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const Check* checks[] = {&power_, &throughput_, &p99_, &quiescence_};
+  for (const Check* c : checks) {
+    if (!c->enabled) continue;
+    std::string v = "{\"threshold\": " + format_trace_value(c->threshold) +
+                    ", \"worst\": " + format_trace_value(c->observed ? c->worst : 0.0) +
+                    ", \"violations\": " + std::to_string(c->violations) +
+                    ", \"first_violation\": " + std::to_string(c->first_violation) +
+                    ", \"ok\": " + (c->violations == 0 ? "true" : "false") + "}";
+    out.emplace_back(c->name, std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace erapid::obs

@@ -1,6 +1,8 @@
 #include "reconfig/manager.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "obs/probe.hpp"
 
@@ -39,6 +41,10 @@ ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConf
     m_lanes_moved_ = hub_->metrics().series("reconfig.dbr_lanes_moved");
     m_grants_ = hub_->metrics().counter("reconfig.lane_grants");
     m_level_changes_ = hub_->metrics().counter("reconfig.level_changes");
+    m_window_dpm_ = hub_->metrics().histogram("reconfig.window_duration.dpm");
+    m_window_dbr_ = hub_->metrics().histogram("reconfig.window_duration.dbr");
+    m_dbr_convergence_ = hub_->metrics().histogram("reconfig.dbr_convergence");
+    m_ctrl_retries_ = hub_->metrics().histogram("reconfig.ctrl_retries");
   }
 #endif
 }
@@ -118,17 +124,21 @@ void ReconfigManager::harvest_all(Cycle now) {
 }
 
 std::optional<std::uint32_t> ReconfigManager::ctrl_attempts(CtrlStage stage, BoardId b) {
-  if (!ctrl_fault_) return 0;
   std::uint32_t attempt = 0;
-  while (ctrl_fault_(stage, b, attempt)) {
-    ++counters_.ctrl_drops;
-    if (attempt >= cfg_rc_.ctrl_retry_limit) {
-      ++counters_.ctrl_timeouts;
-      return std::nullopt;  // board sits this window's cycle out
+  if (ctrl_fault_) {
+    while (ctrl_fault_(stage, b, attempt)) {
+      ++counters_.ctrl_drops;
+      if (attempt >= cfg_rc_.ctrl_retry_limit) {
+        ++counters_.ctrl_timeouts;
+        // A timed-out board still transmitted the full retry budget.
+        ERAPID_OBSERVE(hub_, m_ctrl_retries_, static_cast<double>(attempt + 1));
+        return std::nullopt;  // board sits this window's cycle out
+      }
+      ++attempt;
+      ++counters_.ctrl_retries;
     }
-    ++attempt;
-    ++counters_.ctrl_retries;
   }
+  ERAPID_OBSERVE(hub_, m_ctrl_retries_, static_cast<double>(attempt));
   return attempt;
 }
 
@@ -147,11 +157,16 @@ void ReconfigManager::run_power_cycle(Cycle t) {
   // ctrl_retry_limit losses it keeps last window's levels.
   const CycleDelta chain =
       static_cast<CycleDelta>(cfg_.num_wavelengths() + 1) * cfg_rc_.lc_hop_cycles;
+  // Window occupancy: lock-step means the cycle ends when the slowest
+  // board's decisions land — one clean chain traversal at minimum, more
+  // when a board had to retransmit.
+  CycleDelta occupancy = chain;
 
   for (std::size_t b = 0; b < terminals_.size(); ++b) {
     const auto attempts = ctrl_attempts(CtrlStage::PowerChain, BoardId{static_cast<std::uint32_t>(b)});
     if (!attempts) continue;
     const Cycle apply_at = t + static_cast<CycleDelta>(1 + *attempts) * chain;
+    occupancy = std::max(occupancy, static_cast<CycleDelta>(1 + *attempts) * chain);
     // Index flow stats by destination board for the buffer-utilization input.
     const auto& flows = flow_stats_[b];
     std::uint64_t changes_before = board_level_changes_[b];
@@ -194,6 +209,10 @@ void ReconfigManager::run_power_cycle(Cycle t) {
     (void)changes_before;
 #endif
   }
+  ERAPID_OBSERVE(hub_, m_window_dpm_, static_cast<double>(occupancy));
+#if defined(ERAPID_NO_OBS)
+  (void)occupancy;
+#endif
 }
 
 void ReconfigManager::run_bandwidth_cycle(Cycle t) {
@@ -235,6 +254,10 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
   //   Board Response + ring, Link Response + chain => lasers switch.
   const Cycle t_reconf = t + chain + ring * (1 + extra_rounds) + 1;
   const Cycle t_apply = t_reconf + ring + chain;
+  // DBR window occupancy: the full five-stage pipeline, retry-stretched
+  // rings included (grants chained on lane darkness may settle later —
+  // that tail is the convergence histogram's, not the window's).
+  ERAPID_OBSERVE(hub_, m_window_dbr_, static_cast<double>(t_apply - t));
 
   counters_.ring_hops += 2ULL * B * B;  // B packets × B hops, two ring stages
   counters_.ring_hops += ring_retries * B;  // each retransmission re-circles
@@ -245,6 +268,12 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
     std::uint64_t lanes_moved = 0;
     std::uint64_t boards_lost = 0;
     for (std::uint32_t b = 0; b < nb; ++b) boards_lost += lost[b] ? 1 : 0;
+
+    // Collect every destination's directives before scheduling any, so the
+    // convergence tracker knows the re-solve's full fan-out up front. The
+    // (dest, directive) order is the same as scheduling inline, so the
+    // event stream is unchanged.
+    std::vector<std::pair<BoardId, Directive>> decided;
 
     for (std::uint32_t d = 0; d < nb; ++d) {
       if (lost[d]) continue;  // RC_d never completed its circulation
@@ -282,11 +311,42 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
           allocate_lanes(dest, incoming, lanes, cfg_rc_.mode.dbr, cfg_rc_.grant_level);
 
       lanes_moved += directives.size();
-      for (const auto& dir : directives) {
-        engine_.schedule_at(t_apply, [this, dest, dir] {
-          apply_directive(dest, dir, engine_.now());
-        }, "reconfig.dbr_apply");
-      }
+      for (const auto& dir : directives) decided.emplace_back(dest, dir);
+    }
+
+    // Convergence tracking (obs only): a re-solve quiesces when its last
+    // directive settles — a grant landing (possibly chained on lane
+    // darkness past t_apply) or a stale drop. The engine's event stream is
+    // identical with or without the tracker.
+    std::function<void(Cycle)> settled;
+#if !defined(ERAPID_NO_OBS)
+    if (hub_ != nullptr && hub_->enabled() && !decided.empty()) {
+      struct ResolveTracker {
+        Cycle resolve_at = 0;
+        std::size_t outstanding = 0;
+        Cycle last = 0;
+      };
+      auto tracker = std::make_shared<ResolveTracker>();
+      tracker->resolve_at = engine_.now();
+      tracker->outstanding = decided.size();
+      if (auto* mon = hub_->monitors()) mon->dbr_resolve(tracker->resolve_at);
+      settled = [this, tracker](Cycle at) {
+        tracker->last = std::max(tracker->last, at);
+        if (--tracker->outstanding == 0) {
+          ERAPID_OBSERVE(hub_, m_dbr_convergence_,
+                         static_cast<double>(tracker->last - tracker->resolve_at));
+          if (auto* mon = hub_->monitors()) {
+            mon->dbr_quiesced(tracker->resolve_at, tracker->last);
+          }
+        }
+      };
+    }
+#endif
+
+    for (const auto& [dest, dir] : decided) {
+      engine_.schedule_at(t_apply, [this, dest = dest, dir = dir, settled] {
+        apply_directive(dest, dir, engine_.now(), settled);
+      }, "reconfig.dbr_apply");
     }
 
     // The Reconfigure stage's outcome as one instant mark: how many lanes
@@ -306,13 +366,15 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
   }, "reconfig.dbr_resolve");
 }
 
-void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle now) {
+void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle now,
+                                      const std::function<void(Cycle)>& settled) {
   const WavelengthId w = dir.wavelength;
   // The lane may have died between the Reconfigure stage and the Link
   // Response landing (fault injection): the directive is stale — drop it
   // and let the next window re-solve around the failure.
   if (lane_map_.is_failed(dest, w)) {
     ++counters_.stale_directives;
+    if (settled) settled(now);
     return;
   }
   // Ownership may have changed since the decision (a later window's
@@ -321,12 +383,13 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
   ERAPID_EXPECT(lane_map_.owner(dest, w) == dir.old_owner,
                 "directive raced with another ownership change");
 
-  auto grant = [this, dest, w, dir](Cycle at) {
+  auto grant = [this, dest, w, dir, settled](Cycle at) {
     // The lane can fail while the old owner's in-flight packet drains
     // (apply_release chains the re-grant on lane darkness); a grant must
     // never land on a failed lane.
     if (lane_map_.is_failed(dest, w)) {
       ++counters_.stale_directives;
+      if (settled) settled(at);
       return;
     }
     lane_map_.grant(dest, w, dir.new_owner);
@@ -341,6 +404,7 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
       ERAPID_TRACE_INSTANT(hub_, hub_->track_lanes(), "lane.grant", at, args.str());
     }
     if (grant_observer_) grant_observer_(dir.new_owner, dest, at);
+    if (settled) settled(at);
   };
 
   if (dir.old_owner.valid()) {

@@ -113,7 +113,11 @@ class ReconfigManager {
   void on_window();
   void run_power_cycle(Cycle t);
   void run_bandwidth_cycle(Cycle t);
-  void apply_directive(BoardId dest, const Directive& dir, Cycle now);
+  /// `settled` (optional) is invoked exactly once with the cycle at which
+  /// this directive reached a terminal state — its grant landed, or it was
+  /// dropped as stale. The DBR convergence monitor rides this.
+  void apply_directive(BoardId dest, const Directive& dir, Cycle now,
+                       const std::function<void(Cycle)>& settled = {});
 
   /// Plays one board's control transmission against the fault hook.
   /// Returns the number of retransmissions that were needed (0 = clean
@@ -156,6 +160,13 @@ class ReconfigManager {
   obs::MetricId m_lanes_moved_ = 0;
   obs::MetricId m_grants_ = 0;
   obs::MetricId m_level_changes_ = 0;
+  // Histograms (log2 buckets; see obs/metrics.hpp): LS window occupancy
+  // split by R_w parity, re-solve→last-grant convergence, and per-stage
+  // control retransmission counts.
+  obs::MetricId m_window_dpm_ = 0;
+  obs::MetricId m_window_dbr_ = 0;
+  obs::MetricId m_dbr_convergence_ = 0;
+  obs::MetricId m_ctrl_retries_ = 0;
 };
 
 }  // namespace erapid::reconfig

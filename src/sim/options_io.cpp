@@ -56,6 +56,11 @@ const std::set<std::string>& known_keys() {
       "obs.trace_format",
       "obs.counter_interval",
       "obs.trace_events",
+      "obs.monitor_fail_fast",
+      "monitor.power_cap_mw",
+      "monitor.throughput_floor",
+      "monitor.p99_latency_ceiling",
+      "monitor.quiescence_deadline",
   };
   return keys;
 }
@@ -164,9 +169,29 @@ SimOptions options_from_ini(const util::Ini& ini) {
                   "unknown obs.trace_format: '" + *fmt + "' (chrome|csv)");
     o.obs.trace_format = *fmt;
   }
-  o.obs.counter_interval = static_cast<CycleDelta>(
-      ini.get_int("obs.counter_interval", static_cast<long>(o.obs.counter_interval)));
+  const long interval =
+      ini.get_int("obs.counter_interval", static_cast<long>(o.obs.counter_interval));
+  // Reject at parse time (not first use) so a bad sweep config fails before
+  // any simulation runs.
+  ERAPID_EXPECT(interval > 0, "obs.counter_interval must be positive, got " << interval);
+  o.obs.counter_interval = static_cast<CycleDelta>(interval);
   o.obs.trace_events = ini.get_bool("obs.trace_events", o.obs.trace_events);
+  o.obs.monitor_fail_fast =
+      ini.get_bool("obs.monitor_fail_fast", o.obs.monitor_fail_fast);
+
+  auto& mon = o.obs.monitors;
+  mon.power_cap_mw = ini.get_double("monitor.power_cap_mw", mon.power_cap_mw);
+  mon.throughput_floor = ini.get_double("monitor.throughput_floor", mon.throughput_floor);
+  mon.p99_latency_ceiling =
+      ini.get_double("monitor.p99_latency_ceiling", mon.p99_latency_ceiling);
+  const long deadline = ini.get_int("monitor.quiescence_deadline",
+                                    static_cast<long>(mon.quiescence_deadline));
+  ERAPID_EXPECT(deadline >= 0,
+                "monitor.quiescence_deadline must be non-negative, got " << deadline);
+  mon.quiescence_deadline = static_cast<CycleDelta>(deadline);
+  ERAPID_EXPECT(mon.power_cap_mw >= 0.0 && mon.throughput_floor >= 0.0 &&
+                    mon.p99_latency_ceiling >= 0.0,
+                "monitor.* thresholds must be non-negative");
   return o;
 }
 
@@ -226,6 +251,14 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("obs.trace_format", o.obs.trace_format);
   set("obs.counter_interval", o.obs.counter_interval);
   set("obs.trace_events", o.obs.trace_events ? "true" : "false");
+  set("obs.monitor_fail_fast", o.obs.monitor_fail_fast ? "true" : "false");
+  // Disabled checks (threshold 0) serialize too: a saved config re-loads
+  // into the identical MonitorConfig either way, and the full key set is
+  // visible in every dumped config.
+  set("monitor.power_cap_mw", o.obs.monitors.power_cap_mw);
+  set("monitor.throughput_floor", o.obs.monitors.throughput_floor);
+  set("monitor.p99_latency_ceiling", o.obs.monitors.p99_latency_ceiling);
+  set("monitor.quiescence_deadline", o.obs.monitors.quiescence_deadline);
   return ini;
 }
 

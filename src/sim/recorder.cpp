@@ -60,6 +60,14 @@ void Recorder::take_sample() {
   reg.record(m_level_changes_, now, static_cast<double>(counters.level_changes));
   reg.record(m_lanes_failed_, now, static_cast<double>(lanes_failed));
 
+#if !defined(ERAPID_NO_OBS)
+  // The power-cap monitor watches the envelope at this same cadence: each
+  // sample is one deterministic check against monitor.power_cap_mw.
+  if (hub_ != nullptr) {
+    if (auto* mon = hub_->monitors()) mon->sample_power(now, power);
+  }
+#endif
+
   // Mirror the sampled state onto trace counter tracks: this is the
   // at-a-glance dashboard row of the Perfetto view.
   ERAPID_TRACE_COUNTER(hub_, hub_->track_counters(), "lanes_lit", now,

@@ -101,6 +101,17 @@ std::string to_json(const SimResult& r, int indent) {
     for (const auto& [name, value] : r.metrics) m.raw_field(name.c_str(), value);
     o.raw_field("obs_metrics", m.str());
   }
+  // Monitor verdicts: present only when at least one `monitor.*` check was
+  // configured, so monitor-free reports match older builds byte-exactly.
+  if (!r.monitors.empty()) {
+    JsonObject m(indent + 2);
+    m.field("ok", r.monitors_ok());
+    m.field("violations", r.monitor_violations);
+    JsonObject c(indent + 4);
+    for (const auto& [name, verdict] : r.monitors) c.raw_field(name.c_str(), verdict);
+    m.raw_field("checks", c.str());
+    o.raw_field("obs_monitors", m.str());
+  }
   return o.str();
 }
 

@@ -18,6 +18,7 @@ Simulation::Simulation(const SimOptions& opts)
     hub_ = std::make_unique<obs::Hub>(opts_.obs);
     engine_.set_dispatch_hook(hub_.get());
     m_latency_ = hub_->metrics().series("sim.packet_latency");
+    m_latency_hist_ = hub_->metrics().histogram("sim.packet_latency_hist");
     m_delivered_ = hub_->metrics().counter("sim.packets_delivered");
   }
 #endif
@@ -54,6 +55,7 @@ Simulation::Simulation(const SimOptions& opts)
       latency_.add(lat);
       latency_hist_->add(lat);
       ERAPID_OBSERVE(hub_.get(), m_latency_, lat);
+      ERAPID_OBSERVE(hub_.get(), m_latency_hist_, lat);
     }
   });
 
@@ -139,6 +141,17 @@ SimResult Simulation::run() {
 #if !defined(ERAPID_NO_OBS)
   if (hub_ != nullptr) {
     if (recorder_ != nullptr) recorder_->stop();
+    // Finalize the monitors before the snapshot so the monitor.violations
+    // counter covers the end-of-run checks too.
+    if (auto* mon = hub_->monitors()) {
+      obs::FinalSample fin;
+      fin.now = engine_.now();
+      fin.accepted_fraction = r.accepted_fraction;
+      fin.latency_p99 = r.latency_p99;
+      mon->finalize(fin);
+      r.monitors = mon->report();
+      r.monitor_violations = mon->violations();
+    }
     r.metrics = hub_->metrics().snapshot(engine_.now());
     hub_->close(engine_.now());
   }

@@ -89,6 +89,16 @@ struct SimResult {
   /// Name-sorted metrics snapshot (name, rendered JSON value); empty when
   /// obs is off — the JSON report then matches pre-obs builds byte-exactly.
   std::vector<std::pair<std::string, std::string>> metrics;
+  /// Name-sorted monitor verdicts (check, rendered JSON); empty unless at
+  /// least one `monitor.*` check was configured on an obs-enabled run —
+  /// the report then matches monitor-free builds byte-exactly.
+  std::vector<std::pair<std::string, std::string>> monitors;
+  /// Total monitor violations across all checks (0 with none configured).
+  std::uint64_t monitor_violations = 0;
+  /// True when monitors ran and every configured check held.
+  [[nodiscard]] bool monitors_ok() const {
+    return monitor_violations == 0;
+  }
 };
 
 /// One self-contained simulation (engine + network + sources + metrics).
@@ -127,6 +137,7 @@ class Simulation {
   std::uint64_t labelled_delivered_ = 0;
   bool in_measurement_ = false;
   obs::MetricId m_latency_ = 0;
+  obs::MetricId m_latency_hist_ = 0;
   obs::MetricId m_delivered_ = 0;
 };
 

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Self-test for tools/obs/compare_runs.py (CTest: lint.compare_runs_self_test).
+
+Builds tiny synthetic bench artifacts and simulation reports and checks the
+observatory's contract: identical runs pass, a worse-direction move beyond
+the threshold regresses (the acceptance case: a ≥10% latency regression is
+flagged), improvements and sub-threshold drift never fail, wall time is
+ignored unless opted in, and the CLI keeps its exit-code and --json
+contracts.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools" / "obs"))
+import compare_runs  # noqa: E402
+
+
+def bench_doc(points):
+    return {
+        "schema": "erapid-bench-1",
+        "bench": "Fig. 6 butterfly",
+        "pattern": "butterfly",
+        "git_rev": "test",
+        "points": points,
+    }
+
+
+def bench_point(**overrides):
+    p = {
+        "mode": "P-B", "load": 0.5, "throughput_xNc": 0.5,
+        "latency_avg_cycles": 100.0, "latency_p99_cycles": 400.0,
+        "power_avg_mw": 2000.0, "active_power_avg_mw": 900.0,
+        "energy_per_packet_mw_cycles": 50.0, "drained": True,
+        "wall_ms": 120.0,
+    }
+    p.update(overrides)
+    return p
+
+
+def report_doc(obs_metrics=None, **overrides):
+    r = {
+        "accepted_fraction": 0.5, "latency_avg": 100.0, "latency_p99": 400.0,
+        "power_avg_mw": 2000.0, "drained": True,
+    }
+    r.update(overrides)
+    if obs_metrics is not None:
+        r["obs_metrics"] = obs_metrics
+    return {"results": [{"name": "run", "metrics": r}]}
+
+
+def kinds(comparisons, metric):
+    return [c["kind"] for c in comparisons if c["metric"] == metric]
+
+
+class BenchComparison(unittest.TestCase):
+    def compare(self, base, cand, threshold=0.05, include_wall=False):
+        return compare_runs.compare_docs(base, cand, threshold, include_wall)
+
+    def test_identical_runs_have_no_regressions(self):
+        doc = bench_doc([bench_point(), bench_point(mode="NP-NB")])
+        out = self.compare(doc, doc)
+        self.assertTrue(all(c["kind"] == "same" for c in out))
+
+    def test_ten_percent_latency_regression_is_flagged(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(latency_avg_cycles=110.0)])
+        out = self.compare(base, cand)
+        self.assertIn("regressed", kinds(out, "latency_avg_cycles"))
+
+    def test_latency_improvement_is_not_a_regression(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(latency_avg_cycles=80.0)])
+        out = self.compare(base, cand)
+        self.assertEqual(kinds(out, "latency_avg_cycles"), ["improved"])
+
+    def test_throughput_direction_is_inverted(self):
+        base = bench_doc([bench_point()])
+        down = bench_doc([bench_point(throughput_xNc=0.4)])
+        up = bench_doc([bench_point(throughput_xNc=0.6)])
+        self.assertIn("regressed", kinds(self.compare(base, down), "throughput_xNc"))
+        self.assertIn("improved", kinds(self.compare(base, up), "throughput_xNc"))
+
+    def test_sub_threshold_drift_passes(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(latency_avg_cycles=103.0)])  # +3% < 5%
+        out = self.compare(base, cand)
+        self.assertEqual(kinds(out, "latency_avg_cycles"), ["drifted"])
+
+    def test_drained_flip_regresses(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(drained=False)])
+        self.assertEqual(kinds(self.compare(base, cand), "drained"), ["regressed"])
+
+    def test_monitor_verdict_flip_regresses(self):
+        base = bench_doc([bench_point(monitors_ok=True, monitor_violations=0)])
+        cand = bench_doc([bench_point(monitors_ok=False, monitor_violations=3)])
+        out = self.compare(base, cand)
+        self.assertEqual(kinds(out, "monitors_ok"), ["regressed"])
+        self.assertEqual(kinds(out, "monitor_violations"), ["regressed"])
+
+    def test_wall_time_ignored_unless_opted_in(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(wall_ms=500.0)])
+        self.assertEqual(kinds(self.compare(base, cand), "wall_ms"), [])
+        out = self.compare(base, cand, include_wall=True)
+        self.assertEqual(kinds(out, "wall_ms"), ["regressed"])
+
+    def test_missing_point_regresses(self):
+        base = bench_doc([bench_point(), bench_point(mode="NP-NB")])
+        cand = bench_doc([bench_point()])
+        self.assertIn("regressed", kinds(self.compare(base, cand), "point"))
+
+
+class ReportComparison(unittest.TestCase):
+    def test_obs_metrics_drift_is_flagged(self):
+        base = report_doc(obs_metrics={"des.events": 1000,
+                                       "sim.packet_latency": {"mean": 100.0}})
+        cand = report_doc(obs_metrics={"des.events": 1300,
+                                       "sim.packet_latency": {"mean": 100.0}})
+        out = compare_runs.compare_docs(base, cand, 0.05, False)
+        self.assertIn("regressed", kinds(out, "obs_metrics.des.events"))
+        self.assertIn("same", kinds(out, "obs_metrics.sim.packet_latency.mean"))
+
+    def test_vanished_metric_is_flagged(self):
+        base = report_doc(obs_metrics={"des.events": 1000})
+        cand = report_doc(obs_metrics={})
+        out = compare_runs.compare_docs(base, cand, 0.05, False)
+        self.assertIn("regressed", kinds(out, "obs_metrics.des.events"))
+
+    def test_top_level_latency_rule_applies(self):
+        base = report_doc()
+        cand = report_doc(latency_p99=480.0)  # +20%
+        out = compare_runs.compare_docs(base, cand, 0.05, False)
+        self.assertIn("regressed", kinds(out, "latency_p99"))
+
+    def test_mixing_artifact_types_raises(self):
+        with self.assertRaises(compare_runs.CompareError):
+            compare_runs.compare_docs(bench_doc([]), report_doc(), 0.05, False)
+
+
+class CliContract(unittest.TestCase):
+    def write(self, tmp, name, doc):
+        path = Path(tmp) / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def test_exit_codes_and_json_output(self):
+        import contextlib
+        import io
+        with tempfile.TemporaryDirectory() as tmp:
+            same = self.write(tmp, "a.json", bench_doc([bench_point()]))
+            worse = self.write(
+                tmp, "b.json", bench_doc([bench_point(latency_avg_cycles=115.0)]))
+            bad = self.write(tmp, "c.json", {"schema": "other"})
+
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                self.assertEqual(compare_runs.main([same, same, "--json"]), 0)
+            doc = json.loads(buf.getvalue())
+            self.assertTrue(doc["ok"])
+            self.assertEqual(doc["regressions"], 0)
+
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                self.assertEqual(compare_runs.main([same, worse, "--json"]), 1)
+            doc = json.loads(buf.getvalue())
+            self.assertFalse(doc["ok"])
+            self.assertGreater(doc["regressions"], 0)
+
+            with contextlib.redirect_stdout(io.StringIO()), \
+                 contextlib.redirect_stderr(io.StringIO()):
+                self.assertEqual(compare_runs.main([same, bad]), 2)
+
+    def test_threshold_knob_loosens_the_gate(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "a.json", bench_doc([bench_point()]))
+            cand = self.write(
+                tmp, "b.json", bench_doc([bench_point(latency_avg_cycles=110.0)]))
+            import contextlib
+            import io
+            with contextlib.redirect_stdout(io.StringIO()):
+                self.assertEqual(compare_runs.main([base, cand]), 1)
+                self.assertEqual(
+                    compare_runs.main([base, cand, "--threshold-pct", "15"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

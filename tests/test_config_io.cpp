@@ -199,6 +199,62 @@ TEST(OptionsIo, UnknownKeyThrows) {
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);
 }
 
+TEST(OptionsIo, UnknownObsOrMonitorKeyThrows) {
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[obs]\ncounter_intervl = 100\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[monitor]\npower_cap = 100\n")),
+               erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, NonPositiveCounterIntervalRejectedAtParseTime) {
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[obs]\ncounter_interval = 0\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[obs]\ncounter_interval = -5\n")),
+               erapid::ModelInvariantError);
+  const auto ok = options_from_ini(Ini::parse_string("[obs]\ncounter_interval = 250\n"));
+  EXPECT_EQ(ok.obs.counter_interval, 250u);
+}
+
+TEST(OptionsIo, MonitorKeysSurviveRoundTrip) {
+  SimOptions o;
+  o.obs.monitors.power_cap_mw = 2500.5;
+  o.obs.monitors.throughput_floor = 0.35;
+  o.obs.monitors.p99_latency_ceiling = 900.0;
+  o.obs.monitors.quiescence_deadline = 1200;
+  o.obs.monitor_fail_fast = true;
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_DOUBLE_EQ(back.obs.monitors.power_cap_mw, 2500.5);
+  EXPECT_DOUBLE_EQ(back.obs.monitors.throughput_floor, 0.35);
+  EXPECT_DOUBLE_EQ(back.obs.monitors.p99_latency_ceiling, 900.0);
+  EXPECT_EQ(back.obs.monitors.quiescence_deadline, 1200u);
+  EXPECT_TRUE(back.obs.monitor_fail_fast);
+  EXPECT_TRUE(back.obs.monitors.any());
+}
+
+TEST(OptionsIo, MonitorKeysParseFromIniText) {
+  const auto o = options_from_ini(Ini::parse_string(
+      "[monitor]\npower_cap_mw = 3000\nquiescence_deadline = 800\n"
+      "[obs]\nmonitor_fail_fast = true\n"));
+  EXPECT_DOUBLE_EQ(o.obs.monitors.power_cap_mw, 3000.0);
+  EXPECT_EQ(o.obs.monitors.quiescence_deadline, 800u);
+  EXPECT_DOUBLE_EQ(o.obs.monitors.throughput_floor, 0.0);  // stays disabled
+  EXPECT_TRUE(o.obs.monitor_fail_fast);
+}
+
+TEST(OptionsIo, NegativeMonitorThresholdsThrow) {
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[monitor]\npower_cap_mw = -1\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[monitor]\nquiescence_deadline = -10\n")),
+      erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, DefaultMonitorsAreAllDisabled) {
+  const SimOptions o;
+  EXPECT_FALSE(o.obs.monitors.any());
+  EXPECT_FALSE(o.obs.monitor_fail_fast);
+}
+
 TEST(OptionsIo, BadModeThrows) {
   const auto ini = Ini::parse_string("[reconfig]\nmode = FULL-POWER\n");
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);

@@ -143,6 +143,72 @@ TEST(MetricsRegistry, SnapshotIsNameSorted) {
   EXPECT_EQ(snap[2].first, "zzz.last");
 }
 
+// ---- unit: histogram metric kind --------------------------------------------
+
+TEST(Histogram, BucketMappingIsLog2) {
+  // Bucket 0 absorbs [0, 1) plus anything non-finite or negative; bucket i
+  // covers [2^(i-1), 2^i); the last bucket absorbs overflow.
+  EXPECT_EQ(obs::histogram_bucket_of(0.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_of(0.99), 0u);
+  EXPECT_EQ(obs::histogram_bucket_of(-5.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_of(1.0), 1u);
+  EXPECT_EQ(obs::histogram_bucket_of(1.99), 1u);
+  EXPECT_EQ(obs::histogram_bucket_of(2.0), 2u);
+  EXPECT_EQ(obs::histogram_bucket_of(3.99), 2u);
+  EXPECT_EQ(obs::histogram_bucket_of(4.0), 3u);
+  EXPECT_EQ(obs::histogram_bucket_of(1024.0), 11u);
+  EXPECT_EQ(obs::histogram_bucket_of(1.0e300), obs::kHistogramBuckets - 1);
+}
+
+TEST(Histogram, ObserveCountsAndQuantiles) {
+  obs::MetricsRegistry reg;
+  const auto h = reg.histogram("lat.hist");
+  for (int i = 0; i < 100; ++i) reg.observe(h, 10.0);  // bucket 4: [8, 16)
+  reg.observe(h, 1000.0);                              // bucket 10
+  EXPECT_EQ(reg.histogram_stats(h).count(), 101u);
+  EXPECT_EQ(reg.histogram_bucket_count(h, 4), 100u);
+  EXPECT_EQ(reg.histogram_bucket_count(h, 10), 1u);
+  EXPECT_EQ(reg.histogram_bucket_count(h, 0), 0u);
+  // p50 lies in the dominant bucket; p100-ish is clamped to the observed max.
+  const double p50 = reg.histogram_quantile(h, 0.50);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LT(p50, 16.0);
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 0.0), 10.0);
+}
+
+TEST(Histogram, EmptyHistogramIsZero) {
+  obs::MetricsRegistry reg;
+  const auto h = reg.histogram("empty.hist");
+  EXPECT_EQ(reg.histogram_stats(h).count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 0.99), 0.0);
+}
+
+TEST(Histogram, SnapshotRendersSparseOrderedBuckets) {
+  obs::MetricsRegistry reg;
+  const auto h = reg.histogram("h.render");
+  reg.observe(h, 0.5);   // bucket 0
+  reg.observe(h, 12.0);  // bucket 4
+  reg.observe(h, 12.0);
+  const auto snap = reg.snapshot(0);
+  ASSERT_EQ(snap.size(), 1u);
+  const std::string& v = snap[0].second;
+  EXPECT_NE(v.find("\"count\": 3"), std::string::npos) << v;
+  EXPECT_NE(v.find("\"buckets\": [[0, 1], [4, 2]]"), std::string::npos) << v;
+  EXPECT_NE(v.find("\"p99\":"), std::string::npos) << v;
+}
+
+TEST(Histogram, SameSamplesAnyOrderSameRendering) {
+  // Insertion order must not leak into the snapshot (determinism contract).
+  obs::MetricsRegistry a, b;
+  const auto ha = a.histogram("h");
+  const auto hb = b.histogram("h");
+  const double samples[] = {3.0, 700.0, 0.2, 3.0, 65.0};
+  for (double s : samples) a.observe(ha, s);
+  for (int i = 4; i >= 0; --i) b.observe(hb, samples[i]);
+  EXPECT_EQ(a.snapshot(0), b.snapshot(0));
+}
+
 // ---- unit: trace writers ----------------------------------------------------
 
 TEST(ChromeTraceWriter, EmitsSchemaFooterAndTracks) {

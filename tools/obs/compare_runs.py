@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""compare_runs — the cross-run regression observatory.
+
+Diffs two machine-readable E-RAPID artifacts against each other with
+relative thresholds:
+
+  * bench artifacts (``BENCH_<slug>.json``, schema erapid-bench-1): points
+    are matched by (mode, load) and every per-point metric is compared with
+    a direction-aware rule — throughput falling, latency/power/energy
+    rising, ``drained``/``monitors_ok`` flipping to false are regressions;
+    improvements and sub-threshold drift are reported but never fail;
+  * simulation reports (``write_results_json`` output, or one bare result
+    object): results are matched by name, the known top-level metrics are
+    compared direction-aware, and every numeric leaf of the ``obs_metrics``
+    snapshot is compared direction-agnostically (the snapshot is
+    deterministic, so any drift beyond the threshold is a behaviour change
+    worth flagging).
+
+``wall_ms`` is excluded by default — the simulator is deterministic but the
+host is not; ``--include-wall`` opts it in (direction: up is worse).
+
+Exit status: 0 no regressions, 1 regressions found, 2 usage/validation
+error. ``--json`` emits the full comparison as one machine-readable
+document (used by the CI perf gate; see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_SCHEMA = "erapid-bench-1"
+
+# Direction-aware comparison rules for known metric names.
+#   up_bad:   candidate above baseline beyond threshold = regression
+#   down_bad: candidate below baseline beyond threshold = regression
+#   false_bad: boolean flipping true -> false = regression
+#   info:     reported, never a regression
+BENCH_FIELDS = {
+    "throughput_xNc": "down_bad",
+    "latency_avg_cycles": "up_bad",
+    "latency_p99_cycles": "up_bad",
+    "power_avg_mw": "up_bad",
+    "active_power_avg_mw": "up_bad",
+    "energy_per_packet_mw_cycles": "up_bad",
+    "drained": "false_bad",
+    "monitors_ok": "false_bad",
+    "monitor_violations": "up_bad",
+    "wall_ms": "wall",
+}
+
+REPORT_FIELDS = {
+    "accepted_fraction": "down_bad",
+    "latency_avg": "up_bad",
+    "latency_p50": "up_bad",
+    "latency_p95": "up_bad",
+    "latency_p99": "up_bad",
+    "latency_max": "up_bad",
+    "power_avg_mw": "up_bad",
+    "active_power_avg_mw": "up_bad",
+    "drained": "false_bad",
+}
+
+
+class CompareError(Exception):
+    """Input file is not a comparable artifact."""
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise CompareError(f"cannot read {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise CompareError(f"{path} is not valid JSON: {e}") from e
+
+
+def rel_change(base, cand):
+    """Relative change of cand vs base; inf when base == 0 and cand moved."""
+    if base == 0:
+        return 0.0 if cand == 0 else float("inf")
+    return (cand - base) / abs(base)
+
+
+def classify(rule, base, cand, threshold):
+    """Returns (kind, pct) — kind in {same, improved, drifted, regressed}."""
+    if rule == "false_bad":
+        if bool(base) == bool(cand):
+            return "same", 0.0
+        return ("regressed", 0.0) if (base and not cand) else ("improved", 0.0)
+    pct = rel_change(float(base), float(cand))
+    if pct == 0.0:
+        return "same", 0.0
+    worse = pct > 0 if rule in ("up_bad", "wall") else pct < 0
+    if abs(pct) <= threshold:
+        return "drifted", pct
+    if rule == "info" or not worse:
+        return ("drifted" if rule == "info" else "improved"), pct
+    return "regressed", pct
+
+
+def compare_fields(label, base_obj, cand_obj, rules, threshold, include_wall, out):
+    for name, rule in rules.items():
+        if name not in base_obj or name not in cand_obj:
+            continue
+        if rule == "wall":
+            if not include_wall:
+                continue
+            rule = "up_bad"
+        kind, pct = classify(rule, base_obj[name], cand_obj[name], threshold)
+        out.append({
+            "where": label,
+            "metric": name,
+            "baseline": base_obj[name],
+            "candidate": cand_obj[name],
+            "change_pct": None if pct in (0.0,) else round(pct * 100.0, 6),
+            "kind": kind,
+        })
+
+
+def flatten_numeric(prefix, node, out):
+    """Collects numeric leaves of a nested dict as (path, value) pairs.
+
+    Lists (histogram bucket arrays) are skipped: their scalar summaries
+    (count / quantiles) already carry the comparison.
+    """
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    elif isinstance(node, dict):
+        for key in sorted(node):
+            sub = f"{prefix}.{key}" if prefix else key
+            flatten_numeric(sub, node[key], out)
+
+
+def compare_obs_metrics(label, base_obs, cand_obs, threshold, out):
+    base_flat, cand_flat = {}, {}
+    flatten_numeric("", base_obs, base_flat)
+    flatten_numeric("", cand_obs, cand_flat)
+    for path in sorted(set(base_flat) | set(cand_flat)):
+        if path not in base_flat or path not in cand_flat:
+            out.append({
+                "where": label,
+                "metric": f"obs_metrics.{path}",
+                "baseline": base_flat.get(path),
+                "candidate": cand_flat.get(path),
+                "change_pct": None,
+                "kind": "regressed",  # a metric appearing/vanishing is drift
+            })
+            continue
+        pct = rel_change(base_flat[path], cand_flat[path])
+        if pct == 0.0:
+            kind = "same"
+        elif abs(pct) <= threshold:
+            kind = "drifted"
+        else:
+            kind = "regressed"  # deterministic snapshot: big drift = change
+        out.append({
+            "where": label,
+            "metric": f"obs_metrics.{path}",
+            "baseline": base_flat[path],
+            "candidate": cand_flat[path],
+            "change_pct": None if pct == 0.0 else round(pct * 100.0, 6),
+            "kind": kind,
+        })
+
+
+def compare_bench(base, cand, threshold, include_wall):
+    def index(doc, which):
+        points = doc.get("points")
+        if not isinstance(points, list):
+            raise CompareError(f"{which}: bench artifact has no points list")
+        return {(p.get("mode"), p.get("load")): p for p in points}
+
+    b_pts, c_pts = index(base, "baseline"), index(cand, "candidate")
+    comparisons = []
+    for key in sorted(set(b_pts) | set(c_pts), key=lambda k: (str(k[0]), k[1])):
+        label = f"{key[0]}/load={key[1]}"
+        if key not in b_pts or key not in c_pts:
+            comparisons.append({
+                "where": label, "metric": "point",
+                "baseline": key in b_pts, "candidate": key in c_pts,
+                "change_pct": None, "kind": "regressed",
+            })
+            continue
+        compare_fields(label, b_pts[key], c_pts[key], BENCH_FIELDS, threshold,
+                       include_wall, comparisons)
+    return comparisons
+
+
+def report_results(doc, which):
+    """Normalizes a report document to [(name, result-object)]."""
+    if "results" in doc:
+        out = []
+        for entry in doc["results"]:
+            if "name" not in entry or "metrics" not in entry:
+                raise CompareError(f"{which}: malformed results entry")
+            out.append((entry["name"], entry["metrics"]))
+        return out
+    if "accepted_fraction" in doc or "obs_metrics" in doc:
+        return [("result", doc)]
+    raise CompareError(f"{which}: neither a bench artifact nor a report")
+
+
+def compare_reports(base, cand, threshold, include_wall):
+    b_named = dict(report_results(base, "baseline"))
+    c_named = dict(report_results(cand, "candidate"))
+    comparisons = []
+    for name in sorted(set(b_named) | set(c_named)):
+        if name not in b_named or name not in c_named:
+            comparisons.append({
+                "where": name, "metric": "result",
+                "baseline": name in b_named, "candidate": name in c_named,
+                "change_pct": None, "kind": "regressed",
+            })
+            continue
+        b, c = b_named[name], c_named[name]
+        compare_fields(name, b, c, REPORT_FIELDS, threshold, include_wall,
+                       comparisons)
+        compare_obs_metrics(name, b.get("obs_metrics", {}),
+                            c.get("obs_metrics", {}), threshold, comparisons)
+    return comparisons
+
+
+def compare_docs(base, cand, threshold, include_wall):
+    b_bench = base.get("schema") == BENCH_SCHEMA
+    c_bench = cand.get("schema") == BENCH_SCHEMA
+    if b_bench != c_bench:
+        raise CompareError("cannot compare a bench artifact against a report")
+    if b_bench:
+        return compare_bench(base, cand, threshold, include_wall)
+    return compare_reports(base, cand, threshold, include_wall)
+
+
+def render_text(result, out=sys.stdout):
+    for c in result["comparisons"]:
+        if c["kind"] == "same":
+            continue
+        pct = c["change_pct"]
+        delta = "" if pct is None else f" ({pct:+.2f}%)"
+        print(f"  [{c['kind']:9s}] {c['where']}: {c['metric']} "
+              f"{c['baseline']} -> {c['candidate']}{delta}", file=out)
+    print(f"compare_runs: {result['regressions']} regression(s), "
+          f"{result['improvements']} improvement(s), "
+          f"{result['compared']} metric(s) compared "
+          f"[threshold {result['threshold_pct']}%]", file=out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="compare_runs",
+        description="diff two E-RAPID bench/report artifacts with relative "
+                    "thresholds")
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("candidate", type=Path)
+    ap.add_argument("--threshold-pct", type=float, default=5.0,
+                    help="relative drift tolerated before a worse-direction "
+                         "move counts as a regression (default: 5)")
+    ap.add_argument("--include-wall", action="store_true",
+                    help="also gate on wall_ms (off by default: wall time is "
+                         "host noise, not simulator behaviour)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the comparison as machine-readable JSON")
+    args = ap.parse_args(argv)
+    if args.threshold_pct < 0:
+        ap.error("--threshold-pct must be non-negative")
+
+    try:
+        base = load_doc(args.baseline)
+        cand = load_doc(args.candidate)
+        comparisons = compare_docs(base, cand, args.threshold_pct / 100.0,
+                                   args.include_wall)
+    except CompareError as e:
+        print(f"compare_runs: {e}", file=sys.stderr)
+        return 2
+
+    result = {
+        "baseline": str(args.baseline),
+        "candidate": str(args.candidate),
+        "threshold_pct": args.threshold_pct,
+        "compared": len(comparisons),
+        "regressions": sum(1 for c in comparisons if c["kind"] == "regressed"),
+        "improvements": sum(1 for c in comparisons if c["kind"] == "improved"),
+        "ok": all(c["kind"] != "regressed" for c in comparisons),
+        "comparisons": comparisons,
+    }
+    if args.json:
+        json.dump(result, sys.stdout, indent=2, sort_keys=False)
+        print()
+    else:
+        render_text(result)
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
