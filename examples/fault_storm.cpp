@@ -1,16 +1,23 @@
 // Fault-injection demo: kill lanes, brown out a laser and drop Lock-Step
 // control packets mid-run, then watch the reconfiguration plane absorb it.
 //
-// The storm (relative to the warmup end W):
+// The permanent storm (relative to the warmup end W):
 //   W+1000   lane (d1, w1) dies           — its flow is re-homed by DBR
 //   W+2000   lane (d2, w2) dies
 //   W+3000   laser on (d3, w3) degrades to P_low for 6000 cycles
 //   W+4000   board 1 loses 2 consecutive ring circulations (retries)
 //   W+5000   board 2 loses more than ctrl_retry_limit (sits a window out)
 //
-//   ./fault_storm [--load 0.5] [--seed 1] [--drop-prob 0.0]
+// With --transient the storm self-heals instead: the lane failure repairs
+// (and the lane is re-admitted by DBR), a bit-error window corrupts
+// packets that the CRC/ARQ path retransmits, and an RC crashes and later
+// rejoins the ring (watchdog token regeneration in between).
+//
+//   ./fault_storm [--load 0.5] [--seed 1] [--drop-prob 0.0] [--transient]
+//                 [--trace storm.trace.json]
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "sim/simulation.hpp"
 #include "util/cli.hpp"
@@ -28,14 +35,28 @@ int run(int argc, char** argv) {
   opts.load_fraction = cli.get_double("load", 0.5);
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
+  const bool transient = cli.has("transient");
+  if (const auto trace = cli.get("trace")) {
+    opts.obs.enabled = true;
+    opts.obs.trace_path = *trace;
+    opts.obs.trace_events = true;
+  }
+
   const Cycle w = opts.warmup_cycles;
   std::ostringstream plan;
-  plan << "lane_fail@" << (w + 1000) << ":d1:w1 "
-       << "lane_fail@" << (w + 2000) << ":d2:w2 "
-       << "laser_degrade@" << (w + 3000) << ":d3:w3:low:6000 "
-       << "ctrl_drop@" << (w + 4000) << ":ring:b1:n2 "
-       << "ctrl_drop@" << (w + 5000) << ":ring:b2:n"
-       << (opts.reconfig.ctrl_retry_limit + 1);
+  if (transient) {
+    plan << "lane_fail@" << (w + 1000) << ":d1:w1:r" << (w + 5000) << " "
+         << "bit_error@" << (w + 1500) << ":d2:w2:p0.0005:6000 "
+         << "rc_crash@" << (w + 2000) << ":b2:r" << (w + 6000) << " "
+         << "ctrl_drop@" << (w + 4000) << ":ring:b1:n2";
+  } else {
+    plan << "lane_fail@" << (w + 1000) << ":d1:w1 "
+         << "lane_fail@" << (w + 2000) << ":d2:w2 "
+         << "laser_degrade@" << (w + 3000) << ":d3:w3:low:6000 "
+         << "ctrl_drop@" << (w + 4000) << ":ring:b1:n2 "
+         << "ctrl_drop@" << (w + 5000) << ":ring:b2:n"
+         << (opts.reconfig.ctrl_retry_limit + 1);
+  }
 
   // --- fault-free baseline, then the same run under the storm ---
   sim::SimResult clean;
@@ -74,8 +95,29 @@ int run(int argc, char** argv) {
   rec.row_values("ctrl packets dropped", r.fault.ctrl_drops);
   rec.row_values("ctrl retransmissions", r.fault.ctrl_retries);
   rec.row_values("ctrl timeouts (window sat out)", r.fault.ctrl_timeouts);
+  rec.row_values("ctrl retry budgets exhausted", r.fault.ctrl_exhausted);
   rec.row_values("stale directives discarded", r.fault.stale_directives);
   rec.print(std::cout);
+
+  if (transient) {
+    std::cout << "\nSelf-healing:\n";
+    util::TablePrinter heal({"stat", "value"});
+    heal.row_values("lanes repaired", r.fault.lanes_repaired);
+    heal.row_values("re-admissions completed", r.fault.readmissions_completed);
+    heal.row_values("re-admissions still pending", r.fault.readmissions_pending);
+    heal.row_values("worst downtime (cycles)", r.fault.worst_downtime);
+    heal.row_values("worst re-admission wait (cycles)", r.fault.worst_readmission_wait);
+    heal.row_values("CRC drops", r.fault.crc_dropped);
+    heal.row_values("ARQ retransmissions", r.fault.arq_retransmits);
+    heal.row_values("ARQ dead letters", r.fault.arq_dead_letters);
+    heal.row_values("RC crashes / repairs",
+                    std::to_string(r.fault.rc_crashes) + " / " +
+                        std::to_string(r.fault.rc_repairs));
+    heal.row_values("watchdog fires", r.fault.watchdog_fires);
+    heal.row_values("ring tokens regenerated", r.fault.tokens_regenerated);
+    heal.row_values("frozen LS windows", r.fault.frozen_windows);
+    heal.print(std::cout);
+  }
 
   const double retention =
       clean.accepted_fraction > 0 ? r.accepted_fraction / clean.accepted_fraction : 1.0;

@@ -33,7 +33,7 @@ namespace erapid::fault {
 /// stale_directives mirror the manager's ControlCounters (copied at
 /// stats() time so the struct is self-contained for reports).
 struct RecoveryStats {
-  std::uint64_t lanes_failed = 0;    ///< permanent lane deaths injected
+  std::uint64_t lanes_failed = 0;    ///< lane deaths injected
   std::uint64_t lanes_degraded = 0;  ///< laser caps applied (skips dark lanes)
   std::uint64_t packets_rehomed = 0; ///< in-flight packets re-queued on failure
   std::uint64_t reroutes_completed = 0;
@@ -43,15 +43,34 @@ struct RecoveryStats {
   Cycle last_recovery = 0;
   CycleDelta worst_time_to_reroute = 0;
 
+  // ---- self-healing: lane repair and re-admission ----
+  std::uint64_t lanes_repaired = 0;          ///< transient failures repaired
+  std::uint64_t readmissions_completed = 0;  ///< repaired lanes re-granted by DBR
+  std::uint64_t readmissions_pending = 0;    ///< repaired but not yet re-granted
+  CycleDelta worst_downtime = 0;             ///< longest fail→repair outage
+  CycleDelta worst_readmission_wait = 0;     ///< longest repair→re-grant wait
+
+  // ---- data-plane integrity (CRC + link-level ARQ) ----
+  std::uint64_t crc_dropped = 0;       ///< packets failing the RX CRC check
+  std::uint64_t arq_retransmits = 0;   ///< bounded retransmissions issued
+  std::uint64_t arq_dead_letters = 0;  ///< packets abandoned after the retry limit
+
+  // ---- control plane (mirrors the manager's ControlCounters) ----
   std::uint64_t ctrl_drops = 0;
   std::uint64_t ctrl_retries = 0;
   std::uint64_t ctrl_timeouts = 0;
+  std::uint64_t ctrl_exhausted = 0;  ///< drops that exhausted the retry budget
   std::uint64_t stale_directives = 0;
+  std::uint64_t rc_crashes = 0;
+  std::uint64_t rc_repairs = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t tokens_regenerated = 0;
+  std::uint64_t frozen_windows = 0;
 
   /// True when any fault actually touched the run (gates report output).
   [[nodiscard]] bool any() const {
-    return lanes_failed || lanes_degraded || ctrl_drops || ctrl_timeouts ||
-           stale_directives;
+    return lanes_failed || lanes_degraded || lanes_repaired || crc_dropped ||
+           ctrl_drops || ctrl_timeouts || rc_crashes || stale_directives;
   }
 };
 
@@ -59,12 +78,15 @@ struct RecoveryStats {
 class FaultInjector {
  public:
   /// `terminals` is indexed by board id (same vector the manager holds).
+  /// `receivers` is the flat [board * W + wavelength] array (required only
+  /// when the plan contains BitError events; may be empty otherwise).
   /// Validates the plan against `cfg` (throws on out-of-range events).
   /// `hub` (optional) receives fault/recovery instant marks.
   FaultInjector(des::Engine& engine, const topology::SystemConfig& cfg,
                 topology::LaneMap& lane_map, reconfig::ReconfigManager& manager,
                 std::vector<optical::OpticalTerminal*> terminals, FaultPlan plan,
-                obs::Hub* hub = nullptr);
+                obs::Hub* hub = nullptr,
+                std::vector<optical::Receiver*> receivers = {});
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -87,11 +109,28 @@ class FaultInjector {
     BoardId dest;
     Cycle failed_at = 0;
   };
+  /// A lane currently down, awaiting its scheduled repair.
+  struct FailedLane {
+    BoardId dest;
+    WavelengthId wavelength;
+    BoardId owner;  ///< owner at failure time (invalid = was dark)
+    Cycle failed_at = 0;
+  };
+  /// A repaired lane awaiting its DBR re-grant (re-admission).
+  struct Readmit {
+    BoardId dest;
+    WavelengthId wavelength;
+    Cycle failed_at = 0;
+    Cycle repaired_at = 0;
+  };
 
   void inject(const FaultEvent& e);
-  void inject_lane_fail(BoardId dest, WavelengthId w, Cycle now);
+  void inject_lane_fail(BoardId dest, WavelengthId w, Cycle now, Cycle repair_at);
   void inject_laser_degrade(const FaultEvent& e, Cycle now);
-  void on_grant(BoardId src, BoardId dest, Cycle at);
+  void inject_bit_error(const FaultEvent& e, Cycle now);
+  void inject_rc_crash(const FaultEvent& e, Cycle now);
+  void repair_lane(BoardId dest, WavelengthId w, Cycle now);
+  void on_grant(BoardId src, BoardId dest, WavelengthId w, Cycle at);
   [[nodiscard]] bool ctrl_fault(reconfig::CtrlStage stage, BoardId b);
 
   des::Engine& engine_;
@@ -101,13 +140,21 @@ class FaultInjector {
   std::vector<optical::OpticalTerminal*> terminals_;
   FaultPlan plan_;
   util::Rng rng_;  ///< dedicated stream for random ctrl loss (plan.seed)
+  std::vector<optical::Receiver*> receivers_;  ///< [b*W + w]; empty unless BitError
 
   bool armed_ = false;
   RecoveryStats stats_;
   std::vector<PendingReroute> pending_;
+  std::vector<FailedLane> failed_;
+  std::vector<Readmit> readmit_;
   obs::Hub* hub_;
   obs::MetricId m_faults_ = 0;
   obs::MetricId m_reroute_wait_ = 0;
+  // Recovery histograms: registered only when the plan holds a transient
+  // LaneFail, so plans without one (and every committed fixture) see an
+  // unchanged metric namespace.
+  obs::MetricId m_downtime_ = 0;
+  obs::MetricId m_readmit_wait_ = 0;
   /// Outstanding deterministic ctrl_drop budget, [stage][board] — the hook
   /// consumes these before drawing from the random process.
   std::vector<std::uint32_t> drop_budget_[2];

@@ -1,5 +1,7 @@
 #include "fault/plan.hpp"
 
+#include <cstdlib>
+#include <iomanip>
 #include <sstream>
 
 #include "util/expect.hpp"
@@ -49,6 +51,27 @@ power::PowerLevel parse_cap(const std::string& tok, const std::string& spec) {
   return power::PowerLevel::Low;
 }
 
+/// Parses a "p<double>" token like "p0.001"; the value must round-trip
+/// exactly through format() (17 significant digits).
+double parse_ber(const std::string& tok, const std::string& spec) {
+  ERAPID_EXPECT(tok.size() >= 2 && tok[0] == 'p',
+                "expected 'p<ber>' in fault spec: '" + spec + "'");
+  const std::string num = tok.substr(1);
+  char* end = nullptr;
+  const double v = std::strtod(num.c_str(), &end);
+  ERAPID_EXPECT(end == num.c_str() + num.size() && !num.empty(),
+                "bad BER '" + num + "' in fault spec: '" + spec + "'");
+  ERAPID_EXPECT(v > 0.0 && v <= 1.0,
+                "BER must be in (0, 1] in fault spec: '" + spec + "'");
+  return v;
+}
+
+std::string format_ber(double ber) {
+  std::ostringstream os;
+  os << std::setprecision(17) << ber;
+  return os.str();
+}
+
 std::string cap_name(power::PowerLevel cap) {
   switch (cap) {
     case power::PowerLevel::Low: return "low";
@@ -57,6 +80,33 @@ std::string cap_name(power::PowerLevel cap) {
     case power::PowerLevel::Off: break;
   }
   ERAPID_UNREACHABLE("degradation cap cannot be OFF");
+}
+
+/// True when two events of the same kind fire at the same cycle against
+/// the same target — a plan author error the parser rejects outright.
+bool collides(const FaultEvent& a, const FaultEvent& b) {
+  if (a.kind != b.kind || a.at != b.at) return false;
+  switch (a.kind) {
+    case FaultKind::LaneFail:
+    case FaultKind::LaserDegrade:
+    case FaultKind::BitError:
+      return a.dest == b.dest && a.wavelength == b.wavelength;
+    case FaultKind::CtrlDrop:
+      return a.board == b.board && a.target == b.target;
+    case FaultKind::RcCrash:
+      return a.board == b.board;
+  }
+  ERAPID_UNREACHABLE("unmodeled fault kind " << static_cast<int>(a.kind));
+}
+
+void reject_duplicates(const std::vector<FaultEvent>& events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      ERAPID_EXPECT(!collides(events[i], events[j]),
+                    "duplicate same-cycle fault on one target: '" + events[i].format() +
+                        "' vs '" + events[j].format() + "'");
+    }
+  }
 }
 
 }  // namespace
@@ -72,10 +122,38 @@ FaultEvent FaultEvent::parse(const std::string& spec) {
   e.at = parse_u64(toks[0], spec);
 
   if (kind == "lane_fail") {
-    ERAPID_EXPECT(toks.size() == 3, "lane_fail@<cycle>:d<dest>:w<wavelength>: '" + spec + "'");
+    ERAPID_EXPECT(toks.size() == 3 || toks.size() == 4,
+                  "lane_fail@<cycle>:d<dest>:w<wavelength>[:r<repair>]: '" + spec + "'");
     e.kind = FaultKind::LaneFail;
     e.dest = BoardId{parse_tagged(toks[1], 'd', spec)};
     e.wavelength = WavelengthId{parse_tagged(toks[2], 'w', spec)};
+    if (toks.size() == 4) {
+      ERAPID_EXPECT(toks[3].size() >= 2 && toks[3][0] == 'r',
+                    "expected 'r<cycle>' in fault spec: '" + spec + "'");
+      e.repair_at = parse_u64(toks[3].substr(1), spec);
+      ERAPID_EXPECT(e.repair_at > e.at,
+                    "repair cycle must come strictly after injection: '" + spec + "'");
+    }
+  } else if (kind == "bit_error") {
+    ERAPID_EXPECT(toks.size() == 5,
+                  "bit_error@<cycle>:d<dest>:w<wavelength>:p<ber>:<duration>: '" + spec + "'");
+    e.kind = FaultKind::BitError;
+    e.dest = BoardId{parse_tagged(toks[1], 'd', spec)};
+    e.wavelength = WavelengthId{parse_tagged(toks[2], 'w', spec)};
+    e.ber = parse_ber(toks[3], spec);
+    e.duration = parse_u64(toks[4], spec);
+  } else if (kind == "rc_crash") {
+    ERAPID_EXPECT(toks.size() == 2 || toks.size() == 3,
+                  "rc_crash@<cycle>:b<board>[:r<repair>]: '" + spec + "'");
+    e.kind = FaultKind::RcCrash;
+    e.board = BoardId{parse_tagged(toks[1], 'b', spec)};
+    if (toks.size() == 3) {
+      ERAPID_EXPECT(toks[2].size() >= 2 && toks[2][0] == 'r',
+                    "expected 'r<cycle>' in fault spec: '" + spec + "'");
+      e.repair_at = parse_u64(toks[2].substr(1), spec);
+      ERAPID_EXPECT(e.repair_at > e.at,
+                    "repair cycle must come strictly after injection: '" + spec + "'");
+    }
   } else if (kind == "laser_degrade") {
     ERAPID_EXPECT(toks.size() == 5,
                   "laser_degrade@<cycle>:d<dest>:w<wavelength>:<low|mid|high>:<duration>: '" +
@@ -110,6 +188,15 @@ std::string FaultEvent::format() const {
   switch (kind) {
     case FaultKind::LaneFail:
       os << "lane_fail@" << at << ":d" << dest.value() << ":w" << wavelength.value();
+      if (repair_at != 0) os << ":r" << repair_at;
+      break;
+    case FaultKind::BitError:
+      os << "bit_error@" << at << ":d" << dest.value() << ":w" << wavelength.value()
+         << ":p" << format_ber(ber) << ":" << duration;
+      break;
+    case FaultKind::RcCrash:
+      os << "rc_crash@" << at << ":b" << board.value();
+      if (repair_at != 0) os << ":r" << repair_at;
       break;
     case FaultKind::LaserDegrade:
       os << "laser_degrade@" << at << ":d" << dest.value() << ":w" << wavelength.value()
@@ -143,6 +230,7 @@ FaultPlan FaultPlan::parse_events(const std::string& specs) {
     }
   }
   flush();
+  reject_duplicates(plan.events);
   return plan;
 }
 
@@ -162,17 +250,27 @@ void FaultPlan::validate(const topology::SystemConfig& cfg) const {
     switch (e.kind) {
       case FaultKind::LaneFail:
       case FaultKind::LaserDegrade:
+      case FaultKind::BitError:
         ERAPID_EXPECT(e.dest.value() < B, "fault dest board out of range: " + e.format());
         ERAPID_EXPECT(e.wavelength.value() < W,
                       "fault wavelength out of range: " + e.format());
         break;
       case FaultKind::CtrlDrop:
+      case FaultKind::RcCrash:
         ERAPID_EXPECT(e.board.value() < B, "fault board out of range: " + e.format());
         break;
       default:
         ERAPID_UNREACHABLE("unmodeled fault kind " << static_cast<int>(e.kind));
     }
+    if (e.repair_at != 0) {
+      ERAPID_EXPECT(e.repair_at > e.at,
+                    "repair cycle must come strictly after injection: " + e.format());
+    }
+    if (e.kind == FaultKind::BitError) {
+      ERAPID_EXPECT(e.ber > 0.0 && e.ber <= 1.0, "BER must be in (0, 1]: " + e.format());
+    }
   }
+  reject_duplicates(events);
   ERAPID_EXPECT(ctrl_drop_prob >= 0.0 && ctrl_drop_prob <= 1.0,
                 "fault.ctrl_drop_prob must be in [0, 1]");
 }

@@ -4,17 +4,26 @@
 // The paper's evaluation exercises only the happy path: no lane dies, no
 // control packet is lost. Reconfigurable optics exist to absorb exactly
 // these perturbations (cf. Han et al., arXiv:2112.02083; D3NOC,
-// arXiv:1708.06721), so the plan models three fault classes:
+// arXiv:1708.06721), so the plan models five fault classes:
 //
-//   * permanent lane failure  — the (dest, wavelength) channel goes dark
-//     forever; the owner's in-flight packet is re-homed and DBR re-solves
-//     the allocation around the dead lane;
+//   * lane failure — the (dest, wavelength) channel goes dark; the owner's
+//     in-flight packet is re-homed and DBR re-solves the allocation around
+//     the dead lane. Permanent by default; with a repair cycle (`:rN`) the
+//     lane is fixed at that cycle and re-enters the DBR pool at the next
+//     bandwidth window (self-healing);
 //   * transient laser degradation — the owning transmitter's VCSEL can no
 //     longer sustain its rated drive: its power level is capped for a
 //     duration (bandwidth drops, the flow backs up, DBR compensates);
+//   * bit-error burst — a seeded deterministic BER process corrupts packets
+//     on one lane for a duration; the RX CRC check drops them and the
+//     link-level ARQ path retransmits (bounded, exponential backoff);
 //   * control-packet loss — a board's Lock-Step packet on the RC ring or
 //     the on-board LC chain is dropped `count` consecutive times; the RC
-//     retries (bounded) and eventually sits the window out.
+//     retries (bounded) and eventually sits the window out;
+//   * RC crash — a board's reconfiguration controller dies: the ring token
+//     it may hold is lost (the watchdog regenerates it), the ring bypasses
+//     the dead RC, and its lanes freeze at their last allocation until an
+//     optional repair (`:rN`) brings it back.
 //
 // Everything is deterministic: explicit events fire at fixed cycles, and
 // the optional random control-loss process draws from a dedicated
@@ -24,9 +33,17 @@
 // "fault.events") as a whitespace-separated list of event specs:
 //
 //   lane_fail@5000:d2:w1
+//   lane_fail@5000:d2:w1:r9000
 //   laser_degrade@8000:d3:w2:low:4000
+//   bit_error@4000:d2:w2:p0.001:6000
 //   ctrl_drop@6000:ring:b1:n2
 //   ctrl_drop@7000:chain:b0
+//   rc_crash@8000:b2:r15000
+//
+// Cross-field validation happens at parse time: a repair cycle must lie
+// strictly after the injection cycle, a BER must be in (0, 1], and two
+// events of the same kind may not hit the same lane (or board) at the
+// same cycle.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +56,8 @@
 
 namespace erapid::fault {
 
-/// The three modelled fault classes.
-enum class FaultKind : std::uint8_t { LaneFail, LaserDegrade, CtrlDrop };
+/// The five modelled fault classes.
+enum class FaultKind : std::uint8_t { LaneFail, LaserDegrade, CtrlDrop, BitError, RcCrash };
 
 /// Which control-plane medium a CtrlDrop targets.
 enum class CtrlTarget : std::uint8_t { Ring, Chain };
@@ -50,17 +67,23 @@ struct FaultEvent {
   FaultKind kind = FaultKind::LaneFail;
   Cycle at = 0;  ///< injection time (absolute simulation cycle)
 
-  // LaneFail / LaserDegrade: the victim lane (dest coupler, wavelength).
+  // LaneFail / LaserDegrade / BitError: the victim lane (dest, wavelength).
   BoardId dest;
   WavelengthId wavelength;
 
+  // LaneFail / RcCrash: absolute repair cycle; 0 = never (permanent).
+  Cycle repair_at = 0;
+
   // LaserDegrade only.
   power::PowerLevel cap = power::PowerLevel::Low;  ///< forced maximum level
-  CycleDelta duration = 0;                         ///< 0 = until end of run
+  CycleDelta duration = 0;  ///< LaserDegrade/BitError: 0 = until end of run
+
+  // BitError only: per-bit error probability, in (0, 1].
+  double ber = 0.0;
 
   // CtrlDrop only.
   CtrlTarget target = CtrlTarget::Ring;
-  BoardId board;            ///< whose control packet is lost
+  BoardId board;            ///< CtrlDrop/RcCrash: whose controller is hit
   std::uint32_t count = 1;  ///< consecutive attempts dropped
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;

@@ -22,6 +22,8 @@ MonitorSet::MonitorSet(const MonitorConfig& cfg, bool fail_fast, TraceSink* trac
           0.0, false, 0, 0};
   quiescence_ = {"quiescence_deadline", static_cast<double>(cfg.quiescence_deadline),
                  cfg.quiescence_deadline > 0, 0.0, false, 0, 0};
+  recovery_ = {"max_recovery_cycles", static_cast<double>(cfg.max_recovery_cycles),
+               cfg.max_recovery_cycles > 0, 0.0, false, 0, 0};
 }
 
 void MonitorSet::fire(Check& c, Cycle now, double value) {
@@ -57,6 +59,10 @@ void MonitorSet::check_floor(Check& c, Cycle now, double value) {
 
 void MonitorSet::sample_power(Cycle now, double mw) { check_ceiling(power_, now, mw); }
 
+void MonitorSet::recovery(Cycle now, CycleDelta took) {
+  check_ceiling(recovery_, now, static_cast<double>(took));
+}
+
 void MonitorSet::dbr_resolve(Cycle now) {
   if (quiescence_.enabled) pending_resolves_.push_back(now);
 }
@@ -88,12 +94,12 @@ void MonitorSet::finalize(const FinalSample& fin) {
 
 std::uint64_t MonitorSet::violations() const {
   return power_.violations + throughput_.violations + p99_.violations +
-         quiescence_.violations;
+         quiescence_.violations + recovery_.violations;
 }
 
 std::vector<std::pair<std::string, std::string>> MonitorSet::report() const {
   std::vector<std::pair<std::string, std::string>> out;
-  const Check* checks[] = {&power_, &throughput_, &p99_, &quiescence_};
+  const Check* checks[] = {&power_, &throughput_, &p99_, &quiescence_, &recovery_};
   for (const Check* c : checks) {
     if (!c->enabled) continue;
     std::string v = "{\"threshold\": " + format_trace_value(c->threshold) +

@@ -48,10 +48,13 @@ struct MonitorConfig {
   /// stage to its last lane grant settling; "To Reconfigure or Not to
   /// Reconfigure": convergence time decides whether DBR pays off).
   CycleDelta quiescence_deadline = 0;
+  /// Ceiling on a transient fault's full recovery arc (cycles from a lane
+  /// failing to the repaired lane's DBR re-admission grant landing).
+  CycleDelta max_recovery_cycles = 0;
 
   [[nodiscard]] bool any() const {
     return power_cap_mw > 0.0 || throughput_floor > 0.0 || p99_latency_ceiling > 0.0 ||
-           quiescence_deadline > 0;
+           quiescence_deadline > 0 || max_recovery_cycles > 0;
   }
 };
 
@@ -78,6 +81,9 @@ class MonitorSet {
   void dbr_resolve(Cycle now);
   /// All of one re-solve's directives settled (granted or dropped stale).
   void dbr_quiesced(Cycle resolve_at, Cycle last_settle);
+  /// A repaired lane was re-admitted by the DBR plane `took` cycles after
+  /// it originally failed (the fault injector feeds this).
+  void recovery(Cycle now, CycleDelta took);
 
   // ---- end-of-run -------------------------------------------------------
   /// Runs the final checks (throughput floor, p99 ceiling, unsettled
@@ -121,6 +127,7 @@ class MonitorSet {
   Check throughput_;
   Check p99_;
   Check quiescence_;
+  Check recovery_;
 
   /// Reconfigure-stage cycles of re-solves whose grants are still
   /// outstanding (settled ones are removed; leftovers are judged against

@@ -130,6 +130,16 @@ std::optional<router::Packet> Lane::fail(Cycle now) {
   return aborted;
 }
 
+void Lane::repair(Cycle now) {
+  ERAPID_REQUIRE(failed_, "repairing a lane that is not failed");
+  failed_ = false;
+  // Dark, unowned, no residual in-flight state: fail() already cleared all
+  // of that. The lane simply becomes grantable again.
+  ERAPID_INVARIANT(!enabled_ && !in_flight_ && level_ == PowerLevel::Off,
+                   "failed lane carried live state into repair");
+  update_power(now);
+}
+
 void Lane::set_level_cap(PowerLevel cap, Cycle now) {
   ERAPID_REQUIRE(cap != PowerLevel::Off, "degradation cap must be an active level; use fail()");
   level_cap_ = cap;

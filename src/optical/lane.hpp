@@ -75,6 +75,11 @@ class Lane {
   /// re-decided by the next reconfiguration window).
   [[nodiscard]] std::optional<router::Packet> fail(Cycle now);
 
+  /// Repairs a failed lane: the laser is replaced/fixed and may be enabled
+  /// again. The lane comes back dark and unowned — re-admission into the
+  /// allocation happens at the next DBR bandwidth window, not here.
+  void repair(Cycle now);
+
   /// Transient laser degradation: clamps every level request (current and
   /// future) to at most `cap` until clear_level_cap. Capping below the
   /// current level forces an immediate (packet-atomic) down-transition.

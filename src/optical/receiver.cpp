@@ -38,8 +38,28 @@ void Receiver::abort_reservation() {
   --reserved_;
 }
 
+void Receiver::set_bit_error(double pkt_corrupt_prob, Cycle until, std::uint64_t seed) {
+  ERAPID_REQUIRE(pkt_corrupt_prob > 0.0 && pkt_corrupt_prob <= 1.0,
+                 "packet corruption probability must be in (0, 1]");
+  pkt_corrupt_prob_ = pkt_corrupt_prob;
+  ber_until_ = until;
+  ber_rng_ = util::Rng(seed);
+}
+
 void Receiver::deliver(const router::Packet& p, Cycle now) {
   ERAPID_REQUIRE(reserved_ > 0, "optical packet arrived without a reserved RX slot");
+  if (pkt_corrupt_prob_ > 0.0 && now < ber_until_ &&
+      ber_rng_.next_bernoulli(pkt_corrupt_prob_)) {
+    // CRC failure: the payload is garbage. Drop it, free the slot, and let
+    // the link-level ARQ path (via the CRC-drop callback) retransmit. The
+    // slot-freed announcement still fires so a transmission blocked on this
+    // receiver can proceed.
+    ++crc_dropped_;
+    --reserved_;
+    if (on_crc_drop_) on_crc_drop_(p, now);
+    if (on_slot_freed_) on_slot_freed_(now);
+    return;
+  }
   ERAPID_INVARIANT(queue_.size() < capacity_, "RX queue overflow despite reservation");
   ++received_;
   ERAPID_COUNTER(hub_, m_rx_, 1);

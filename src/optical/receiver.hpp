@@ -10,6 +10,14 @@
 // before serializing a packet, so the RX queue can never overflow — even
 // across a DBR ownership change with packets still in the fiber (the
 // reservation count is a property of the receiver, not of the owner).
+//
+// Data-plane integrity: each arriving packet passes a CRC check. Fault
+// injection can arm a bit-error process on this receiver (a seeded,
+// per-lane-deterministic Bernoulli draw per packet); a corrupted packet is
+// dropped here — its slot freed — and reported through the CRC-drop
+// callback, which the network wires back to the transmitting terminal's ARQ
+// path. Receiving at the RX (rather than corrupting at the TX) keeps the
+// process attached to the lane even when DBR moves ownership mid-burst.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +30,7 @@
 #include "router/injector.hpp"
 #include "router/router.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace erapid::optical {
 
@@ -51,10 +60,24 @@ class Receiver {
   /// so it can launch a blocked transmission.
   void set_slot_freed_callback(std::function<void(Cycle)> fn) { on_slot_freed_ = std::move(fn); }
 
+  // ---- fault injection: bit-error process ----
+  /// Arms the CRC/BER process: until cycle `until` (exclusive), each
+  /// arriving packet is corrupted with probability `pkt_corrupt_prob`,
+  /// drawn from a dedicated stream seeded with `seed` (never the workload
+  /// RNG). `until` = kNeverCycle runs to the end of the simulation.
+  void set_bit_error(double pkt_corrupt_prob, Cycle until, std::uint64_t seed);
+
+  /// Fires for every CRC-dropped packet — the network wires this back to
+  /// the transmitting terminal's ARQ retransmission path.
+  void set_crc_drop_callback(std::function<void(const router::Packet&, Cycle)> fn) {
+    on_crc_drop_ = std::move(fn);
+  }
+
   [[nodiscard]] std::uint32_t free_slots() const { return capacity_ - reserved_; }
   [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t packets_received() const { return received_; }
+  [[nodiscard]] std::uint64_t crc_dropped() const { return crc_dropped_; }
 
  private:
   void pump(Cycle now);
@@ -64,7 +87,12 @@ class Receiver {
   std::deque<router::Packet> queue_;
   router::FlitInjector injector_;
   std::function<void(Cycle)> on_slot_freed_;
+  std::function<void(const router::Packet&, Cycle)> on_crc_drop_;
   std::uint64_t received_ = 0;
+  std::uint64_t crc_dropped_ = 0;
+  double pkt_corrupt_prob_ = 0.0;
+  Cycle ber_until_ = 0;
+  util::Rng ber_rng_{1};
   obs::Hub* hub_;
   obs::MetricId m_rx_ = 0;
 };

@@ -117,6 +117,38 @@ std::uint32_t OpticalTerminal::fail_lane(BoardId d, WavelengthId w, Cycle now) {
   return 1;
 }
 
+void OpticalTerminal::repair_lane(BoardId d, WavelengthId w, Cycle now) {
+  lanes_[lane_index(d, w)]->repair(now);
+}
+
+void OpticalTerminal::arq_nak(BoardId d, const router::Packet& p, Cycle now) {
+  ++crc_naks_;
+  if (p.arq_retries >= cfg_.arq_retry_limit) {
+    ++arq_dead_letters_;
+    ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.arq_dead_letter", now, "");
+    if (on_dead_letter_) on_dead_letter_(p, now);
+    return;
+  }
+  router::Packet retry = p;
+  ++retry.arq_retries;
+  ++arq_retransmits_;
+  // Exponential backoff: 1st retry waits one backoff unit, then doubling;
+  // the shift is clamped so a pathological retry limit cannot overflow.
+  const std::uint32_t shift = retry.arq_retries >= 17 ? 16 : retry.arq_retries - 1;
+  const CycleDelta delay = static_cast<CycleDelta>(cfg_.arq_nak_cycles) +
+                           (static_cast<CycleDelta>(cfg_.arq_backoff_cycles) << shift);
+  engine_.schedule_at(now + delay, [this, d, retry] {
+    // Head of the flow queue: like a re-homed packet, the retransmission
+    // was already committed to the optical domain and goes out first. The
+    // deque may transiently exceed tx_queue_packets by this one packet.
+    const Cycle t = engine_.now();
+    auto& flow = flows_[d.value()];
+    flow.q.push_front(retry);
+    flow.occ.set_occupancy(t, static_cast<std::uint32_t>(flow.q.size()));
+    pump_flow(d, t);
+  }, "optical.arq_retx");
+}
+
 void OpticalTerminal::cap_lane_level(BoardId d, WavelengthId w, power::PowerLevel cap,
                                      Cycle now) {
   lanes_[lane_index(d, w)]->set_level_cap(cap, now);

@@ -78,10 +78,32 @@ class OpticalTerminal {
   /// number of packets re-homed (0 or 1).
   std::uint32_t fail_lane(BoardId d, WavelengthId w, Cycle now);
 
+  /// Repairs this board's laser on lane (d, w). The lane becomes grantable
+  /// again; DBR re-admits it at the next bandwidth window.
+  void repair_lane(BoardId d, WavelengthId w, Cycle now);
+
   /// Degrades this board's laser on lane (d, w): clamps its power level to
   /// `cap` until clear_lane_level_cap.
   void cap_lane_level(BoardId d, WavelengthId w, power::PowerLevel cap, Cycle now);
   void clear_lane_level_cap(BoardId d, WavelengthId w);
+
+  // ---- link-level ARQ (driven by the remote receiver's CRC check) ----
+  /// NAK for a packet this board transmitted toward `d` that failed the
+  /// CRC at the receiver. Bounded retransmission with exponential backoff:
+  /// after arq_nak_cycles + (arq_backoff_cycles << (k-1)) the packet is
+  /// re-queued at the head of the flow. Past arq_retry_limit the packet is
+  /// dead-lettered (accounted, surfaced via the dead-letter callback, and
+  /// never delivered).
+  void arq_nak(BoardId d, const router::Packet& p, Cycle now);
+
+  /// Fires for every packet the ARQ path gives up on.
+  void set_dead_letter_callback(std::function<void(const router::Packet&, Cycle)> fn) {
+    on_dead_letter_ = std::move(fn);
+  }
+
+  [[nodiscard]] std::uint64_t crc_naks() const { return crc_naks_; }
+  [[nodiscard]] std::uint64_t arq_retransmits() const { return arq_retransmits_; }
+  [[nodiscard]] std::uint64_t arq_dead_letters() const { return arq_dead_letters_; }
 
   /// Harvests and resets the LC hardware counters for the window that
   /// started at `window_start` and ends `now`.
@@ -158,6 +180,10 @@ class OpticalTerminal {
   std::vector<std::unique_ptr<Lane>> lanes_;  ///< dest-major, W per dest, self row null
   power::PowerLevel wake_level_ = power::PowerLevel::Low;
   std::uint64_t enqueued_ = 0;
+  std::function<void(const router::Packet&, Cycle)> on_dead_letter_;
+  std::uint64_t crc_naks_ = 0;
+  std::uint64_t arq_retransmits_ = 0;
+  std::uint64_t arq_dead_letters_ = 0;
   obs::Hub* hub_;
   obs::MetricId m_lane_util_ = 0;
   obs::MetricId m_buffer_util_ = 0;

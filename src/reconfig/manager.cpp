@@ -27,9 +27,13 @@ ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConf
   ERAPID_REQUIRE(cfg_rc_.ring_hop_cycles > 0 && cfg_rc_.lc_hop_cycles > 0,
                  "control-plane hops take >= 1 cycle: ring=" << cfg_rc_.ring_hop_cycles
                      << " lc=" << cfg_rc_.lc_hop_cycles);
+  ERAPID_REQUIRE(cfg_rc_.rc_watchdog_cycles > 0,
+                 "ring-token watchdog timeout must be >= 1 cycle");
   lane_stats_.resize(terminals_.size());
   flow_stats_.resize(terminals_.size());
   board_level_changes_.resize(terminals_.size(), 0);
+  last_harvest_.resize(terminals_.size(), 0);
+  rc_dead_.resize(terminals_.size(), 0);
   dpm_.reserve(terminals_.size());
   for (std::size_t b = 0; b < terminals_.size(); ++b) {
     dpm_.push_back(
@@ -66,9 +70,51 @@ void ReconfigManager::initialize_static_lanes() {
 void ReconfigManager::start() {
   if (running_) return;
   running_ = true;
-  last_harvest_ = engine_.now();
+  std::fill(last_harvest_.begin(), last_harvest_.end(), engine_.now());
   next_window_ = engine_.schedule(
       cfg_rc_.window, [this] { on_window(); }, "reconfig.window");
+}
+
+void ReconfigManager::crash_rc(BoardId b, Cycle now) {
+  ERAPID_EXPECT(b.value() < rc_dead_.size(), "rc_crash board out of range");
+  ERAPID_EXPECT(rc_dead_[b.value()] == 0, "crashing an RC that is already dead");
+  rc_dead_[b.value()] = 1;
+  ++rc_dead_count_;
+  // The crash may have swallowed the circulating ring token (we model the
+  // worst case: it always does). The next bandwidth cycle's watchdog times
+  // out and regenerates it.
+  token_lost_ = true;
+  ++counters_.rc_crashes;
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    obs::Args args;
+    args.add("board", std::uint64_t{b.value()});
+    ERAPID_TRACE_INSTANT(hub_, hub_->track_reconfig(), "rc.crash", now, args.str());
+  }
+#else
+  (void)now;
+#endif
+}
+
+void ReconfigManager::repair_rc(BoardId b, Cycle now) {
+  ERAPID_EXPECT(b.value() < rc_dead_.size(), "rc_crash board out of range");
+  ERAPID_EXPECT(rc_dead_[b.value()] != 0, "repairing an RC that is alive");
+  rc_dead_[b.value()] = 0;
+  --rc_dead_count_;
+  ++counters_.rc_repairs;
+  // Flush the counters that accumulated across the outage (the data plane
+  // kept transmitting on the frozen lanes) so the board rejoins the next
+  // window with stats spanning exactly one interval, not the whole outage.
+  terminals_[b.value()]->harvest(last_harvest_[b.value()], now, lane_stats_[b.value()],
+                                 flow_stats_[b.value()]);
+  last_harvest_[b.value()] = now;
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    obs::Args args;
+    args.add("board", std::uint64_t{b.value()});
+    ERAPID_TRACE_INSTANT(hub_, hub_->track_reconfig(), "rc.repair", now, args.str());
+  }
+#endif
 }
 
 void ReconfigManager::stop() {
@@ -106,6 +152,10 @@ void ReconfigManager::on_window() {
   }
 #endif
 
+  // A window run with >= 1 dead RC is degraded: that board's lanes are
+  // frozen at their last allocation for the duration.
+  if (rc_dead_count_ > 0) ++counters_.frozen_windows;
+
   if (do_power || do_bandwidth) harvest_all(t);
   if (do_power) run_power_cycle(t);
   if (do_bandwidth) run_bandwidth_cycle(t);
@@ -116,24 +166,28 @@ void ReconfigManager::on_window() {
 
 void ReconfigManager::harvest_all(Cycle now) {
   for (std::size_t b = 0; b < terminals_.size(); ++b) {
-    terminals_[b]->harvest(last_harvest_, now, lane_stats_[b], flow_stats_[b]);
+    if (rc_dead_[b]) continue;  // a dead RC scans nothing; counters keep accumulating
+    terminals_[b]->harvest(last_harvest_[b], now, lane_stats_[b], flow_stats_[b]);
+    last_harvest_[b] = now;
     ++counters_.chain_scans;
     counters_.ring_hops += cfg_.num_wavelengths() + 1;  // RC→LC_0→...→RC scan
   }
-  last_harvest_ = now;
 }
 
 std::optional<std::uint32_t> ReconfigManager::ctrl_attempts(CtrlStage stage, BoardId b) {
   std::uint32_t attempt = 0;
   if (ctrl_fault_) {
     while (ctrl_fault_(stage, b, attempt)) {
-      ++counters_.ctrl_drops;
       if (attempt >= cfg_rc_.ctrl_retry_limit) {
+        // The loss that exhausts the budget abandons the board's directive
+        // outright — accounted separately from the recovered drops.
+        ++counters_.ctrl_exhausted_drops;
         ++counters_.ctrl_timeouts;
         // A timed-out board still transmitted the full retry budget.
         ERAPID_OBSERVE(hub_, m_ctrl_retries_, static_cast<double>(attempt + 1));
         return std::nullopt;  // board sits this window's cycle out
       }
+      ++counters_.ctrl_drops;
       ++attempt;
       ++counters_.ctrl_retries;
     }
@@ -163,6 +217,7 @@ void ReconfigManager::run_power_cycle(Cycle t) {
   CycleDelta occupancy = chain;
 
   for (std::size_t b = 0; b < terminals_.size(); ++b) {
+    if (rc_dead_[b]) continue;  // dead RC: no Power_Request, levels frozen
     const auto attempts = ctrl_attempts(CtrlStage::PowerChain, BoardId{static_cast<std::uint32_t>(b)});
     if (!attempts) continue;
     const Cycle apply_at = t + static_cast<CycleDelta>(1 + *attempts) * chain;
@@ -233,11 +288,23 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
   // rotation; a board that exhausts its retries is simply absent from this
   // window — its stats are missing (no lane granted to it, none harvested
   // from it) and its own coupler keeps last window's allocation.
+  // Dead RCs are bypassed: the ring skips them (no Board Request from
+  // them, no directives for their couplers) and their lanes stay frozen at
+  // the last allocation.
   std::vector<char> lost(B, 0);
+  std::uint32_t alive = 0;
+  for (std::uint32_t b = 0; b < B; ++b) {
+    if (rc_dead_[b]) {
+      lost[b] = 1;
+    } else {
+      ++alive;
+    }
+  }
   CycleDelta extra_rounds = 0;
   std::uint64_t ring_retries = 0;
   if (ctrl_fault_) {
     for (std::uint32_t b = 0; b < B; ++b) {
+      if (lost[b]) continue;  // a dead RC transmits nothing
       const auto attempts = ctrl_attempts(CtrlStage::BandwidthRing, BoardId{b});
       if (!attempts) {
         lost[b] = 1;
@@ -248,18 +315,40 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
     }
   }
 
+  // Ring-token watchdog: an RC crash since the last bandwidth cycle may
+  // have swallowed the circulating token. The protocol cannot deadlock on
+  // it — the watchdog times out, the lowest-id surviving RC regenerates
+  // the token deterministically, and the cycle proceeds after the timeout
+  // plus one (re-)circulation to re-establish ring state.
+  CycleDelta watchdog_delay = 0;
+  if (token_lost_) {
+    token_lost_ = false;
+    watchdog_delay = cfg_rc_.rc_watchdog_cycles + ring;
+    ++counters_.watchdog_fires;
+    ++counters_.tokens_regenerated;
+    counters_.ring_hops += alive;  // the regenerated token's recovery lap
+#if !defined(ERAPID_NO_OBS)
+    if (hub_ != nullptr) {
+      obs::Args args;
+      args.add("timeout", static_cast<std::uint64_t>(cfg_rc_.rc_watchdog_cycles));
+      ERAPID_TRACE_INSTANT(hub_, hub_->track_reconfig(), "reconfig.watchdog", t, args.str());
+    }
+#endif
+  }
+
   // Stage boundaries (lock-step; see file comment):
   //   Link Request completes at t + chain (outgoing stats at every RC),
   //   Board Request at + ring (incoming stats), Reconfigure takes 1 cycle,
   //   Board Response + ring, Link Response + chain => lasers switch.
-  const Cycle t_reconf = t + chain + ring * (1 + extra_rounds) + 1;
+  const Cycle t_reconf = t + watchdog_delay + chain + ring * (1 + extra_rounds) + 1;
   const Cycle t_apply = t_reconf + ring + chain;
   // DBR window occupancy: the full five-stage pipeline, retry-stretched
   // rings included (grants chained on lane darkness may settle later —
   // that tail is the convergence histogram's, not the window's).
   ERAPID_OBSERVE(hub_, m_window_dbr_, static_cast<double>(t_apply - t));
 
-  counters_.ring_hops += 2ULL * B * B;  // B packets × B hops, two ring stages
+  // alive == B without crashes, so the no-fault tally is unchanged.
+  counters_.ring_hops += 2ULL * alive * B;  // alive packets × B hops, two ring stages
   counters_.ring_hops += ring_retries * B;  // each retransmission re-circles
 
   engine_.schedule_at(t_reconf, [this, t_apply, lost = std::move(lost)] {
@@ -304,7 +393,11 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
       std::vector<LaneOwnership> lanes;
       for (std::uint32_t w = 0; w < nw; ++w) {
         if (lane_map_.is_failed(dest, WavelengthId{w})) continue;
-        lanes.push_back({WavelengthId{w}, lane_map_.owner(dest, WavelengthId{w})});
+        const BoardId own = lane_map_.owner(dest, WavelengthId{w});
+        // A dead RC's lanes are frozen at the last allocation: the
+        // re-solve neither releases nor re-grants them.
+        if (own.valid() && rc_dead_[own.value()]) continue;
+        lanes.push_back({WavelengthId{w}, own});
       }
 
       const auto directives =
@@ -403,7 +496,7 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
           .add("wavelength", std::uint64_t{w.value()});
       ERAPID_TRACE_INSTANT(hub_, hub_->track_lanes(), "lane.grant", at, args.str());
     }
-    if (grant_observer_) grant_observer_(dir.new_owner, dest, at);
+    if (grant_observer_) grant_observer_(dir.new_owner, dest, w, at);
     if (settled) settled(at);
   };
 

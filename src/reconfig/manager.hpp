@@ -64,6 +64,11 @@ struct ReconfigConfig {
   /// before the board sits the window out. Each retry re-pays the stage's
   /// full hop latency.
   std::uint32_t ctrl_retry_limit = 3;
+  /// Ring-token watchdog: when an RC crash swallows the circulating token,
+  /// the next bandwidth cycle detects the loss after this timeout and
+  /// deterministically regenerates the token (paying the timeout plus one
+  /// extra ring rotation before the protocol proceeds).
+  CycleDelta rc_watchdog_cycles = 128;
 };
 
 /// Drives DPM + DBR over all boards' terminals.
@@ -98,11 +103,26 @@ class ReconfigManager {
   using CtrlFaultHook = std::function<bool(CtrlStage, BoardId, std::uint32_t attempt)>;
   void set_ctrl_fault_hook(CtrlFaultHook hook) { ctrl_fault_ = std::move(hook); }
 
-  /// Observes every lane grant as it lands (src gains a lane toward dest) —
-  /// the fault injector measures time-to-reroute with this.
-  void set_grant_observer(std::function<void(BoardId src, BoardId dest, Cycle)> fn) {
+  /// Observes every lane grant as it lands (src gains lane (dest, w)) —
+  /// the fault injector measures time-to-reroute and re-admission waits
+  /// with this.
+  void set_grant_observer(
+      std::function<void(BoardId src, BoardId dest, WavelengthId w, Cycle)> fn) {
     grant_observer_ = std::move(fn);
   }
+
+  // ---- RC crash / ring failover (fault injection) -----------------------
+  /// Crashes board `b`'s reconfiguration controller: the ring token it may
+  /// hold is lost (the next bandwidth cycle's watchdog regenerates it), the
+  /// ring bypasses the dead RC, and the board's lanes freeze at their last
+  /// allocation (neither harvested, re-solved, nor granted) until repair.
+  void crash_rc(BoardId b, Cycle now);
+
+  /// Brings board `b`'s RC back: it rejoins the ring and its lanes re-enter
+  /// the allocation at the next bandwidth window.
+  void repair_rc(BoardId b, Cycle now);
+
+  [[nodiscard]] bool rc_dead(BoardId b) const { return rc_dead_[b.value()] != 0; }
 
   /// Observes every reconfiguration window boundary (before the cycle runs).
   void set_window_observer(std::function<void(std::uint64_t index, Cycle)> fn) {
@@ -142,14 +162,25 @@ class ReconfigManager {
   // mirroring the per-board LC hardware).
   std::vector<std::unique_ptr<DpmStrategy>> dpm_;
 
-  Cycle last_harvest_ = 0;
+  /// Per-board window-start of the counters currently accumulating: a dead
+  /// RC stops harvesting, so when it rejoins its first harvest spans the
+  /// whole outage instead of one window.
+  std::vector<Cycle> last_harvest_;
   std::uint64_t window_index_ = 0;
   bool running_ = false;
   des::EventHandle next_window_;
   ControlCounters counters_;
 
+  // RC liveness (fault injection): dead RCs are bypassed by the ring and
+  // their lanes frozen at the last allocation.
+  std::vector<char> rc_dead_;
+  std::uint32_t rc_dead_count_ = 0;
+  /// Set when a crash may have swallowed the circulating ring token; the
+  /// next bandwidth cycle pays the watchdog timeout and regenerates it.
+  bool token_lost_ = false;
+
   CtrlFaultHook ctrl_fault_;
-  std::function<void(BoardId, BoardId, Cycle)> grant_observer_;
+  std::function<void(BoardId, BoardId, WavelengthId, Cycle)> grant_observer_;
   std::function<void(std::uint64_t, Cycle)> window_observer_;
 
   // ---- observability ----------------------------------------------------

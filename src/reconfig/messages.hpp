@@ -62,10 +62,22 @@ struct ControlCounters {
   std::uint64_t level_changes = 0;
   std::uint64_t lane_grants = 0;
   std::uint64_t lane_releases = 0;
-  std::uint64_t ctrl_drops = 0;     ///< control packets lost/corrupted
+  std::uint64_t ctrl_drops = 0;     ///< control packets lost/corrupted (retried)
   std::uint64_t ctrl_retries = 0;   ///< retransmissions after an LC/RC timeout
   std::uint64_t ctrl_timeouts = 0;  ///< boards that sat a window out (retries exhausted)
+  /// Drops whose directive was abandoned outright: the loss that exhausted
+  /// the retry budget. Kept separate from ctrl_drops (losses that were
+  /// recovered by a retransmission) so resilience reports can distinguish
+  /// "retried and survived" from "gave up".
+  std::uint64_t ctrl_exhausted_drops = 0;
   std::uint64_t stale_directives = 0;  ///< directives dropped (lane failed mid-protocol)
+
+  // ---- RC crash / ring failover (fault injection; zero without faults) ----
+  std::uint64_t rc_crashes = 0;          ///< RC nodes crashed
+  std::uint64_t rc_repairs = 0;          ///< RC nodes brought back
+  std::uint64_t watchdog_fires = 0;      ///< ring-token losses detected
+  std::uint64_t tokens_regenerated = 0;  ///< tokens re-issued after a watchdog fire
+  std::uint64_t frozen_windows = 0;      ///< LS windows run with >= 1 dead RC
 };
 
 }  // namespace erapid::reconfig

@@ -23,6 +23,10 @@ struct Packet {
   Cycle created = 0;         ///< generation time (enters source queue)
   Cycle injected = kNeverCycle;  ///< first flit entered the router
   bool labelled = false;     ///< sampled during the measurement interval
+  /// Link-level ARQ retransmission count. Lives only on the optical hop
+  /// (TX queue → RX CRC check) — deliberately NOT carried by flits, since a
+  /// packet that clears the CRC is done retrying by the time it is flitized.
+  std::uint32_t arq_retries = 0;
 };
 
 /// One flow-control unit. Head flits carry routing info; every flit carries

@@ -37,6 +37,9 @@ Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
 
   // Receiver slot-freed events go to whichever board currently owns the
   // lane, so a transmission blocked on RX backpressure resumes promptly.
+  // CRC drops route back to the *source board of the packet* (not the lane
+  // owner — DBR may have moved the lane since launch): its terminal runs
+  // the link-level ARQ retransmission.
   for (std::uint32_t d = 0; d < B; ++d) {
     for (std::uint32_t w = 0; w < W; ++w) {
       auto& rx = receiver(BoardId{d}, WavelengthId{w});
@@ -44,7 +47,15 @@ Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
         const BoardId owner = lane_map_.owner(BoardId{d}, WavelengthId{w});
         if (owner.valid()) terminals_[owner.value()]->pump_flow(BoardId{d}, now);
       });
+      rx.set_crc_drop_callback([this, d](const router::Packet& p, Cycle now) {
+        terminals_[cfg_.board_of(p.src).value()]->arq_nak(BoardId{d}, p, now);
+      });
     }
+  }
+  for (std::uint32_t b = 0; b < B; ++b) {
+    terminals_[b]->set_dead_letter_callback([this](const router::Packet& p, Cycle now) {
+      if (on_dead_letter_) on_dead_letter_(p, now);
+    });
   }
 
   for (std::uint32_t n = 0; n < cfg_.num_nodes(); ++n) {

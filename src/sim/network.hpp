@@ -54,6 +54,13 @@ class Network {
     on_delivered_ = std::move(fn);
   }
 
+  /// `on_dead_letter(packet, now)` fires when the link-level ARQ exhausts
+  /// its retries on a packet — it will never be delivered. The simulation
+  /// driver counts these so the drain loop can terminate.
+  void set_dead_letter_callback(std::function<void(const router::Packet&, Cycle)> fn) {
+    on_dead_letter_ = std::move(fn);
+  }
+
   /// Lights static lanes and starts the reconfiguration windows.
   void start(Cycle now = 0);
 
@@ -102,6 +109,7 @@ class Network {
   std::unique_ptr<reconfig::ReconfigManager> manager_;
 
   std::function<void(const router::Packet&, Cycle)> on_delivered_;
+  std::function<void(const router::Packet&, Cycle)> on_dead_letter_;
   std::uint64_t delivered_ = 0;
 };
 

@@ -40,6 +40,10 @@ const std::set<std::string>& known_keys() {
       "reconfig.max_lanes_per_flow",
       "reconfig.shutdown_idle",
       "reconfig.ctrl_retry_limit",
+      "reconfig.rc_watchdog_cycles",
+      "link.arq_retry_limit",
+      "link.arq_backoff_cycles",
+      "link.arq_nak_cycles",
       "fault.events",
       "fault.ctrl_drop_prob",
       "fault.seed",
@@ -61,6 +65,7 @@ const std::set<std::string>& known_keys() {
       "monitor.throughput_floor",
       "monitor.p99_latency_ceiling",
       "monitor.quiescence_deadline",
+      "monitor.max_recovery_cycles",
   };
   return keys;
 }
@@ -138,6 +143,12 @@ SimOptions options_from_ini(const util::Ini& ini) {
       ini.get_bool("reconfig.shutdown_idle", o.reconfig.mode.dpm.shutdown_idle);
   o.reconfig.ctrl_retry_limit =
       u32("reconfig.ctrl_retry_limit", o.reconfig.ctrl_retry_limit);
+  o.reconfig.rc_watchdog_cycles = static_cast<CycleDelta>(ini.get_int(
+      "reconfig.rc_watchdog_cycles", static_cast<long>(o.reconfig.rc_watchdog_cycles)));
+
+  o.system.arq_retry_limit = u32("link.arq_retry_limit", o.system.arq_retry_limit);
+  o.system.arq_backoff_cycles = u32("link.arq_backoff_cycles", o.system.arq_backoff_cycles);
+  o.system.arq_nak_cycles = u32("link.arq_nak_cycles", o.system.arq_nak_cycles);
 
   if (const auto events = ini.get("fault.events")) {
     o.fault = fault::FaultPlan::parse_events(*events);
@@ -189,6 +200,11 @@ SimOptions options_from_ini(const util::Ini& ini) {
   ERAPID_EXPECT(deadline >= 0,
                 "monitor.quiescence_deadline must be non-negative, got " << deadline);
   mon.quiescence_deadline = static_cast<CycleDelta>(deadline);
+  const long recovery_cap = ini.get_int("monitor.max_recovery_cycles",
+                                        static_cast<long>(mon.max_recovery_cycles));
+  ERAPID_EXPECT(recovery_cap >= 0,
+                "monitor.max_recovery_cycles must be non-negative, got " << recovery_cap);
+  mon.max_recovery_cycles = static_cast<CycleDelta>(recovery_cap);
   ERAPID_EXPECT(mon.power_cap_mw >= 0.0 && mon.throughput_floor >= 0.0 &&
                     mon.p99_latency_ceiling >= 0.0,
                 "monitor.* thresholds must be non-negative");
@@ -235,6 +251,10 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("reconfig.max_lanes_per_flow", o.reconfig.mode.dbr.max_lanes_per_flow);
   set("reconfig.shutdown_idle", o.reconfig.mode.dpm.shutdown_idle ? "true" : "false");
   set("reconfig.ctrl_retry_limit", o.reconfig.ctrl_retry_limit);
+  set("reconfig.rc_watchdog_cycles", o.reconfig.rc_watchdog_cycles);
+  set("link.arq_retry_limit", o.system.arq_retry_limit);
+  set("link.arq_backoff_cycles", o.system.arq_backoff_cycles);
+  set("link.arq_nak_cycles", o.system.arq_nak_cycles);
   if (!o.fault.events.empty()) set("fault.events", o.fault.format_events());
   set("fault.ctrl_drop_prob", o.fault.ctrl_drop_prob);
   set("fault.seed", o.fault.seed);
@@ -259,6 +279,7 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("monitor.throughput_floor", o.obs.monitors.throughput_floor);
   set("monitor.p99_latency_ceiling", o.obs.monitors.p99_latency_ceiling);
   set("monitor.quiescence_deadline", o.obs.monitors.quiescence_deadline);
+  set("monitor.max_recovery_cycles", o.obs.monitors.max_recovery_cycles);
   return ini;
 }
 

@@ -91,7 +91,21 @@ std::string to_json(const SimResult& r, int indent) {
     f.field("ctrl_drops", r.fault.ctrl_drops);
     f.field("ctrl_retries", r.fault.ctrl_retries);
     f.field("ctrl_timeouts", r.fault.ctrl_timeouts);
+    f.field("ctrl_exhausted", r.fault.ctrl_exhausted);
     f.field("stale_directives", r.fault.stale_directives);
+    f.field("lanes_repaired", r.fault.lanes_repaired);
+    f.field("readmissions_completed", r.fault.readmissions_completed);
+    f.field("readmissions_pending", r.fault.readmissions_pending);
+    f.field("worst_downtime", r.fault.worst_downtime);
+    f.field("worst_readmission_wait", r.fault.worst_readmission_wait);
+    f.field("crc_dropped", r.fault.crc_dropped);
+    f.field("arq_retransmits", r.fault.arq_retransmits);
+    f.field("arq_dead_letters", r.fault.arq_dead_letters);
+    f.field("rc_crashes", r.fault.rc_crashes);
+    f.field("rc_repairs", r.fault.rc_repairs);
+    f.field("watchdog_fires", r.fault.watchdog_fires);
+    f.field("tokens_regenerated", r.fault.tokens_regenerated);
+    f.field("frozen_windows", r.fault.frozen_windows);
     o.raw_field("fault", f.str());
   }
   // Same byte-compatibility rule for observability: the snapshot block only

@@ -36,10 +36,22 @@ Simulation::Simulation(const SimOptions& opts)
   for (std::uint32_t b = 0; b < opts_.system.num_boards_total(); ++b) {
     terminals.push_back(&network_->terminal(BoardId{b}));
   }
+  std::vector<optical::Receiver*> receivers;
+  receivers.reserve(static_cast<std::size_t>(opts_.system.num_boards_total()) *
+                    opts_.system.num_wavelengths());
+  for (std::uint32_t b = 0; b < opts_.system.num_boards_total(); ++b) {
+    for (std::uint32_t w = 0; w < opts_.system.num_wavelengths(); ++w) {
+      receivers.push_back(&network_->receiver(BoardId{b}, WavelengthId{w}));
+    }
+  }
   injector_ = std::make_unique<fault::FaultInjector>(
       engine_, network_->config(), network_->lane_map(), network_->reconfig_manager(),
-      std::move(terminals), opts_.fault, hub_.get());
+      std::move(terminals), opts_.fault, hub_.get(), std::move(receivers));
   injector_->arm();
+
+  network_->set_dead_letter_callback([this](const router::Packet& p, Cycle) {
+    if (p.labelled) ++labelled_dead_;
+  });
 
   // Upper edge must exceed post-saturation latencies (complement on a
   // static network queues labelled packets for ~100k cycles) or the
@@ -110,10 +122,13 @@ SimResult Simulation::run() {
   // ---- drain: run until every labelled packet arrives (or the cap) ----
   ERAPID_TRACE_INSTANT(hub_.get(), hub_->track_engine(), "phase.drain", engine_.now(), "");
   const Cycle drain_end = measure_end + opts_.drain_limit;
-  while (labelled_delivered_ < labelled_generated_ && engine_.now() < drain_end) {
+  // Dead-lettered labelled packets can never arrive; waiting for them would
+  // turn every ARQ exhaustion into a full drain-limit stall.
+  while (labelled_delivered_ + labelled_dead_ < labelled_generated_ &&
+         engine_.now() < drain_end) {
     engine_.run_until(std::min<Cycle>(engine_.now() + 1000, drain_end));
   }
-  r.drained = labelled_delivered_ >= labelled_generated_;
+  r.drained = labelled_delivered_ + labelled_dead_ >= labelled_generated_;
 
   for (auto& s : sources_) s->stop();
 

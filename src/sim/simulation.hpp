@@ -135,6 +135,9 @@ class Simulation {
   std::uint64_t delivered_measured_ = 0;
   std::uint64_t labelled_generated_ = 0;
   std::uint64_t labelled_delivered_ = 0;
+  /// Labelled packets the ARQ abandoned — the drain loop stops waiting for
+  /// them (they can never arrive).
+  std::uint64_t labelled_dead_ = 0;
   bool in_measurement_ = false;
   obs::MetricId m_latency_ = 0;
   obs::MetricId m_latency_hist_ = 0;

@@ -50,6 +50,14 @@ struct SystemConfig {
   /// combined width — 1 cycle/flit (a conservative fraction of W × 16 bit).
   std::uint32_t tx_feed_cycles_per_flit = 1;
 
+  // ---- link-level ARQ (CRC-detected corruption recovery) ----
+  /// Retransmissions allowed per packet before it is dead-lettered.
+  std::uint32_t arq_retry_limit = 4;
+  /// Base backoff unit; retry k waits arq_nak_cycles + (backoff << (k-1)).
+  std::uint32_t arq_backoff_cycles = 32;
+  /// Fixed NAK round-trip latency before a retransmission is re-queued.
+  std::uint32_t arq_nak_cycles = 8;
+
   // ---- node interface ----
   std::uint32_t injection_queue_packets = 64;  ///< NI source queue depth.
 
@@ -96,6 +104,7 @@ struct SystemConfig {
                   "flit must be a whole number of electrical phits");
     ERAPID_EXPECT(num_vcs >= 1 && vc_buffer_flits >= 1, "router needs buffers");
     ERAPID_EXPECT(packet_flits >= 1, "packet needs at least one flit");
+    ERAPID_EXPECT(arq_retry_limit >= 1, "ARQ needs at least one retry before dead-letter");
   }
 
   [[nodiscard]] std::string describe() const {

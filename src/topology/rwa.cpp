@@ -47,6 +47,14 @@ void LaneMap::mark_failed(BoardId d, WavelengthId w) {
   own_[i] = BoardId{};
 }
 
+void LaneMap::repair(BoardId d, WavelengthId w) {
+  const std::size_t i = index(d, w);
+  ERAPID_REQUIRE(failed_[i] != 0,
+                 "repairing a lane that is not failed: d=" << d.value() << " w=" << w.value());
+  failed_[i] = 0;
+  ERAPID_INVARIANT(!own_[i].valid(), "failed lane had an owner");
+}
+
 std::uint32_t LaneMap::failed_count() const {
   std::uint32_t n = 0;
   for (const auto f : failed_) {

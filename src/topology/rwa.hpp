@@ -94,6 +94,10 @@ class LaneMap {
   /// bars all future grants. Idempotent.
   void mark_failed(BoardId d, WavelengthId w);
 
+  /// Repairs a failed lane: grants are allowed again. The lane comes back
+  /// free (dark); DBR re-admits it at the next bandwidth window.
+  void repair(BoardId d, WavelengthId w);
+
   /// True if the lane has been marked failed by fault injection.
   [[nodiscard]] bool is_failed(BoardId d, WavelengthId w) const {
     return failed_[index(d, w)] != 0;

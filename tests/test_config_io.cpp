@@ -318,6 +318,56 @@ TEST(OptionsIo, FaultKeysParseFromIniText) {
   EXPECT_TRUE(clean.fault.empty());
 }
 
+TEST(OptionsIo, SelfHealingKeysSurviveRoundTrip) {
+  SimOptions o;
+  o.fault = erapid::fault::FaultPlan::parse_events(
+      "lane_fail@5000:d2:w1:r9000 bit_error@4500:d2:w2:p0.0005:6000 "
+      "rc_crash@7000:b2:r11000");
+  o.system.arq_retry_limit = 7;
+  o.system.arq_backoff_cycles = 64;
+  o.system.arq_nak_cycles = 12;
+  o.reconfig.rc_watchdog_cycles = 256;
+  o.obs.monitors.max_recovery_cycles = 9000;
+
+  const auto back = options_from_ini(options_to_ini(o));
+  ASSERT_EQ(back.fault.events.size(), 3u);
+  EXPECT_EQ(back.fault.events, o.fault.events);
+  EXPECT_EQ(back.fault.format_events(), o.fault.format_events());
+  EXPECT_EQ(back.system.arq_retry_limit, 7u);
+  EXPECT_EQ(back.system.arq_backoff_cycles, 64u);
+  EXPECT_EQ(back.system.arq_nak_cycles, 12u);
+  EXPECT_EQ(back.reconfig.rc_watchdog_cycles, 256u);
+  EXPECT_EQ(back.obs.monitors.max_recovery_cycles, 9000u);
+  EXPECT_TRUE(back.obs.monitors.any());
+
+  // The serialize → parse → serialize fixed point holds for the new keys.
+  std::ostringstream first, second;
+  options_to_ini(o).save(first);
+  options_to_ini(back).save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(OptionsIo, SelfHealingKeysParseFromIniText) {
+  const auto o = options_from_ini(Ini::parse_string(
+      "[link]\narq_retry_limit = 2\narq_backoff_cycles = 16\narq_nak_cycles = 4\n"
+      "[reconfig]\nrc_watchdog_cycles = 96\n"
+      "[monitor]\nmax_recovery_cycles = 12000\n"
+      "[fault]\nevents = lane_fail@100:d1:w1:r300\n"));
+  EXPECT_EQ(o.system.arq_retry_limit, 2u);
+  EXPECT_EQ(o.system.arq_backoff_cycles, 16u);
+  EXPECT_EQ(o.system.arq_nak_cycles, 4u);
+  EXPECT_EQ(o.reconfig.rc_watchdog_cycles, 96u);
+  EXPECT_EQ(o.obs.monitors.max_recovery_cycles, 12000u);
+  ASSERT_EQ(o.fault.events.size(), 1u);
+  EXPECT_EQ(o.fault.events[0].repair_at, 300u);
+
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[link]\narq_retrylimit = 2\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[monitor]\nmax_recovery_cycles = -1\n")),
+      erapid::ModelInvariantError);
+}
+
 TEST(OptionsIo, MalformedFaultEventsThrow) {
   const auto ini = Ini::parse_string("[fault]\nevents = lane_fail@abc:d1:w1\n");
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);

@@ -46,6 +46,18 @@ fault::FaultPlan storm_plan() {
   return plan;
 }
 
+/// Every transient (self-healing) fault class at once: a repairing lane
+/// failure, a bounded corruption window, an RC crash+repair, plus control
+/// losses — the storm the transient golden fixture pins.
+fault::FaultPlan transient_storm_plan() {
+  auto plan = fault::FaultPlan::parse_events(
+      "lane_fail@5000:d1:w1:r9000 bit_error@4500:d2:w2:p0.0005:6000 "
+      "laser_degrade@6000:d3:w3:low:3000 rc_crash@7000:b2:r11000 "
+      "ctrl_drop@9000:ring:b1:n2");
+  plan.seed = 42;
+  return plan;
+}
+
 class DeterminismByMode : public testing::TestWithParam<reconfig::NetworkMode> {};
 
 TEST_P(DeterminismByMode, SameSeedTwiceIsByteIdentical) {
@@ -91,10 +103,49 @@ TEST(Determinism, FaultPlanChangesReportButStaysDeterministic) {
   EXPECT_NE(faulty.find("\"lanes_failed\": 1"), std::string::npos);
 }
 
-// ---- golden fixture ---------------------------------------------------------
+TEST(Determinism, TransientStormSameSeedTwiceIsByteIdentical) {
+  sim::SimOptions o = base_options();
+  o.reconfig.mode = reconfig::NetworkMode::p_b();
+  o.fault = transient_storm_plan();
+  const auto a = sim::to_json(sim::Simulation(o).run());
+  const auto b = sim::to_json(sim::Simulation(o).run());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"lanes_repaired\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"rc_repairs\": 1"), std::string::npos);
+}
+
+// ---- golden fixtures --------------------------------------------------------
 
 std::string fixture_path() {
   return std::string(ERAPID_TEST_DATA_DIR) + "/golden_fig5_uniform.json";
+}
+
+std::string transient_fixture_path() {
+  return std::string(ERAPID_TEST_DATA_DIR) + "/golden_transient_storm.json";
+}
+
+TEST(Golden, TransientStormReportMatchesCommittedFixtureExactly) {
+  sim::SimOptions o = base_options();
+  o.reconfig.mode = reconfig::NetworkMode::p_b();
+  o.fault = transient_storm_plan();
+  const auto report = sim::to_json(sim::Simulation(o).run()) + "\n";
+
+  if (std::getenv("ERAPID_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(transient_fixture_path());
+    ASSERT_TRUE(out) << "cannot write " << transient_fixture_path();
+    out << report;
+    GTEST_SKIP() << "regenerated " << transient_fixture_path();
+  }
+
+  std::ifstream in(transient_fixture_path());
+  ASSERT_TRUE(in) << "missing fixture " << transient_fixture_path()
+                  << " (regenerate with ERAPID_REGEN_GOLDEN=1)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(report, ss.str())
+      << "transient-storm golden drifted — if the semantic change is "
+         "intended, regenerate with ERAPID_REGEN_GOLDEN=1 and call it out "
+         "in the commit message";
 }
 
 TEST(Golden, Fig5UniformReportMatchesCommittedFixtureExactly) {

@@ -55,6 +55,83 @@ TEST(FaultSpec, CtrlDropRoundTrip) {
   EXPECT_EQ(one.format(), "ctrl_drop@7000:chain:b0");
 }
 
+TEST(FaultSpec, TransientLaneFailRoundTrip) {
+  const auto e = FaultEvent::parse("lane_fail@5000:d2:w1:r9000");
+  EXPECT_EQ(e.kind, FaultKind::LaneFail);
+  EXPECT_EQ(e.at, 5000u);
+  EXPECT_EQ(e.repair_at, 9000u);
+  EXPECT_EQ(e.format(), "lane_fail@5000:d2:w1:r9000");
+  EXPECT_EQ(FaultEvent::parse(e.format()), e);
+  // No repair suffix means permanent (repair_at stays 0, format untouched).
+  const auto perm = FaultEvent::parse("lane_fail@5000:d2:w1");
+  EXPECT_EQ(perm.repair_at, 0u);
+  EXPECT_EQ(perm.format(), "lane_fail@5000:d2:w1");
+}
+
+TEST(FaultSpec, BitErrorRoundTrip) {
+  const auto e = FaultEvent::parse("bit_error@4500:d2:w2:p0.0005:6000");
+  EXPECT_EQ(e.kind, FaultKind::BitError);
+  EXPECT_EQ(e.at, 4500u);
+  EXPECT_EQ(e.dest, BoardId{2});
+  EXPECT_EQ(e.wavelength, WavelengthId{2});
+  EXPECT_DOUBLE_EQ(e.ber, 0.0005);
+  EXPECT_EQ(e.duration, 6000u);
+  EXPECT_EQ(FaultEvent::parse(e.format()), e);
+  // Duration 0 = until end of run; BER of exactly 1 is legal.
+  const auto full = FaultEvent::parse("bit_error@1:d0:w1:p1:0");
+  EXPECT_DOUBLE_EQ(full.ber, 1.0);
+  EXPECT_EQ(full.duration, 0u);
+  EXPECT_EQ(FaultEvent::parse(full.format()), full);
+}
+
+TEST(FaultSpec, RcCrashRoundTrip) {
+  const auto e = FaultEvent::parse("rc_crash@7000:b2:r11000");
+  EXPECT_EQ(e.kind, FaultKind::RcCrash);
+  EXPECT_EQ(e.at, 7000u);
+  EXPECT_EQ(e.board, BoardId{2});
+  EXPECT_EQ(e.repair_at, 11000u);
+  EXPECT_EQ(e.format(), "rc_crash@7000:b2:r11000");
+  EXPECT_EQ(FaultEvent::parse(e.format()), e);
+  const auto perm = FaultEvent::parse("rc_crash@7000:b2");
+  EXPECT_EQ(perm.repair_at, 0u);
+  EXPECT_EQ(perm.format(), "rc_crash@7000:b2");
+}
+
+TEST(FaultSpec, CrossFieldValidationAtParseTime) {
+  // Repair must come strictly after injection.
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@5000:d2:w1:r5000"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@5000:d2:w1:r4999"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("rc_crash@5000:b1:r100"), ModelInvariantError);
+  // BER outside (0, 1] is rejected where it is written, not at first use.
+  EXPECT_THROW((void)FaultEvent::parse("bit_error@1:d0:w1:p0:100"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("bit_error@1:d0:w1:p1.5:100"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("bit_error@1:d0:w1:pabc:100"), ModelInvariantError);
+}
+
+TEST(FaultSpec, DuplicateSameCycleSameTargetRejected) {
+  // Two events of one kind on one target at one cycle is an author error.
+  EXPECT_THROW((void)FaultPlan::parse_events("lane_fail@1:d1:w1 lane_fail@1:d1:w1"),
+               ModelInvariantError);
+  EXPECT_THROW(
+      (void)FaultPlan::parse_events("ctrl_drop@5:ring:b1 ctrl_drop@5:ring:b1:n3"),
+      ModelInvariantError);
+  EXPECT_THROW((void)FaultPlan::parse_events("rc_crash@9:b0 rc_crash@9:b0:r99"),
+               ModelInvariantError);
+  // Different cycle, different target, or different medium is fine.
+  EXPECT_NO_THROW((void)FaultPlan::parse_events("lane_fail@1:d1:w1 lane_fail@2:d1:w1"));
+  EXPECT_NO_THROW((void)FaultPlan::parse_events("lane_fail@1:d1:w1 lane_fail@1:d1:w2"));
+  EXPECT_NO_THROW(
+      (void)FaultPlan::parse_events("ctrl_drop@5:ring:b1 ctrl_drop@5:chain:b1"));
+  // validate() re-checks a plan assembled programmatically (no parser ran).
+  topology::SystemConfig cfg;
+  cfg.boards = 4;
+  cfg.nodes_per_board = 1;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent::parse("lane_fail@1:d1:w1"));
+  plan.events.push_back(FaultEvent::parse("lane_fail@1:d1:w1"));
+  EXPECT_THROW(plan.validate(cfg), ModelInvariantError);
+}
+
 TEST(FaultSpec, MalformedSpecsThrow) {
   EXPECT_THROW((void)FaultEvent::parse("lane_fail5000:d2:w1"), ModelInvariantError);
   EXPECT_THROW((void)FaultEvent::parse("lane_fail@:d2:w1"), ModelInvariantError);
@@ -67,6 +144,12 @@ TEST(FaultSpec, MalformedSpecsThrow) {
   EXPECT_THROW((void)FaultEvent::parse("ctrl_drop@1:ring:b0:n0"), ModelInvariantError);
   EXPECT_THROW((void)FaultEvent::parse("meteor_strike@1:d0:w0"), ModelInvariantError);
   EXPECT_THROW((void)FaultEvent::parse("lane_fail@50x0:d2:w1"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("lane_fail@5000:d2:w1:9000"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("bit_error@1:d0:w1:p0.5"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("bit_error@1:d0:w1:0.5:100"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("rc_crash@1"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("rc_crash@1:d0"), ModelInvariantError);
+  EXPECT_THROW((void)FaultEvent::parse("rc_crash@1:b0:r2:x"), ModelInvariantError);
 }
 
 TEST(FaultSpec, ListParsingAcceptsMixedSeparators) {
@@ -90,6 +173,10 @@ TEST(FaultSpec, ValidateRejectsOutOfRangeEvents) {
   plan = FaultPlan::parse_events("lane_fail@1:d1:w9");
   EXPECT_THROW(plan.validate(cfg), ModelInvariantError);
   plan = FaultPlan::parse_events("ctrl_drop@1:ring:b4");
+  EXPECT_THROW(plan.validate(cfg), ModelInvariantError);
+  plan = FaultPlan::parse_events("bit_error@1:d9:w1:p0.5:0");
+  EXPECT_THROW(plan.validate(cfg), ModelInvariantError);
+  plan = FaultPlan::parse_events("rc_crash@1:b9");
   EXPECT_THROW(plan.validate(cfg), ModelInvariantError);
   plan = FaultPlan::parse_events("lane_fail@1:d3:w3");
   EXPECT_NO_THROW(plan.validate(cfg));
@@ -240,14 +327,17 @@ TEST(CtrlLoss, RingDropsRetryWithinBudget) {
 TEST(CtrlLoss, RetriesAreBoundedThenBoardSitsOut) {
   auto o = small_options();
   const std::uint32_t limit = o.reconfig.ctrl_retry_limit;
-  // One more loss than the retry budget: limit retransmissions, then the
-  // board gives up on that window (timeout), consuming the whole budget.
+  // One more loss than the retry budget: `limit` losses are recovered by a
+  // retransmission each; the final loss exhausts the budget and is booked
+  // separately (ctrl_exhausted, plus the window timeout) rather than as a
+  // recovered drop.
   o.fault = FaultPlan::parse_events("ctrl_drop@3000:ring:b1:n" +
                                     std::to_string(limit + 1));
   const auto r = sim::Simulation(o).run();
-  EXPECT_EQ(r.fault.ctrl_drops, static_cast<std::uint64_t>(limit) + 1);
+  EXPECT_EQ(r.fault.ctrl_drops, limit);
   EXPECT_EQ(r.fault.ctrl_retries, limit);
   EXPECT_EQ(r.fault.ctrl_timeouts, 1u);
+  EXPECT_EQ(r.fault.ctrl_exhausted, 1u);
   EXPECT_TRUE(r.drained) << "a sat-out window must not lose packets";
 }
 

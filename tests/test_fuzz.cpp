@@ -8,13 +8,21 @@
 //  * Network churn fuzz: random small systems under random loads with
 //    aggressive reconfiguration windows — every invariant check stays
 //    quiet and labelled conservation holds.
+//  * Fault-plan grammar fuzz: random valid plans must round-trip through
+//    parse → format → parse unchanged; random garbage and single-character
+//    mutations must either parse or throw cleanly (never crash/UB — the
+//    sanitizer CI job runs this under ASan/UBSan).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iomanip>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "des/engine.hpp"
+#include "fault/plan.hpp"
 #include "sim/simulation.hpp"
 #include "tests_support.hpp"
 #include "util/rng.hpp"
@@ -169,6 +177,103 @@ TEST(NetworkFuzz, RandomSmallSystemsConserveLabelledPackets) {
     EXPECT_TRUE(r.drained) << "seed " << seed << " " << o.system.boards << "x"
                            << o.system.nodes_per_board;
     EXPECT_EQ(r.labelled_generated, r.labelled_delivered) << "seed " << seed;
+  }
+}
+
+// ---- fault-plan grammar fuzz ------------------------------------------------------
+
+// One random well-formed spec. `at` is the caller-supplied injection cycle
+// (strictly increasing across a plan keeps the duplicate rejector quiet).
+std::string random_valid_spec(Rng& rng, Cycle at) {
+  std::ostringstream os;
+  const auto d = rng.next_below(8);
+  const auto w = rng.next_below(8);
+  const auto b = rng.next_below(8);
+  switch (rng.next_below(5)) {
+    case 0:
+      os << "lane_fail@" << at << ":d" << d << ":w" << w;
+      if (rng.next_below(2) == 0) os << ":r" << (at + 1 + rng.next_below(5000));
+      break;
+    case 1: {
+      static const char* caps[] = {"low", "mid", "high"};
+      os << "laser_degrade@" << at << ":d" << d << ":w" << w << ":"
+         << caps[rng.next_below(3)] << ":" << rng.next_below(9000);
+      break;
+    }
+    case 2:
+      os << "ctrl_drop@" << at << ":" << (rng.next_below(2) == 0 ? "ring" : "chain")
+         << ":b" << b;
+      if (rng.next_below(2) == 0) os << ":n" << (1 + rng.next_below(6));
+      break;
+    case 3: {
+      double ber = rng.next_double();
+      if (!(ber > 0.0)) ber = 0.5;
+      os << "bit_error@" << at << ":d" << d << ":w" << w << ":p" << std::setprecision(17)
+         << ber << ":" << rng.next_below(9000);
+      break;
+    }
+    case 4:
+      os << "rc_crash@" << at << ":b" << b;
+      if (rng.next_below(2) == 0) os << ":r" << (at + 1 + rng.next_below(5000));
+      break;
+  }
+  return os.str();
+}
+
+TEST(FaultPlanFuzz, ParseFormatParseIsIdentity) {
+  using erapid::fault::FaultPlan;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed * 131);
+    std::string joined;
+    Cycle at = 1;
+    const auto n = 1 + rng.next_below(8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!joined.empty()) joined += ' ';
+      joined += random_valid_spec(rng, at);
+      at += 1 + rng.next_below(1000);
+    }
+    const auto plan = FaultPlan::parse_events(joined);
+    const auto again = FaultPlan::parse_events(plan.format_events());
+    ASSERT_EQ(again.events, plan.events) << "seed " << seed << ": " << joined;
+    EXPECT_EQ(again.format_events(), plan.format_events()) << "seed " << seed;
+  }
+}
+
+// Parsing must be total: any input either yields a plan or throws the
+// contract error — no other exception type, no crash, no sanitizer finding.
+void expect_parse_is_total(const std::string& input) {
+  using erapid::fault::FaultPlan;
+  try {
+    const auto plan = FaultPlan::parse_events(input);
+    // Accepted inputs must then round-trip like any valid plan.
+    const auto again = FaultPlan::parse_events(plan.format_events());
+    EXPECT_EQ(again.events, plan.events) << "input: " << input;
+  } catch (const erapid::ModelInvariantError&) {
+    // Rejected cleanly.
+  }
+}
+
+TEST(FaultPlanFuzz, RandomGarbageNeverCrashes) {
+  static const char kCharset[] = "abcdefghijklmnopqrstuvwxyz@:._0123456789rdwbnp ,;-+e";
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    Rng rng(seed * 977);
+    std::string s;
+    const auto len = rng.next_below(48);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s += kCharset[rng.next_below(sizeof(kCharset) - 1)];
+    }
+    expect_parse_is_total(s);
+  }
+}
+
+TEST(FaultPlanFuzz, SingleCharacterMutationsNeverCrash) {
+  static const char kCharset[] = "abcdefghijklmnopqrstuvwxyz@:._0123456789rdwbnp ,;-+e";
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed * 613);
+    std::string s = random_valid_spec(rng, 1 + rng.next_below(10000));
+    const auto pos = rng.next_below(s.size());
+    s[pos] = kCharset[rng.next_below(sizeof(kCharset) - 1)];
+    expect_parse_is_total(s);
   }
 }
 
