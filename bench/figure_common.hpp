@@ -151,7 +151,17 @@ class FigureStore {
       out << ", \"wall_ms\": " << wall << "}";
       first = false;
     }
-    out << "\n  ]\n}\n";
+    // Aggregate wall time: sum is total serial cost, max is the critical
+    // path — what a perfectly parallel campaign of these points would cost.
+    double wall_sum = 0.0;
+    double wall_max = 0.0;
+    for (const auto& [key, wall] : wall_ms_) {
+      wall_sum += wall;
+      if (wall > wall_max) wall_max = wall;
+    }
+    out << "\n  ],\n"
+        << "  \"wall_ms_sum\": " << wall_sum << ",\n"
+        << "  \"wall_ms_max\": " << wall_max << "\n}\n";
     return path;
   }
 

@@ -2,49 +2,75 @@
 
 namespace erapid::des {
 
+AliveSlot* Engine::acquire_slot() {
+  AliveSlot* s = free_slots_;
+  if (s != nullptr) {
+    free_slots_ = s->next_free;
+  } else {
+    s = ::new (arena_.allocate(sizeof(AliveSlot), alignof(AliveSlot))) AliveSlot{};
+  }
+  s->alive = true;
+  return s;
+}
+
+void Engine::release_slot(AliveSlot* slot) {
+  // Bumping the generation is what retires outstanding handles: they keep
+  // the old generation and read as not-pending from here on, even after
+  // the slot is reissued to a new event.
+  slot->alive = false;
+  ++slot->gen;
+  slot->next_free = free_slots_;
+  free_slots_ = slot;
+}
+
 EventHandle Engine::schedule_at(Cycle when, EventFn fn, const char* tag) {
   ERAPID_REQUIRE(when >= now_,
                  "cannot schedule an event in the past: when=" << when << " now=" << now_);
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{when, seq_++, std::move(fn), alive, tag});
-  return EventHandle(alive);
+  AliveSlot* slot = acquire_slot();
+  const std::uint64_t gen = slot->gen;
+  queue_->push(Event{when, seq_++, std::move(fn), slot, tag});
+  return EventHandle(slot, gen);
 }
 
 void Engine::skim() {
-  while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+  const Event* top = nullptr;
+  while ((top = queue_->peek()) != nullptr && !top->slot->alive) {
+    release_slot(queue_->pop().slot);
+  }
 }
 
 Cycle Engine::next_event_time() const {
-  // const view: cancelled entries at the top still carry valid times of
+  // const view: cancelled entries at the head still carry valid times of
   // *some* pending work at-or-after them only if a live entry exists; scan
   // a copy-free way by checking liveness lazily.
   auto* self = const_cast<Engine*>(this);
   self->skim();
-  return queue_.empty() ? kNeverCycle : queue_.top().when;
+  const Event* top = self->queue_->peek();
+  return top == nullptr ? kNeverCycle : top->when;
 }
 
 bool Engine::step(Cycle limit) {
   skim();
-  if (queue_.empty() || queue_.top().when > limit) {
+  const Event* top = queue_->peek();
+  if (top == nullptr || top->when > limit) {
     if (limit != kNeverCycle && limit > now_) now_ = limit;
     return false;
   }
-  Entry e = queue_.top();
-  queue_.pop();
+  Event e = queue_->pop();
   // Monotone event time: the calendar never hands back an event before the
   // current cycle (schedule_at guards the insert side; this pins the pop
-  // side against heap-ordering regressions).
+  // side against calendar-ordering regressions).
   ERAPID_INVARIANT(e.when >= now_,
                    "event calendar time ran backwards: when=" << e.when << " now=" << now_);
   now_ = e.when;
-  *e.alive = false;
+  release_slot(e.slot);
   ++executed_;
   if (hook_ == nullptr) {
     e.fn();
   } else {
     hook_->on_dispatch_begin(e.tag, now_);
     e.fn();
-    hook_->on_dispatch_end(e.tag, now_, queue_.size(), executed_);
+    hook_->on_dispatch_end(e.tag, now_, queue_->size(), executed_);
   }
   return true;
 }

@@ -4,47 +4,53 @@
 // unreleased): a deterministic calendar of timestamped events. Design goals:
 //
 //  * Determinism. Events at equal timestamps fire in scheduling (FIFO)
-//    order: the queue orders by (time, sequence). Two runs with the same
-//    seed produce byte-identical statistics.
+//    order: the calendar orders by (time, sequence). Two runs with the same
+//    seed produce byte-identical statistics — on either calendar
+//    implementation (see event_queue.hpp; selected via `des.queue`).
 //  * Cancellation. schedule() returns an EventHandle that can cancel the
-//    event in O(1) (lazy deletion: the heap entry stays but is skipped).
+//    event in O(1) (lazy deletion: the calendar entry stays but is
+//    skipped). Cancellation slots are pool-allocated from an engine-owned
+//    arena and recycled under generation tags, so scheduling performs no
+//    per-event heap allocation. Handles must not outlive their Engine.
 //  * Cycle-driven components. Routers are clocked pipelines; ClockDomain
 //    (clock.hpp) multiplexes all per-cycle work onto a single recurring
-//    event so the heap holds O(#messages) entries, not O(#routers) per
+//    event so the calendar holds O(#messages) entries, not O(#routers) per
 //    cycle.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <vector>
 
+#include "des/event_queue.hpp"
+#include "util/arena.hpp"
 #include "util/expect.hpp"
 #include "util/types.hpp"
 
 namespace erapid::des {
 
-/// Callback type executed when an event fires.
-using EventFn = std::function<void()>;
-
-/// Shared cancellation token for a scheduled event.
+/// Cancellation token for a scheduled event. Points at a generation-tagged
+/// slot owned by the engine: once the event fires (or its cancelled entry
+/// is skimmed) the slot's generation moves on and the handle goes inert.
+/// Handles must not outlive the Engine that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancels the event if it has not fired yet. Idempotent.
   void cancel() {
-    if (alive_) *alive_ = false;
+    if (slot_ != nullptr && slot_->gen == gen_) slot_->alive = false;
   }
 
   /// True if the event is still pending (scheduled, not fired, not cancelled).
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const {
+    return slot_ != nullptr && slot_->gen == gen_ && slot_->alive;
+  }
 
  private:
   friend class Engine;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(AliveSlot* slot, std::uint64_t gen) : slot_(slot), gen_(gen) {}
+  AliveSlot* slot_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
 /// The event calendar and simulation clock.
@@ -64,12 +70,16 @@ class Engine {
                                  std::uint64_t executed) = 0;
   };
 
-  Engine() = default;
+  explicit Engine(QueueKind kind = QueueKind::Heap)
+      : queue_(make_event_queue(kind)), kind_(kind) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulation time in cycles.
   [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Which calendar implementation this engine runs on.
+  [[nodiscard]] QueueKind queue_kind() const { return kind_; }
 
   /// Schedules `fn` to run `delay` cycles from now. delay == 0 runs later
   /// in the current cycle (after all earlier-scheduled same-time events).
@@ -99,7 +109,7 @@ class Engine {
 
   /// Number of events currently in the calendar (including cancelled
   /// entries awaiting lazy removal).
-  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_size() const { return queue_->size(); }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
@@ -108,24 +118,16 @@ class Engine {
   [[nodiscard]] Cycle next_event_time() const;
 
  private:
-  struct Entry {
-    Cycle when = 0;
-    std::uint64_t seq = 0;
-    EventFn fn;
-    std::shared_ptr<bool> alive;
-    const char* tag = nullptr;  ///< static schedule-site label (observability)
-  };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;  // FIFO among same-time events
-    }
-  };
-
-  /// Pops cancelled entries off the top of the heap.
+  /// Pops cancelled entries off the head of the calendar.
   void skim();
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  AliveSlot* acquire_slot();
+  void release_slot(AliveSlot* slot);
+
+  std::unique_ptr<EventQueue> queue_;
+  QueueKind kind_;
+  util::Arena arena_{16 * 1024};  ///< backs the cancellation-slot pool
+  AliveSlot* free_slots_ = nullptr;
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,150 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::des {
+
+const char* queue_kind_name(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::Heap:
+      return "heap";
+    case QueueKind::Calendar:
+      return "calendar";
+  }
+  ERAPID_UNREACHABLE("unmodeled QueueKind");
+}
+
+QueueKind parse_queue_kind(const std::string& text) {
+  if (text == "heap") return QueueKind::Heap;
+  if (text == "calendar") return QueueKind::Calendar;
+  ERAPID_EXPECT(false, "unknown des.queue value: '" << text << "' (expected heap|calendar)");
+  return QueueKind::Heap;  // unreachable
+}
+
+// ---- HeapEventQueue ---------------------------------------------------------
+
+void HeapEventQueue::push(Event&& e) {
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+const Event* HeapEventQueue::peek() { return heap_.empty() ? nullptr : &heap_.front(); }
+
+Event HeapEventQueue::pop() {
+  ERAPID_INVARIANT(!heap_.empty(), "pop on an empty heap calendar");
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+// ---- CalendarEventQueue -----------------------------------------------------
+
+CalendarEventQueue::CalendarEventQueue() : wheel_(kBuckets) {}
+
+void CalendarEventQueue::push(Event&& e) {
+  // The engine guards when >= now and wheel_time_ never passes the pending
+  // minimum, so the offset cannot be negative.
+  ERAPID_INVARIANT(e.when >= wheel_time_, "calendar push below the wheel window: when="
+                                              << e.when << " base=" << wheel_time_);
+  if (e.when - wheel_time_ < kBuckets) {
+    const auto idx = static_cast<std::size_t>(e.when % kBuckets);
+    Bucket& b = wheel_[idx];
+    if (!b.live() && !b.items.empty()) {
+      // All prior entries already popped — reclaim the storage before this
+      // bucket starts a new cycle value.
+      b.items.clear();
+      b.head = 0;
+    }
+    if (wheel_count_ == 0) {
+      min_valid_ = true;
+      min_when_ = e.when;
+      min_bucket_ = idx;
+    } else if (min_valid_ && e.when < min_when_) {
+      min_when_ = e.when;
+      min_bucket_ = idx;
+    }
+    b.items.push_back(std::move(e));
+    ++wheel_count_;
+  } else {
+    ladder_.push_back(std::move(e));
+    std::push_heap(ladder_.begin(), ladder_.end(), EventLater{});
+  }
+  ++size_;
+}
+
+void CalendarEventQueue::find_wheel_min() {
+  const auto start = static_cast<std::size_t>(wheel_time_ % kBuckets);
+  for (std::size_t off = 0; off < kBuckets; ++off) {
+    const std::size_t idx = (start + off) % kBuckets;
+    if (wheel_[idx].live()) {
+      min_bucket_ = idx;
+      min_when_ = wheel_[idx].items[wheel_[idx].head].when;
+      min_valid_ = true;
+      return;
+    }
+  }
+  ERAPID_UNREACHABLE("wheel count positive but no live bucket");
+}
+
+const Event* CalendarEventQueue::peek() {
+  const Event* wheel_min = nullptr;
+  if (wheel_count_ > 0) {
+    if (!min_valid_) find_wheel_min();
+    Bucket& b = wheel_[min_bucket_];
+    wheel_min = &b.items[b.head];
+  }
+  const Event* ladder_min = ladder_.empty() ? nullptr : &ladder_.front();
+  if (wheel_min == nullptr) return ladder_min;
+  if (ladder_min == nullptr) return wheel_min;
+  return EventLater{}(*wheel_min, *ladder_min) ? ladder_min : wheel_min;
+}
+
+Event CalendarEventQueue::pop() {
+  ERAPID_INVARIANT(size_ > 0, "pop on an empty calendar");
+  bool use_wheel = wheel_count_ > 0;
+  if (use_wheel) {
+    if (!min_valid_) find_wheel_min();
+    if (!ladder_.empty()) {
+      const Bucket& b = wheel_[min_bucket_];
+      if (EventLater{}(b.items[b.head], ladder_.front())) use_wheel = false;
+    }
+  }
+  Event out;
+  if (use_wheel) {
+    Bucket& b = wheel_[min_bucket_];
+    out = std::move(b.items[b.head]);
+    ++b.head;
+    --wheel_count_;
+    if (!b.live()) {
+      b.items.clear();
+      b.head = 0;
+      min_valid_ = false;
+    }
+    // A still-live minimum bucket keeps the cache: every remaining entry
+    // shares the popped entry's cycle value.
+  } else {
+    std::pop_heap(ladder_.begin(), ladder_.end(), EventLater{});
+    out = std::move(ladder_.back());
+    ladder_.pop_back();
+  }
+  --size_;
+  // The popped entry is the global minimum, so no pending event sits below
+  // it: advancing the window base here is what keeps pushes in-window.
+  wheel_time_ = out.when;
+  return out;
+}
+
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::Heap:
+      return std::make_unique<HeapEventQueue>();
+    case QueueKind::Calendar:
+      return std::make_unique<CalendarEventQueue>();
+  }
+  ERAPID_UNREACHABLE("unmodeled QueueKind");
+}
+
+}  // namespace erapid::des

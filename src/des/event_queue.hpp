@@ -1,0 +1,149 @@
+// Pluggable event calendars for the DES engine.
+//
+// The engine promises one ordering contract, whatever the container: events
+// pop in (time, insertion sequence) order — FIFO among equal timestamps.
+// Two implementations honour it:
+//
+//  * HeapEventQueue — the classic binary heap. O(log n) push/pop,
+//    allocation-free beyond vector growth. The reference implementation
+//    and the default (`des.queue=heap`).
+//
+//  * CalendarEventQueue — a timing wheel of 1-cycle buckets with a
+//    min-heap "ladder" for events beyond the window
+//    (`des.queue=calendar`). Near-future events (the vast majority in a
+//    cycle-driven model: clock ticks at +1, pipeline hops a few cycles
+//    out) cost O(1) amortized push/pop; far-future events (drain
+//    timeouts, laser repairs) spill to the ladder and are merged at the
+//    head by the same (time, seq) comparison.
+//
+// The calendar's correctness hinges on two invariants, both guaranteed by
+// the engine: pushes never carry `when` below the current time, and the
+// wheel's window base only advances to a popped event's time (the global
+// minimum), so no pending wheel event is ever left behind the window.
+// Within a live bucket every entry shares one cycle value (the window is
+// exactly one lap wide), so append order is seq order and FIFO falls out
+// of a head index. tests/test_event_queue.cpp holds the two
+// implementations against each other on randomized streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/inplace_fn.hpp"
+#include "util/types.hpp"
+
+namespace erapid::des {
+
+/// Callback type executed when an event fires. Inline storage is sized for
+/// the largest hot-path capture (flit delivery: sink + flit + vc + cycle)
+/// so scheduling never heap-allocates for it.
+using EventFn = util::InplaceFn<96>;
+
+/// Which event calendar the engine runs on (`des.queue` in configs).
+enum class QueueKind { Heap, Calendar };
+
+/// Config-facing name of a queue kind ("heap" / "calendar").
+[[nodiscard]] const char* queue_kind_name(QueueKind kind);
+
+/// Parses a `des.queue` value; throws on anything else.
+[[nodiscard]] QueueKind parse_queue_kind(const std::string& text);
+
+/// Cancellation slot for a scheduled event, pool-allocated by the engine
+/// and recycled under a generation tag: a slot is released (generation
+/// bumped, pushed on the free list) when its event leaves the calendar, so
+/// a stale EventHandle sees the generation mismatch instead of a dangling
+/// flag. Replaces the per-event shared_ptr<bool> allocation.
+struct AliveSlot {
+  std::uint64_t gen = 0;
+  bool alive = false;
+  AliveSlot* next_free = nullptr;
+};
+
+/// One calendar entry.
+struct Event {
+  Cycle when = 0;
+  std::uint64_t seq = 0;
+  EventFn fn;
+  AliveSlot* slot = nullptr;
+  const char* tag = nullptr;  ///< static schedule-site label (observability)
+};
+
+/// Orders a after b by (when, seq) — the heap comparator and the
+/// wheel-vs-ladder merge rule. Same-time events keep FIFO order.
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+/// The calendar contract. size() counts every entry still in the
+/// container, including cancelled ones awaiting lazy removal — the
+/// dispatch hook reports it, so both implementations must agree.
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+  virtual void push(Event&& e) = 0;
+  /// Earliest entry by (when, seq), or nullptr when empty. The pointer is
+  /// invalidated by the next push/pop.
+  virtual const Event* peek() = 0;
+  /// Removes and returns the earliest entry. Precondition: not empty.
+  virtual Event pop() = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+/// Binary min-heap calendar (the default and reference ordering).
+class HeapEventQueue final : public EventQueue {
+ public:
+  void push(Event&& e) override;
+  const Event* peek() override;
+  Event pop() override;
+  [[nodiscard]] std::size_t size() const override { return heap_.size(); }
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// Timing-wheel calendar with a min-heap ladder for far-future events.
+class CalendarEventQueue final : public EventQueue {
+ public:
+  /// Window width in cycles (= bucket count; each bucket is 1 cycle wide).
+  static constexpr std::size_t kBuckets = 4096;
+
+  CalendarEventQueue();
+  void push(Event&& e) override;
+  const Event* peek() override;
+  Event pop() override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+ private:
+  struct Bucket {
+    std::vector<Event> items;
+    std::size_t head = 0;  ///< first live entry; earlier ones already popped
+    [[nodiscard]] bool live() const { return head < items.size(); }
+  };
+
+  /// Repopulates the cached wheel minimum by scanning buckets outward from
+  /// the window base. The first live bucket in that order holds the
+  /// smallest time (one lap, one cycle value per bucket). Precondition:
+  /// the wheel is non-empty.
+  void find_wheel_min();
+
+  std::vector<Bucket> wheel_;
+  std::vector<Event> ladder_;  ///< min-heap (EventLater) of beyond-window events
+  Cycle wheel_time_ = 0;       ///< window base; advances only to popped times
+  std::size_t size_ = 0;
+  std::size_t wheel_count_ = 0;
+  bool min_valid_ = false;    ///< cached wheel minimum is current
+  Cycle min_when_ = 0;        ///< time of the cached minimum
+  std::size_t min_bucket_ = 0;
+};
+
+/// Builds the calendar selected by `kind`.
+[[nodiscard]] std::unique_ptr<EventQueue> make_event_queue(QueueKind kind);
+
+}  // namespace erapid::des

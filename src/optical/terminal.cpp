@@ -18,6 +18,7 @@ OpticalTerminal::OpticalTerminal(des::Engine& engine, const topology::SystemConf
 
   flows_.reserve(B);
   for (std::uint32_t d = 0; d < B; ++d) flows_.emplace_back(cfg.tx_queue_packets, W);
+  lane_scan_.resize(W, false);
 
   lanes_.resize(static_cast<std::size_t>(B) * W);
   for (std::uint32_t d = 0; d < B; ++d) {
@@ -175,7 +176,9 @@ void OpticalTerminal::pump_flow(BoardId d, Cycle now) {
   auto lane_at = [&](std::uint32_t w) -> Lane* { return lanes_[base + w].get(); };
 
   while (!flow.q.empty()) {
-    std::vector<bool> usable(W, false);
+    // Batched availability scan into the terminal-level scratch (see
+    // lane_scan_ in the header for why sharing it is sound).
+    std::vector<bool>& usable = lane_scan_;
     bool any = false;
     for (std::uint32_t w = 0; w < W; ++w) {
       usable[w] = lane_at(w) ? lane_at(w)->available(now) : false;

@@ -47,6 +47,7 @@ const std::set<std::string>& known_keys() {
       "fault.events",
       "fault.ctrl_drop_prob",
       "fault.seed",
+      "des.queue",
       "workload.pattern",
       "workload.hotspot_fraction",
       "workload.hotspot_node",
@@ -157,6 +158,8 @@ SimOptions options_from_ini(const util::Ini& ini) {
   o.fault.seed =
       static_cast<std::uint64_t>(ini.get_int("fault.seed", static_cast<long>(o.fault.seed)));
 
+  if (const auto queue = ini.get("des.queue")) o.des_queue = des::parse_queue_kind(*queue);
+
   if (const auto pat = ini.get("workload.pattern")) {
     const auto parsed = traffic::parse_pattern(*pat);
     ERAPID_EXPECT(parsed.has_value(), "unknown workload.pattern: '" + *pat + "'");
@@ -258,6 +261,7 @@ util::Ini options_to_ini(const SimOptions& o) {
   if (!o.fault.events.empty()) set("fault.events", o.fault.format_events());
   set("fault.ctrl_drop_prob", o.fault.ctrl_drop_prob);
   set("fault.seed", o.fault.seed);
+  set("des.queue", des::queue_kind_name(o.des_queue));
   set("workload.pattern", traffic::pattern_name(o.pattern));
   set("workload.hotspot_fraction", o.hotspot_fraction);
   set("workload.hotspot_node", o.hotspot_node);

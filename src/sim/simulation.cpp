@@ -8,6 +8,7 @@ namespace erapid::sim {
 
 Simulation::Simulation(const SimOptions& opts)
     : opts_(opts),
+      engine_(opts.des_queue),
       pattern_(opts.pattern, opts.system.num_nodes(), opts.hotspot_fraction,
                NodeId{opts.hotspot_node}),
       capacity_(topology::CapacityModel(opts.system).uniform_capacity()) {

@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Self-test for tools/campaign/campaign.py (CTest: campaign.self_test).
+
+Covers the campaign driver's contract: spec expansion follows the canonical
+nested-loop order, the merged artifact lists points in spec order regardless
+of completion order, a crashing worker yields a failed point record without
+sinking the campaign, and — when the erapid_campaign binary is available —
+-j1 and -j2 runs of a tiny grid produce byte-identical artifacts that match
+the committed golden (tests/data/golden_campaign_small.json, regenerated
+with ERAPID_REGEN_GOLDEN=1).
+"""
+
+import json
+import os
+import stat
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools" / "campaign"))
+import campaign  # noqa: E402
+
+GOLDEN_PATH = TESTS_DIR / "data" / "golden_campaign_small.json"
+
+# The tiny grid used for the golden / parallel-identity test. Short windows
+# keep the whole thing to a few seconds; --no-wall plus a pinned git rev
+# make the artifact fully deterministic.
+GOLDEN_SPEC = {
+    "name": "small",
+    "patterns": ["uniform", "shuffle"],
+    "modes": ["P-B", "NP-NB"],
+    "loads": [0.3],
+    "seeds": [1],
+    "overrides": [
+        {
+            "workload.warmup_cycles": 1000,
+            "workload.measure_cycles": 2000,
+            "workload.drain_limit": 30000,
+        }
+    ],
+}
+
+
+def campaign_binary():
+    """Path to erapid_campaign, or None if it has not been built."""
+    env = os.environ.get("ERAPID_CAMPAIGN_BIN")
+    candidates = [env] if env else []
+    candidates.append(str(REPO_ROOT / "build" / "tools" / "campaign" / "erapid_campaign"))
+    for cand in candidates:
+        if cand and os.path.isfile(cand) and os.access(cand, os.X_OK):
+            return cand
+    return None
+
+
+def write_script(directory, name, body):
+    """Drops an executable shell script (a stand-in worker) into directory."""
+    path = Path(directory) / name
+    path.write_text("#!/bin/sh\n" + body)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return str(path)
+
+
+class ExpandPointsTest(unittest.TestCase):
+    def test_canonical_nested_loop_order(self):
+        spec = {
+            "name": "t",
+            "patterns": ["a", "b"],
+            "modes": ["M1", "M2"],
+            "loads": [0.1, 0.2],
+            "seeds": [1, 2],
+        }
+        points = campaign.expand_points(spec)
+        self.assertEqual(len(points), 16)
+        # Innermost axis (seeds) varies fastest, outermost (patterns,
+        # since there is only one overrides entry) slowest.
+        self.assertEqual(
+            [(p["pattern"], p["mode"], p["load"], p["seed"]) for p in points[:4]],
+            [("a", "M1", 0.1, 1), ("a", "M1", 0.1, 2), ("a", "M1", 0.2, 1), ("a", "M1", 0.2, 2)],
+        )
+        self.assertEqual(points[-1]["pattern"], "b")
+        self.assertTrue(all(p["overrides"] == {} for p in points))
+
+    def test_overrides_axis_is_outermost(self):
+        spec = {
+            "name": "t",
+            "patterns": ["a"],
+            "modes": ["M"],
+            "loads": [0.5],
+            "seeds": [1],
+            "overrides": [{}, {"workload.warmup_cycles": 9}],
+        }
+        points = campaign.expand_points(spec)
+        self.assertEqual(len(points), 2)
+        self.assertEqual(points[0]["overrides"], {})
+        self.assertEqual(points[1]["overrides"], {"workload.warmup_cycles": 9})
+
+    def test_missing_required_key_raises(self):
+        with self.assertRaises(ValueError):
+            campaign.expand_points({"name": "t", "patterns": [], "modes": [], "loads": []})
+
+    def test_malformed_overrides_raises(self):
+        spec = {
+            "name": "t", "patterns": ["a"], "modes": ["M"], "loads": [0.5],
+            "seeds": [1], "overrides": {"not": "a list"},
+        }
+        with self.assertRaises(ValueError):
+            campaign.expand_points(spec)
+
+
+class WorkerArgvTest(unittest.TestCase):
+    def test_all_flags_use_equals_spelling(self):
+        point = {
+            "pattern": "uniform", "mode": "P-B", "load": 0.3, "seed": 7,
+            "overrides": {"b.k": "2", "a.k": "1"},
+        }
+        argv = campaign.worker_argv("/bin/worker", point, config="base.ini", no_wall=True)
+        self.assertEqual(
+            argv,
+            [
+                "/bin/worker", "--pattern=uniform", "--mode=P-B", "--load=0.3",
+                "--seed=7", "--config=base.ini", "--no-wall=1", "a.k=1", "b.k=2",
+            ],
+        )
+        # No bare flags: a bare --flag would swallow the next positional.
+        for tok in argv[1:]:
+            self.assertIn("=", tok)
+
+
+class MergeTest(unittest.TestCase):
+    def test_counts_and_wall_aggregates(self):
+        spec = {"name": "t"}
+        records = [
+            {"pattern": "a", "mode": "M", "load": 0.1, "seed": 1, "wall_ms": 10.0},
+            {"pattern": "a", "mode": "M", "load": 0.1, "seed": 2, "failed": True,
+             "error": "boom"},
+            {"pattern": "a", "mode": "M", "load": 0.2, "seed": 1, "wall_ms": 25.0},
+        ]
+        doc = campaign.merge(spec, records, "rev123")
+        self.assertEqual(doc["schema"], "erapid-bench-1")
+        self.assertEqual(doc["bench"], "campaign:t")
+        self.assertEqual(doc["git_rev"], "rev123")
+        self.assertEqual(doc["points_total"], 3)
+        self.assertEqual(doc["points_failed"], 1)
+        self.assertEqual(doc["wall_ms_sum"], 35.0)
+        self.assertEqual(doc["wall_ms_max"], 25.0)
+        # Points keep their input order — merge never reorders.
+        self.assertEqual([r.get("seed") for r in doc["points"]], [1, 2, 1])
+
+
+class StubWorkerTest(unittest.TestCase):
+    """Driver behavior against stand-in workers (no simulator needed)."""
+
+    def run_stub_campaign(self, body, jobs=2):
+        spec = {
+            "name": "stub", "patterns": ["a", "b"], "modes": ["M"],
+            "loads": [0.5], "seeds": [1, 2],
+        }
+        with tempfile.TemporaryDirectory() as tmp:
+            binary = write_script(tmp, "worker.sh", body)
+            return campaign.run_campaign(spec, binary, jobs=jobs, spec_dir=tmp)
+
+    def test_spec_order_merge_with_completion_order_scrambled(self):
+        # Workers that sleep longer for earlier points finish in reverse;
+        # the artifact must still list points in spec order. The worker
+        # echoes its own --seed back so order is observable.
+        body = (
+            'seed=$(echo "$@" | sed -n "s/.*--seed=\\([0-9]*\\).*/\\1/p")\n'
+            'pat=$(echo "$@" | sed -n "s/.*--pattern=\\([a-z]*\\).*/\\1/p")\n'
+            'if [ "$pat" = "a" ]; then sleep 0.3; fi\n'
+            'echo "{\\"pattern\\": \\"$pat\\", \\"mode\\": \\"M\\",'
+            ' \\"load\\": 0.5, \\"seed\\": $seed, \\"wall_ms\\": 0}"\n'
+        )
+        doc = self.run_stub_campaign(body, jobs=4)
+        self.assertEqual(doc["points_failed"], 0)
+        self.assertEqual(
+            [(p["pattern"], p["seed"]) for p in doc["points"]],
+            [("a", 1), ("a", 2), ("b", 1), ("b", 2)],
+        )
+
+    def test_crashing_worker_becomes_failed_point(self):
+        body = (
+            'if echo "$@" | grep -q -- "--pattern=b"; then\n'
+            '  echo "worker blew up" >&2; exit 3\n'
+            'fi\n'
+            'echo "{\\"pattern\\": \\"a\\", \\"mode\\": \\"M\\", \\"load\\": 0.5,'
+            ' \\"seed\\": 1, \\"wall_ms\\": 0}"\n'
+        )
+        doc = self.run_stub_campaign(body)
+        self.assertEqual(doc["points_total"], 4)
+        self.assertEqual(doc["points_failed"], 2)
+        failed = [p for p in doc["points"] if p.get("failed")]
+        self.assertEqual(len(failed), 2)
+        for rec in failed:
+            self.assertEqual(rec["pattern"], "b")
+            self.assertIn("worker blew up", rec["error"])
+            # Failed records still carry the full point key.
+            for key in ("pattern", "mode", "load", "seed"):
+                self.assertIn(key, rec)
+
+    def test_garbage_stdout_becomes_failed_point(self):
+        doc = self.run_stub_campaign('echo "not json"\n')
+        self.assertEqual(doc["points_failed"], 4)
+        self.assertIn("unparseable", doc["points"][0]["error"])
+
+    def test_missing_binary_becomes_failed_point(self):
+        spec = {
+            "name": "stub", "patterns": ["a"], "modes": ["M"],
+            "loads": [0.5], "seeds": [1],
+        }
+        doc = campaign.run_campaign(spec, "/nonexistent/worker", jobs=1)
+        self.assertEqual(doc["points_failed"], 1)
+        self.assertIn("spawn failed", doc["points"][0]["error"])
+
+    def test_main_exits_nonzero_on_failed_points(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            binary = write_script(tmp, "worker.sh", "exit 1\n")
+            spec_path = Path(tmp) / "spec.json"
+            spec_path.write_text(json.dumps({
+                "name": "bad", "patterns": ["a"], "modes": ["M"],
+                "loads": [0.5], "seeds": [1],
+            }))
+            rc = campaign.main(
+                [str(spec_path), "--binary", binary, "--out-dir", tmp])
+            self.assertEqual(rc, 1)
+            doc = json.loads((Path(tmp) / "CAMPAIGN_bad.json").read_text())
+            self.assertEqual(doc["points_failed"], 1)
+
+
+class GoldenCampaignTest(unittest.TestCase):
+    """End-to-end: real binary, tiny grid, parallel byte-identity + golden."""
+
+    def run_real(self, jobs, out_dir):
+        spec_path = Path(out_dir) / "spec.json"
+        spec_path.write_text(json.dumps(GOLDEN_SPEC))
+        rc = campaign.main([
+            str(spec_path), "--binary", self.binary, "-j", str(jobs),
+            "--out-dir", out_dir, "--no-wall",
+        ])
+        self.assertEqual(rc, 0)
+        return (Path(out_dir) / "CAMPAIGN_small.json").read_bytes()
+
+    def test_parallel_byte_identity_and_golden(self):
+        self.binary = campaign_binary()
+        if self.binary is None:
+            self.skipTest("erapid_campaign binary not built")
+        # Pin the rev stamp: the artifact must not depend on the checkout.
+        old_rev = os.environ.get("ERAPID_GIT_REV")
+        os.environ["ERAPID_GIT_REV"] = "golden"
+        try:
+            with tempfile.TemporaryDirectory() as d1, \
+                 tempfile.TemporaryDirectory() as d2:
+                serial = self.run_real(1, d1)
+                parallel = self.run_real(2, d2)
+        finally:
+            if old_rev is None:
+                del os.environ["ERAPID_GIT_REV"]
+            else:
+                os.environ["ERAPID_GIT_REV"] = old_rev
+
+        self.assertEqual(serial, parallel,
+                         "-j1 and -j2 campaign artifacts differ")
+
+        if os.environ.get("ERAPID_REGEN_GOLDEN"):
+            GOLDEN_PATH.write_bytes(serial)
+            self.skipTest(f"regenerated {GOLDEN_PATH}")
+        self.assertTrue(
+            GOLDEN_PATH.is_file(),
+            f"missing {GOLDEN_PATH}; run with ERAPID_REGEN_GOLDEN=1 to create")
+        self.assertEqual(
+            serial.decode(), GOLDEN_PATH.read_text(),
+            "campaign artifact drifted from golden; if intentional, "
+            "regenerate with ERAPID_REGEN_GOLDEN=1")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -118,6 +118,69 @@ class BenchComparison(unittest.TestCase):
         self.assertIn("regressed", kinds(self.compare(base, cand), "point"))
 
 
+class CampaignComparison(unittest.TestCase):
+    """Campaign-artifact features: 4-component keys, failed points, and
+    doc-level wall aggregates."""
+
+    def compare(self, base, cand, threshold=0.05, include_wall=False):
+        return compare_runs.compare_docs(base, cand, threshold, include_wall)
+
+    def campaign_doc(self, points, **doc_fields):
+        doc = bench_doc(points)
+        doc.update(doc_fields)
+        return doc
+
+    def test_points_match_on_pattern_mode_load_seed(self):
+        # Same (mode, load), different seed: distinct points, not a clash.
+        base = bench_doc([bench_point(pattern="uniform", seed=1),
+                          bench_point(pattern="uniform", seed=2)])
+        out = self.compare(base, base)
+        self.assertTrue(all(c["kind"] == "same" for c in out))
+        # Dropping one seed from the candidate regresses that point only.
+        cand = bench_doc([bench_point(pattern="uniform", seed=1)])
+        out = self.compare(base, cand)
+        missing = [c for c in out if c["metric"] == "point"]
+        self.assertEqual(len(missing), 1)
+        self.assertEqual(missing[0]["kind"], "regressed")
+        self.assertIn("seed=2", missing[0]["where"])
+
+    def test_legacy_points_without_pattern_seed_still_match(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(latency_avg_cycles=103.0)])
+        out = self.compare(base, cand)
+        self.assertEqual(kinds(out, "latency_avg_cycles"), ["drifted"])
+
+    def test_point_turning_failed_regresses(self):
+        key = {"pattern": "uniform", "seed": 1}
+        base = bench_doc([bench_point(**key)])
+        cand = bench_doc([{"pattern": "uniform", "mode": "P-B", "load": 0.5,
+                           "seed": 1, "failed": True, "error": "boom"}])
+        out = self.compare(base, cand)
+        self.assertEqual(kinds(out, "failed"), ["regressed"])
+        # No metric comparisons against the dead point.
+        self.assertEqual(kinds(out, "latency_avg_cycles"), [])
+        # The reverse direction is an improvement, both-failed is quiet.
+        self.assertEqual(kinds(self.compare(cand, base), "failed"), ["improved"])
+        self.assertEqual(kinds(self.compare(cand, cand), "failed"), ["same"])
+
+    def test_points_failed_rise_regresses_at_doc_level(self):
+        base = self.campaign_doc([bench_point()], points_failed=0)
+        cand = self.campaign_doc([bench_point()], points_failed=2)
+        out = self.compare(base, cand)
+        self.assertEqual(kinds(out, "points_failed"), ["regressed"])
+
+    def test_wall_aggregates_follow_include_wall(self):
+        base = self.campaign_doc([bench_point()], wall_ms_sum=100.0,
+                                 wall_ms_max=60.0)
+        cand = self.campaign_doc([bench_point()], wall_ms_sum=200.0,
+                                 wall_ms_max=150.0)
+        self.assertEqual(kinds(self.compare(base, cand), "wall_ms_sum"), [])
+        self.assertEqual(kinds(self.compare(base, cand), "wall_ms_max"), [])
+        out = self.compare(base, cand, include_wall=True)
+        self.assertEqual(kinds(out, "wall_ms_sum"), ["regressed"])
+        self.assertEqual(kinds(out, "wall_ms_max"), ["regressed"])
+
+
 class ReportComparison(unittest.TestCase):
     def test_obs_metrics_drift_is_flagged(self):
         base = report_doc(obs_metrics={"des.events": 1000,

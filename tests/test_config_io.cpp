@@ -109,6 +109,20 @@ TEST(OptionsIo, CustomValuesSurviveRoundTrip) {
   EXPECT_DOUBLE_EQ(back.reconfig.dpm_params.ewma_alpha, 0.25);
 }
 
+TEST(OptionsIo, DesQueueRoundTripsAndRejectsUnknown) {
+  SimOptions def;
+  EXPECT_EQ(def.des_queue, erapid::des::QueueKind::Heap);
+  def.des_queue = erapid::des::QueueKind::Calendar;
+  const auto ini = options_to_ini(def);
+  EXPECT_EQ(ini.get("des.queue").value_or(""), "calendar");
+  EXPECT_EQ(options_from_ini(ini).des_queue, erapid::des::QueueKind::Calendar);
+
+  erapid::util::Ini text = erapid::util::Ini::parse_string("[des]\nqueue = heap\n");
+  EXPECT_EQ(options_from_ini(text).des_queue, erapid::des::QueueKind::Heap);
+  erapid::util::Ini bad = erapid::util::Ini::parse_string("[des]\nqueue = splay\n");
+  EXPECT_THROW(options_from_ini(bad), erapid::ModelInvariantError);
+}
+
 // Determinism contract (DESIGN.md §7): every options struct must be fully
 // initialized by default construction — an indeterminate member would make
 // two "identical" runs diverge. Default-construct each one, read every

@@ -148,6 +148,35 @@ TEST(Golden, TransientStormReportMatchesCommittedFixtureExactly) {
          "in the commit message";
 }
 
+// The calendar wheel (`des.queue=calendar`) must reproduce the committed
+// heap-generated fixtures byte-for-byte — the two calendars share one
+// golden, so neither can drift without the other noticing.
+TEST(Golden, CalendarQueueMatchesHeapGoldenExactly) {
+  if (std::getenv("ERAPID_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "fixtures are regenerated by the heap-queue tests";
+  }
+  sim::SimOptions o = base_options();
+  o.reconfig.mode = reconfig::NetworkMode::p_b();
+  o.des_queue = des::QueueKind::Calendar;
+  const auto report = sim::to_json(sim::Simulation(o).run()) + "\n";
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in) << "missing fixture " << fixture_path()
+                  << " (regenerate with ERAPID_REGEN_GOLDEN=1)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(report, ss.str())
+      << "calendar queue diverged from the heap-generated golden";
+
+  o.fault = transient_storm_plan();
+  const auto storm = sim::to_json(sim::Simulation(o).run()) + "\n";
+  std::ifstream storm_in(transient_fixture_path());
+  ASSERT_TRUE(storm_in) << "missing fixture " << transient_fixture_path();
+  std::ostringstream storm_ss;
+  storm_ss << storm_in.rdbuf();
+  EXPECT_EQ(storm, storm_ss.str())
+      << "calendar queue diverged from the transient-storm golden";
+}
+
 TEST(Golden, Fig5UniformReportMatchesCommittedFixtureExactly) {
   sim::SimOptions o = base_options();  // the Fig. 5 uniform small config
   o.reconfig.mode = reconfig::NetworkMode::p_b();

@@ -23,6 +23,7 @@
 
 #include "des/engine.hpp"
 #include "fault/plan.hpp"
+#include "sim/report.hpp"
 #include "sim/simulation.hpp"
 #include "tests_support.hpp"
 #include "util/rng.hpp"
@@ -274,6 +275,49 @@ TEST(FaultPlanFuzz, SingleCharacterMutationsNeverCrash) {
     const auto pos = rng.next_below(s.size());
     s[pos] = kCharset[rng.next_below(sizeof(kCharset) - 1)];
     expect_parse_is_total(s);
+  }
+}
+
+// ---- event-calendar differential (heap vs calendar wheel) -------------------------
+
+// Full-simulation byte identity across `des.queue` implementations: the
+// four paper patterns, with and without a transient fault storm, must
+// serialize to the exact same JSON report on both calendars. This is the
+// end-to-end guarantee behind making the wheel selectable at all.
+TEST(QueueKindFuzz, HeapAndCalendarReportsAreByteIdentical) {
+  using erapid::des::QueueKind;
+  const erapid::traffic::PatternKind patterns[] = {
+      erapid::traffic::PatternKind::Uniform, erapid::traffic::PatternKind::Complement,
+      erapid::traffic::PatternKind::Butterfly, erapid::traffic::PatternKind::PerfectShuffle};
+  for (const auto pattern : patterns) {
+    for (const bool with_faults : {false, true}) {
+      erapid::sim::SimOptions o;
+      o.system.boards = 4;
+      o.system.nodes_per_board = 4;
+      o.pattern = pattern;
+      o.load_fraction = 0.5;
+      o.seed = 7;
+      o.warmup_cycles = 2000;
+      o.measure_cycles = 4000;
+      o.drain_limit = 60000;
+      o.reconfig.mode = erapid::reconfig::NetworkMode::p_b();
+      if (with_faults) {
+        // Degradation, control loss and an RC crash — fault classes that
+        // never re-home a committed packet, so flow occupancy stays within
+        // the DPM policy's [0, 1] domain at every load/pattern combination.
+        o.fault = erapid::fault::FaultPlan::parse_events(
+            "laser_degrade@4000:d2:w2:low:2500 ctrl_drop@5000:ring:b1:n2 "
+            "rc_crash@6000:b2:r10000");
+        o.fault.seed = 42;
+      }
+      o.des_queue = QueueKind::Heap;
+      const auto heap_report = erapid::sim::to_json(erapid::sim::Simulation(o).run());
+      o.des_queue = QueueKind::Calendar;
+      const auto cal_report = erapid::sim::to_json(erapid::sim::Simulation(o).run());
+      ASSERT_EQ(heap_report, cal_report)
+          << "pattern " << erapid::traffic::pattern_name(pattern)
+          << (with_faults ? " with" : " without") << " faults";
+    }
   }
 }
 

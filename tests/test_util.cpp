@@ -1,14 +1,20 @@
 // Unit tests for utilities: RNG, CSV, table printer, CLI, strong ids.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "util/arena.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/expect.hpp"
+#include "util/inplace_fn.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
@@ -207,6 +213,146 @@ TEST(Cli, IntParsingWithDefault) {
   const auto cli = Cli::parse(2, argv);
   EXPECT_EQ(cli.get_int("n", 0), 12);
   EXPECT_EQ(cli.get_int("missing", 99), 99);
+}
+
+// ---- Arena -------------------------------------------------------------
+
+TEST(Arena, RespectsRequestedAlignment) {
+  erapid::util::Arena arena(256);
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u}) {
+    for (int i = 0; i < 8; ++i) {
+      void* p = arena.allocate(3, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "align " << align << " iter " << i;
+    }
+  }
+}
+
+TEST(Arena, GrowsBeyondOneChunk) {
+  erapid::util::Arena arena(64);
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(16, 8);
+    EXPECT_TRUE(seen.insert(p).second) << "allocation " << i << " aliased";
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_served(), 1600u);
+}
+
+TEST(Arena, OversizedRequestFallsBackToDedicatedChunk) {
+  erapid::util::Arena arena(64);
+  void* small1 = arena.allocate(16, 8);
+  void* big = arena.allocate(1000, 8);  // > chunk size: dedicated chunk
+  void* small2 = arena.allocate(16, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 8, 0u);
+  // The bump pointer keeps filling the normal chunk around the big one.
+  EXPECT_EQ(static_cast<char*>(small2), static_cast<char*>(small1) + 16);
+  std::memset(big, 0xAB, 1000);  // fully usable (ASan would object otherwise)
+}
+
+TEST(Arena, ResetReusesRetainedCapacity) {
+  erapid::util::Arena arena(128);
+  std::vector<void*> first;
+  for (int i = 0; i < 20; ++i) first.push_back(arena.allocate(24, 8));
+  const auto chunks_before = arena.chunk_count();
+  const auto capacity_before = arena.capacity_bytes();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_served(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks_before);
+  EXPECT_EQ(arena.capacity_bytes(), capacity_before);
+  // Same storage comes back in the same order.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(arena.allocate(24, 8), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Arena, ZeroByteRequestStillReturnsDistinctStorage) {
+  erapid::util::Arena arena;
+  void* a = arena.allocate(0, 1);
+  void* b = arena.allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+// ---- Pool --------------------------------------------------------------
+
+struct PoolProbe {
+  explicit PoolProbe(int v) : value(v) { ++alive; }
+  ~PoolProbe() { --alive; }
+  int value;
+  static int alive;
+};
+int PoolProbe::alive = 0;
+
+TEST(Pool, CreateDestroyRecyclesSlots) {
+  erapid::util::Arena arena(1024);
+  erapid::util::Pool<PoolProbe> pool(arena);
+  PoolProbe* a = pool.create(1);
+  PoolProbe* b = pool.create(2);
+  EXPECT_EQ(a->value, 1);
+  EXPECT_EQ(b->value, 2);
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(PoolProbe::alive, 2);
+  pool.destroy(a);
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  PoolProbe* c = pool.create(3);  // reuses a's slot
+  EXPECT_EQ(static_cast<void*>(c), static_cast<void*>(a));
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.slots_created(), 2u);
+  pool.destroy(b);
+  pool.destroy(c);
+  EXPECT_EQ(PoolProbe::alive, 0);
+  pool.destroy(nullptr);  // ignored
+}
+
+// ---- InplaceFn ---------------------------------------------------------
+
+TEST(InplaceFn, SmallCapturesStayInline) {
+  int hits = 0;
+  erapid::util::InplaceFn<96> fn = [&hits] { ++hits; };
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFn, LargeCapturesFallBackToHeapAndStillRun) {
+  struct Big {
+    double payload[32] = {};  // 256 bytes — far over the 96-byte buffer
+  };
+  Big big;
+  big.payload[31] = 7.5;
+  double seen = 0.0;
+  erapid::util::InplaceFn<96> fn = [big, &seen] { seen = big.payload[31]; };
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(seen, 7.5);
+}
+
+TEST(InplaceFn, MoveTransfersOwnershipExactlyOnce) {
+  auto owner = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = owner;
+  int got = 0;
+  erapid::util::InplaceFn<96> a = [owner = std::move(owner), &got] { got = *owner; };
+  erapid::util::InplaceFn<96> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(got, 42);
+  erapid::util::InplaceFn<96> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(watch.use_count(), 1);  // exactly one live copy of the capture
+  c = erapid::util::InplaceFn<96>{};
+  EXPECT_TRUE(watch.expired());  // destroyed with the callable
+}
+
+TEST(InplaceFn, DefaultConstructedIsEmpty) {
+  erapid::util::InplaceFn<32> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  erapid::util::InplaceFn<32> fn2 = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn2));
 }
 
 }  // namespace

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Parallel campaign runner for E-RAPID sweep specs.
+
+Expands a JSON sweep spec into independent simulation points, shards them
+across a pool of `erapid_campaign` worker processes, and merges the results
+into one CAMPAIGN_<slug>.json artifact (schema erapid-bench-1, consumable
+by tools/obs/compare_runs.py).
+
+Spec format (JSON object)::
+
+    {
+      "name": "smoke",                  # artifact slug (required)
+      "patterns": ["uniform"],          # workload patterns (required)
+      "modes": ["P-B", "NP-NB"],        # network modes (required)
+      "loads": [0.3, 0.7],              # offered loads (required)
+      "seeds": [1, 2],                  # workload seeds (required)
+      "config": "base.ini",             # optional base INI (worker --config)
+      "overrides": [                    # optional list of override dicts;
+        {},                             # each dict is one sweep axis value
+        {"workload.warmup_cycles": 500} # (default: single empty dict)
+      ]
+    }
+
+Determinism contract: the expansion order is the canonical nested loop
+``overrides > patterns > modes > loads > seeds`` (outermost to innermost),
+and the merged artifact lists points in exactly that order regardless of
+which worker finishes first or how many workers run. With ``--no-wall``
+every wall field is zeroed, so -j1 and -jN produce byte-identical output.
+
+A worker that exits non-zero (or crashes) yields a point record with
+``"failed": true`` and the worker's stderr as ``"error"``; the campaign
+still completes, ``points_failed`` counts the casualties, and the driver
+exits 1 so CI notices.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+
+
+def expand_points(spec):
+    """Expands a spec dict into the canonical ordered list of point dicts.
+
+    Each point is {"pattern", "mode", "load", "seed", "overrides"} where
+    overrides is one dict from spec["overrides"] (default: the empty dict).
+    """
+    for key in ("name", "patterns", "modes", "loads", "seeds"):
+        if key not in spec:
+            raise ValueError(f"spec missing required key: {key!r}")
+    overrides_axis = spec.get("overrides", [{}])
+    if not isinstance(overrides_axis, list) or not all(
+        isinstance(o, dict) for o in overrides_axis
+    ):
+        raise ValueError("spec 'overrides' must be a list of objects")
+    points = []
+    for overrides in overrides_axis:
+        for pattern in spec["patterns"]:
+            for mode in spec["modes"]:
+                for load in spec["loads"]:
+                    for seed in spec["seeds"]:
+                        points.append(
+                            {
+                                "pattern": pattern,
+                                "mode": mode,
+                                "load": load,
+                                "seed": seed,
+                                "overrides": overrides,
+                            }
+                        )
+    return points
+
+
+def worker_argv(binary, point, config=None, no_wall=False):
+    """Builds the erapid_campaign argv for one expanded point.
+
+    Only the --key=value spelling is used: the worker's Cli would swallow a
+    following positional override as the value of a bare flag.
+    """
+    argv = [
+        binary,
+        f"--pattern={point['pattern']}",
+        f"--mode={point['mode']}",
+        f"--load={point['load']}",
+        f"--seed={point['seed']}",
+    ]
+    if config:
+        argv.append(f"--config={config}")
+    if no_wall:
+        argv.append("--no-wall=1")
+    for key in sorted(point["overrides"]):
+        argv.append(f"{key}={point['overrides'][key]}")
+    return argv
+
+
+def run_point(binary, point, config=None, no_wall=False):
+    """Runs one worker process; returns the parsed point record.
+
+    Failures (non-zero exit, crash, unparseable stdout) become a record with
+    the point coordinates, "failed": true and the diagnostic in "error" —
+    the campaign never loses a point, it just marks it dead.
+    """
+    argv = worker_argv(binary, point, config=config, no_wall=no_wall)
+    failed = dict(point)
+    del failed["overrides"]
+    failed["failed"] = True
+    try:
+        proc = subprocess.run(argv, capture_output=True, text=True, check=False)
+    except OSError as exc:
+        failed["error"] = f"spawn failed: {exc}"
+        return failed
+    if proc.returncode != 0:
+        err = proc.stderr.strip() or f"worker exited with code {proc.returncode}"
+        failed["error"] = err
+        return failed
+    try:
+        record = json.loads(proc.stdout)
+    except ValueError as exc:
+        failed["error"] = f"unparseable worker output: {exc}"
+        return failed
+    if not isinstance(record, dict):
+        failed["error"] = "worker output is not a JSON object"
+        return failed
+    return record
+
+
+def merge(spec, records, git_rev):
+    """Assembles the campaign artifact from spec-ordered point records."""
+    wall_values = [r.get("wall_ms", 0.0) for r in records if not r.get("failed")]
+    return {
+        "schema": "erapid-bench-1",
+        "bench": f"campaign:{spec['name']}",
+        "campaign": spec["name"],
+        "git_rev": git_rev,
+        "points": records,
+        "points_total": len(records),
+        "points_failed": sum(1 for r in records if r.get("failed")),
+        "wall_ms_sum": sum(wall_values),
+        "wall_ms_max": max(wall_values, default=0.0),
+    }
+
+
+def run_campaign(spec, binary, jobs=1, no_wall=False, spec_dir="."):
+    """Expands, shards and merges one campaign; returns the artifact dict.
+
+    The merge is deterministic by construction: workers may finish in any
+    order, but records are collected into a spec-index-addressed list, so
+    the artifact depends only on the spec and each point's own output.
+    """
+    points = expand_points(spec)
+    config = spec.get("config")
+    if config and not os.path.isabs(config):
+        config = os.path.join(spec_dir, config)
+    records = [None] * len(points)
+    with concurrent.futures.ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        futures = {
+            pool.submit(run_point, binary, p, config=config, no_wall=no_wall): i
+            for i, p in enumerate(points)
+        }
+        for fut in concurrent.futures.as_completed(futures):
+            records[futures[fut]] = fut.result()
+    git_rev = os.environ.get("ERAPID_GIT_REV", "unknown")
+    return merge(spec, records, git_rev)
+
+
+def artifact_path(out_dir, name):
+    return os.path.join(out_dir, f"CAMPAIGN_{name}.json")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("spec", help="path to the campaign spec JSON")
+    ap.add_argument("--binary", required=True, help="path to erapid_campaign")
+    ap.add_argument("-j", "--jobs", type=int, default=1, help="parallel workers")
+    ap.add_argument("--out-dir", default=".", help="artifact output directory")
+    ap.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="zero all wall-clock fields (byte-identical across -j levels)",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.spec, encoding="utf-8") as fh:
+        spec = json.load(fh)
+
+    artifact = run_campaign(
+        spec,
+        args.binary,
+        jobs=args.jobs,
+        no_wall=args.no_wall,
+        spec_dir=os.path.dirname(os.path.abspath(args.spec)),
+    )
+    os.makedirs(args.out_dir, exist_ok=True)
+    path = artifact_path(args.out_dir, spec["name"])
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+
+    failed = artifact["points_failed"]
+    total = artifact["points_total"]
+    print(f"campaign '{spec['name']}': {total - failed}/{total} points ok -> {path}")
+    if failed:
+        for rec in artifact["points"]:
+            if rec.get("failed"):
+                print(
+                    f"  FAILED {rec['pattern']}/{rec['mode']}"
+                    f"/load={rec['load']}/seed={rec['seed']}: {rec['error']}",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

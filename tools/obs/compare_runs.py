@@ -4,11 +4,18 @@
 Diffs two machine-readable E-RAPID artifacts against each other with
 relative thresholds:
 
-  * bench artifacts (``BENCH_<slug>.json``, schema erapid-bench-1): points
-    are matched by (mode, load) and every per-point metric is compared with
-    a direction-aware rule — throughput falling, latency/power/energy
-    rising, ``drained``/``monitors_ok`` flipping to false are regressions;
-    improvements and sub-threshold drift are reported but never fail;
+  * bench artifacts (``BENCH_<slug>.json`` and campaign artifacts
+    ``CAMPAIGN_<name>.json``, both schema erapid-bench-1): points are
+    matched by (pattern, mode, load, seed) — components absent from a
+    point (older artifacts carry only mode/load) match as absent on both
+    sides — and every per-point metric is compared with a direction-aware
+    rule — throughput falling, latency/power/energy rising,
+    ``drained``/``monitors_ok`` flipping to false are regressions;
+    improvements and sub-threshold drift are reported but never fail. A
+    point marked ``"failed": true`` regresses unless the baseline point
+    failed too; doc-level ``points_failed`` rising is a regression, and
+    the doc-level ``wall_ms_sum``/``wall_ms_max`` aggregates join in under
+    ``--include-wall``;
   * simulation reports (``write_results_json`` output, or one bare result
     object): results are matched by name, the known top-level metrics are
     compared direction-aware, and every numeric leaf of the ``obs_metrics``
@@ -49,6 +56,15 @@ BENCH_FIELDS = {
     "monitors_ok": "false_bad",
     "monitor_violations": "up_bad",
     "wall_ms": "wall",
+}
+
+# Doc-level fields of bench/campaign artifacts. points_failed always gates
+# (a point dying is a behaviour change); the wall aggregates are host noise
+# and only compare under --include-wall, like per-point wall_ms.
+BENCH_DOC_FIELDS = {
+    "points_failed": "up_bad",
+    "wall_ms_sum": "wall",
+    "wall_ms_max": "wall",
 }
 
 REPORT_FIELDS = {
@@ -169,17 +185,34 @@ def compare_obs_metrics(label, base_obs, cand_obs, threshold, out):
         })
 
 
+def point_key(p):
+    """Full point identity. Components a point does not carry (older bench
+    artifacts have no pattern/seed) stay None and match None on the other
+    side, so pre-campaign artifacts keep comparing exactly as before."""
+    return (p.get("pattern"), p.get("mode"), p.get("load"), p.get("seed"))
+
+
+def point_label(key):
+    pattern, mode, load, seed = key
+    parts = [] if pattern is None else [str(pattern)]
+    parts.append(f"{mode}/load={load}")
+    if seed is not None:
+        parts.append(f"seed={seed}")
+    return "/".join(parts)
+
+
 def compare_bench(base, cand, threshold, include_wall):
     def index(doc, which):
         points = doc.get("points")
         if not isinstance(points, list):
             raise CompareError(f"{which}: bench artifact has no points list")
-        return {(p.get("mode"), p.get("load")): p for p in points}
+        return {point_key(p): p for p in points}
 
     b_pts, c_pts = index(base, "baseline"), index(cand, "candidate")
     comparisons = []
-    for key in sorted(set(b_pts) | set(c_pts), key=lambda k: (str(k[0]), k[1])):
-        label = f"{key[0]}/load={key[1]}"
+    sort_key = lambda k: (str(k[0]), str(k[1]), str(k[2]), str(k[3]))  # noqa: E731
+    for key in sorted(set(b_pts) | set(c_pts), key=sort_key):
+        label = point_label(key)
         if key not in b_pts or key not in c_pts:
             comparisons.append({
                 "where": label, "metric": "point",
@@ -187,8 +220,25 @@ def compare_bench(base, cand, threshold, include_wall):
                 "change_pct": None, "kind": "regressed",
             })
             continue
+        b_failed = bool(b_pts[key].get("failed"))
+        c_failed = bool(c_pts[key].get("failed"))
+        if b_failed or c_failed:
+            # A failed point has no metrics to compare; what matters is the
+            # transition. ok -> failed regresses, failed -> ok improves,
+            # failed -> failed is the (already-gated) status quo.
+            kind = ("regressed" if c_failed and not b_failed
+                    else "improved" if b_failed and not c_failed
+                    else "same")
+            comparisons.append({
+                "where": label, "metric": "failed",
+                "baseline": b_failed, "candidate": c_failed,
+                "change_pct": None, "kind": kind,
+            })
+            continue
         compare_fields(label, b_pts[key], c_pts[key], BENCH_FIELDS, threshold,
                        include_wall, comparisons)
+    compare_fields("doc", base, cand, BENCH_DOC_FIELDS, threshold,
+                   include_wall, comparisons)
     return comparisons
 
 
