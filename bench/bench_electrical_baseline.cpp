@@ -33,9 +33,9 @@ power::LinkPowerModel electrical_model() {
   // One fixed rate/voltage/power at every level: DVS becomes a no-op and
   // every lane serializes at the electrical channel rate.
   for (auto l : {power::PowerLevel::Low, power::PowerLevel::Mid, power::PowerLevel::High}) {
-    m.set_power_mw(l, 128.0);
-    m.set_bitrate_gbps(l, 6.4);
-    m.set_supply_v(l, 1.2);
+    m.set_power_mw(l, units::Milliwatts{128.0});
+    m.set_bitrate_gbps(l, units::GbitsPerSec{6.4});
+    m.set_supply_v(l, units::Volts{1.2});
   }
   return m;
 }

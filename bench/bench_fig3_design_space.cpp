@@ -63,7 +63,7 @@ TimelineResult run_timeline(const reconfig::NetworkMode& mode) {
     net.meter().checkpoint(engine.now());
     const std::uint64_t before = delivered;
     engine.run_until(engine.now() + kPhase);
-    out.phases.push_back({net.meter().average_mw(engine.now()), delivered - before});
+    out.phases.push_back({net.meter().average_mw(engine.now()).value(), delivered - before});
   }
   return out;
 }

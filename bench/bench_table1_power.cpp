@@ -19,13 +19,15 @@ using erapid::power::LinkPowerModel;
 using erapid::power::PowerLevel;
 using erapid::topology::CapacityModel;
 using erapid::topology::SystemConfig;
+using erapid::units::GbitsPerSec;
+using erapid::units::Volts;
 using erapid::util::TablePrinter;
 
 void BM_component_breakdown(benchmark::State& state) {
   ComponentModel m;
   double acc = 0;
   for (auto _ : state) {
-    acc += m.total_mw(0.9, 5.0);
+    acc += m.total_mw(Volts{0.9}, GbitsPerSec{5.0}).value();
     benchmark::DoNotOptimize(acc);
   }
 }
@@ -35,8 +37,9 @@ void BM_serialization_cycles(benchmark::State& state) {
   SystemConfig cfg;
   std::uint64_t acc = 0;
   for (auto _ : state) {
-    acc += cfg.serialization_cycles(5.0) + cfg.serialization_cycles(3.3) +
-           cfg.serialization_cycles(2.5);
+    acc += cfg.serialization_cycles(GbitsPerSec{5.0}) +
+           cfg.serialization_cycles(GbitsPerSec{3.3}) +
+           cfg.serialization_cycles(GbitsPerSec{2.5});
     benchmark::DoNotOptimize(acc);
   }
 }
@@ -59,9 +62,9 @@ void print_table1() {
   params.row_values("RC / VA / SA latency", "1 cycle each");
   params.row_values("optical bit rates", "2.5 / 3.3 / 5 Gb/s");
   params.row_values("serialization @5G/3.3G/2.5G (cycles)",
-                    std::to_string(cfg.serialization_cycles(5.0)) + " / " +
-                        std::to_string(cfg.serialization_cycles(3.3)) + " / " +
-                        std::to_string(cfg.serialization_cycles(2.5)));
+                    std::to_string(cfg.serialization_cycles(GbitsPerSec{5.0})) + " / " +
+                        std::to_string(cfg.serialization_cycles(GbitsPerSec{3.3})) + " / " +
+                        std::to_string(cfg.serialization_cycles(GbitsPerSec{2.5})));
   params.row_values("uniform capacity N_c", TablePrinter::fixed(cm.uniform_capacity(), 5) +
                                                 " packets/node/cycle");
   params.print(std::cout);
@@ -71,8 +74,8 @@ void print_table1() {
   TablePrinter levels({"level", "bit rate (Gb/s)", "V_DD (V)", "link power (mW)",
                        "paper quotes"});
   auto row = [&](PowerLevel l, const char* quote) {
-    levels.row_values(std::string(to_string(l)), lp.bitrate_gbps(l), lp.supply_v(l),
-                      lp.power_mw(l), quote);
+    levels.row_values(std::string(to_string(l)), lp.bitrate_gbps(l).value(),
+                      lp.supply_v(l).value(), lp.power_mw(l).value(), quote);
   };
   row(PowerLevel::Low, "8.6 mW @ 0.45 V");
   row(PowerLevel::Mid, "26 mW @ 0.6 V");
@@ -84,18 +87,19 @@ void print_table1() {
   TablePrinter parts({"component", "law", "@5G/0.9V (mW)", "@3.3G/0.6V (mW)",
                       "@2.5G/0.45V (mW)"});
   const char* laws[] = {"V", "V^2*BR", "V*BR", "V*BR", "V^2*BR"};
-  const auto hi = comp.breakdown(0.9, 5.0);
-  const auto mid = comp.breakdown(0.6, 3.3);
-  const auto lo = comp.breakdown(0.45, 2.5);
+  const auto hi = comp.breakdown(Volts{0.9}, GbitsPerSec{5.0});
+  const auto mid = comp.breakdown(Volts{0.6}, GbitsPerSec{3.3});
+  const auto lo = comp.breakdown(Volts{0.45}, GbitsPerSec{2.5});
   for (std::size_t i = 0; i < hi.size(); ++i) {
     parts.row_values(std::string(hi[i].name), laws[i],
-                     TablePrinter::fixed(hi[i].milliwatts, 4),
-                     TablePrinter::fixed(mid[i].milliwatts, 4),
-                     TablePrinter::fixed(lo[i].milliwatts, 4));
+                     TablePrinter::fixed(hi[i].power.value(), 4),
+                     TablePrinter::fixed(mid[i].power.value(), 4),
+                     TablePrinter::fixed(lo[i].power.value(), 4));
   }
-  parts.row_values("TOTAL", "", TablePrinter::fixed(comp.total_mw(0.9, 5.0), 2),
-                   TablePrinter::fixed(comp.total_mw(0.6, 3.3), 2),
-                   TablePrinter::fixed(comp.total_mw(0.45, 2.5), 2));
+  parts.row_values("TOTAL", "",
+                   TablePrinter::fixed(comp.total_mw(Volts{0.9}, GbitsPerSec{5.0}).value(), 2),
+                   TablePrinter::fixed(comp.total_mw(Volts{0.6}, GbitsPerSec{3.3}).value(), 2),
+                   TablePrinter::fixed(comp.total_mw(Volts{0.45}, GbitsPerSec{2.5}).value(), 2));
   parts.print(std::cout);
   std::cout << "(model anchored at the paper's 5 Gb/s components; quoted P_low total\n"
                " 8.6 mW emerges from the scaling laws; quoted P_mid 26 mW includes\n"

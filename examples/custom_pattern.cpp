@@ -77,7 +77,7 @@ int run(int argc, char** argv) {
   table.row_values("lanes board0->board7 now",
                    net.lane_map().lane_count(BoardId{0}, BoardId{cfg.boards - 1}));
   table.row_values("avg optical power (mW)",
-                   util::TablePrinter::fixed(net.meter().average_mw(engine.now()), 1));
+                   util::TablePrinter::fixed(net.meter().average_mw(engine.now()).value(), 1));
   table.print(std::cout);
   return 0;
 }

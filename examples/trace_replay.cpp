@@ -54,7 +54,7 @@ ReplayResult replay(const traffic::Trace& trace, const reconfig::NetworkMode& mo
   ReplayResult r;
   r.delivered = delivered;
   r.latency_avg = latency.mean();
-  r.power_avg_mw = net.meter().average_mw(engine.now());
+  r.power_avg_mw = net.meter().average_mw(engine.now()).value();
   r.lane_grants = net.reconfig_manager().counters().lane_grants;
   r.makespan = last_delivery;
   return r;

@@ -4,6 +4,7 @@ namespace erapid::des {
 
 void ClockDomain::wake() {
   if (running_) return;
+  ERAPID_EXPECT(!components_.empty(), "waking a clock domain with no clocked components");
   running_ = true;
   // Tick at the next cycle boundary: if wake() is called mid-cycle (from an
   // event at time t), the first tick runs at t+1 so the waking signal is

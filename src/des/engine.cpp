@@ -76,6 +76,8 @@ bool Engine::step(Cycle limit) {
 }
 
 std::uint64_t Engine::run_until(Cycle limit) {
+  ERAPID_EXPECT(limit >= now_,
+                "run_until(" << limit << ") would rewind the clock past now=" << now_);
   std::uint64_t n = 0;
   while (step(limit)) ++n;
   return n;

@@ -25,6 +25,10 @@ QueueKind parse_queue_kind(const std::string& text) {
 
 // ---- HeapEventQueue ---------------------------------------------------------
 
+// Accepts callback-less events by design: the queue only orders (when, seq)
+// pairs, and the differential tests exercise it with bare timestamps. The
+// callback contract lives in Engine::schedule.
+// erapid-analyze: allow(contract-coverage)
 void HeapEventQueue::push(Event&& e) {
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), EventLater{});
@@ -94,6 +98,7 @@ const Event* CalendarEventQueue::peek() {
   if (wheel_count_ > 0) {
     if (!min_valid_) find_wheel_min();
     Bucket& b = wheel_[min_bucket_];
+    ERAPID_INVARIANT(b.live(), "calendar min cache points at an empty bucket");
     wheel_min = &b.items[b.head];
   }
   const Event* ladder_min = ladder_.empty() ? nullptr : &ladder_.front();

@@ -16,6 +16,7 @@
 // reroute is pending counts as degraded.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -18,6 +18,9 @@
 // the obs layer.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 

@@ -23,6 +23,7 @@
 // JSON snapshot is deterministic regardless of instrumentation order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -17,11 +17,12 @@ Lane::Lane(des::Engine& engine, const topology::SystemConfig& cfg,
            topology::LaneRef ref, Receiver* rx)
     : engine_(engine), cfg_(cfg), pw_(pw), meter_(meter), ref_(ref), rx_(rx) {
   ERAPID_REQUIRE(rx_ != nullptr, "lane needs its wavelength receiver");
-  meter_id_ = meter_.add_source(0.0);
+  meter_id_ = meter_.add_source();
 }
 
 void Lane::update_power(Cycle now) {
-  meter_.set_power(meter_id_, now, enabled_ ? pw_.power_mw(level_) : 0.0);
+  meter_.set_power(meter_id_, now,
+                   enabled_ ? pw_.power_mw(level_) : units::Milliwatts{0.0});
 }
 
 void Lane::enable(Cycle now, PowerLevel level) {
@@ -86,9 +87,10 @@ bool Lane::try_transmit(const router::Packet& p, Cycle now) {
   if (!rx_->reserve_slot()) return false;
 
   const CycleDelta ser = cfg_.serialization_cycles(pw_.bitrate_gbps(level_));
+  ERAPID_INVARIANT(ser >= 1, "serialization must take at least one cycle, got " << ser);
   busy_until_ = now + ser;
   busy_.add_busy(ser);
-  active_energy_ += pw_.power_mw(level_) * static_cast<double>(ser);
+  active_energy_ += units::energy_over(pw_.power_mw(level_), static_cast<double>(ser));
   ++packets_sent_;
 
   const Cycle arrive = busy_until_ + cfg_.fiber_delay_cycles;
@@ -116,7 +118,7 @@ std::optional<router::Packet> Lane::fail(Cycle now) {
     aborted = std::move(in_flight_);
     // Un-charge the serialization cycles that never happened.
     const CycleDelta unspent = busy_until_ - now;
-    active_energy_ -= pw_.power_mw(level_) * static_cast<double>(unspent);
+    active_energy_ -= units::energy_over(pw_.power_mw(level_), static_cast<double>(unspent));
     --packets_sent_;
     busy_until_ = now;
   }

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 
 #include "des/engine.hpp"
 #include "optical/receiver.hpp"
@@ -125,7 +126,7 @@ class Lane {
   /// the lane was actually serializing packets. This is the
   /// utilization-weighted power metric the paper's evaluation panels track
   /// (a lit-but-idle laser contributes to total power, not active power).
-  [[nodiscard]] double active_energy_mw_cycles() const { return active_energy_; }
+  [[nodiscard]] units::MilliwattCycles active_energy_mw_cycles() const { return active_energy_; }
 
  private:
   void apply_level(power::PowerLevel target, Cycle now);
@@ -155,7 +156,7 @@ class Lane {
   stats::BusyCounter busy_;
   std::function<void(Cycle)> on_ready_;
   std::function<void(Cycle)> on_dark_;
-  double active_energy_ = 0.0;
+  units::MilliwattCycles active_energy_{0.0};
   std::uint64_t packets_sent_ = 0;
   std::uint64_t transitions_ = 0;
 };

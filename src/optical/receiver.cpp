@@ -30,6 +30,8 @@ Receiver::Receiver(des::Engine& engine, router::Router& router, std::uint32_t in
 bool Receiver::reserve_slot() {
   if (reserved_ >= capacity_) return false;
   ++reserved_;
+  ERAPID_INVARIANT(reserved_ <= capacity_, "receiver over-reserved: " << reserved_ << "/"
+                                                                      << capacity_);
   return true;
 }
 

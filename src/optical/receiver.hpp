@@ -20,9 +20,11 @@
 // process attached to the lane even when DBR moves ownership mid-burst.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 
 #include "des/engine.hpp"
 #include "obs/hub.hpp"

@@ -14,9 +14,12 @@
 // arrival, lane-ready, and RX-slot-freed events only.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "des/engine.hpp"
@@ -125,7 +128,7 @@ class OpticalTerminal {
   [[nodiscard]] std::uint64_t packets_queued_total() const { return enqueued_; }
 
   /// Sum of active energy (mW·cycles) over all of this board's lanes.
-  [[nodiscard]] double active_energy_mw_cycles() const;
+  [[nodiscard]] units::MilliwattCycles active_energy_mw_cycles() const;
 
   /// DLS wake policy: level a dark lane is woken to when the flow has
   /// queued demand but no lit lane (default P_low; DPM then scales it).

@@ -4,35 +4,36 @@ namespace erapid::power {
 
 namespace {
 // Normalized scaling helpers relative to the anchor point.
-double lin_v(double v) { return v / 0.9; }
-double sq_v(double v) { return (v / 0.9) * (v / 0.9); }
-double lin_br(double br) { return br / 5.0; }
+double lin_v(units::Volts v) { return v.value() / 0.9; }
+double sq_v(units::Volts v) { return (v.value() / 0.9) * (v.value() / 0.9); }
+double lin_br(units::GbitsPerSec br) { return br.value() / 5.0; }
 }  // namespace
 
-std::vector<ComponentPower> ComponentModel::breakdown(double v, double br) const {
+std::vector<ComponentPower> ComponentModel::breakdown(units::Volts v,
+                                                      units::GbitsPerSec br) const {
   return {
-      {"VCSEL", kVcsel0 * lin_v(v)},
-      {"VCSEL driver", kDriver0 * sq_v(v) * lin_br(br)},
-      {"photodetector", kPhotodet0 * lin_v(v) * lin_br(br)},
-      {"TIA", kTia0 * lin_v(v) * lin_br(br)},
-      {"CDR", kCdr0 * sq_v(v) * lin_br(br)},
+      {"VCSEL", units::Milliwatts{kVcsel0 * lin_v(v)}},
+      {"VCSEL driver", units::Milliwatts{kDriver0 * sq_v(v) * lin_br(br)}},
+      {"photodetector", units::Milliwatts{kPhotodet0 * lin_v(v) * lin_br(br)}},
+      {"TIA", units::Milliwatts{kTia0 * lin_v(v) * lin_br(br)}},
+      {"CDR", units::Milliwatts{kCdr0 * sq_v(v) * lin_br(br)}},
   };
 }
 
-double ComponentModel::total_mw(double v, double br) const {
-  double sum = 0.0;
-  for (const auto& c : breakdown(v, br)) sum += c.milliwatts;
+units::Milliwatts ComponentModel::total_mw(units::Volts v, units::GbitsPerSec br) const {
+  units::Milliwatts sum{0.0};
+  for (const auto& c : breakdown(v, br)) sum += c.power;
   return sum;
 }
 
-double ComponentModel::transmitter_mw(double v, double br) const {
+units::Milliwatts ComponentModel::transmitter_mw(units::Volts v, units::GbitsPerSec br) const {
   const auto b = breakdown(v, br);
-  return b[0].milliwatts + b[1].milliwatts;
+  return b[0].power + b[1].power;
 }
 
-double ComponentModel::receiver_mw(double v, double br) const {
+units::Milliwatts ComponentModel::receiver_mw(units::Volts v, units::GbitsPerSec br) const {
   const auto b = breakdown(v, br);
-  return b[2].milliwatts + b[3].milliwatts + b[4].milliwatts;
+  return b[2].power + b[3].power + b[4].power;
 }
 
 }  // namespace erapid::power

@@ -24,12 +24,14 @@
 #include <string_view>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace erapid::power {
 
 /// One component's power at an operating point.
 struct ComponentPower {
   std::string_view name;
-  double milliwatts = 0.0;
+  units::Milliwatts power;
 };
 
 /// Analytic per-component link power model.
@@ -38,18 +40,19 @@ class ComponentModel {
   /// Calibrated to the paper's P_high anchors (see file comment).
   ComponentModel() = default;
 
-  /// Component breakdown at supply voltage `v` (volts) and bit rate `br`
-  /// (Gb/s). Transmitter = VCSEL + driver; receiver = PD + TIA + CDR.
-  [[nodiscard]] std::vector<ComponentPower> breakdown(double v, double br) const;
+  /// Component breakdown at supply voltage `v` and bit rate `br`.
+  /// Transmitter = VCSEL + driver; receiver = PD + TIA + CDR.
+  [[nodiscard]] std::vector<ComponentPower> breakdown(units::Volts v,
+                                                      units::GbitsPerSec br) const;
 
-  /// Total link power (mW) at an operating point.
-  [[nodiscard]] double total_mw(double v, double br) const;
+  /// Total link power at an operating point.
+  [[nodiscard]] units::Milliwatts total_mw(units::Volts v, units::GbitsPerSec br) const;
 
-  /// Transmitter-side power only (mW).
-  [[nodiscard]] double transmitter_mw(double v, double br) const;
+  /// Transmitter-side power only.
+  [[nodiscard]] units::Milliwatts transmitter_mw(units::Volts v, units::GbitsPerSec br) const;
 
-  /// Receiver-side power only (mW).
-  [[nodiscard]] double receiver_mw(double v, double br) const;
+  /// Receiver-side power only.
+  [[nodiscard]] units::Milliwatts receiver_mw(units::Volts v, units::GbitsPerSec br) const;
 
  private:
   // Anchor operating point: 5 Gb/s, 0.9 V.

@@ -6,6 +6,7 @@
 // the time-averaged optical power over the measurement interval.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "stats/time_weighted.hpp"
 #include "util/expect.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace erapid::power {
 
@@ -25,14 +27,18 @@ class EnergyMeter {
   /// Registers a new power source; returns its slot id. Sources must be
   /// registered before the simulation starts (the initial level is folded
   /// into the total at t = 0).
-  std::uint32_t add_source(double initial_mw = 0.0) {
-    levels_.push_back(initial_mw);
-    total_.add(0, initial_mw);
+  std::uint32_t add_source(units::Milliwatts initial = units::Milliwatts{0.0}) {
+    ERAPID_REQUIRE(initial.value() >= 0.0,
+                   "initial power draw cannot be negative: " << initial.value() << " mW");
+    levels_.push_back(initial.value());
+    total_.add(0, initial.value());
     return static_cast<std::uint32_t>(levels_.size() - 1);
   }
 
   /// Mirrors every network-power change onto the hub: a "power.total_mw"
   /// trace counter track (the energy timeline) and a time-weighted gauge.
+  /// `hub` is nullable by design (observability off).
+  // erapid-analyze: allow(contract-coverage)
   void attach_hub(obs::Hub* hub) {
     hub_ = hub;
 #if !defined(ERAPID_NO_OBS)
@@ -42,10 +48,11 @@ class EnergyMeter {
 #endif
   }
 
-  /// Source `id` draws `mw` milliwatts from cycle `now` onwards.
-  void set_power(std::uint32_t id, Cycle now, double mw) {
+  /// Source `id` draws `p` milliwatts from cycle `now` onwards.
+  void set_power(std::uint32_t id, Cycle now, units::Milliwatts p) {
     ERAPID_REQUIRE(id < levels_.size(),
                    "unregistered power source id=" << id << " (have " << levels_.size() << ")");
+    const double mw = p.value();
     ERAPID_REQUIRE(mw >= 0.0, "power draw cannot be negative: " << mw << " mW");
     const double delta = mw - levels_[id];
     if (delta == 0.0) return;
@@ -55,17 +62,23 @@ class EnergyMeter {
     ERAPID_TRACE_COUNTER(hub_, hub_->track_power(), "power.total_mw", now, total_.level());
   }
 
-  /// Instantaneous network power (mW).
-  [[nodiscard]] double instantaneous_mw() const { return total_.level(); }
+  /// Instantaneous network power.
+  [[nodiscard]] units::Milliwatts instantaneous_mw() const {
+    return units::Milliwatts{total_.level()};
+  }
 
   /// Marks the start of the measurement window.
   void checkpoint(Cycle now) { window_start_ = now, total_.checkpoint(now); }
 
-  /// Average power (mW) over [checkpoint, now].
-  [[nodiscard]] double average_mw(Cycle now) const { return total_.average(window_start_, now); }
+  /// Average power over [checkpoint, now].
+  [[nodiscard]] units::Milliwatts average_mw(Cycle now) const {
+    return units::Milliwatts{total_.average(window_start_, now)};
+  }
 
-  /// Energy (mW·cycles) since construction.
-  [[nodiscard]] double energy_mw_cycles(Cycle now) const { return total_.integral(now); }
+  /// Energy (power integrated over simulated cycles) since construction.
+  [[nodiscard]] units::MilliwattCycles energy_mw_cycles(Cycle now) const {
+    return units::MilliwattCycles{total_.integral(now)};
+  }
 
   [[nodiscard]] std::size_t sources() const { return levels_.size(); }
 

@@ -19,11 +19,13 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
 #include "util/expect.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace erapid::power {
 
@@ -59,11 +61,15 @@ class LinkPowerModel {
   /// Paper Table 1 defaults.
   LinkPowerModel() = default;
 
-  [[nodiscard]] double bitrate_gbps(PowerLevel l) const {
-    return table_[idx(l)].bitrate_gbps;
+  [[nodiscard]] units::GbitsPerSec bitrate_gbps(PowerLevel l) const {
+    return units::GbitsPerSec{table_[idx(l)].bitrate_gbps};
   }
-  [[nodiscard]] double supply_v(PowerLevel l) const { return table_[idx(l)].supply_v; }
-  [[nodiscard]] double power_mw(PowerLevel l) const { return table_[idx(l)].power_mw; }
+  [[nodiscard]] units::Volts supply_v(PowerLevel l) const {
+    return units::Volts{table_[idx(l)].supply_v};
+  }
+  [[nodiscard]] units::Milliwatts power_mw(PowerLevel l) const {
+    return units::Milliwatts{table_[idx(l)].power_mw};
+  }
 
   /// Lane pause (cycles) when moving `from` → `to`. Voltage changes
   /// dominate (65 cycles); equal-voltage moves need only the 12-cycle CDR
@@ -79,19 +85,26 @@ class LinkPowerModel {
 
   /// Overrides for ablation studies and non-optical baselines (e.g. a
   /// fixed-rate electrical SerDes link pins all levels to one rate).
-  void set_power_mw(PowerLevel l, double mw) {
-    ERAPID_REQUIRE(mw >= 0.0, "link power cannot be negative: " << mw << " mW");
-    table_[idx(l)].power_mw = mw;
+  void set_power_mw(PowerLevel l, units::Milliwatts mw) {
+    ERAPID_REQUIRE(mw.value() >= 0.0,
+                   "link power cannot be negative: " << mw.value() << " mW");
+    table_[idx(l)].power_mw = mw.value();
   }
-  void set_bitrate_gbps(PowerLevel l, double gbps) {
-    ERAPID_REQUIRE(gbps >= 0.0, "bit rate cannot be negative: " << gbps << " Gb/s");
-    table_[idx(l)].bitrate_gbps = gbps;
+  void set_bitrate_gbps(PowerLevel l, units::GbitsPerSec gbps) {
+    ERAPID_REQUIRE(gbps.value() >= 0.0,
+                   "bit rate cannot be negative: " << gbps.value() << " Gb/s");
+    table_[idx(l)].bitrate_gbps = gbps.value();
   }
-  void set_supply_v(PowerLevel l, double v) {
-    ERAPID_REQUIRE(v >= 0.0, "supply voltage cannot be negative: " << v << " V");
-    table_[idx(l)].supply_v = v;
+  void set_supply_v(PowerLevel l, units::Volts v) {
+    ERAPID_REQUIRE(v.value() >= 0.0,
+                   "supply voltage cannot be negative: " << v.value() << " V");
+    table_[idx(l)].supply_v = v.value();
   }
   void set_transition_cycles(CycleDelta voltage, CycleDelta freq) {
+    ERAPID_REQUIRE(voltage >= freq, "voltage transition (" << voltage
+                                                           << " cycles) cannot be faster than "
+                                                              "frequency relock ("
+                                                           << freq << " cycles)");
     voltage_transition_cycles_ = voltage;
     freq_relock_cycles_ = freq;
   }

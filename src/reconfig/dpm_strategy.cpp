@@ -1,5 +1,7 @@
 #include "reconfig/dpm_strategy.hpp"
 
+#include "util/expect.hpp"
+
 namespace erapid::reconfig {
 
 using power::PowerLevel;
@@ -18,6 +20,9 @@ std::optional<PowerLevel> ThresholdDpm::decide(const LaneObservation& obs) {
 }
 
 std::optional<PowerLevel> HysteresisDpm::decide(const LaneObservation& obs) {
+  // link_util may transiently exceed 1.0 (a launch at the window edge books
+  // its full serialization time), so only the sign is contract-checked.
+  ERAPID_EXPECT(obs.link_util >= 0.0, "negative link utilization: " << obs.link_util);
   const auto raw =
       dpm_decision(obs.level, obs.link_util, obs.buffer_util, obs.queue_empty, policy_);
   auto& st = state_[lane_key(obs.lane)];
@@ -41,6 +46,7 @@ std::optional<PowerLevel> HysteresisDpm::decide(const LaneObservation& obs) {
 }
 
 std::optional<PowerLevel> EwmaDpm::decide(const LaneObservation& obs) {
+  ERAPID_EXPECT(obs.link_util >= 0.0, "negative link utilization: " << obs.link_util);
   auto& st = state_[lane_key(obs.lane)];
   if (!st.primed) {
     st.util = obs.link_util;

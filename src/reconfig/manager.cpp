@@ -54,6 +54,7 @@ ReconfigManager::ReconfigManager(des::Engine& engine, const topology::SystemConf
 }
 
 void ReconfigManager::initialize_static_lanes() {
+  ERAPID_REQUIRE(!running_, "static lanes must be lit before the window timer starts");
   const Cycle now = engine_.now();
   const std::uint32_t B = cfg_.num_boards_total();
   const std::uint32_t W = cfg_.num_wavelengths();
@@ -73,6 +74,7 @@ void ReconfigManager::start() {
   std::fill(last_harvest_.begin(), last_harvest_.end(), engine_.now());
   next_window_ = engine_.schedule(
       cfg_rc_.window, [this] { on_window(); }, "reconfig.window");
+  ERAPID_INVARIANT(next_window_.pending(), "window timer failed to arm");
 }
 
 void ReconfigManager::crash_rc(BoardId b, Cycle now) {
@@ -120,6 +122,7 @@ void ReconfigManager::repair_rc(BoardId b, Cycle now) {
 void ReconfigManager::stop() {
   running_ = false;
   next_window_.cancel();
+  ERAPID_INVARIANT(!next_window_.pending(), "window timer still armed after stop");
 }
 
 void ReconfigManager::on_window() {

@@ -13,6 +13,7 @@
 //          limit")
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "des/engine.hpp"

@@ -18,6 +18,7 @@
 // result is independent of same-cycle event ordering (deterministic).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>

@@ -140,8 +140,8 @@ std::size_t Network::total_source_backlog() const {
   return total;
 }
 
-double Network::active_energy_mw_cycles() const {
-  double total = 0.0;
+units::MilliwattCycles Network::active_energy_mw_cycles() const {
+  units::MilliwattCycles total{0.0};
   for (const auto& t : terminals_) total += t->active_energy_mw_cycles();
   return total;
 }

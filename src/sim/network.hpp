@@ -13,8 +13,11 @@
 // network model measurement-free).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "des/clock.hpp"
@@ -87,7 +90,7 @@ class Network {
 
   /// Network-wide active energy (mW·cycles): lane power integrated only
   /// while serializing (the paper's utilization-weighted power metric).
-  [[nodiscard]] double active_energy_mw_cycles() const;
+  [[nodiscard]] units::MilliwattCycles active_energy_mw_cycles() const;
 
  private:
   void build_board(BoardId b);

@@ -44,7 +44,7 @@ void Recorder::stop() {
 void Recorder::take_sample() {
   if (!running_) return;
   const Cycle now = engine_.now();
-  const double power = network_.meter().instantaneous_mw();
+  const double power = network_.meter().instantaneous_mw().value();
   const auto lanes_lit = network_.lane_map().lit_count();
   const auto delivered = network_.packets_delivered();
   const auto backlog = network_.total_source_backlog();

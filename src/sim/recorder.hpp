@@ -14,6 +14,7 @@
 // behaves exactly as before.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -107,7 +107,7 @@ SimResult Simulation::run() {
   ERAPID_TRACE_SPAN(hub_.get(), hub_->track_engine(), "phase.measure", engine_.now(),
                     opts_.measure_cycles, "");
   network_->meter().checkpoint(engine_.now());
-  const double active_energy_start = network_->active_energy_mw_cycles();
+  const units::MilliwattCycles active_energy_start = network_->active_energy_mw_cycles();
   in_measurement_ = true;
   for (auto& s : sources_) s->set_labelling(true);
 
@@ -116,9 +116,11 @@ SimResult Simulation::run() {
 
   in_measurement_ = false;
   for (auto& s : sources_) s->set_labelling(false);
-  r.power_avg_mw = network_->meter().average_mw(engine_.now());
-  r.active_power_avg_mw = (network_->active_energy_mw_cycles() - active_energy_start) /
-                          static_cast<double>(opts_.measure_cycles);
+  r.power_avg_mw = network_->meter().average_mw(engine_.now()).value();
+  r.active_power_avg_mw =
+      units::average_power(network_->active_energy_mw_cycles() - active_energy_start,
+                           static_cast<double>(opts_.measure_cycles))
+          .value();
 
   // ---- drain: run until every labelled packet arrives (or the cap) ----
   ERAPID_TRACE_INSTANT(hub_.get(), hub_->track_engine(), "phase.drain", engine_.now(), "");

@@ -5,6 +5,7 @@
 // from this histogram.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -5,7 +5,7 @@
 
 namespace erapid::topology {
 
-double CapacityModel::uniform_capacity(double bitrate_gbps) const {
+double CapacityModel::uniform_capacity(units::GbitsPerSec br) const {
   const auto B = static_cast<double>(cfg_.num_boards_total());
   const auto D = static_cast<double>(cfg_.nodes_per_board);
   const double N = B * D;
@@ -14,7 +14,7 @@ double CapacityModel::uniform_capacity(double bitrate_gbps) const {
   // so flow s→d (boards, s != d) carries D * D / (N - 1) packets/cycle per
   // unit injection. Each flow has one static lane.
   const double lane_load_per_unit = D * D / (N - 1.0);
-  const double lane_limit = lane_service_rate(bitrate_gbps) / lane_load_per_unit;
+  const double lane_limit = lane_service_rate(br) / lane_load_per_unit;
 
   return std::min(lane_limit, injection_limit());
 }
@@ -51,9 +51,9 @@ std::vector<double> CapacityModel::uniform_board_demand() const {
 double CapacityModel::saturation_injection(
     const std::vector<double>& demand,
     const std::function<std::uint32_t(BoardId, BoardId)>& lanes_per_flow,
-    double bitrate_gbps) const {
+    units::GbitsPerSec br) const {
   const std::uint32_t B = cfg_.num_boards_total();
-  const double mu = lane_service_rate(bitrate_gbps);
+  const double mu = lane_service_rate(br);
   double sat = injection_limit();
   for (std::uint32_t s = 0; s < B; ++s) {
     for (std::uint32_t d = 0; d < B; ++d) {
@@ -68,9 +68,9 @@ double CapacityModel::saturation_injection(
 }
 
 double CapacityModel::static_saturation(const std::vector<double>& demand,
-                                        double bitrate_gbps) const {
+                                        units::GbitsPerSec br) const {
   return saturation_injection(
-      demand, [](BoardId, BoardId) { return 1u; }, bitrate_gbps);
+      demand, [](BoardId, BoardId) { return 1u; }, br);
 }
 
 }  // namespace erapid::topology

@@ -9,6 +9,7 @@
 // traffic must saturate a static network at ≈ N_c / D).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -22,9 +23,9 @@ class CapacityModel {
  public:
   explicit CapacityModel(const SystemConfig& cfg) : cfg_(cfg) {}
 
-  /// Packets/cycle one optical lane sustains at `bitrate_gbps`.
-  [[nodiscard]] double lane_service_rate(double bitrate_gbps) const {
-    return 1.0 / static_cast<double>(cfg_.serialization_cycles(bitrate_gbps));
+  /// Packets/cycle one optical lane sustains at bit rate `br`.
+  [[nodiscard]] double lane_service_rate(units::GbitsPerSec br) const {
+    return 1.0 / static_cast<double>(cfg_.serialization_cycles(br));
   }
 
   /// Packets/node/cycle the electrical injection (or ejection) channel
@@ -35,7 +36,8 @@ class CapacityModel {
 
   /// N_c: uniform-random capacity in packets/node/cycle at the highest
   /// optical bit rate. Bottleneck is min(injection channel, optical lane).
-  [[nodiscard]] double uniform_capacity(double bitrate_gbps = 5.0) const;
+  [[nodiscard]] double uniform_capacity(
+      units::GbitsPerSec br = units::GbitsPerSec{5.0}) const;
 
   /// Board-to-board demand matrix for a permutation/pattern: entry
   /// [s * B + d] is packets/cycle offered on flow s→d per unit injection
@@ -47,16 +49,17 @@ class CapacityModel {
   [[nodiscard]] std::vector<double> uniform_board_demand() const;
 
   /// Injection rate (packets/node/cycle) at which the hottest flow
-  /// saturates, given `lanes_per_flow(s,d)` lanes each serving
-  /// `bitrate_gbps`. Flows with zero demand are ignored.
+  /// saturates, given `lanes_per_flow(s,d)` lanes each serving bit rate
+  /// `br`. Flows with zero demand are ignored.
   [[nodiscard]] double saturation_injection(
       const std::vector<double>& demand,
       const std::function<std::uint32_t(BoardId, BoardId)>& lanes_per_flow,
-      double bitrate_gbps = 5.0) const;
+      units::GbitsPerSec br = units::GbitsPerSec{5.0}) const;
 
   /// Convenience: static RWA gives every remote flow exactly one lane.
-  [[nodiscard]] double static_saturation(const std::vector<double>& demand,
-                                         double bitrate_gbps = 5.0) const;
+  [[nodiscard]] double static_saturation(
+      const std::vector<double>& demand,
+      units::GbitsPerSec br = units::GbitsPerSec{5.0}) const;
 
  private:
   SystemConfig cfg_;

@@ -19,6 +19,7 @@
 
 #include "util/expect.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace erapid::topology {
 
@@ -69,8 +70,10 @@ struct SystemConfig {
   /// "self" wavelength, unused by the static RWA and grantable by DBR.
   [[nodiscard]] std::uint32_t num_wavelengths() const { return boards; }
 
-  /// Cycle duration in nanoseconds.
-  [[nodiscard]] double cycle_ns() const { return 1.0 / router_clock_ghz; }
+  /// Cycle duration in wall-clock nanoseconds.
+  [[nodiscard]] units::Nanoseconds cycle_ns() const {
+    return units::Nanoseconds{1.0 / router_clock_ghz};
+  }
 
   /// Electrical serialization: cycles to push one flit through a channel.
   [[nodiscard]] std::uint32_t cycles_per_flit_electrical() const {
@@ -80,11 +83,12 @@ struct SystemConfig {
   /// Packet payload in bits.
   [[nodiscard]] std::uint32_t packet_bits() const { return packet_flits * flit_bits; }
 
-  /// Optical serialization: cycles to transmit a whole packet at
-  /// `bitrate_gbps` (packets, not flits, traverse the optical domain).
-  [[nodiscard]] CycleDelta serialization_cycles(double bitrate_gbps) const {
-    ERAPID_EXPECT(bitrate_gbps > 0.0, "bit rate must be positive");
-    const double ns = static_cast<double>(packet_bits()) / bitrate_gbps;
+  /// Optical serialization: cycles to transmit a whole packet at bit rate
+  /// `br` (packets, not flits, traverse the optical domain).
+  [[nodiscard]] CycleDelta serialization_cycles(units::GbitsPerSec br) const {
+    ERAPID_EXPECT(br.value() > 0.0, "bit rate must be positive");
+    // bits / (Gb/s) lands on ns exactly because 1 bit / (1e9 bit/s) = 1 ns.
+    const units::Nanoseconds ns{static_cast<double>(packet_bits()) / br.value()};
     return static_cast<CycleDelta>(std::ceil(ns / cycle_ns()));
   }
 

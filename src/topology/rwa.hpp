@@ -16,6 +16,7 @@
 // LaneMap tracks that ownership and is the mutable state DBR rewrites.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -18,8 +18,11 @@
 // master/worker scatter-gather.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <vector>
 

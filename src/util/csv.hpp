@@ -2,6 +2,7 @@
 // series behind each reproduced figure (one row per (config, load) point).
 #pragma once
 
+#include <cstddef>
 #include <fstream>
 #include <initializer_list>
 #include <sstream>

@@ -10,9 +10,12 @@
 // experiment setups are reproducible from a checked-in file.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <istream>
 #include <map>
 #include <optional>
+#include <ostream>
 #include <string>
 
 namespace erapid::util {

@@ -5,8 +5,11 @@
 // are directly readable in bench_output.txt.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace erapid::util {

@@ -10,16 +10,9 @@
 #include <functional>
 #include <limits>
 
+#include "util/units.hpp"  // Cycle, CycleDelta, kNeverCycle + quantity types
+
 namespace erapid {
-
-/// Simulation time in router clock cycles.
-using Cycle = std::uint64_t;
-
-/// Sentinel for "no cycle" / "never".
-inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
-
-/// Duration in cycles (signed arithmetic is never needed; keep unsigned).
-using CycleDelta = std::uint64_t;
 
 namespace detail {
 

@@ -1,0 +1,120 @@
+// Strong unit types for every physical quantity the simulator models.
+//
+// The E-RAPID evaluation juggles four scalar domains that must never be
+// confused: router clock cycles (the des clock — all simulated time),
+// wall time (ns/ps, only at the configuration boundary where bit rates
+// and clock periods meet), electrical power (mW), and line rate (Gb/s).
+// PRs 1-6 kept these as raw doubles with suffix conventions (`_mw`,
+// `_gbps`, ...); this header gives each domain a distinct type so mixing
+// them is a compile error, while staying bit-for-bit identical to the
+// raw-double arithmetic (every operation is the same IEEE op on the same
+// representation in the same order — the paper-pattern goldens are pinned
+// byte-identical across the migration).
+//
+// Design rules:
+//   * construction is explicit (`Milliwatts{43.03}`), reading back is
+//     explicit (`p.value()`): every domain entry/exit is visible;
+//   * +, -, comparisons and scaling by a raw double stay inside the
+//     dimension; the ratio q/q is a plain double;
+//   * cross-dimension products get named functions (energy_over,
+//     to_ps/to_ns) instead of operator soup — there are exactly three
+//     legitimate conversions in this codebase, so they are spelled out.
+//
+// The des clock's integer types (Cycle, CycleDelta) also live here: they
+// ARE the canonical simulation time unit, re-exported by util/types.hpp
+// which every module already includes. Static enforcement of the suffix
+// conventions on raw scalars that remain (`_cycles` vs `_ns` vs `_mw`)
+// is the job of erapid_analyze's unit-mix/unit-param passes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace erapid {
+
+/// Simulation time in router clock cycles (the des clock domain).
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Duration in cycles (signed arithmetic is never needed; keep unsigned).
+using CycleDelta = std::uint64_t;
+
+namespace units {
+
+/// CRTP-free strong scalar: a double that remembers its dimension.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v_ + b.v_}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v_ - b.v_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.v_ * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{s * a.v_}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.v_ / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.v_ / b.v_; }
+
+  constexpr Quantity& operator+=(Quantity o) { v_ += o.v_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { v_ -= o.v_; return *this; }
+
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.v_ >= b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Electrical power (milliwatts) — link power levels, the energy meter.
+using Milliwatts = Quantity<struct MilliwattsTag>;
+
+/// Energy as power integrated over simulated time (mW * cycles). The
+/// paper's energy panels divide this by a cycle count to get back to mW.
+using MilliwattCycles = Quantity<struct MilliwattCyclesTag>;
+
+/// Supply voltage (volts) — the DVS operating points.
+using Volts = Quantity<struct VoltsTag>;
+
+/// Line rate (gigabits per second) — optical/electrical serialization.
+using GbitsPerSec = Quantity<struct GbitsPerSecTag>;
+
+/// Wall-clock duration, nanoseconds (config boundary only; simulated time
+/// is always Cycle).
+using Nanoseconds = Quantity<struct NanosecondsTag>;
+
+/// Wall-clock duration, picoseconds.
+using Picoseconds = Quantity<struct PicosecondsTag>;
+
+// ---- the legitimate cross-dimension conversions ------------------------
+
+/// ns -> ps (exact: scaling by 1000).
+[[nodiscard]] constexpr Picoseconds to_ps(Nanoseconds ns) {
+  return Picoseconds{ns.value() * 1000.0};
+}
+
+/// ps -> ns.
+[[nodiscard]] constexpr Nanoseconds to_ns(Picoseconds ps) {
+  return Nanoseconds{ps.value() / 1000.0};
+}
+
+/// Power held for a number of des-clock cycles is energy.
+[[nodiscard]] constexpr MilliwattCycles energy_over(Milliwatts p, double cycles) {
+  return MilliwattCycles{p.value() * cycles};
+}
+
+/// Average power of an energy spread over a cycle window.
+[[nodiscard]] constexpr Milliwatts average_power(MilliwattCycles e, double cycles) {
+  return Milliwatts{e.value() / cycles};
+}
+
+}  // namespace units
+}  // namespace erapid

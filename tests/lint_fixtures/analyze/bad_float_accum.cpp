@@ -1,0 +1,9 @@
+// Fixture: 32-bit float accumulator in a reduction loop -> float-accum.
+
+double reduce(const double* xs, int n) {
+  float sum = 0.0F;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<float>(xs[i]);
+  }
+  return sum;
+}

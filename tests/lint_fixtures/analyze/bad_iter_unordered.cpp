@@ -1,0 +1,9 @@
+// Fixture: range-for over an unordered container -> iter-unordered.
+#include <unordered_map>
+
+int sum_values() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}

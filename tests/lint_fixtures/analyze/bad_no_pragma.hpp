@@ -1,0 +1,7 @@
+// Fixture: header without #pragma once -> pragma-once (and --fix target).
+
+namespace fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: ordered container keyed by a raw pointer -> ptr-map-key.
+#include <map>
+
+int count_slots() {
+  std::map<int*, int> by_address;
+  return static_cast<int>(by_address.size());
+}

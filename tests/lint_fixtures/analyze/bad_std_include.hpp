@@ -1,0 +1,11 @@
+// Fixture: header names std::vector without directly including <vector>
+// -> std-include.
+#pragma once
+
+namespace fixture {
+
+struct Holder {
+  std::vector<int> items;
+};
+
+}  // namespace fixture

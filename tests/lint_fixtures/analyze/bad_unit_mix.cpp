@@ -1,0 +1,8 @@
+// Fixture: additive arithmetic across unit suffix domains -> unit-mix.
+
+double mix_domains() {
+  double latency_ns = 5.0;
+  double window_cycles = 3.0;
+  double total = latency_ns + window_cycles;
+  return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: a ns-suffixed argument passed to a cycles-suffixed parameter
+// -> unit-param.
+
+void set_delay(double delay_cycles);
+
+void call_site() {
+  double latency_ns = 5.0;
+  set_delay(latency_ns);
+}

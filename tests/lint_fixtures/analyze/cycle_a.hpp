@@ -1,0 +1,10 @@
+// Fixture: half of a two-header include cycle -> include-cycle.
+#pragma once
+
+#include "cycle_b.hpp"
+
+namespace fixture {
+struct A {
+  int tag = 1;
+};
+}  // namespace fixture

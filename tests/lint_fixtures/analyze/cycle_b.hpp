@@ -1,0 +1,10 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+
+#include "cycle_a.hpp"
+
+namespace fixture {
+struct B {
+  int tag = 2;
+};
+}  // namespace fixture

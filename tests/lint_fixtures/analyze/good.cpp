@@ -1,0 +1,22 @@
+// Fixture: clean translation unit — same-domain arithmetic, double
+// accumulator, ordered iteration over a value-keyed map.
+#include <map>
+
+double clean_reduce(const double* xs, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += xs[i];
+  return sum;
+}
+
+double same_domain() {
+  double setup_ns = 1.5;
+  double hold_ns = 2.5;
+  return setup_ns + hold_ns;
+}
+
+int ordered_map() {
+  std::map<int, int> by_id;
+  int total = 0;
+  for (const auto& kv : by_id) total += kv.second;
+  return total;
+}

@@ -1,0 +1,22 @@
+// Fixture: a clean header — every rule family must stay quiet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class CleanCounter {
+ public:
+  /// Trivial setter: exempt from contract-coverage by the one-statement rule
+  /// (and this file is outside the contracted module paths anyway).
+  void reset() { ticks_ = 0; }
+
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  std::uint64_t ticks_ = 0;
+  std::vector<std::uint64_t> history_;
+};
+
+}  // namespace fixture

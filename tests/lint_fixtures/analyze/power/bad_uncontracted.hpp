@@ -1,0 +1,20 @@
+// Fixture: public mutating method with a non-trivial body and no
+// ERAPID_REQUIRE/EXPECT/INVARIANT -> contract-coverage must fire.
+#pragma once
+
+namespace fixture {
+
+class Meter {
+ public:
+  void set_level(int id, double level) {
+    if (level < 0.0) level = 0.0;
+    levels_[id] = level;
+    dirty_ = true;
+  }
+
+ private:
+  double levels_[4] = {};
+  bool dirty_ = false;
+};
+
+}  // namespace fixture

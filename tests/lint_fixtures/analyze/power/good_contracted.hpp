@@ -1,0 +1,23 @@
+// Fixture: the same shape as bad_uncontracted.hpp but with a contract ->
+// contract-coverage must stay quiet and count it as covered.
+#pragma once
+
+namespace fixture {
+
+class ContractedMeter {
+ public:
+  void set_level(int id, double level) {
+    ERAPID_REQUIRE(level >= 0.0, "negative level");
+    levels_[id] = level;
+    dirty_ = true;
+  }
+
+  /// Trivial setter: exempt without a contract.
+  void mark_clean() { dirty_ = false; }
+
+ private:
+  double levels_[4] = {};
+  bool dirty_ = false;
+};
+
+}  // namespace fixture

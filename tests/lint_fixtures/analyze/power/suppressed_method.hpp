@@ -1,0 +1,21 @@
+// Fixture: an uncontracted method under a suppression leaves the coverage
+// pool entirely (neither a finding nor a considered entry).
+#pragma once
+
+namespace fixture {
+
+class SuppressedMeter {
+ public:
+  // erapid-analyze: allow(contract-coverage)
+  void set_level(int id, double level) {
+    if (level < 0.0) level = 0.0;
+    levels_[id] = level;
+    dirty_ = true;
+  }
+
+ private:
+  double levels_[4] = {};
+  bool dirty_ = false;
+};
+
+}  // namespace fixture

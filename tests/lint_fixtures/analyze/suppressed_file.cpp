@@ -1,0 +1,10 @@
+// Fixture: a file-wide suppression silences the rule everywhere.
+// erapid-analyze: allow-file(unit-mix)
+
+double mixed_everywhere() {
+  double latency_ns = 5.0;
+  double window_cycles = 3.0;
+  double a = latency_ns + window_cycles;
+  double b = window_cycles - latency_ns;
+  return a + b;
+}

@@ -1,0 +1,15 @@
+// Fixture: a line suppression covers the next line only.
+
+double mixed_but_allowed() {
+  double latency_ns = 5.0;
+  double window_cycles = 3.0;
+  // erapid-analyze: allow(unit-mix)
+  double total = latency_ns + window_cycles;
+  return total;
+}
+
+double mixed_and_flagged() {
+  double setup_ns = 1.0;
+  double hold_cycles = 2.0;
+  return setup_ns + hold_cycles;
+}

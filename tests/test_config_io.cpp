@@ -173,8 +173,8 @@ TEST(OptionsIo, EveryOptionsStructDefaultConstructsInitialized) {
   EXPECT_EQ(rc.ctrl_retry_limit, 3u);
 
   const erapid::power::LinkPowerModel pw;
-  EXPECT_DOUBLE_EQ(pw.power_mw(erapid::power::PowerLevel::Off), 0.0);
-  EXPECT_DOUBLE_EQ(pw.power_mw(erapid::power::PowerLevel::High), 43.03);
+  EXPECT_DOUBLE_EQ(pw.power_mw(erapid::power::PowerLevel::Off).value(), 0.0);
+  EXPECT_DOUBLE_EQ(pw.power_mw(erapid::power::PowerLevel::High).value(), 43.03);
   EXPECT_EQ(pw.voltage_transition_cycles(), 65u);
   EXPECT_EQ(pw.freq_relock_cycles(), 12u);
 

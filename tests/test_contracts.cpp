@@ -222,17 +222,18 @@ TEST(ContractOptical, AbortWithoutReservationViolatesRequire) {
 
 TEST(ContractPower, NegativeLinkPowerViolatesRequire) {
   power::LinkPowerModel pw;
-  EXPECT_THROW(pw.set_power_mw(PowerLevel::High, -1.0), ModelInvariantError);
+  EXPECT_THROW(pw.set_power_mw(PowerLevel::High, units::Milliwatts{-1.0}), ModelInvariantError);
 }
 
 TEST(ContractPower, NegativeBitrateViolatesRequire) {
   power::LinkPowerModel pw;
-  EXPECT_THROW(pw.set_bitrate_gbps(PowerLevel::Low, -2.5), ModelInvariantError);
+  EXPECT_THROW(pw.set_bitrate_gbps(PowerLevel::Low, units::GbitsPerSec{-2.5}),
+               ModelInvariantError);
 }
 
 TEST(ContractPower, NegativeSupplyViolatesRequire) {
   power::LinkPowerModel pw;
-  EXPECT_THROW(pw.set_supply_v(PowerLevel::Mid, -0.6), ModelInvariantError);
+  EXPECT_THROW(pw.set_supply_v(PowerLevel::Mid, units::Volts{-0.6}), ModelInvariantError);
 }
 
 TEST(ContractPower, LevelOutsideDvsBoundsViolatesRequire) {
@@ -248,13 +249,13 @@ TEST(ContractPower, UnmodeledLevelNameIsUnreachable) {
 
 TEST(ContractPower, UnregisteredMeterSourceViolatesRequire) {
   power::EnergyMeter meter;
-  EXPECT_THROW(meter.set_power(3, 0, 10.0), ModelInvariantError);
+  EXPECT_THROW(meter.set_power(3, 0, units::Milliwatts{10.0}), ModelInvariantError);
 }
 
 TEST(ContractPower, NegativeMeterPowerViolatesRequire) {
   power::EnergyMeter meter;
-  const auto id = meter.add_source(0.0);
-  EXPECT_THROW(meter.set_power(id, 0, -5.0), ModelInvariantError);
+  const auto id = meter.add_source();
+  EXPECT_THROW(meter.set_power(id, 0, units::Milliwatts{-5.0}), ModelInvariantError);
 }
 
 // ---- diagnostics ----------------------------------------------------------

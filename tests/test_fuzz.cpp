@@ -142,9 +142,10 @@ TEST(LaneFuzz, RandomOpSequencesPreserveInvariants) {
       }
       // Invariant: meter power reflects the lane's visible state.
       if (!rig.lane->enabled()) {
-        EXPECT_NEAR(rig.meter.instantaneous_mw(), 0.0, 1e-9) << "seed " << seed;
+        EXPECT_NEAR(rig.meter.instantaneous_mw().value(), 0.0, 1e-9) << "seed " << seed;
       } else {
-        EXPECT_NEAR(rig.meter.instantaneous_mw(), rig.pw.power_mw(rig.lane->level()), 1e-9)
+        EXPECT_NEAR(rig.meter.instantaneous_mw().value(),
+                    rig.pw.power_mw(rig.lane->level()).value(), 1e-9)
             << "seed " << seed;
       }
     }

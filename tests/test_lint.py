@@ -92,6 +92,11 @@ class RuleSelection(unittest.TestCase):
         rc = det_lint.main([str(FIXTURES / "good.cpp"), "--rules", "no-such-rule"])
         self.assertEqual(rc, 2)
 
+    def test_empty_rule_selection_is_usage_error(self):
+        for empty in ("", " , ,"):
+            rc = det_lint.main([str(FIXTURES / "good.cpp"), "--rules", empty])
+            self.assertEqual(rc, 2)
+
 
 class CliContract(unittest.TestCase):
     def test_exit_codes_and_json_report(self):

@@ -62,7 +62,7 @@ struct Rig {
 TEST(Manager, StaticLanesLitAtStart) {
   Rig rig(NetworkMode::np_nb());
   // All static lanes enabled at P_high: 4 boards x 3 lanes x 43.03 mW.
-  EXPECT_NEAR(rig.net->meter().instantaneous_mw(), 12 * 43.03, 1e-9);
+  EXPECT_NEAR(rig.net->meter().instantaneous_mw().value(), 12 * 43.03, 1e-9);
   EXPECT_EQ(rig.net->lane_map().lit_count(), 12u);
 }
 
@@ -107,7 +107,7 @@ TEST(Manager, DlsShutsIdleLanesDown) {
   // No traffic at all: every lane idles; after the first power cycle all
   // 12 static lanes should be dark.
   rig.engine.run_until(3000);
-  EXPECT_NEAR(rig.net->meter().instantaneous_mw(), 0.0, 1e-9);
+  EXPECT_NEAR(rig.net->meter().instantaneous_mw().value(), 0.0, 1e-9);
   // Ownership is retained (DLS darkens lanes, it does not release them).
   EXPECT_EQ(rig.net->lane_map().lit_count(), 12u);
 }

@@ -159,14 +159,14 @@ TEST(Lane, DisableMidPacketDrainsFirst) {
 
 TEST(Lane, PowerAccountingFollowsLevel) {
   LaneRig rig;
-  EXPECT_DOUBLE_EQ(rig.meter.instantaneous_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(rig.meter.instantaneous_mw().value(), 0.0);
   rig.lane->enable(0, PowerLevel::High);
-  EXPECT_DOUBLE_EQ(rig.meter.instantaneous_mw(), 43.03);
+  EXPECT_DOUBLE_EQ(rig.meter.instantaneous_mw().value(), 43.03);
   rig.engine.run_until(100);
   rig.lane->request_level(PowerLevel::Low, 100);
-  EXPECT_NEAR(rig.meter.instantaneous_mw(), 8.60, 1e-9);
+  EXPECT_NEAR(rig.meter.instantaneous_mw().value(), 8.60, 1e-9);
   rig.lane->disable(100);
-  EXPECT_NEAR(rig.meter.instantaneous_mw(), 0.0, 1e-9);
+  EXPECT_NEAR(rig.meter.instantaneous_mw().value(), 0.0, 1e-9);
 }
 
 TEST(Lane, TransmitWhilePausedRefused) {

@@ -14,25 +14,28 @@ using erapid::power::LinkPowerModel;
 using erapid::power::PowerLevel;
 using erapid::power::step_down;
 using erapid::power::step_up;
+using erapid::units::GbitsPerSec;
+using erapid::units::Milliwatts;
+using erapid::units::Volts;
 
 // ---- LinkPowerModel (Table 1 values) ------------------------------------
 
 TEST(LinkPower, Table1PerLevelTotals) {
   LinkPowerModel m;
-  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::High), 43.03);
-  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Mid), 26.00);
-  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Low), 8.60);
-  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Off), 0.0);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::High).value(), 43.03);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Mid).value(), 26.00);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Low).value(), 8.60);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::Off).value(), 0.0);
 }
 
 TEST(LinkPower, Table1BitRatesAndVoltages) {
   LinkPowerModel m;
-  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::High), 5.0);
-  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Mid), 3.3);
-  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Low), 2.5);
-  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::High), 0.9);
-  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::Mid), 0.6);
-  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::Low), 0.45);
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::High).value(), 5.0);
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Mid).value(), 3.3);
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Low).value(), 2.5);
+  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::High).value(), 0.9);
+  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::Mid).value(), 0.6);
+  EXPECT_DOUBLE_EQ(m.supply_v(PowerLevel::Low).value(), 0.45);
 }
 
 TEST(LinkPower, VoltageTransitionsCost65Cycles) {
@@ -62,9 +65,9 @@ TEST(LinkPower, PowerIsMonotoneInLevel) {
 
 TEST(LinkPower, OverridesForAblation) {
   LinkPowerModel m;
-  m.set_power_mw(PowerLevel::High, 50.0);
+  m.set_power_mw(PowerLevel::High, Milliwatts{50.0});
   m.set_transition_cycles(100, 20);
-  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::High), 50.0);
+  EXPECT_DOUBLE_EQ(m.power_mw(PowerLevel::High).value(), 50.0);
   EXPECT_EQ(m.transition_cycles(PowerLevel::Low, PowerLevel::High), 100u);
 }
 
@@ -73,11 +76,11 @@ TEST(LinkPower, FixedRateBaselineMakesDvsFree) {
   // transitions then cost only the CDR relock (equal voltage).
   LinkPowerModel m;
   for (auto l : {PowerLevel::Low, PowerLevel::Mid, PowerLevel::High}) {
-    m.set_bitrate_gbps(l, 6.4);
-    m.set_supply_v(l, 1.2);
-    m.set_power_mw(l, 128.0);
+    m.set_bitrate_gbps(l, GbitsPerSec{6.4});
+    m.set_supply_v(l, Volts{1.2});
+    m.set_power_mw(l, Milliwatts{128.0});
   }
-  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Low), 6.4);
+  EXPECT_DOUBLE_EQ(m.bitrate_gbps(PowerLevel::Low).value(), 6.4);
   EXPECT_EQ(m.transition_cycles(PowerLevel::Low, PowerLevel::High),
             m.freq_relock_cycles());
 }
@@ -86,89 +89,92 @@ TEST(LinkPower, FixedRateBaselineMakesDvsFree) {
 
 TEST(Components, AnchorsReproducePaperBreakdown) {
   ComponentModel m;
-  const auto parts = m.breakdown(0.9, 5.0);
+  const auto parts = m.breakdown(Volts{0.9}, GbitsPerSec{5.0});
   ASSERT_EQ(parts.size(), 5u);
-  EXPECT_NEAR(parts[0].milliwatts, 1.5e-3, 1e-9);   // VCSEL 1.5 uW
-  EXPECT_NEAR(parts[1].milliwatts, 1.23, 1e-9);     // driver
-  EXPECT_NEAR(parts[2].milliwatts, 1.4e-3, 1e-9);   // photodetector
-  EXPECT_NEAR(parts[3].milliwatts, 25.02, 1e-9);    // TIA
-  EXPECT_NEAR(parts[4].milliwatts, 17.05, 1e-9);    // CDR
+  EXPECT_NEAR(parts[0].power.value(), 1.5e-3, 1e-9);   // VCSEL 1.5 uW
+  EXPECT_NEAR(parts[1].power.value(), 1.23, 1e-9);     // driver
+  EXPECT_NEAR(parts[2].power.value(), 1.4e-3, 1e-9);   // photodetector
+  EXPECT_NEAR(parts[3].power.value(), 25.02, 1e-9);    // TIA
+  EXPECT_NEAR(parts[4].power.value(), 17.05, 1e-9);    // CDR
 }
 
 TEST(Components, TotalAtPHighNearQuoted43mW) {
   ComponentModel m;
   // Component sum is 43.30 mW; the paper quotes 43.03 (its own rounding).
-  EXPECT_NEAR(m.total_mw(0.9, 5.0), 43.03, 0.35);
+  EXPECT_NEAR(m.total_mw(Volts{0.9}, GbitsPerSec{5.0}).value(), 43.03, 0.35);
 }
 
 TEST(Components, PLowScalingMatchesQuoted8p6mW) {
   ComponentModel m;
   // The P_low total falls out of the scaling laws to within ~1%.
-  EXPECT_NEAR(m.total_mw(0.45, 2.5), 8.6, 0.15);
+  EXPECT_NEAR(m.total_mw(Volts{0.45}, GbitsPerSec{2.5}).value(), 8.6, 0.15);
 }
 
 TEST(Components, ScalingLawsHaveDocumentedExponents) {
   ComponentModel m;
   // Driver & CDR ∝ V² · BR: halving V at fixed BR quarters them.
-  const auto hi = m.breakdown(0.9, 5.0);
-  const auto lo = m.breakdown(0.45, 5.0);
-  EXPECT_NEAR(lo[1].milliwatts / hi[1].milliwatts, 0.25, 1e-9);
-  EXPECT_NEAR(lo[4].milliwatts / hi[4].milliwatts, 0.25, 1e-9);
+  const auto hi = m.breakdown(Volts{0.9}, GbitsPerSec{5.0});
+  const auto lo = m.breakdown(Volts{0.45}, GbitsPerSec{5.0});
+  EXPECT_NEAR(lo[1].power / hi[1].power, 0.25, 1e-9);
+  EXPECT_NEAR(lo[4].power / hi[4].power, 0.25, 1e-9);
   // TIA ∝ V · BR: halving V halves it.
-  EXPECT_NEAR(lo[3].milliwatts / hi[3].milliwatts, 0.5, 1e-9);
+  EXPECT_NEAR(lo[3].power / hi[3].power, 0.5, 1e-9);
   // VCSEL ∝ V only: independent of BR.
-  const auto slow = m.breakdown(0.9, 2.5);
-  EXPECT_NEAR(slow[0].milliwatts, hi[0].milliwatts, 1e-12);
+  const auto slow = m.breakdown(Volts{0.9}, GbitsPerSec{2.5});
+  EXPECT_NEAR(slow[0].power.value(), hi[0].power.value(), 1e-12);
 }
 
 TEST(Components, TxRxSplitSumsToTotal) {
   ComponentModel m;
-  const double v = 0.6, br = 3.3;
-  EXPECT_NEAR(m.transmitter_mw(v, br) + m.receiver_mw(v, br), m.total_mw(v, br), 1e-12);
+  const Volts v{0.6};
+  const GbitsPerSec br{3.3};
+  EXPECT_NEAR((m.transmitter_mw(v, br) + m.receiver_mw(v, br)).value(),
+              m.total_mw(v, br).value(), 1e-12);
 }
 
 TEST(Components, ReceiverDominatesLinkPower) {
   // §3.1: TIA + CDR dominate — the receiver is the power hog.
   ComponentModel m;
-  EXPECT_GT(m.receiver_mw(0.9, 5.0), 0.9 * m.total_mw(0.9, 5.0));
+  EXPECT_GT(m.receiver_mw(Volts{0.9}, GbitsPerSec{5.0}),
+            0.9 * m.total_mw(Volts{0.9}, GbitsPerSec{5.0}));
 }
 
 // ---- EnergyMeter ---------------------------------------------------------
 
 TEST(EnergyMeter, IntegratesConstantSource) {
   EnergyMeter meter;
-  const auto id = meter.add_source(0.0);
-  meter.set_power(id, 0, 10.0);
-  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(100), 1000.0);
-  EXPECT_DOUBLE_EQ(meter.instantaneous_mw(), 10.0);
+  const auto id = meter.add_source(Milliwatts{0.0});
+  meter.set_power(id, 0, Milliwatts{10.0});
+  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(100).value(), 1000.0);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_mw().value(), 10.0);
 }
 
 TEST(EnergyMeter, SumsMultipleSources) {
   EnergyMeter meter;
   const auto a = meter.add_source();
   const auto b = meter.add_source();
-  meter.set_power(a, 0, 5.0);
-  meter.set_power(b, 0, 7.0);
-  EXPECT_DOUBLE_EQ(meter.instantaneous_mw(), 12.0);
-  meter.set_power(a, 50, 0.0);
-  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(100), 12.0 * 50 + 7.0 * 50);
+  meter.set_power(a, 0, Milliwatts{5.0});
+  meter.set_power(b, 0, Milliwatts{7.0});
+  EXPECT_DOUBLE_EQ(meter.instantaneous_mw().value(), 12.0);
+  meter.set_power(a, 50, Milliwatts{0.0});
+  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(100).value(), 12.0 * 50 + 7.0 * 50);
 }
 
 TEST(EnergyMeter, AverageOverCheckpointWindow) {
   EnergyMeter meter;
   const auto id = meter.add_source();
-  meter.set_power(id, 0, 100.0);
+  meter.set_power(id, 0, Milliwatts{100.0});
   meter.checkpoint(1000);  // ignore the first 1000 cycles
-  meter.set_power(id, 1500, 0.0);
-  EXPECT_DOUBLE_EQ(meter.average_mw(2000), 50.0);
+  meter.set_power(id, 1500, Milliwatts{0.0});
+  EXPECT_DOUBLE_EQ(meter.average_mw(2000).value(), 50.0);
 }
 
 TEST(EnergyMeter, RedundantSetIsNoOp) {
   EnergyMeter meter;
   const auto id = meter.add_source();
-  meter.set_power(id, 0, 3.0);
-  meter.set_power(id, 10, 3.0);  // same level, later time — no accounting glitch
-  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(20), 60.0);
+  meter.set_power(id, 0, Milliwatts{3.0});
+  meter.set_power(id, 10, Milliwatts{3.0});  // same level, later time — no accounting glitch
+  EXPECT_DOUBLE_EQ(meter.energy_mw_cycles(20).value(), 60.0);
 }
 
 }  // namespace

@@ -63,12 +63,13 @@ TEST_P(SerializationSweep, CyclesCoverPacketBits) {
   const auto [gbps, flits] = GetParam();
   topology::SystemConfig cfg;
   cfg.packet_flits = flits;
-  const auto cycles = cfg.serialization_cycles(gbps);
+  const auto cycles = cfg.serialization_cycles(units::GbitsPerSec{gbps});
   // cycles * cycle_ns * gbps must cover the packet, without a full extra
   // cycle of slack.
-  const double bits_capacity = static_cast<double>(cycles) * cfg.cycle_ns() * gbps;
+  const double bits_capacity =
+      static_cast<double>(cycles) * cfg.cycle_ns().value() * gbps;
   EXPECT_GE(bits_capacity + 1e-9, cfg.packet_bits());
-  EXPECT_LT(bits_capacity - cfg.cycle_ns() * gbps, cfg.packet_bits());
+  EXPECT_LT(bits_capacity - cfg.cycle_ns().value() * gbps, cfg.packet_bits());
 }
 
 INSTANTIATE_TEST_SUITE_P(RatesAndSizes, SerializationSweep,

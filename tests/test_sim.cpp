@@ -102,9 +102,9 @@ TEST(Simulation, CustomPowerModelDrivesLanes) {
   o.load_fraction = 0.2;
   for (auto l : {erapid::power::PowerLevel::Low, erapid::power::PowerLevel::Mid,
                  erapid::power::PowerLevel::High}) {
-    o.power_model.set_power_mw(l, 128.0);
-    o.power_model.set_bitrate_gbps(l, 6.4);
-    o.power_model.set_supply_v(l, 1.2);
+    o.power_model.set_power_mw(l, erapid::units::Milliwatts{128.0});
+    o.power_model.set_bitrate_gbps(l, erapid::units::GbitsPerSec{6.4});
+    o.power_model.set_supply_v(l, erapid::units::Volts{1.2});
   }
   const auto r = Simulation(o).run();
   // 4 boards x 3 lanes x 128 mW, constant under NP-NB.

@@ -35,7 +35,7 @@ TEST(SystemConfig, PaperDefaultsAre64Nodes) {
 
 TEST(SystemConfig, ElectricalTimingMatchesTable1) {
   const auto cfg = paper_config();
-  EXPECT_DOUBLE_EQ(cfg.cycle_ns(), 2.5);              // 400 MHz
+  EXPECT_DOUBLE_EQ(cfg.cycle_ns().value(), 2.5);      // 400 MHz
   EXPECT_EQ(cfg.cycles_per_flit_electrical(), 4u);    // 64b flit / 16b phit
   EXPECT_EQ(cfg.packet_bits(), 512u);                 // 64 B packet
 }
@@ -43,11 +43,11 @@ TEST(SystemConfig, ElectricalTimingMatchesTable1) {
 TEST(SystemConfig, OpticalSerializationAtPaperBitRates) {
   const auto cfg = paper_config();
   // 512 bits at 5 Gb/s = 102.4 ns = 40.96 cycles -> 41.
-  EXPECT_EQ(cfg.serialization_cycles(5.0), 41u);
+  EXPECT_EQ(cfg.serialization_cycles(erapid::units::GbitsPerSec{5.0}), 41u);
   // At 2.5 Gb/s exactly double the time.
-  EXPECT_EQ(cfg.serialization_cycles(2.5), 82u);
+  EXPECT_EQ(cfg.serialization_cycles(erapid::units::GbitsPerSec{2.5}), 82u);
   // 3.3 Gb/s: 512/3.3 = 155.15 ns = 62.06 cycles -> 63.
-  EXPECT_EQ(cfg.serialization_cycles(3.3), 63u);
+  EXPECT_EQ(cfg.serialization_cycles(erapid::units::GbitsPerSec{3.3}), 63u);
 }
 
 TEST(SystemConfig, NodeBoardMapsRoundTrip) {
@@ -269,7 +269,7 @@ TEST(LaneMap, ResetStaticRestoresBaseline) {
 TEST(Capacity, LaneServiceRateMatchesSerialization) {
   const auto cfg = paper_config();
   CapacityModel cm(cfg);
-  EXPECT_DOUBLE_EQ(cm.lane_service_rate(5.0), 1.0 / 41.0);
+  EXPECT_DOUBLE_EQ(cm.lane_service_rate(erapid::units::GbitsPerSec{5.0}), 1.0 / 41.0);
 }
 
 TEST(Capacity, InjectionLimitIs32CyclesPerPacket) {

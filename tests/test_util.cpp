@@ -18,6 +18,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace {
 
@@ -353,6 +354,71 @@ TEST(InplaceFn, DefaultConstructedIsEmpty) {
   EXPECT_FALSE(static_cast<bool>(fn));
   erapid::util::InplaceFn<32> fn2 = nullptr;
   EXPECT_FALSE(static_cast<bool>(fn2));
+}
+
+// ---- strong unit types (util/units.hpp) ------------------------------------
+
+TEST(Units, SameDimensionArithmeticStaysInDimension) {
+  using erapid::units::Milliwatts;
+  const Milliwatts a{10.0};
+  const Milliwatts b{2.5};
+  EXPECT_EQ((a + b).value(), 12.5);
+  EXPECT_EQ((a - b).value(), 7.5);
+  EXPECT_EQ((a * 2.0).value(), 20.0);
+  EXPECT_EQ((2.0 * a).value(), 20.0);
+  EXPECT_EQ((a / 4.0).value(), 2.5);
+  Milliwatts acc{1.0};
+  acc += a;
+  acc -= b;
+  EXPECT_EQ(acc.value(), 8.5);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  using erapid::units::GbitsPerSec;
+  const double ratio = GbitsPerSec{2.5} / GbitsPerSec{5.0};
+  EXPECT_EQ(ratio, 0.5);
+}
+
+TEST(Units, ComparisonsFollowTheUnderlyingDouble) {
+  using erapid::units::Volts;
+  EXPECT_TRUE(Volts{0.7} < Volts{0.9});
+  EXPECT_TRUE(Volts{0.9} <= Volts{0.9});
+  EXPECT_TRUE(Volts{0.9} == Volts{0.9});
+  EXPECT_TRUE(Volts{1.0} > Volts{0.9});
+  EXPECT_TRUE(Volts{1.0} != Volts{0.9});
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_EQ(erapid::units::MilliwattCycles{}.value(), 0.0);
+}
+
+TEST(Units, TimeConversionsRoundTrip) {
+  using erapid::units::Nanoseconds;
+  using erapid::units::Picoseconds;
+  const Nanoseconds ns{0.4};  // a 2.5 GHz clock period
+  const Picoseconds ps = erapid::units::to_ps(ns);
+  EXPECT_EQ(ps.value(), 400.0);
+  EXPECT_EQ(erapid::units::to_ns(ps).value(), 0.4);
+}
+
+TEST(Units, EnergyAndAveragePowerAreInverse) {
+  using erapid::units::MilliwattCycles;
+  using erapid::units::Milliwatts;
+  const Milliwatts p{43.03};
+  const MilliwattCycles e = erapid::units::energy_over(p, 200.0);
+  EXPECT_EQ(e.value(), 43.03 * 200.0);
+  EXPECT_EQ(erapid::units::average_power(e, 200.0).value(), p.value());
+}
+
+TEST(Units, ArithmeticIsBitIdenticalToRawDoubles) {
+  // The migration contract: Quantity math must be the same IEEE ops in the
+  // same order as the raw-double code it replaced.
+  using erapid::units::Milliwatts;
+  const double ra = 13.7, rb = 0.3;
+  const Milliwatts qa{ra}, qb{rb};
+  EXPECT_EQ((qa + qb).value(), ra + rb);
+  EXPECT_EQ((qa * 0.1).value(), ra * 0.1);
+  EXPECT_EQ(qa / qb, ra / rb);
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+"""Baseline + ratchet gating for erapid_analyze.
+
+The committed ``tools/analyze/baseline.json`` pins two things:
+
+  * the fingerprints of pre-existing findings — those report as
+    ``[baselined]`` and do not fail the gate, so legacy debt gates on
+    *growth* while new code gates at zero;
+  * per-module contract coverage — the ratchet: coverage may only rise.
+    ``--update-baseline`` re-records both (and refuses to lower coverage,
+    which keeps an accidental regression from being baselined away).
+
+Baseline format (schema ``erapid-analyze-baseline-1``)::
+
+    {
+      "schema": "erapid-analyze-baseline-1",
+      "findings": {"<fp>": {"rule": ..., "file": ..., "note": ...}},
+      "contract_coverage": {"des": {"contracted": 3, "considered": 4}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from findings import Finding
+from rules_contract import ModuleCoverage
+
+SCHEMA = "erapid-analyze-baseline-1"
+
+
+class Baseline:
+    def __init__(self, findings: dict[str, dict], coverage: dict[str, dict]):
+        self.findings = findings
+        self.coverage = coverage
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({}, {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: unsupported baseline schema {doc.get('schema')!r}")
+        return cls(doc.get("findings", {}), doc.get("contract_coverage", {}))
+
+    def apply(self, findings: list[Finding], root: Path) -> None:
+        """Marks findings whose fingerprint is recorded as baselined."""
+        for f in findings:
+            if f.fingerprint(root) in self.findings:
+                f.baselined = True
+
+    def ratchet_violations(self, coverage: dict[str, ModuleCoverage]) -> list[str]:
+        """Human-readable ratchet failures: any module whose coverage fell
+        below its recorded floor."""
+        out = []
+        for module, rec in sorted(self.coverage.items()):
+            considered = rec.get("considered", 0)
+            floor = 1.0 if considered == 0 else rec.get("contracted", 0) / considered
+            cur = coverage.get(module)
+            if cur is None:
+                continue
+            if cur.ratio + 1e-9 < floor:
+                out.append(
+                    f"contract coverage for src/{module} fell to "
+                    f"{cur.contracted}/{cur.considered} ({cur.ratio:.1%}); the "
+                    f"baseline ratchet floor is {floor:.1%} — add contracts to "
+                    f"new mutators: {', '.join(cur.uncontracted[:5]) or 'n/a'}")
+        return out
+
+    @staticmethod
+    def snapshot(findings: list[Finding], coverage: dict[str, ModuleCoverage],
+                 root: Path) -> dict:
+        recorded = {}
+        for f in sorted(findings, key=lambda f: (f.rule, f.rel(root), f.line)):
+            recorded[f.fingerprint(root)] = {
+                "rule": f.rule,
+                "file": f.rel(root),
+                "note": f.anchor if f.anchor else " ".join(f.snippet.split())[:100],
+            }
+        return {
+            "schema": SCHEMA,
+            "findings": recorded,
+            "contract_coverage": {
+                m: {"contracted": c.contracted, "considered": c.considered}
+                for m, c in sorted(coverage.items())
+            },
+        }
+
+    def update(self, findings: list[Finding], coverage: dict[str, ModuleCoverage],
+               root: Path, path: Path) -> list[str]:
+        """Writes a fresh baseline. Refuses (returns errors) if that would
+        lower a module's coverage ratchet."""
+        errors = self.ratchet_violations(coverage)
+        if errors:
+            return errors
+        doc = self.snapshot(findings, coverage, root)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return []

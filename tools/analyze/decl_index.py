@@ -1,0 +1,377 @@
+"""Per-file C++ declaration index for erapid_analyze.
+
+A deliberately heuristic (regex + brace tracking, not a compiler) index of
+what a translation unit declares:
+
+  * preprocessor facts: ``#include`` targets, ``#pragma once`` presence,
+    and where the first non-comment code line is (for --fix insertion);
+  * classes/structs with their access regions;
+  * methods — both inline definitions in headers and out-of-line
+    ``Class::method`` definitions in sources — with constness, staticness,
+    access, and the body text (for contract-coverage);
+  * unit-suffixed parameter lists per function name (for unit-param);
+  * identifiers declared as unordered containers or ``float`` (for the
+    determinism rule family).
+
+The index never throws on weird code; when a construct does not parse it is
+simply not indexed (rules err on the quiet side).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from cpp_lexer import SourceFile
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+ACCESS_RE = re.compile(r"^\s*(public|private|protected)\s*:")
+CLASS_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(?:class|struct)\s+(?:\[\[[^\]]*\]\]\s*)?"
+    r"([A-Za-z_]\w*)\s*(?:final\b)?\s*(?::[^;{]*)?(\{)?\s*(;)?"
+)
+ENUM_RE = re.compile(r"^\s*enum\b")
+USING_UNORDERED_RE = re.compile(r"\busing\s+(\w+)\s*=\s*std::unordered_(?:map|set|multimap|multiset)\b")
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]")
+FLOAT_DECL_RE = re.compile(r"^\s*(?:const\s+)?float\s+(\w+)\s*(?:=|\{|;)")
+
+# Keywords that can never be a method name (guards the word-before-paren
+# heuristic against control flow and casts).
+NOT_A_NAME = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof", "alignof",
+    "decltype", "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "new", "delete", "throw", "assert", "defined", "void", "int", "bool",
+    "double", "float", "char", "auto", "unsigned", "signed", "long", "short",
+}
+
+CONTRACT_RE = re.compile(r"\bERAPID_(?:REQUIRE|EXPECT|INVARIANT|UNREACHABLE)\b")
+
+
+@dataclass
+class MethodInfo:
+    cls: str                    # enclosing (or qualifying) class; "" = free fn
+    name: str
+    lineno: int
+    access: str | None          # 'public'/'protected'/'private'; None = unknown
+    is_const: bool = False
+    is_static: bool = False
+    kind: str = "method"        # 'method' | 'ctor' | 'dtor' | 'operator'
+    has_body: bool = False
+    body: str = ""
+    params: str = ""
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+    def param_names(self) -> list[str]:
+        """Last identifier of each parameter (the declared name), '' when
+        unnamed or not parseable."""
+        names: list[str] = []
+        for part in _split_params(self.params):
+            part = part.split("=")[0].strip()
+            m = re.search(r"([A-Za-z_]\w*)\s*$", part)
+            names.append(m.group(1) if m else "")
+        return names
+
+    def body_statements(self) -> int:
+        return self.body.count(";")
+
+    def body_has_branch(self) -> bool:
+        return bool(re.search(r"\b(?:if|for|while|switch)\s*\(", self.body))
+
+    def has_contract(self) -> bool:
+        return bool(CONTRACT_RE.search(self.body))
+
+
+def _split_params(params: str) -> list[str]:
+    """Splits a parameter list on top-level commas (template args kept whole)."""
+    if not params.strip():
+        return []
+    out, depth, cur = [], 0, []
+    for ch in params:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    out.append("".join(cur))
+    return out
+
+
+@dataclass
+class Include:
+    lineno: int
+    target: str
+    system: bool
+
+
+@dataclass
+class FileIndex:
+    sf: SourceFile
+    includes: list[Include] = field(default_factory=list)
+    has_pragma_once: bool = False
+    first_code_lineno: int | None = None  # 1-based; insertion point for --fix
+    classes: dict[str, int] = field(default_factory=dict)  # name -> lineno
+    methods: list[MethodInfo] = field(default_factory=list)
+    unordered_names: set[str] = field(default_factory=set)
+    float_names: set[str] = field(default_factory=set)
+    # function name -> list of parameter-name lists (one per overload seen)
+    functions: dict[str, list[list[str]]] = field(default_factory=dict)
+
+    def public_access(self, cls: str, method: str) -> bool | None:
+        """Access of an in-class declaration, if this file indexed it."""
+        for m in self.methods:
+            if m.cls == cls and m.name == method and m.access is not None:
+                return m.access == "public"
+        return None
+
+
+def _first_code_line(sf: SourceFile) -> int | None:
+    for lineno, code in enumerate(sf.code_lines, 1):
+        if code.strip():
+            return lineno
+    return None
+
+
+def _join_decl(lines: list[str], start: int) -> tuple[str, int, str] | None:
+    """Joins a candidate declaration starting at line index `start` until a
+    terminating '{' or ';' at paren depth 0. Returns (decl_text, end_index,
+    terminator) or None if nothing terminates within a sane window."""
+    depth = 0
+    parts: list[str] = []
+    for i in range(start, min(start + 40, len(lines))):
+        line = lines[i]
+        for j, ch in enumerate(line):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch in "{;" and depth == 0:
+                parts.append(line[: j + 1])
+                return " ".join(parts), i, ch
+        parts.append(line)
+    return None
+
+
+def _method_from_decl(decl: str, lineno: int, cls: str | None,
+                      access: str | None) -> MethodInfo | None:
+    """Classifies a joined declaration ending in '{' or ';'."""
+    head = decl[:-1].strip()  # drop terminator
+    paren = head.find("(")
+    if paren <= 0:
+        return None
+    before = head[:paren].rstrip()
+    m = re.search(r"((?:~\s*)?[A-Za-z_]\w*|operator\s*[^\s]+)\s*$", before)
+    if not m:
+        return None
+    name = m.group(1).replace(" ", "")
+    if name in NOT_A_NAME or name.isupper():  # keywords and macro invocations
+        return None
+    if "=" in before[: m.start()]:  # initializer call, not a declaration
+        return None
+    # Qualified out-of-line definition: take Class::name from the tail.
+    qual = re.search(r"([A-Za-z_]\w*)\s*::\s*((?:~\s*)?[A-Za-z_]\w*|operator\s*[^\s:]+)\s*$", before)
+    out_of_line_cls = None
+    if qual:
+        out_of_line_cls = qual.group(1)
+        name = qual.group(2).replace(" ", "")
+    # Argument list: first '(' to its match.
+    depth = 0
+    close = None
+    for j in range(paren, len(head)):
+        if head[j] == "(":
+            depth += 1
+        elif head[j] == ")":
+            depth -= 1
+            if depth == 0:
+                close = j
+                break
+    if close is None:
+        return None
+    params = head[paren + 1: close]
+    tail = head[close + 1:]
+    prefix = before[: m.start()]
+    the_cls = out_of_line_cls if out_of_line_cls else (cls or "")
+    kind = "method"
+    if name.startswith("~"):
+        kind = "dtor"
+    elif name.startswith("operator"):
+        kind = "operator"
+    elif the_cls and name == the_cls:
+        kind = "ctor"
+    info = MethodInfo(
+        cls=the_cls,
+        name=name,
+        lineno=lineno,
+        access=access,
+        is_const=bool(re.search(r"^\s*const\b", tail)),
+        is_static="static" in prefix.split(),
+        kind=kind,
+        params=params,
+    )
+    if re.search(r"=\s*(?:default|delete|0)\s*$", tail):
+        info.has_body = False
+    return info
+
+
+def _capture_body(lines: list[str], start_line: int, start_col: int) -> tuple[str, int]:
+    """From the '{' at (start_line, start_col), captures the body text up to
+    the matching '}'. Returns (body, end_line_index)."""
+    depth = 0
+    body: list[str] = []
+    for i in range(start_line, len(lines)):
+        line = lines[i]
+        j = start_col if i == start_line else 0
+        seg_start = j
+        while j < len(line):
+            ch = line[j]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    body.append(line[seg_start: j + 1])
+                    return "\n".join(body), i
+            j += 1
+        body.append(line[seg_start:])
+    return "\n".join(body), len(lines) - 1
+
+
+def build_index(sf: SourceFile) -> FileIndex:
+    idx = FileIndex(sf=sf)
+    lines = sf.code_lines
+    idx.first_code_lineno = _first_code_line(sf)
+
+    # ---- preprocessor + simple declaration facts (single flat passes) ----
+    aliases: set[str] = set()
+    for lineno, code in enumerate(lines, 1):
+        if re.match(r"^\s*#\s*include\b", code):
+            # Parse the target from the raw line: the lexer blanks string
+            # literals, which erases quoted include targets from code_lines.
+            m = INCLUDE_RE.match(sf.raw_lines[lineno - 1])
+            if m:
+                idx.includes.append(Include(lineno, m.group(1) or m.group(2), m.group(1) is None))
+        if PRAGMA_ONCE_RE.match(code):
+            idx.has_pragma_once = True
+        m = USING_UNORDERED_RE.search(code)
+        if m:
+            aliases.add(m.group(1))
+        m = UNORDERED_DECL_RE.search(code)
+        if m:
+            idx.unordered_names.add(m.group(1))
+        m = FLOAT_DECL_RE.match(code)
+        if m:
+            idx.float_names.add(m.group(1))
+    if aliases:
+        alias_decl = re.compile(r"\b(" + "|".join(re.escape(a) for a in aliases) + r")\s+(\w+)\s*[;{=(]")
+        for code in lines:
+            m = alias_decl.search(code)
+            if m:
+                idx.unordered_names.add(m.group(2))
+
+    # ---- structural pass: classes, access regions, methods, bodies ----
+    class_stack: list[list] = []  # [name, body_depth, access]
+    pending_class: tuple[str, str] | None = None
+    depth = 0
+    i = 0
+    n = len(lines)
+    while i < n:
+        code = lines[i]
+        stripped = code.strip()
+        lineno = i + 1
+
+        if stripped.startswith("#"):
+            i += 1
+            continue
+
+        am = ACCESS_RE.match(stripped)
+        if am and class_stack and depth == class_stack[-1][1]:
+            class_stack[-1][2] = am.group(1)
+            i += 1
+            continue
+
+        cm = CLASS_RE.match(stripped) if not ENUM_RE.match(stripped) else None
+        if cm and not cm.group(3):  # not a forward declaration
+            default_access = "public" if re.search(r"^\s*(?:template\s*<[^>]*>\s*)?struct\b", stripped) else "private"
+            name = cm.group(1)
+            idx.classes[name] = lineno
+            pending_class = (name, default_access)
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    if pending_class:
+                        class_stack.append([pending_class[0], depth, pending_class[1]])
+                        pending_class = None
+                elif ch == "}":
+                    if class_stack and depth == class_stack[-1][1]:
+                        class_stack.pop()
+                    depth -= 1
+            i += 1
+            continue
+
+        in_class = class_stack[-1] if class_stack and depth == class_stack[-1][1] else None
+        candidate = (
+            "(" in code
+            and not stripped.startswith(("}", "{", ")", ":", ",", "case ", "default"))
+            and not re.match(r"^\s*(?:if|for|while|switch|return|else|do)\b", stripped)
+            and (in_class is not None or class_stack == [])
+        )
+        if candidate:
+            joined = _join_decl(lines, i)
+            if joined:
+                decl, end_i, term = joined
+                info = _method_from_decl(
+                    decl, lineno,
+                    in_class[0] if in_class else None,
+                    in_class[2] if in_class else None,
+                )
+                if info is not None:
+                    if term == "{":
+                        info.has_body = True
+                        # Locate the terminating '{' of the decl to capture the body.
+                        col = lines[end_i].find("{")
+                        # The '{' we stopped at is the first depth-0 one; find it.
+                        d = 0
+                        for j, ch in enumerate(lines[end_i]):
+                            if ch == "(":
+                                d += 1
+                            elif ch == ")":
+                                d -= 1
+                            elif ch == "{" and d == 0:
+                                col = j
+                                break
+                        body, body_end = _capture_body(lines, end_i, col)
+                        info.body = body
+                        idx.methods.append(info)
+                        if info.name and not info.name.startswith("~"):
+                            idx.functions.setdefault(info.name, []).append(info.param_names())
+                        i = body_end + 1
+                        continue
+                    idx.methods.append(info)
+                    if info.name and not info.name.startswith("~"):
+                        idx.functions.setdefault(info.name, []).append(info.param_names())
+                    i = end_i + 1
+                    continue
+
+        # Plain line: just track braces / class lifetimes.
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                if pending_class:
+                    class_stack.append([pending_class[0], depth, pending_class[1]])
+                    pending_class = None
+            elif ch == "}":
+                if class_stack and depth == class_stack[-1][1]:
+                    class_stack.pop()
+                depth -= 1
+        if pending_class and ";" in code:
+            pending_class = None
+        i += 1
+
+    return idx

@@ -1,0 +1,73 @@
+"""Project include graph for erapid_analyze's hygiene rules.
+
+Edges are quoted ``#include "x/y.hpp"`` directives between *scanned* files;
+system includes and headers outside the scan set are ignored. Targets are
+resolved the way the build does: against each include root (the directory
+added with ``-I``, here the parents of the scan roots plus ``src/``) and
+against the including file's own directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass
+class IncludeEdge:
+    src: Path
+    dst: Path
+    lineno: int
+    target: str
+
+
+class IncludeGraph:
+    def __init__(self, files: dict[Path, object], include_roots: list[Path]):
+        """`files` maps resolved paths to their FileIndex."""
+        self.files = files
+        self.roots = include_roots
+        self.edges: dict[Path, list[IncludeEdge]] = {p: [] for p in files}
+        for path, idx in files.items():
+            for inc in idx.includes:
+                if inc.system:
+                    continue
+                dst = self.resolve(path, inc.target)
+                if dst is not None and dst in self.files:
+                    self.edges[path].append(IncludeEdge(path, dst, inc.lineno, inc.target))
+
+    def resolve(self, src: Path, target: str) -> Path | None:
+        cand = (src.parent / target).resolve()
+        if cand.is_file():
+            return cand
+        for root in self.roots:
+            cand = (root / target).resolve()
+            if cand.is_file():
+                return cand
+        return None
+
+    def cycles(self) -> list[list[IncludeEdge]]:
+        """All elementary include cycles, each reported once (rotated so the
+        lexicographically smallest path leads). Deterministic order."""
+        seen: set[tuple[Path, ...]] = set()
+        out: list[list[IncludeEdge]] = []
+
+        def dfs(node: Path, stack: list[IncludeEdge], on_stack: dict[Path, int]) -> None:
+            on_stack[node] = len(stack)
+            for edge in self.edges.get(node, ()):
+                if edge.dst in on_stack:
+                    cycle = stack[on_stack[edge.dst]:] + [edge]
+                    key_paths = [e.src for e in cycle]
+                    pivot = key_paths.index(min(key_paths))
+                    rotated = cycle[pivot:] + cycle[:pivot]
+                    key = tuple(e.src for e in rotated)
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(rotated)
+                elif len(stack) < 64:
+                    dfs(edge.dst, stack + [edge], on_stack)
+            del on_stack[node]
+
+        for start in sorted(self.files):
+            dfs(start, [], {})
+        out.sort(key=lambda c: (str(c[0].src), c[0].lineno))
+        return out

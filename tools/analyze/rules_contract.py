@@ -1,0 +1,111 @@
+"""contract-coverage — every public mutating method in a contracted module
+must state at least one ERAPID_REQUIRE/ERAPID_EXPECT/ERAPID_INVARIANT.
+
+The pass joins in-class declarations (for access) with bodies wherever they
+live (inline in the header or out-of-line in the .cpp), skips trivially
+exempt bodies (single-statement, branch-free setters), and reports:
+
+  * one note-level finding per uncontracted method, and
+  * per-module coverage ``contracted / considered`` used by the baseline
+    ratchet — coverage may only go up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from decl_index import FileIndex, MethodInfo
+from findings import Finding
+
+DEFAULT_MODULES = ("des", "reconfig", "optical", "power", "fault")
+
+
+@dataclass
+class ModuleCoverage:
+    contracted: int = 0
+    considered: int = 0
+    uncontracted: list[str] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        return 1.0 if self.considered == 0 else self.contracted / self.considered
+
+
+def module_of(path: Path, root: Path, modules: tuple[str, ...]) -> str | None:
+    """The contracted module a file belongs to, or None. A file belongs to
+    module M when M appears as a path component under the scan root."""
+    try:
+        parts = path.resolve().relative_to(root.resolve()).parts
+    except ValueError:
+        parts = path.parts
+    for part in parts[:-1]:
+        if part in modules:
+            return part
+    return None
+
+
+def _is_exempt(m: MethodInfo) -> bool:
+    """Trivial bodies (plain setters, one-liners without control flow) are
+    not required to carry a contract."""
+    return m.body_statements() <= 1 and not m.body_has_branch()
+
+
+def run(indexes: dict[Path, FileIndex], root: Path,
+        modules: tuple[str, ...] = DEFAULT_MODULES,
+        ) -> tuple[list[Finding], dict[str, ModuleCoverage]]:
+    # Access of in-class declarations, keyed by (class, method) across the
+    # whole scan set (the header may be a different file than the body).
+    access: dict[tuple[str, str], str] = {}
+    static_decl: set[tuple[str, str]] = set()
+    for idx in indexes.values():
+        for m in idx.methods:
+            if m.access is not None:
+                access.setdefault((m.cls, m.name), m.access)
+                if m.is_static:
+                    static_decl.add((m.cls, m.name))
+
+    findings: list[Finding] = []
+    coverage: dict[str, ModuleCoverage] = {m: ModuleCoverage() for m in modules}
+    seen: set[tuple[str, str, str]] = set()
+
+    for path in sorted(indexes):
+        idx = indexes[path]
+        mod = module_of(path, root, modules)
+        if mod is None:
+            continue
+        for m in idx.methods:
+            if not m.has_body or m.kind != "method" or not m.cls:
+                continue  # only methods; free helpers are not API surface
+            if m.is_const or m.is_static or (m.cls, m.name) in static_decl:
+                continue  # not mutating
+            acc = m.access if m.access is not None else access.get((m.cls, m.name))
+            if acc is None:
+                acc = "public"  # unknown declaration — err on checking it
+            if acc != "public":
+                continue
+            key = (mod, m.qualified, m.params.strip())
+            if key in seen:
+                continue
+            seen.add(key)
+            if _is_exempt(m):
+                continue
+            if idx.sf.is_suppressed("contract-coverage", m.lineno):
+                continue  # suppressed methods leave the coverage pool entirely
+            cov = coverage[mod]
+            cov.considered += 1
+            if m.has_contract():
+                cov.contracted += 1
+                continue
+            cov.uncontracted.append(m.qualified)
+            findings.append(Finding(
+                rule="contract-coverage",
+                path=path,
+                line=m.lineno,
+                message=(f"public mutating method {m.qualified}() has no "
+                         "ERAPID_REQUIRE/ERAPID_EXPECT/ERAPID_INVARIANT — "
+                         "state its precondition or invariant"),
+                snippet=idx.sf.raw(m.lineno),
+                anchor=f"{m.qualified}({len(m.param_names())})",
+            ))
+    return findings, coverage

@@ -1,0 +1,111 @@
+"""Determinism extensions — the analyzer's additions on top of det-lint.
+
+  iter-unordered  range-for over a container this file declared as
+                  std::unordered_* (directly or through a using-alias).
+                  det-lint already flags the declaration; this rule marks
+                  the iteration site itself, which is where the
+                  nondeterminism actually escapes into output.
+
+  float-accum     a 32-bit float accumulator updated with += (or
+                  ``x = x + ...``) inside a for/while loop. Float rounding
+                  makes the reduction order-sensitive; accumulate in double
+                  and narrow at the edge.
+
+  ptr-map-key     ordered associative container keyed by a raw pointer,
+                  directly or through a using-alias. Heap addresses differ
+                  run to run (ASLR), so pointer-keyed order is
+                  nondeterministic.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from decl_index import FileIndex
+from findings import Finding
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
+PTR_KEY_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset|less)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
+SELF_ADD_RE = re.compile(r"\b([A-Za-z_]\w*)\s*=\s*\1\s*\+")
+
+
+def _base_ident(expr: str) -> str | None:
+    """Base identifier of a range expression: `m`, `foo.bar()` -> bar,
+    `*p` -> p."""
+    idents = re.findall(r"[A-Za-z_]\w*", expr)
+    return idents[-1] if idents else None
+
+
+def run_file(idx: FileIndex, path: Path) -> list[Finding]:
+    out: list[Finding] = []
+    sf = idx.sf
+
+    # Loop-context tracking for float-accum: a stack of open braces, each
+    # flagged if it opened a for/while body.
+    brace_is_loop: list[bool] = []
+    pending_loop = False
+
+    for lineno, code in enumerate(sf.code_lines, 1):
+        if LOOP_HEADER_RE.search(code):
+            pending_loop = True
+
+        m = RANGE_FOR_RE.search(code)
+        if m and not sf.is_suppressed("iter-unordered", lineno):
+            base = _base_ident(m.group(1))
+            if base and (base in idx.unordered_names or base + "_" in idx.unordered_names):
+                out.append(Finding(
+                    rule="iter-unordered",
+                    path=path, line=lineno,
+                    message=(f"range-for over unordered container `{base}` — "
+                             "iteration order is nondeterministic; use std::map/"
+                             "std::set or iterate a sorted index"),
+                    snippet=sf.raw(lineno),
+                ))
+
+        in_loop = any(brace_is_loop) or pending_loop
+        if in_loop and idx.float_names and not sf.is_suppressed("float-accum", lineno):
+            for rx in (ACCUM_RE, SELF_ADD_RE):
+                am = rx.search(code)
+                if am and am.group(1) in idx.float_names:
+                    out.append(Finding(
+                        rule="float-accum",
+                        path=path, line=lineno,
+                        message=(f"float accumulator `{am.group(1)}` in a loop — "
+                                 "32-bit rounding makes the reduction order-"
+                                 "sensitive; accumulate in double"),
+                        snippet=sf.raw(lineno),
+                    ))
+                    break
+
+        if PTR_KEY_RE.search(code) and not sf.is_suppressed("ptr-map-key", lineno):
+            out.append(Finding(
+                rule="ptr-map-key",
+                path=path, line=lineno,
+                message=("ordered container/comparator keyed by a raw pointer — "
+                         "heap addresses vary run to run; key by a stable id"),
+                snippet=sf.raw(lineno),
+            ))
+
+        for ch in code:
+            if ch == "{":
+                brace_is_loop.append(pending_loop)
+                pending_loop = False
+            elif ch == "}":
+                if brace_is_loop:
+                    brace_is_loop.pop()
+        if pending_loop and ";" in code and "{" not in code:
+            pending_loop = False  # single-statement loop body
+
+    return out
+
+
+def run(indexes: dict[Path, FileIndex], root: Path) -> list[Finding]:
+    del root
+    out: list[Finding] = []
+    for path in sorted(indexes):
+        out.extend(run_file(indexes[path], path))
+    return out

@@ -1,0 +1,207 @@
+"""Header hygiene rules.
+
+  pragma-once     every header carries ``#pragma once`` (fixable with --fix:
+                  the guard is inserted after the leading comment block).
+
+  include-cycle   no cycles in the quoted-include graph. Each elementary
+                  cycle is reported once, anchored at the include directive
+                  of its lexicographically smallest member.
+
+  std-include     self-sufficiency, IWYU-lite: a *header* that names a
+                  std:: symbol must directly include the standard header
+                  that provides it, not lean on transitive includes. The
+                  symbol map is deliberately limited to unambiguous,
+                  commonly used symbols.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from decl_index import FileIndex
+from findings import Finding
+from include_graph import IncludeGraph
+
+# symbol -> headers any of which satisfies the direct-include requirement.
+STD_SYMBOL_HEADERS: dict[str, tuple[str, ...]] = {
+    "vector": ("vector",),
+    "string": ("string",),
+    "to_string": ("string",),
+    "string_view": ("string_view",),
+    "array": ("array",),
+    "map": ("map",),
+    "multimap": ("map",),
+    "set": ("set",),
+    "multiset": ("set",),
+    "deque": ("deque",),
+    "list": ("list",),
+    "optional": ("optional",),
+    "nullopt": ("optional",),
+    "variant": ("variant",),
+    "tuple": ("tuple",),
+    "pair": ("utility",),
+    "make_pair": ("utility",),
+    "move": ("utility",),
+    "forward": ("utility",),
+    "swap": ("utility",),
+    "exchange": ("utility",),
+    "function": ("functional",),
+    "hash": ("functional",),
+    "less": ("functional",),
+    "greater": ("functional",),
+    "unique_ptr": ("memory",),
+    "make_unique": ("memory",),
+    "shared_ptr": ("memory",),
+    "make_shared": ("memory",),
+    "weak_ptr": ("memory",),
+    "numeric_limits": ("limits",),
+    "size_t": ("cstddef", "cstdio", "cstring", "cstdlib"),
+    "ptrdiff_t": ("cstddef",),
+    "byte": ("cstddef",),
+    "ceil": ("cmath",),
+    "floor": ("cmath",),
+    "round": ("cmath",),
+    "pow": ("cmath",),
+    "sqrt": ("cmath",),
+    "fabs": ("cmath",),
+    "log2": ("cmath",),
+    "log10": ("cmath",),
+    "exp": ("cmath",),
+    "sort": ("algorithm",),
+    "stable_sort": ("algorithm",),
+    "find_if": ("algorithm",),
+    "min": ("algorithm",),
+    "max": ("algorithm",),
+    "clamp": ("algorithm",),
+    "min_element": ("algorithm",),
+    "max_element": ("algorithm",),
+    "lower_bound": ("algorithm",),
+    "upper_bound": ("algorithm",),
+    "all_of": ("algorithm",),
+    "any_of": ("algorithm",),
+    "none_of": ("algorithm",),
+    "fill": ("algorithm",),
+    "accumulate": ("numeric",),
+    "iota": ("numeric",),
+    "ostream": ("ostream", "iostream"),
+    "istream": ("istream", "iostream"),
+    "ostringstream": ("sstream",),
+    "istringstream": ("sstream",),
+    "stringstream": ("sstream",),
+    "runtime_error": ("stdexcept",),
+    "logic_error": ("stdexcept",),
+    "invalid_argument": ("stdexcept",),
+    "out_of_range": ("stdexcept",),
+    "atomic": ("atomic",),
+    "mutex": ("mutex",),
+    "lock_guard": ("mutex",),
+    "scoped_lock": ("mutex",),
+    "thread": ("thread",),
+}
+for _width in ("8", "16", "32", "64"):
+    for _sign in ("", "u"):
+        STD_SYMBOL_HEADERS[f"{_sign}int{_width}_t"] = ("cstdint",)
+        STD_SYMBOL_HEADERS[f"{_sign}int_fast{_width}_t"] = ("cstdint",)
+
+STD_USE_RE = re.compile(r"\bstd::([A-Za-z_]\w*)")
+BARE_INT_RE = re.compile(r"(?<![\w:])(u?int(?:8|16|32|64)_t)\b")
+
+
+def pragma_once_finding(idx: FileIndex, path: Path) -> Finding | None:
+    if not idx.sf.is_header or idx.has_pragma_once:
+        return None
+    if idx.sf.is_suppressed("pragma-once", 1):
+        return None
+    line = idx.first_code_lineno or 1
+    return Finding(
+        rule="pragma-once",
+        path=path, line=line,
+        message="header has no #pragma once — multiple inclusion will "
+                "redefine its contents",
+        snippet=idx.sf.raw(line),
+        anchor="missing-pragma-once",
+    )
+
+
+def fix_pragma_once(path: Path, idx: FileIndex) -> bool:
+    """Inserts `#pragma once` before the first non-comment code line.
+    Returns True when the file changed. Idempotent: a header that already
+    has the guard is never touched (the rule does not fire)."""
+    if idx.has_pragma_once:
+        return False
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines(keepends=True)
+    at = (idx.first_code_lineno or 1) - 1
+    lines.insert(at, "#pragma once\n")
+    path.write_text("".join(lines), encoding="utf-8")
+    return True
+
+
+def std_include_findings(idx: FileIndex, path: Path) -> list[Finding]:
+    if not idx.sf.is_header:
+        return []
+    direct = {inc.target for inc in idx.includes if inc.system}
+    missing: dict[str, tuple[int, str]] = {}  # required header -> (line, symbol)
+    for lineno, code in enumerate(idx.sf.code_lines, 1):
+        if idx.sf.is_suppressed("std-include", lineno):
+            continue
+        symbols = STD_USE_RE.findall(code) + BARE_INT_RE.findall(code)
+        for sym in symbols:
+            headers = STD_SYMBOL_HEADERS.get(sym)
+            if headers is None:
+                continue
+            if any(h in direct for h in headers):
+                continue
+            missing.setdefault(headers[0], (lineno, sym))
+    out = []
+    for header in sorted(missing):
+        lineno, sym = missing[header]
+        out.append(Finding(
+            rule="std-include",
+            path=path, line=lineno,
+            message=(f"uses std::{sym} but does not directly include "
+                     f"<{header}> — headers must be self-sufficient"),
+            snippet=idx.sf.raw(lineno),
+            anchor=f"missing-include-{header}",
+        ))
+    return out
+
+
+def cycle_findings(graph: IncludeGraph, root: Path) -> list[Finding]:
+    out = []
+    for cycle in graph.cycles():
+        head = cycle[0]
+        if any(graph.files[e.src].sf.is_suppressed("include-cycle", e.lineno)
+               for e in cycle):
+            continue
+        chain = " -> ".join(_rel(e.src, root) for e in cycle) + f" -> {_rel(head.src, root)}"
+        out.append(Finding(
+            rule="include-cycle",
+            path=head.src, line=head.lineno,
+            message=f"include cycle: {chain}",
+            snippet=graph.files[head.src].sf.raw(head.lineno),
+            anchor="cycle:" + "|".join(sorted(_rel(e.src, root) for e in cycle)),
+        ))
+    return out
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run(indexes: dict[Path, FileIndex], root: Path,
+        include_roots: list[Path]) -> list[Finding]:
+    out: list[Finding] = []
+    for path in sorted(indexes):
+        idx = indexes[path]
+        f = pragma_once_finding(idx, path)
+        if f:
+            out.append(f)
+        out.extend(std_include_findings(idx, path))
+    graph = IncludeGraph(indexes, include_roots)
+    out.extend(cycle_findings(graph, root))
+    return out

@@ -1,0 +1,179 @@
+"""Unit/time-safety rules.
+
+The simulator juggles four scalar domains — router cycles, wall time
+(ns/ps), power (mW) and line rate (Gb/s) — and the strong typedefs in
+``src/util/units.hpp`` protect typed interfaces at compile time. These
+passes catch the raw-arithmetic seams the type system cannot see: code
+naming quantities by suffix convention (``_cycles``, ``_ns``, ``_ps``,
+``_mw``, ``_gbps``) and then mixing the domains.
+
+  unit-mix    two identifiers with different unit suffixes combined with
+              +, -, a comparison, or plain assignment. Multiplication and
+              division are deliberately allowed: they are how domains
+              legitimately convert (mW x cycles = energy, bits / Gbps = ns).
+
+  unit-param  a call site passing a unit-suffixed identifier where every
+              indexed overload of the callee declares that parameter with a
+              *different* unit suffix.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from decl_index import FileIndex
+from findings import Finding
+
+SUFFIX_CLASSES: dict[str, tuple[str, ...]] = {
+    "cycles": ("_cycles", "_cycle"),
+    "ns": ("_ns",),
+    "ps": ("_ps",),
+    "mw": ("_mw",),
+    "gbps": ("_gbps",),
+}
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+# Between two unit-classed identifiers: optional closing/opening parens and
+# exactly one additive/comparison/assignment operator.
+MIX_GAP_RE = re.compile(r"^[\s()\[\]]*(\+=|-=|==|!=|<=|>=|\+|-|<|>|=)[\s()\[\]]*$")
+CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+
+
+def classify(ident: str) -> str | None:
+    """Unit class of an identifier by suffix convention; trailing member
+    underscores and call parens are the caller's business."""
+    bare = ident.rstrip("_")
+    for cls, suffixes in SUFFIX_CLASSES.items():
+        for suf in suffixes:
+            if bare.endswith(suf) or bare == suf.lstrip("_"):
+                return cls
+    return None
+
+
+def _mix_findings(idx: FileIndex, path: Path) -> list[Finding]:
+    out: list[Finding] = []
+    for lineno, code in enumerate(idx.sf.code_lines, 1):
+        if idx.sf.is_suppressed("unit-mix", lineno):
+            continue
+        hits = [(m.start(), m.end(), m.group(0)) for m in IDENT_RE.finditer(code)]
+        classed = [(s, e, tok, classify(tok)) for (s, e, tok) in hits]
+        classed = [h for h in classed if h[3] is not None]
+        for (s1, e1, tok1, cls1), (s2, e2, tok2, cls2) in zip(classed, classed[1:]):
+            if cls1 == cls2:
+                continue
+            gap = code[e1:s2]
+            m = MIX_GAP_RE.match(gap)
+            if not m:
+                continue
+            op = m.group(1)
+            out.append(Finding(
+                rule="unit-mix",
+                path=path,
+                line=lineno,
+                message=(f"`{tok1}` ({cls1}) {op} `{tok2}` ({cls2}) mixes unit "
+                         "domains without a conversion — convert explicitly or "
+                         "use the strong types in util/units.hpp"),
+                snippet=idx.sf.raw(lineno),
+            ))
+            break  # one finding per line is enough
+    return out
+
+
+def _simple_arg_class(arg: str) -> str | None:
+    """Unit class of an argument that is a bare identifier chain, e.g.
+    ``latency_ns``, ``cfg.cycle_ns()``, ``pw_->bitrate_gbps``."""
+    arg = arg.strip()
+    if not re.fullmatch(r"[A-Za-z_][\w.>:\-]*(?:\(\s*\))?", arg):
+        return None
+    idents = IDENT_RE.findall(arg)
+    return classify(idents[-1]) if idents else None
+
+
+def _split_args(args: str) -> list[str]:
+    out, depth, cur = [], 0, []
+    for ch in args:
+        if ch in "<([{":
+            depth += 1
+        elif ch in ">)]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur or out:
+        out.append("".join(cur))
+    return out
+
+
+def _param_findings(idx: FileIndex, path: Path,
+                    functions: dict[str, list[list[str]]]) -> list[Finding]:
+    out: list[Finding] = []
+    for lineno, code in enumerate(idx.sf.code_lines, 1):
+        if idx.sf.is_suppressed("unit-param", lineno):
+            continue
+        for m in CALL_RE.finditer(code):
+            name = m.group(1)
+            overloads = functions.get(name)
+            if not overloads:
+                continue
+            # Extract the argument list (same-line calls only; conservative).
+            depth = 0
+            close = None
+            for j in range(m.end() - 1, len(code)):
+                if code[j] == "(":
+                    depth += 1
+                elif code[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        close = j
+                        break
+            if close is None:
+                continue
+            args = _split_args(code[m.end():close])
+            for pos, arg in enumerate(args):
+                acls = _simple_arg_class(arg)
+                if acls is None:
+                    continue
+                pclasses = set()
+                ok = True
+                for params in overloads:
+                    if pos >= len(params):
+                        ok = False
+                        break
+                    pcls = classify(params[pos]) if params[pos] else None
+                    if pcls is None:
+                        ok = False
+                        break
+                    pclasses.add(pcls)
+                if not ok or len(pclasses) != 1:
+                    continue
+                pcls = next(iter(pclasses))
+                if pcls == acls:
+                    continue
+                pname = overloads[0][pos]
+                out.append(Finding(
+                    rule="unit-param",
+                    path=path,
+                    line=lineno,
+                    message=(f"call to {name}() passes `{arg.strip()}` ({acls}) "
+                             f"for parameter `{pname}` ({pcls}) — unit domains "
+                             "disagree across the call boundary"),
+                    snippet=idx.sf.raw(lineno),
+                ))
+    return out
+
+
+def run(indexes: dict[Path, FileIndex], root: Path) -> list[Finding]:
+    del root
+    functions: dict[str, list[list[str]]] = {}
+    for idx in indexes.values():
+        for name, overloads in idx.functions.items():
+            functions.setdefault(name, []).extend(overloads)
+    out: list[Finding] = []
+    for path in sorted(indexes):
+        idx = indexes[path]
+        out.extend(_mix_findings(idx, path))
+        out.extend(_param_findings(idx, path, functions))
+    return out

@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 writer for erapid_analyze.
+
+Emits one run with the full rule table in ``tool.driver.rules`` and one
+result per finding. Baselined findings are carried with an ``external``
+suppression (so SARIF viewers show them greyed out rather than dropping
+them), and every result carries the analyzer's stable fingerprint in
+``partialFingerprints`` for cross-revision matching.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from findings import Finding, RULES
+
+SARIF_SCHEMA = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+TOOL_VERSION = "1.0.0"
+INFO_URI = "https://example.invalid/erapid/tools/analyze"
+
+
+def to_sarif(findings: list[Finding], root: Path) -> dict:
+    rule_ids = sorted(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": RULES[f.rule].level,
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.rel(root), "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+            "partialFingerprints": {"erapidAnalyze/v1": f.fingerprint(root)},
+        }
+        if f.baselined:
+            result["suppressions"] = [{
+                "kind": "external",
+                "justification": "recorded in tools/analyze/baseline.json",
+            }]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "erapid-analyze",
+                    "version": TOOL_VERSION,
+                    "informationUri": INFO_URI,
+                    "rules": [{
+                        "id": rid,
+                        "shortDescription": {"text": RULES[rid].short},
+                        "defaultConfiguration": {"level": RULES[rid].level},
+                        "properties": {"family": RULES[rid].family},
+                    } for rid in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": root.resolve().as_uri() + "/"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(findings: list[Finding], root: Path, out_path: Path) -> None:
+    out_path.write_text(json.dumps(to_sarif(findings, root), indent=2) + "\n",
+                        encoding="utf-8")

@@ -50,6 +50,12 @@ import re
 import sys
 from pathlib import Path
 
+# The comment/string-aware lexing layer is shared with erapid_analyze
+# (tools/analyze) — det-lint grew into that suite and both see C++ the
+# same way.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "analyze"))
+from cpp_lexer import strip_comments_and_strings  # noqa: E402
+
 RULES = (
     "unordered-container",
     "nondet-source",
@@ -100,46 +106,6 @@ SWITCH_RE = re.compile(r"(?<!\w)switch\s*\(")
 CASE_SCOPED_RE = re.compile(r"\bcase\s+[\w:]+::\w+\s*:")
 DEFAULT_RE = re.compile(r"(?<!\w)default\s*:")
 UNREACHABLE_AFTER_RE = re.compile(r"ERAPID_UNREACHABLE|__builtin_unreachable|std::unreachable")
-
-
-def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
-    """Blanks out string/char literals, // and /* */ comments (tracking block
-    state across lines) so rules never fire inside them."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end == -1:
-                return "".join(out), True
-            i = end + 2
-            in_block_comment = False
-            continue
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break  # rest is a line comment
-        if c == "/" and i + 1 < n and line[i + 1] == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    i += 1
-                    break
-                i += 1
-            out.append(quote)
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out), in_block_comment
 
 
 class Finding:
@@ -366,6 +332,9 @@ def main(argv: list[str]) -> int:
         return 0
 
     rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    if not rules:
+        print("det-lint: empty rule selection (see --list-rules)", file=sys.stderr)
+        return 2
     unknown = rules - set(RULES)
     if unknown:
         print(f"det-lint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
