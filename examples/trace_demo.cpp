@@ -5,7 +5,7 @@
 //
 //   ./trace_demo [--trace out.trace.json] [--format chrome|csv]
 //                [--boards 4] [--nodes-per-board 4] [--load 0.5] [--seed 1]
-//                [--interval 500] [--events]
+//                [--interval 500] [--events] [--workload allreduce]
 //
 // CI runs this binary as the instrumented smoke simulation and validates
 // the emitted trace with the summarizer.
@@ -14,6 +14,7 @@
 #include "sim/report.hpp"
 #include "sim/simulation.hpp"
 #include "util/cli.hpp"
+#include "workload/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace erapid;
@@ -36,6 +37,22 @@ int main(int argc, char** argv) {
   opts.obs.counter_interval =
       static_cast<CycleDelta>(cli.get_int("interval", 500));
   opts.obs.trace_events = cli.has("events");
+
+  // Optional structured workload (e.g. --workload allreduce): the demo
+  // then traces a completion-bounded collective instead of the fixed
+  // warmup/measure window.
+  if (const auto wl = cli.get("workload")) {
+    const auto kind = workload::parse_kind(*wl);
+    if (!kind) {
+      std::cerr << "unknown workload kind: " << *wl << "\n";
+      return 1;
+    }
+    opts.workload.kind = *kind;
+    opts.workload.episodes = 1;
+    opts.workload.volume_packets = 4;
+    opts.workload.phase_rate = 0.6;
+    opts.workload.horizon_cycles = 200000;
+  }
 
   sim::Simulation simulation(opts);
   const auto result = simulation.run();

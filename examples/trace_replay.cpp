@@ -1,17 +1,20 @@
-// Trace-driven replay: synthesizes a phased application trace (stencil
-// timesteps with a periodic all-to-all transpose — the temporal-locality
-// workload the paper's introduction motivates), saves/loads it through
-// the text trace format, and replays it under the static NP-NB and the
-// power-bandwidth-reconfigured P-B configurations.
+// Trace-driven replay through the workload subsystem: replays an
+// erapid-trace v1 file to delivered-byte completion (workload.kind=trace)
+// under the static NP-NB and the power-bandwidth-reconfigured P-B
+// configurations and compares makespan, latency and power.
 //
-//   ./trace_replay [--steps 40] [--period 800] [--trace /tmp/app.trace]
+// With no --trace argument it synthesizes the phased application the
+// paper's introduction motivates (stencil timesteps with a periodic
+// all-to-all transpose), round-trips it through the on-disk format, and
+// replays that.
+//
+//   ./trace_replay [--trace tests/data/tiny_app.trace] [--boards 4]
+//                  [--nodes 4] [--steps 40] [--period 800] [--json]
 #include <iostream>
 
-#include "des/engine.hpp"
-#include "sim/network.hpp"
-#include "stats/streaming.hpp"
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
 #include "traffic/trace.hpp"
-#include "traffic/trace_source.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -19,91 +22,73 @@ namespace {
 
 using namespace erapid;
 
-struct ReplayResult {
-  std::uint64_t delivered = 0;
-  double latency_avg = 0;
-  double power_avg_mw = 0;
-  std::uint64_t lane_grants = 0;
-  Cycle makespan = 0;
-};
-
-ReplayResult replay(const traffic::Trace& trace, const reconfig::NetworkMode& mode) {
-  topology::SystemConfig cfg;  // R(1,8,8)
-  reconfig::ReconfigConfig rc;
-  rc.mode = mode;
-
-  des::Engine engine;
-  sim::Network net(engine, cfg, rc);
-  stats::Streaming latency;
-  std::uint64_t delivered = 0;
-  Cycle last_delivery = 0;
-  net.set_delivery_callback([&](const router::Packet& p, Cycle now) {
-    ++delivered;
-    latency.add(static_cast<double>(now - p.created));
-    last_delivery = now;
-  });
-  net.start();
-  net.meter().checkpoint(0);
-
-  traffic::TraceReplayer replayer(
-      engine, trace, cfg.packet_flits,
-      [&net](const router::Packet& p, Cycle now) { net.inject(p, now); });
-  replayer.start(/*offset=*/100);
-  engine.run_until(trace.duration() + 400000);  // generous drain horizon
-
-  ReplayResult r;
-  r.delivered = delivered;
-  r.latency_avg = latency.mean();
-  r.power_avg_mw = net.meter().average_mw(engine.now()).value();
-  r.lane_grants = net.reconfig_manager().counters().lane_grants;
-  r.makespan = last_delivery;
-  return r;
+sim::SimResult replay(const sim::SimOptions& base, const reconfig::NetworkMode& mode) {
+  sim::SimOptions o = base;
+  o.reconfig.mode = mode;
+  sim::Simulation s(o);
+  return s.run();
 }
 
 int run(int argc, char** argv) {
   const auto cli = util::Cli::parse(argc, argv);
-  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 40));
-  const auto period = static_cast<Cycle>(cli.get_int("period", 800));
-  const std::string path = cli.get_or("trace", "/tmp/erapid_app.trace");
 
-  topology::SystemConfig cfg;
-  const std::uint32_t N = cfg.num_nodes();
+  sim::SimOptions o;
+  o.system.boards = static_cast<std::uint32_t>(cli.get_int("boards", 8));
+  o.system.nodes_per_board = static_cast<std::uint32_t>(cli.get_int("nodes", 8));
+  o.workload.kind = workload::WorkloadKind::Trace;
+  o.workload.horizon_cycles = 400000;
+  const std::uint32_t N = o.system.num_nodes();
 
-  // Compose the phased application: stencil every `period`, an all-to-all
-  // transpose every 8 timesteps.
-  traffic::Trace app = traffic::make_stencil_trace(N, steps, period);
-  traffic::Trace transpose =
-      traffic::make_alltoall_trace(N, steps / 8, 8 * period, /*stagger=*/4,
-                                   /*start=*/4 * period);
-  for (const auto& e : transpose.events()) app.add(e.cycle, e.src, e.dst);
-  app.finalize(N);
-
-  // Round-trip through the on-disk format.
-  app.save_file(path);
-  const auto loaded = traffic::Trace::load_file(path, N);
-  std::cout << "trace: " << loaded.size() << " events over " << loaded.duration()
-            << " cycles (saved to " << path << ")\n\n";
-
-  const auto np_nb = replay(loaded, reconfig::NetworkMode::np_nb());
-  const auto p_b = replay(loaded, reconfig::NetworkMode::p_b());
-
-  util::TablePrinter t({"mode", "delivered", "avg latency (cyc)", "avg power (mW)",
-                        "lane grants", "makespan (cyc)"});
-  t.row_values("NP-NB", np_nb.delivered, util::TablePrinter::fixed(np_nb.latency_avg, 1),
-               util::TablePrinter::fixed(np_nb.power_avg_mw, 1), np_nb.lane_grants,
-               np_nb.makespan);
-  t.row_values("P-B", p_b.delivered, util::TablePrinter::fixed(p_b.latency_avg, 1),
-               util::TablePrinter::fixed(p_b.power_avg_mw, 1), p_b.lane_grants,
-               p_b.makespan);
-  t.print(std::cout);
-
-  if (np_nb.power_avg_mw > 0) {
-    std::cout << "\nP-B energy saving on this application: "
-              << util::TablePrinter::fixed(
-                     100.0 * (1.0 - p_b.power_avg_mw / np_nb.power_avg_mw), 1)
-              << "%\n";
+  if (const auto trace = cli.get("trace")) {
+    o.workload.trace_file = *trace;
+  } else {
+    // Compose the phased application: stencil every `period`, an
+    // all-to-all transpose every 8 timesteps; round-trip it through the
+    // on-disk format so the example also exercises save/load.
+    const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 40));
+    const auto period = static_cast<Cycle>(cli.get_int("period", 800));
+    const std::string path = cli.get_or("out", "/tmp/erapid_app.trace");
+    traffic::Trace app = traffic::make_stencil_trace(N, steps, period);
+    traffic::Trace transpose =
+        traffic::make_alltoall_trace(N, steps / 8, 8 * period, /*stagger=*/4,
+                                     /*start=*/4 * period);
+    for (const auto& e : transpose.events()) app.add(e.cycle, e.src, e.dst);
+    app.finalize(N);
+    app.save_file(path);
+    o.workload.trace_file = path;
   }
-  return p_b.delivered == np_nb.delivered ? 0 : 2;
+
+  const auto loaded = traffic::Trace::load_file(o.workload.trace_file, N);
+  std::cout << "trace: " << loaded.size() << " events over " << loaded.duration()
+            << " cycles (" << o.workload.trace_file << ")\n\n";
+
+  const auto np_nb = replay(o, reconfig::NetworkMode::np_nb());
+  const auto p_b = replay(o, reconfig::NetworkMode::p_b());
+
+  if (cli.get_bool("json", false)) {
+    // Machine-readable: the P-B report (what the smoke test parses).
+    std::cout << sim::to_json(p_b) << "\n";
+  } else {
+    util::TablePrinter t({"mode", "completed", "delivered", "avg latency (cyc)",
+                          "avg power (mW)", "makespan (cyc)"});
+    for (const auto* r : {&np_nb, &p_b}) {
+      t.row_values(r == &np_nb ? "NP-NB" : "P-B",
+                   r->workload.completed ? "yes" : "NO", r->workload.packets_delivered,
+                   util::TablePrinter::fixed(r->latency_avg, 1),
+                   util::TablePrinter::fixed(r->power_avg_mw, 1), r->end_cycle);
+    }
+    t.print(std::cout);
+
+    if (np_nb.power_avg_mw > 0) {
+      std::cout << "\nP-B energy saving on this application: "
+                << util::TablePrinter::fixed(
+                       100.0 * (1.0 - p_b.power_avg_mw / np_nb.power_avg_mw), 1)
+                << "%\n";
+    }
+  }
+  const bool ok = np_nb.workload.completed && p_b.workload.completed &&
+                  p_b.workload.packets_delivered == np_nb.workload.packets_delivered;
+  return ok ? 0 : 2;
 }
 
 }  // namespace

@@ -24,6 +24,8 @@ MonitorSet::MonitorSet(const MonitorConfig& cfg, bool fail_fast, TraceSink* trac
                  cfg.quiescence_deadline > 0, 0.0, false, 0, 0};
   recovery_ = {"max_recovery_cycles", static_cast<double>(cfg.max_recovery_cycles),
                cfg.max_recovery_cycles > 0, 0.0, false, 0, 0};
+  workload_ = {"workload_deadline", static_cast<double>(cfg.workload_deadline),
+               cfg.workload_deadline > 0, 0.0, false, 0, 0};
 }
 
 void MonitorSet::fire(Check& c, Cycle now, double value) {
@@ -81,6 +83,19 @@ void MonitorSet::finalize(const FinalSample& fin) {
   finalized_ = true;
   check_floor(throughput_, fin.now, fin.accepted_fraction);
   check_ceiling(p99_, fin.now, fin.latency_p99);
+  if (fin.workload_ran) {
+    if (fin.workload_completed) {
+      check_ceiling(workload_, fin.now, static_cast<double>(fin.workload_completion));
+    } else if (workload_.enabled) {
+      // Hit the horizon without completing: no finite makespan can ever
+      // satisfy the deadline, so the end cycle stands in as the worst
+      // value and the check fires unconditionally.
+      const auto value = static_cast<double>(fin.now);
+      if (!workload_.observed || value > workload_.worst) workload_.worst = value;
+      workload_.observed = true;
+      fire(workload_, fin.now, value);
+    }
+  }
   // Re-solves whose grants never settled count as unconverged once the
   // run outlived their deadline (a grant chained on a lane that never
   // went dark, or a run ending mid-reconfiguration).
@@ -94,12 +109,13 @@ void MonitorSet::finalize(const FinalSample& fin) {
 
 std::uint64_t MonitorSet::violations() const {
   return power_.violations + throughput_.violations + p99_.violations +
-         quiescence_.violations + recovery_.violations;
+         quiescence_.violations + recovery_.violations + workload_.violations;
 }
 
 std::vector<std::pair<std::string, std::string>> MonitorSet::report() const {
   std::vector<std::pair<std::string, std::string>> out;
-  const Check* checks[] = {&power_, &throughput_, &p99_, &quiescence_, &recovery_};
+  const Check* checks[] = {&power_,      &throughput_, &p99_,
+                           &quiescence_, &recovery_,   &workload_};
   for (const Check* c : checks) {
     if (!c->enabled) continue;
     std::string v = "{\"threshold\": " + format_trace_value(c->threshold) +

@@ -51,10 +51,14 @@ struct MonitorConfig {
   /// Ceiling on a transient fault's full recovery arc (cycles from a lane
   /// failing to the repaired lane's DBR re-admission grant landing).
   CycleDelta max_recovery_cycles = 0;
+  /// Deadline on completion-bounded workload makespan (cycles). Only
+  /// meaningful on runs with a completion-bounded `workload.kind`; a
+  /// workload that hits its horizon without completing always violates.
+  CycleDelta workload_deadline = 0;
 
   [[nodiscard]] bool any() const {
     return power_cap_mw > 0.0 || throughput_floor > 0.0 || p99_latency_ceiling > 0.0 ||
-           quiescence_deadline > 0 || max_recovery_cycles > 0;
+           quiescence_deadline > 0 || max_recovery_cycles > 0 || workload_deadline > 0;
   }
 };
 
@@ -63,6 +67,11 @@ struct FinalSample {
   Cycle now = 0;
   double accepted_fraction = 0.0;
   double latency_p99 = 0.0;
+  /// True when a completion-bounded workload drove the run (the
+  /// workload_deadline check is skipped otherwise).
+  bool workload_ran = false;
+  bool workload_completed = false;
+  Cycle workload_completion = 0;
 };
 
 /// One run's active checks (see file comment). Owned by the Hub; only
@@ -128,6 +137,7 @@ class MonitorSet {
   Check p99_;
   Check quiescence_;
   Check recovery_;
+  Check workload_;
 
   /// Reconfigure-stage cycles of re-solves whose grants are still
   /// outstanding (settled ones are removed; leftovers are judged against

@@ -276,27 +276,31 @@ units::MilliwattCycles OpticalTerminal::active_energy_mw_cycles() const {
 
 void OpticalTerminal::TxSink::receive_flit(const router::Flit& f, std::uint32_t vc,
                                            Cycle now) {
-  auto& buf = assembly_[vc];
-  ERAPID_EXPECT(f.index == buf.size(), "flit order broken in TX reassembly");
-  buf.push_back(f);
+  ERAPID_EXPECT(f.index == expect_[vc], "flit order broken in TX reassembly");
+  expect_[vc] = f.tail ? 0 : f.index + 1;
+  assembly_[vc].push_back(f);
   if (f.tail) try_commit(vc, now);
 }
 
 void OpticalTerminal::TxSink::try_commit(std::uint32_t vc, Cycle now) {
   auto& buf = assembly_[vc];
-  if (buf.empty() || !buf.back().tail) return;
-  auto& flow = t_.flows_[dest_.value()];
-  if (flow.q.size() >= t_.cfg_.tx_queue_packets) {
-    blocked_[vc] = true;  // retried when the queue drains
-    return;
+  // Commit every complete packet parked at the front of the buffer; short
+  // packets (under the credit window) can queue up behind a blocked one.
+  while (!buf.empty()) {
+    const std::uint32_t len = buf.front().packet_flits;
+    if (buf.size() < len || !buf[len - 1].tail) return;  // partial tail packet
+    auto& flow = t_.flows_[dest_.value()];
+    if (flow.q.size() >= t_.cfg_.tx_queue_packets) {
+      blocked_[vc] = true;  // retried when the queue drains
+      return;
+    }
+    blocked_[vc] = false;
+    const router::Packet p = router::packet_from_flit(buf[len - 1]);
+    buf.erase(buf.begin(), buf.begin() + len);
+    // Return the VC's credits now that the packet left the reassembly stage.
+    for (std::uint32_t i = 0; i < len; ++i) t_.router_.return_credit(out_port_, vc);
+    t_.enqueue_packet(dest_, p, now);
   }
-  blocked_[vc] = false;
-  const auto credits = static_cast<std::uint32_t>(buf.size());
-  const router::Packet p = router::packet_from_flit(buf.back());
-  buf.clear();
-  // Return the VC's credits now that the packet left the reassembly stage.
-  for (std::uint32_t i = 0; i < credits; ++i) t_.router_.return_credit(out_port_, vc);
-  t_.enqueue_packet(dest_, p, now);
 }
 
 void OpticalTerminal::TxSink::retry_blocked(Cycle now) {

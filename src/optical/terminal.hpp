@@ -135,11 +135,14 @@ class OpticalTerminal {
   void set_wake_level(power::PowerLevel l) { wake_level_ = l; }
 
  private:
-  /// Reassembles router flits back into packets for one destination.
+  /// Reassembles router flits back into packets for one destination. The
+  /// per-VC buffer may hold several complete packets (short packets commit
+  /// one at a time, blocking on a full transmit queue) plus at most one
+  /// partial tail packet; each flit's `packet_flits` field delimits them.
   class TxSink : public router::FlitReceiver {
    public:
     TxSink(OpticalTerminal& t, BoardId dest, std::uint32_t vcs)
-        : t_(t), dest_(dest), assembly_(vcs), blocked_(vcs, false) {}
+        : t_(t), dest_(dest), assembly_(vcs), blocked_(vcs, false), expect_(vcs, 0) {}
     void bind(std::uint32_t out_port) { out_port_ = out_port; }
     void receive_flit(const router::Flit& f, std::uint32_t vc, Cycle now) override;
     /// Retries commits that were blocked on a full transmit queue.
@@ -153,6 +156,8 @@ class OpticalTerminal {
     std::uint32_t out_port_ = 0;
     std::vector<std::vector<router::Flit>> assembly_;
     std::vector<bool> blocked_;
+    /// Next in-packet flit index owed on each VC (0 = expecting a head).
+    std::vector<std::uint32_t> expect_;
   };
 
   struct Flow {

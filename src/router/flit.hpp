@@ -23,6 +23,9 @@ struct Packet {
   Cycle created = 0;         ///< generation time (enters source queue)
   Cycle injected = kNeverCycle;  ///< first flit entered the router
   bool labelled = false;     ///< sampled during the measurement interval
+  /// Originating tenant for multi-tenant workloads (0 for single-tenant
+  /// traffic) — delivery accounting attributes bytes per tenant by it.
+  std::uint32_t tenant = 0;
   /// Link-level ARQ retransmission count. Lives only on the optical hop
   /// (TX queue → RX CRC check) — deliberately NOT carried by flits, since a
   /// packet that clears the CRC is done retrying by the time it is flitized.
@@ -42,6 +45,7 @@ struct Flit {
   Cycle created = 0;
   Cycle injected = kNeverCycle;
   bool labelled = false;
+  std::uint32_t tenant = 0;
 };
 
 /// Splits packet `p` into its i-th flit.
@@ -57,6 +61,7 @@ struct Flit {
   f.created = p.created;
   f.injected = p.injected;
   f.labelled = p.labelled;
+  f.tenant = p.tenant;
   return f;
 }
 
@@ -70,6 +75,7 @@ struct Flit {
   p.created = f.created;
   p.injected = f.injected;
   p.labelled = f.labelled;
+  p.tenant = f.tenant;
   return p;
 }
 

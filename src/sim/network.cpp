@@ -131,6 +131,11 @@ void Network::start(Cycle /*now*/) {
 }
 
 void Network::inject(const router::Packet& p, Cycle now) {
+  // The TX reassembly credit window holds exactly cfg.packet_flits flits
+  // per VC, so a longer packet could never finish crossing the router.
+  ERAPID_EXPECT(p.flits >= 1 && p.flits <= cfg_.packet_flits,
+                "packet of " << p.flits << " flits exceeds the system packet length ("
+                             << cfg_.packet_flits << ")");
   nis_[p.src.value()]->submit(p, now);
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/expect.hpp"
+#include "workload/spec.hpp"
 
 namespace erapid::sim {
 
@@ -56,6 +57,19 @@ const std::set<std::string>& known_keys() {
       "workload.warmup_cycles",
       "workload.measure_cycles",
       "workload.drain_limit",
+      "workload.kind",
+      "workload.episodes",
+      "workload.volume_packets",
+      "workload.phase_rate",
+      "workload.gap_cycles",
+      "workload.phases",
+      "workload.tenants",
+      "workload.tenant_load",
+      "workload.tenant_mix",
+      "workload.session_cycles",
+      "workload.session_gap_mean",
+      "workload.horizon_cycles",
+      "workload.trace_file",
       "obs.enabled",
       "obs.trace",
       "obs.trace_format",
@@ -67,6 +81,7 @@ const std::set<std::string>& known_keys() {
       "monitor.p99_latency_ceiling",
       "monitor.quiescence_deadline",
       "monitor.max_recovery_cycles",
+      "monitor.workload_deadline",
   };
   return keys;
 }
@@ -176,6 +191,36 @@ SimOptions options_from_ini(const util::Ini& ini) {
   o.drain_limit =
       static_cast<Cycle>(ini.get_int("workload.drain_limit", static_cast<long>(o.drain_limit)));
 
+  auto& wl = o.workload;
+  if (const auto kind = ini.get("workload.kind")) {
+    const auto parsed = workload::parse_kind(*kind);
+    ERAPID_EXPECT(parsed.has_value(), "unknown workload.kind: '" + *kind + "'");
+    wl.kind = *parsed;
+  }
+  wl.episodes = u32("workload.episodes", wl.episodes);
+  wl.volume_packets = u32("workload.volume_packets", wl.volume_packets);
+  wl.phase_rate = ini.get_double("workload.phase_rate", wl.phase_rate);
+  wl.gap_cycles = static_cast<CycleDelta>(
+      ini.get_int("workload.gap_cycles", static_cast<long>(wl.gap_cycles)));
+  if (const auto phases = ini.get("workload.phases")) {
+    wl.phases = workload::parse_phase_specs(*phases);
+  }
+  wl.tenants = u32("workload.tenants", wl.tenants);
+  wl.tenant_load = ini.get_double("workload.tenant_load", wl.tenant_load);
+  if (const auto mix = ini.get("workload.tenant_mix")) {
+    wl.tenant_mix = workload::parse_pattern_mix(*mix);
+  }
+  wl.session_cycles = static_cast<CycleDelta>(
+      ini.get_int("workload.session_cycles", static_cast<long>(wl.session_cycles)));
+  wl.session_gap_mean = static_cast<CycleDelta>(
+      ini.get_int("workload.session_gap_mean", static_cast<long>(wl.session_gap_mean)));
+  wl.horizon_cycles = static_cast<Cycle>(
+      ini.get_int("workload.horizon_cycles", static_cast<long>(wl.horizon_cycles)));
+  if (const auto trace = ini.get("workload.trace_file")) wl.trace_file = *trace;
+  // Cross-field validation (kind vs phases/trace_file, ranges) — rejects a
+  // bad sweep config at parse time, before any simulation runs.
+  wl.validate();
+
   o.obs.enabled = ini.get_bool("obs.enabled", o.obs.enabled);
   if (const auto trace = ini.get("obs.trace")) o.obs.trace_path = *trace;
   if (const auto fmt = ini.get("obs.trace_format")) {
@@ -208,6 +253,11 @@ SimOptions options_from_ini(const util::Ini& ini) {
   ERAPID_EXPECT(recovery_cap >= 0,
                 "monitor.max_recovery_cycles must be non-negative, got " << recovery_cap);
   mon.max_recovery_cycles = static_cast<CycleDelta>(recovery_cap);
+  const long wl_deadline = ini.get_int("monitor.workload_deadline",
+                                       static_cast<long>(mon.workload_deadline));
+  ERAPID_EXPECT(wl_deadline >= 0,
+                "monitor.workload_deadline must be non-negative, got " << wl_deadline);
+  mon.workload_deadline = static_cast<CycleDelta>(wl_deadline);
   ERAPID_EXPECT(mon.power_cap_mw >= 0.0 && mon.throughput_floor >= 0.0 &&
                     mon.p99_latency_ceiling >= 0.0,
                 "monitor.* thresholds must be non-negative");
@@ -270,6 +320,24 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("workload.warmup_cycles", o.warmup_cycles);
   set("workload.measure_cycles", o.measure_cycles);
   set("workload.drain_limit", o.drain_limit);
+  set("workload.kind", workload::kind_name(o.workload.kind));
+  set("workload.episodes", o.workload.episodes);
+  set("workload.volume_packets", o.workload.volume_packets);
+  set("workload.phase_rate", o.workload.phase_rate);
+  set("workload.gap_cycles", o.workload.gap_cycles);
+  // Conditional keys mirror their parse-side validity constraints (phases
+  // iff kind = phases, trace_file iff kind = trace) so every serialized
+  // config re-validates cleanly.
+  if (!o.workload.phases.empty()) {
+    set("workload.phases", workload::format_phase_specs(o.workload.phases));
+  }
+  set("workload.tenants", o.workload.tenants);
+  set("workload.tenant_load", o.workload.tenant_load);
+  set("workload.tenant_mix", workload::format_pattern_mix(o.workload.tenant_mix));
+  set("workload.session_cycles", o.workload.session_cycles);
+  set("workload.session_gap_mean", o.workload.session_gap_mean);
+  set("workload.horizon_cycles", o.workload.horizon_cycles);
+  if (!o.workload.trace_file.empty()) set("workload.trace_file", o.workload.trace_file);
   set("obs.enabled", o.obs.enabled ? "true" : "false");
   if (!o.obs.trace_path.empty()) set("obs.trace", o.obs.trace_path);
   set("obs.trace_format", o.obs.trace_format);
@@ -284,6 +352,7 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("monitor.p99_latency_ceiling", o.obs.monitors.p99_latency_ceiling);
   set("monitor.quiescence_deadline", o.obs.monitors.quiescence_deadline);
   set("monitor.max_recovery_cycles", o.obs.monitors.max_recovery_cycles);
+  set("monitor.workload_deadline", o.obs.monitors.workload_deadline);
   return ini;
 }
 

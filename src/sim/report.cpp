@@ -108,6 +108,38 @@ std::string to_json(const SimResult& r, int indent) {
     f.field("frozen_windows", r.fault.frozen_windows);
     o.raw_field("fault", f.str());
   }
+  // Same byte-compatibility rule for workloads: legacy Bernoulli runs carry
+  // no workload block and serialize identically to pre-workload builds.
+  if (r.workload.active()) {
+    JsonObject w(indent + 2);
+    w.field("kind", r.workload.kind);
+    w.field("completed", r.workload.completed);
+    w.field("completion_cycle", r.workload.completion_cycle);
+    w.field("phases_total", r.workload.phases_total);
+    w.field("phases_completed", r.workload.phases_completed);
+    w.field("episodes_total", r.workload.episodes_total);
+    w.field("episodes_completed", r.workload.episodes_completed);
+    w.field("worst_phase_cycles", r.workload.worst_phase_cycles);
+    w.field("worst_episode_cycles", r.workload.worst_episode_cycles);
+    w.field("packets_injected", r.workload.packets_injected);
+    w.field("packets_delivered", r.workload.packets_delivered);
+    w.field("packets_dead", r.workload.packets_dead);
+    w.field("bytes_delivered", r.workload.bytes_delivered);
+    w.field("tenants", r.workload.tenants);
+    w.field("sessions_started", r.workload.sessions_started);
+    w.field("sessions_completed", r.workload.sessions_completed);
+    if (!r.workload.tenant_delivered_bytes.empty()) {
+      std::string arr = "[";
+      bool first = true;
+      for (const std::uint64_t b : r.workload.tenant_delivered_bytes) {
+        arr += (first ? "" : ", ") + std::to_string(b);
+        first = false;
+      }
+      arr += "]";
+      w.raw_field("tenant_delivered_bytes", arr);
+    }
+    o.raw_field("workload", w.str());
+  }
   // Same byte-compatibility rule for observability: the snapshot block only
   // appears when a run carried a live metrics registry.
   if (!r.metrics.empty()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/probe.hpp"
+#include "workload/collectives.hpp"
+#include "workload/hpc_kernels.hpp"
 
 namespace erapid::sim {
 
@@ -12,6 +14,9 @@ Simulation::Simulation(const SimOptions& opts)
       pattern_(opts.pattern, opts.system.num_nodes(), opts.hotspot_fraction,
                NodeId{opts.hotspot_node}),
       capacity_(topology::CapacityModel(opts.system).uniform_capacity()) {
+  // Programmatically built SimOptions get the same cross-field validation
+  // as INI-loaded ones.
+  opts_.workload.validate();
 #if !defined(ERAPID_NO_OBS)
   // With obs off the hub stays null and every probe site reduces to one
   // branch: the event stream (and golden fixture) is untouched.
@@ -50,8 +55,16 @@ Simulation::Simulation(const SimOptions& opts)
       std::move(terminals), opts_.fault, hub_.get(), std::move(receivers));
   injector_->arm();
 
-  network_->set_dead_letter_callback([this](const router::Packet& p, Cycle) {
+  network_->set_dead_letter_callback([this](const router::Packet& p, Cycle now) {
     if (p.labelled) ++labelled_dead_;
+    // Abandoned packets count as resolved for workload completion —
+    // otherwise one ARQ exhaustion would deadlock the phase machine.
+    if (phase_driver_ != nullptr) phase_driver_->on_dead_letter(p, now);
+    if (replayer_ != nullptr && !trace_done_ && replayer_->done() &&
+        labelled_delivered_ + labelled_dead_ >= labelled_generated_) {
+      trace_done_ = true;
+      trace_completion_ = now;
+    }
   });
 
   // Upper edge must exceed post-saturation latencies (complement on a
@@ -70,22 +83,107 @@ Simulation::Simulation(const SimOptions& opts)
       ERAPID_OBSERVE(hub_.get(), m_latency_, lat);
       ERAPID_OBSERVE(hub_.get(), m_latency_hist_, lat);
     }
+    if (phase_driver_ != nullptr) phase_driver_->on_delivered(p, now);
+    if (fleet_ != nullptr) fleet_->on_delivered(p, now);
+    if (replayer_ != nullptr && !trace_done_ && replayer_->done() &&
+        labelled_delivered_ + labelled_dead_ >= labelled_generated_) {
+      trace_done_ = true;
+      trace_completion_ = now;
+    }
   });
 
   util::Rng master(opts_.seed);
-  sources_.reserve(opts_.system.num_nodes());
-  for (std::uint32_t n = 0; n < opts_.system.num_nodes(); ++n) {
-    const NodeId node{n};
-    sources_.push_back(std::make_unique<traffic::NodeSource>(
-        engine_, pattern_, node, opts_.system.packet_flits, master.fork(),
-        [this](const router::Packet& p, Cycle now) {
-          if (p.labelled) ++labelled_generated_;
-          network_->inject(p, now);
-        }));
+  const std::uint32_t num_nodes = opts_.system.num_nodes();
+  auto inject = [this](const router::Packet& p, Cycle now) {
+    if (p.labelled) ++labelled_generated_;
+    network_->inject(p, now);
+  };
+  const auto& wl = opts_.workload;
+  switch (wl.kind) {
+    case workload::WorkloadKind::Bernoulli: {
+      sources_.reserve(num_nodes);
+      for (std::uint32_t n = 0; n < num_nodes; ++n) {
+        sources_.push_back(std::make_unique<traffic::NodeSource>(
+            engine_, pattern_, NodeId{n}, opts_.system.packet_flits, master.fork(),
+            inject));
+      }
+      break;
+    }
+    case workload::WorkloadKind::Tenants: {
+      workload::TenantFleetConfig tc;
+      tc.num_nodes = num_nodes;
+      tc.tenants = wl.tenants;
+      tc.packet_flits = opts_.system.packet_flits;
+      tc.flit_bytes = opts_.system.flit_bits / 8;
+      tc.session_rate_pkt_cycle = wl.tenant_load * capacity_ * num_nodes;
+      tc.session_cycles = wl.session_cycles;
+      tc.session_gap_mean = wl.session_gap_mean;
+      tc.hotspot_fraction = opts_.hotspot_fraction;
+      tc.hotspot_node = opts_.hotspot_node;
+      fleet_ = std::make_unique<workload::TenantFleet>(engine_, tc, wl.tenant_mix, master,
+                                                       inject, hub_.get());
+      break;
+    }
+    case workload::WorkloadKind::Trace: {
+      trace_ = std::make_unique<traffic::Trace>(
+          traffic::Trace::load_file(wl.trace_file, num_nodes));
+      replayer_ = std::make_unique<traffic::TraceReplayer>(
+          engine_, *trace_, opts_.system.packet_flits, inject);
+      // Every replayed packet is labelled: completion is detected through
+      // the labelled-delivery accounting.
+      replayer_->set_label_window(0, kNeverCycle);
+      break;
+    }
+    default: {
+      workload::PhaseEngineConfig pc;
+      pc.num_nodes = num_nodes;
+      pc.default_packet_flits = opts_.system.packet_flits;
+      pc.flit_bytes = opts_.system.flit_bits / 8;
+      pc.seed = opts_.seed;
+      phase_driver_ = std::make_unique<workload::PhaseEngine>(
+          engine_, build_schedule(), pc, inject, hub_.get());
+      break;
+    }
   }
 }
 
+workload::Schedule Simulation::build_schedule() const {
+  const auto& wl = opts_.workload;
+  const std::uint32_t n = opts_.system.num_nodes();
+  const double rate = wl.phase_rate * capacity_;
+  switch (wl.kind) {
+    case workload::WorkloadKind::AllReduce:
+      return workload::make_allreduce(n, wl.volume_packets, rate, wl.episodes);
+    case workload::WorkloadKind::AllToAll:
+      return workload::make_alltoall(n, wl.volume_packets, rate, wl.episodes);
+    case workload::WorkloadKind::Phases:
+      return workload::make_phase_schedule(wl.phases, n, capacity_, wl.phase_rate,
+                                           wl.episodes, opts_.hotspot_fraction,
+                                           opts_.hotspot_node);
+    case workload::WorkloadKind::Ptrans:
+      return workload::make_ptrans(n, wl.volume_packets, rate, wl.episodes, wl.gap_cycles);
+    case workload::WorkloadKind::Fft:
+      return workload::make_fft(n, wl.volume_packets, rate, wl.episodes);
+    case workload::WorkloadKind::RandomAccess:
+      return workload::make_randomaccess(n, wl.volume_packets, rate, wl.episodes);
+    case workload::WorkloadKind::Beff:
+      return workload::make_beff(n, wl.volume_packets, rate, wl.episodes,
+                                 opts_.system.packet_flits);
+    case workload::WorkloadKind::Bernoulli:
+    case workload::WorkloadKind::Tenants:
+    case workload::WorkloadKind::Trace:
+      break;
+  }
+  ERAPID_UNREACHABLE("no phase schedule for workload kind '"
+                     << workload::kind_name(opts_.workload.kind) << "'");
+}
+
 SimResult Simulation::run() {
+  if (opts_.workload.completion_bounded()) return run_completion_bounded();
+  return run_open_loop();
+}
+
+SimResult Simulation::run_open_loop() {
   SimResult r;
   r.capacity_pkt_node_cycle = capacity_;
   r.offered_fraction = opts_.load_fraction;
@@ -94,6 +192,7 @@ SimResult Simulation::run() {
   network_->start();
   const double rate = r.offered_pkt_node_cycle;
   for (auto& s : sources_) s->start(rate);
+  if (fleet_ != nullptr) fleet_->start();
 #if !defined(ERAPID_NO_OBS)
   if (recorder_ != nullptr) recorder_->start();
 #endif
@@ -110,12 +209,14 @@ SimResult Simulation::run() {
   const units::MilliwattCycles active_energy_start = network_->active_energy_mw_cycles();
   in_measurement_ = true;
   for (auto& s : sources_) s->set_labelling(true);
+  if (fleet_ != nullptr) fleet_->set_labelling(true);
 
   const Cycle measure_end = opts_.warmup_cycles + opts_.measure_cycles;
   engine_.run_until(measure_end);
 
   in_measurement_ = false;
   for (auto& s : sources_) s->set_labelling(false);
+  if (fleet_ != nullptr) fleet_->set_labelling(false);
   r.power_avg_mw = network_->meter().average_mw(engine_.now()).value();
   r.active_power_avg_mw =
       units::average_power(network_->active_energy_mw_cycles() - active_energy_start,
@@ -134,6 +235,7 @@ SimResult Simulation::run() {
   r.drained = labelled_delivered_ + labelled_dead_ >= labelled_generated_;
 
   for (auto& s : sources_) s->stop();
+  if (fleet_ != nullptr) fleet_->stop();
 
   // ---- metrics ----
   const auto nodes = static_cast<double>(opts_.system.num_nodes());
@@ -149,6 +251,7 @@ SimResult Simulation::run() {
 
   std::uint64_t generated = 0;
   for (const auto& s : sources_) generated += s->generated();
+  if (fleet_ != nullptr) generated += fleet_->generated();
   r.packets_generated = generated;
   r.packets_delivered_measured = delivered_measured_;
   r.labelled_generated = labelled_generated_;
@@ -156,9 +259,18 @@ SimResult Simulation::run() {
   r.end_cycle = engine_.now();
   r.control = network_->reconfig_manager().counters();
   r.fault = injector_->stats();
+  if (fleet_ != nullptr) r.workload = fleet_->stats();
 #if !defined(ERAPID_NO_OBS)
   if (hub_ != nullptr) {
     if (recorder_ != nullptr) recorder_->stop();
+    if (fleet_ != nullptr) {
+      // Per-tenant delivered-bytes distribution (one sample per tenant,
+      // tenant order — deterministic).
+      const obs::MetricId id = hub_->metrics().series("workload.tenant_bytes");
+      for (const std::uint64_t b : r.workload.tenant_delivered_bytes) {
+        hub_->metrics().observe(id, static_cast<double>(b));
+      }
+    }
     // Finalize the monitors before the snapshot so the monitor.violations
     // counter covers the end-of-run checks too.
     if (auto* mon = hub_->monitors()) {
@@ -166,6 +278,102 @@ SimResult Simulation::run() {
       fin.now = engine_.now();
       fin.accepted_fraction = r.accepted_fraction;
       fin.latency_p99 = r.latency_p99;
+      mon->finalize(fin);
+      r.monitors = mon->report();
+      r.monitor_violations = mon->violations();
+    }
+    r.metrics = hub_->metrics().snapshot(engine_.now());
+    hub_->close(engine_.now());
+  }
+#endif
+  return r;
+}
+
+SimResult Simulation::run_completion_bounded() {
+  SimResult r;
+  r.capacity_pkt_node_cycle = capacity_;
+  // Offered load of a completion-bounded workload is its injection pace.
+  r.offered_fraction = opts_.workload.phase_rate;
+  r.offered_pkt_node_cycle = opts_.workload.phase_rate * capacity_;
+
+  network_->start();
+#if !defined(ERAPID_NO_OBS)
+  if (recorder_ != nullptr) recorder_->start();
+#endif
+  network_->meter().checkpoint(engine_.now());
+  const units::MilliwattCycles active_energy_start = network_->active_energy_mw_cycles();
+  in_measurement_ = true;
+  ERAPID_TRACE_INSTANT(hub_.get(), hub_->track_engine(), "phase.workload", engine_.now(),
+                       "");
+
+  if (phase_driver_ != nullptr) phase_driver_->start();
+  if (replayer_ != nullptr) replayer_->start();
+
+  // ---- run to delivered-byte completion (or the horizon cap) ----
+  const Cycle horizon = opts_.workload.horizon_cycles;
+  const auto done = [this] {
+    return phase_driver_ != nullptr ? phase_driver_->done() : trace_done_;
+  };
+  while (!done() && engine_.now() < horizon) {
+    engine_.run_until(std::min<Cycle>(engine_.now() + 1000, horizon));
+  }
+  in_measurement_ = false;
+
+  if (phase_driver_ != nullptr) {
+    r.workload = phase_driver_->stats();
+    r.workload.kind = std::string(workload::kind_name(opts_.workload.kind));
+  } else {
+    r.workload.kind = std::string(workload::kind_name(workload::WorkloadKind::Trace));
+    r.workload.packets_injected = replayer_->injected();
+    r.workload.packets_delivered = labelled_delivered_;
+    r.workload.packets_dead = labelled_dead_;
+    r.workload.bytes_delivered = labelled_delivered_ *
+                                 static_cast<std::uint64_t>(opts_.system.packet_flits) *
+                                 (opts_.system.flit_bits / 8);
+    r.workload.completed = trace_done_;
+    r.workload.completion_cycle = trace_completion_;
+  }
+  r.drained = r.workload.completed;
+
+  // ---- metrics: accepted throughput over the makespan ----
+  const auto nodes = static_cast<double>(opts_.system.num_nodes());
+  const Cycle makespan =
+      r.workload.completed ? r.workload.completion_cycle : engine_.now();
+  const double window = std::max<double>(1.0, static_cast<double>(makespan));
+  r.accepted_pkt_node_cycle = static_cast<double>(delivered_measured_) / (nodes * window);
+  r.accepted_fraction = r.accepted_pkt_node_cycle / capacity_;
+  r.power_avg_mw = network_->meter().average_mw(engine_.now()).value();
+  r.active_power_avg_mw =
+      units::average_power(network_->active_energy_mw_cycles() - active_energy_start,
+                           std::max<double>(1.0, static_cast<double>(engine_.now())))
+          .value();
+
+  r.latency_avg = latency_.mean();
+  r.latency_p50 = latency_hist_->quantile(0.50);
+  r.latency_p95 = latency_hist_->quantile(0.95);
+  r.latency_p99 = latency_hist_->quantile(0.99);
+  r.latency_max = latency_.max();
+
+  r.packets_generated = r.workload.packets_injected;
+  r.packets_delivered_measured = delivered_measured_;
+  r.labelled_generated = labelled_generated_;
+  r.labelled_delivered = labelled_delivered_;
+  // The run *ends* at completion; engine_.now() overshoots to the next
+  // 1000-cycle polling boundary, which is a harness artifact, not a result.
+  r.end_cycle = makespan;
+  r.control = network_->reconfig_manager().counters();
+  r.fault = injector_->stats();
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr) {
+    if (recorder_ != nullptr) recorder_->stop();
+    if (auto* mon = hub_->monitors()) {
+      obs::FinalSample fin;
+      fin.now = engine_.now();
+      fin.accepted_fraction = r.accepted_fraction;
+      fin.latency_p99 = r.latency_p99;
+      fin.workload_ran = true;
+      fin.workload_completed = r.workload.completed;
+      fin.workload_completion = r.workload.completion_cycle;
       mon->finalize(fin);
       r.monitors = mon->report();
       r.monitor_violations = mon->violations();

@@ -24,6 +24,12 @@
 #include "topology/capacity.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/patterns.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/trace_source.hpp"
+#include "workload/phase.hpp"
+#include "workload/spec.hpp"
+#include "workload/stats.hpp"
+#include "workload/tenants.hpp"
 
 namespace erapid::sim {
 
@@ -54,6 +60,10 @@ struct SimOptions {
   /// by default: the run is byte-identical to a build without the obs
   /// subsystem.
   obs::ObsConfig obs;
+  /// Structured workload (the extended `workload.*` section). The default
+  /// kind (bernoulli) keeps the legacy open-loop traffic path and a
+  /// byte-identical report.
+  workload::WorkloadSpec workload;
 };
 
 /// Results of one run.
@@ -100,6 +110,9 @@ struct SimResult {
   std::vector<std::pair<std::string, std::string>> monitors;
   /// Total monitor violations across all checks (0 with none configured).
   std::uint64_t monitor_violations = 0;
+  /// Structured-workload accounting; inactive (kind empty, no report
+  /// block) on legacy Bernoulli runs.
+  workload::WorkloadStats workload;
   /// True when monitors ran and every configured check held.
   [[nodiscard]] bool monitors_ok() const {
     return monitor_violations == 0;
@@ -111,7 +124,10 @@ class Simulation {
  public:
   explicit Simulation(const SimOptions& opts);
 
-  /// Runs warmup → measurement → drain and returns the metrics.
+  /// Runs the configured workload and returns the metrics. Open-loop
+  /// kinds (bernoulli, tenants) follow the paper's warmup → measurement →
+  /// drain methodology; completion-bounded kinds run until delivered-byte
+  /// completion (or workload.horizon_cycles).
   SimResult run();
 
   // Exposed for tests and custom experiment loops.
@@ -124,6 +140,13 @@ class Simulation {
   [[nodiscard]] obs::Hub* hub() { return hub_.get(); }
 
  private:
+  /// Open-loop body shared by the bernoulli and tenants kinds.
+  SimResult run_open_loop();
+  /// Completion-bounded body (collectives, kernels, phases, trace).
+  SimResult run_completion_bounded();
+  /// Builds the phase schedule for the configured completion-bounded kind.
+  [[nodiscard]] workload::Schedule build_schedule() const;
+
   SimOptions opts_;
   des::Engine engine_;
   std::unique_ptr<obs::Hub> hub_;
@@ -132,6 +155,10 @@ class Simulation {
   std::unique_ptr<fault::FaultInjector> injector_;
   traffic::TrafficPattern pattern_;
   std::vector<std::unique_ptr<traffic::NodeSource>> sources_;
+  std::unique_ptr<workload::PhaseEngine> phase_driver_;
+  std::unique_ptr<workload::TenantFleet> fleet_;
+  std::unique_ptr<traffic::Trace> trace_;
+  std::unique_ptr<traffic::TraceReplayer> replayer_;
   double capacity_;
 
   // Measurement state.
@@ -144,6 +171,9 @@ class Simulation {
   /// them (they can never arrive).
   std::uint64_t labelled_dead_ = 0;
   bool in_measurement_ = false;
+  /// Trace-replay completion bookkeeping (kind = trace only).
+  bool trace_done_ = false;
+  Cycle trace_completion_ = 0;
   obs::MetricId m_latency_ = 0;
   obs::MetricId m_latency_hist_ = 0;
   obs::MetricId m_delivered_ = 0;

@@ -1,0 +1,100 @@
+#include "workload/collectives.hpp"
+
+#include <memory>
+#include <string>
+
+#include "traffic/patterns.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::workload {
+
+namespace {
+
+/// Phase name "<label>.e<episode>.s<step>" — stable across runs, useful in
+/// contract diagnostics.
+std::string phase_label(const char* label, std::uint32_t episode, std::uint32_t step) {
+  return std::string(label) + ".e" + std::to_string(episode) + ".s" + std::to_string(step);
+}
+
+}  // namespace
+
+Schedule make_allreduce(std::uint32_t num_nodes, std::uint32_t chunk_packets,
+                        double rate_pkt_node_cycle, std::uint32_t episodes) {
+  ERAPID_EXPECT(num_nodes >= 2, "allreduce needs >= 2 nodes");
+  ERAPID_EXPECT(chunk_packets >= 1 && episodes >= 1 && rate_pkt_node_cycle > 0.0,
+                "allreduce needs positive volume, episodes and rate");
+  Schedule s;
+  const std::uint32_t steps = 2 * (num_nodes - 1);
+  s.phases_per_episode = steps;
+  s.phases.reserve(static_cast<std::size_t>(steps) * episodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    for (std::uint32_t step = 0; step < steps; ++step) {
+      PhaseDef p;
+      p.name = phase_label(step < num_nodes - 1 ? "allreduce.rs" : "allreduce.ag", e, step);
+      p.volume_packets = chunk_packets;
+      p.rate_pkt_node_cycle = rate_pkt_node_cycle;
+      // Every ring step sends this node's current chunk to the next rank.
+      p.destination = [num_nodes](NodeId src, util::Rng&) {
+        return NodeId{(src.value() + 1) % num_nodes};
+      };
+      s.phases.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+Schedule make_alltoall(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                       double rate_pkt_node_cycle, std::uint32_t episodes) {
+  ERAPID_EXPECT(num_nodes >= 2, "alltoall needs >= 2 nodes");
+  ERAPID_EXPECT(volume_packets >= 1 && episodes >= 1 && rate_pkt_node_cycle > 0.0,
+                "alltoall needs positive volume, episodes and rate");
+  Schedule s;
+  const std::uint32_t steps = num_nodes - 1;
+  s.phases_per_episode = steps;
+  s.phases.reserve(static_cast<std::size_t>(steps) * episodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    for (std::uint32_t step = 1; step <= steps; ++step) {
+      PhaseDef p;
+      p.name = phase_label("alltoall", e, step - 1);
+      p.volume_packets = volume_packets;
+      p.rate_pkt_node_cycle = rate_pkt_node_cycle;
+      p.destination = [num_nodes, step](NodeId src, util::Rng&) {
+        return NodeId{(src.value() + step) % num_nodes};
+      };
+      s.phases.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+Schedule make_phase_schedule(const std::vector<PhaseSpec>& specs, std::uint32_t num_nodes,
+                             double capacity_pkt_node_cycle, double default_rate_fraction,
+                             std::uint32_t episodes, double hotspot_fraction,
+                             std::uint32_t hotspot_node) {
+  ERAPID_EXPECT(!specs.empty(), "phase schedule needs at least one phase");
+  ERAPID_EXPECT(episodes >= 1 && capacity_pkt_node_cycle > 0.0 && default_rate_fraction > 0.0,
+                "phase schedule needs positive episodes, capacity and default rate");
+  Schedule s;
+  s.phases_per_episode = static_cast<std::uint32_t>(specs.size());
+  s.phases.reserve(specs.size() * episodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    std::uint32_t step = 0;
+    for (const PhaseSpec& spec : specs) {
+      PhaseDef p;
+      p.name = phase_label(traffic::pattern_name(spec.pattern).data(), e, step++);
+      p.volume_packets = spec.volume_packets;
+      p.rate_pkt_node_cycle =
+          (spec.rate > 0.0 ? spec.rate : default_rate_fraction) * capacity_pkt_node_cycle;
+      p.gap_after = spec.gap_after;
+      auto pattern = std::make_shared<traffic::TrafficPattern>(
+          spec.pattern, num_nodes, hotspot_fraction, NodeId{hotspot_node});
+      p.destination = [pattern](NodeId src, util::Rng& rng) {
+        return pattern->destination(src, rng);
+      };
+      s.phases.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+}  // namespace erapid::workload

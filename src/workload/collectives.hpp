@@ -1,0 +1,42 @@
+// ML collective schedules (the episode model of MLNetwork-style traffic).
+//
+// Each builder unrolls `episodes` iterations of one collective into a flat
+// phase Schedule for the PhaseEngine:
+//
+//   ring all-reduce   2(N-1) steps/episode, each a neighbor shift
+//                     (reduce-scatter then all-gather) carrying one chunk
+//                     per node — the bandwidth-optimal ring algorithm.
+//   all-to-all        N-1 steps/episode; step k is the shifted permutation
+//                     dst = (src + k) mod N, so every pair exchanges
+//                     exactly once per episode without endpoint conflicts.
+//   generic phases    one phase per `workload.phases` entry (pattern,
+//                     volume, optional rate/gap), repeated per episode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/phase.hpp"
+#include "workload/spec.hpp"
+
+namespace erapid::workload {
+
+/// Ring all-reduce: `chunk_packets` packets per node per step.
+[[nodiscard]] Schedule make_allreduce(std::uint32_t num_nodes, std::uint32_t chunk_packets,
+                                      double rate_pkt_node_cycle, std::uint32_t episodes);
+
+/// All-to-all: `volume_packets` packets per node per step.
+[[nodiscard]] Schedule make_alltoall(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                                     double rate_pkt_node_cycle, std::uint32_t episodes);
+
+/// Generic schedule from parsed `workload.phases` entries. Per-phase rates
+/// are fractions of `capacity_pkt_node_cycle` (N_c); entries with rate 0
+/// inherit `default_rate_fraction`. Hotspot phases use the given shape.
+[[nodiscard]] Schedule make_phase_schedule(const std::vector<PhaseSpec>& specs,
+                                           std::uint32_t num_nodes,
+                                           double capacity_pkt_node_cycle,
+                                           double default_rate_fraction,
+                                           std::uint32_t episodes, double hotspot_fraction,
+                                           std::uint32_t hotspot_node);
+
+}  // namespace erapid::workload

@@ -1,0 +1,135 @@
+#include "workload/hpc_kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <string>
+
+#include "traffic/patterns.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::workload {
+
+namespace {
+
+std::string phase_label(const char* label, std::uint32_t episode, std::uint32_t step) {
+  return std::string(label) + ".e" + std::to_string(episode) + ".s" + std::to_string(step);
+}
+
+}  // namespace
+
+Schedule make_ptrans(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                     double rate_pkt_node_cycle, std::uint32_t episodes,
+                     CycleDelta gap_cycles) {
+  ERAPID_EXPECT(num_nodes >= 2 && std::has_single_bit(num_nodes),
+                "ptrans needs a power-of-two node count >= 2");
+  ERAPID_EXPECT(volume_packets >= 1 && episodes >= 1 && rate_pkt_node_cycle > 0.0,
+                "ptrans needs positive volume, episodes and rate");
+  Schedule s;
+  s.phases_per_episode = 1;
+  s.phases.reserve(episodes);
+  auto pattern = std::make_shared<traffic::TrafficPattern>(
+      traffic::PatternKind::Transpose, num_nodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    PhaseDef p;
+    p.name = phase_label("ptrans", e, 0);
+    p.volume_packets = volume_packets;
+    p.rate_pkt_node_cycle = rate_pkt_node_cycle;
+    p.gap_after = gap_cycles;  // the compute period between bursts
+    p.destination = [pattern](NodeId src, util::Rng& rng) {
+      return pattern->destination(src, rng);
+    };
+    s.phases.push_back(std::move(p));
+  }
+  return s;
+}
+
+Schedule make_fft(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                  double rate_pkt_node_cycle, std::uint32_t episodes) {
+  ERAPID_EXPECT(num_nodes >= 2 && std::has_single_bit(num_nodes),
+                "fft needs a power-of-two node count >= 2");
+  ERAPID_EXPECT(volume_packets >= 1 && episodes >= 1 && rate_pkt_node_cycle > 0.0,
+                "fft needs positive volume, episodes and rate");
+  Schedule s;
+  const auto stages = static_cast<std::uint32_t>(std::bit_width(num_nodes) - 1);
+  s.phases_per_episode = stages;
+  s.phases.reserve(static_cast<std::size_t>(stages) * episodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    for (std::uint32_t stage = 0; stage < stages; ++stage) {
+      PhaseDef p;
+      p.name = phase_label("fft", e, stage);
+      p.volume_packets = volume_packets;
+      p.rate_pkt_node_cycle = rate_pkt_node_cycle;
+      p.destination = [stage](NodeId src, util::Rng&) {
+        return NodeId{src.value() ^ (1u << stage)};
+      };
+      s.phases.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+Schedule make_randomaccess(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                           double rate_pkt_node_cycle, std::uint32_t episodes) {
+  ERAPID_EXPECT(num_nodes >= 2, "randomaccess needs >= 2 nodes");
+  ERAPID_EXPECT(volume_packets >= 1 && episodes >= 1 && rate_pkt_node_cycle > 0.0,
+                "randomaccess needs positive volume, episodes and rate");
+  Schedule s;
+  s.phases_per_episode = 1;
+  s.phases.reserve(episodes);
+  auto pattern = std::make_shared<traffic::TrafficPattern>(
+      traffic::PatternKind::Uniform, num_nodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    PhaseDef p;
+    p.name = phase_label("randomaccess", e, 0);
+    p.volume_packets = volume_packets;
+    p.rate_pkt_node_cycle = rate_pkt_node_cycle;
+    p.packet_flits = 1;  // fine-grained single-flit updates
+    p.destination = [pattern](NodeId src, util::Rng& rng) {
+      return pattern->destination(src, rng);
+    };
+    s.phases.push_back(std::move(p));
+  }
+  return s;
+}
+
+Schedule make_beff(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                   double rate_pkt_node_cycle, std::uint32_t episodes,
+                   std::uint32_t base_packet_flits) {
+  ERAPID_EXPECT(num_nodes >= 2, "beff needs >= 2 nodes");
+  ERAPID_EXPECT(volume_packets >= 1 && episodes >= 1 && rate_pkt_node_cycle > 0.0 &&
+                    base_packet_flits >= 1,
+                "beff needs positive volume, episodes, rate and base length");
+  Schedule s;
+  auto pattern = std::make_shared<traffic::TrafficPattern>(
+      traffic::PatternKind::Uniform, num_nodes);
+  const std::uint64_t flit_budget =
+      static_cast<std::uint64_t>(volume_packets) * base_packet_flits;
+  // The sweep tops out at the system packet length: the TX reassembly
+  // credit window admits exactly one full-size packet, so longer messages
+  // cannot traverse the network.
+  std::uint32_t sizes = 0;
+  for (std::uint32_t flits = 1; flits <= base_packet_flits; flits *= 2) ++sizes;
+  s.phases_per_episode = sizes;
+  s.phases.reserve(static_cast<std::size_t>(sizes) * episodes);
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    std::uint32_t step = 0;
+    for (std::uint32_t flits = 1; flits <= base_packet_flits; flits *= 2) {
+      PhaseDef p;
+      p.name = phase_label("beff", e, step++);
+      p.volume_packets =
+          static_cast<std::uint32_t>(std::max<std::uint64_t>(1, flit_budget / flits));
+      // Constant offered byte rate: packet pace scales inversely with size.
+      p.rate_pkt_node_cycle =
+          rate_pkt_node_cycle * static_cast<double>(base_packet_flits) / flits;
+      p.packet_flits = flits;
+      p.destination = [pattern](NodeId src, util::Rng& rng) {
+        return pattern->destination(src, rng);
+      };
+      s.phases.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+}  // namespace erapid::workload

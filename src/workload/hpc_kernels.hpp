@@ -1,0 +1,48 @@
+// HPC kernel communication schedules, modeled on the HPC Challenge
+// benchmark suite (as ported to FPGAs by pc2/HPCC_FPGA):
+//
+//   PTRANS        bursty matrix transpose: one transpose-permutation phase
+//                 per timestep, separated by compute gaps — the classic
+//                 "reconfigure during the quiet period" opportunity.
+//   FFT           butterfly exchange: log2(N) stages per episode, stage s
+//                 pairing dst = src XOR 2^s — each stage lights a
+//                 different set of board-to-board wavelengths.
+//   RandomAccess  fine-grained uniform updates (single-flit packets):
+//                 maximally unstructured, the DBR's worst case.
+//   b_eff         message-size sweep at (approximately) constant byte
+//                 volume: phases of 1, 2, 4, ... flit packets measure how
+//                 per-packet overheads eat effective bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/phase.hpp"
+
+namespace erapid::workload {
+
+/// PTRANS: `episodes` transpose bursts, `gap_cycles` of compute between
+/// them. Needs power-of-two N (bit-permutation).
+[[nodiscard]] Schedule make_ptrans(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                                   double rate_pkt_node_cycle, std::uint32_t episodes,
+                                   CycleDelta gap_cycles);
+
+/// FFT butterfly: log2(N) XOR-exchange stages per episode. Needs
+/// power-of-two N >= 2.
+[[nodiscard]] Schedule make_fft(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                                double rate_pkt_node_cycle, std::uint32_t episodes);
+
+/// RandomAccess: one uniform phase of single-flit packets per episode.
+[[nodiscard]] Schedule make_randomaccess(std::uint32_t num_nodes,
+                                         std::uint32_t volume_packets,
+                                         double rate_pkt_node_cycle,
+                                         std::uint32_t episodes);
+
+/// b_eff sweep: per episode, one uniform phase per message size in
+/// {1, 2, 4, ..., base_packet_flits}, volumes scaled to keep the byte
+/// total within one packet of `volume_packets * base_packet_flits` flits
+/// per node.
+[[nodiscard]] Schedule make_beff(std::uint32_t num_nodes, std::uint32_t volume_packets,
+                                 double rate_pkt_node_cycle, std::uint32_t episodes,
+                                 std::uint32_t base_packet_flits);
+
+}  // namespace erapid::workload

@@ -1,0 +1,45 @@
+// Per-workload result accounting — what a structured run reports beyond
+// the open-loop throughput/latency metrics. Carried by sim::SimResult and
+// serialized as the report's `workload` block only when a workload ran,
+// so Bernoulli reports stay byte-identical to pre-workload builds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace erapid::workload {
+
+struct WorkloadStats {
+  /// Workload kind name; empty when the legacy Bernoulli path ran (the
+  /// report then carries no workload block at all).
+  std::string kind;
+
+  // Phase-structured kinds.
+  std::uint32_t phases_total = 0;
+  std::uint32_t phases_completed = 0;
+  std::uint32_t episodes_total = 0;
+  std::uint32_t episodes_completed = 0;
+  Cycle worst_phase_cycles = 0;
+  Cycle worst_episode_cycles = 0;
+
+  // Delivered-byte completion accounting (all kinds).
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dead = 0;  ///< ARQ dead letters count as resolved
+  std::uint64_t bytes_delivered = 0;
+  bool completed = false;     ///< every injected packet resolved in time
+  Cycle completion_cycle = 0; ///< when the last packet resolved (0 if not)
+
+  // Multi-tenant kind.
+  std::uint32_t tenants = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  std::vector<std::uint64_t> tenant_delivered_bytes;
+
+  [[nodiscard]] bool active() const { return !kind.empty(); }
+};
+
+}  // namespace erapid::workload

@@ -387,6 +387,110 @@ TEST(OptionsIo, MalformedFaultEventsThrow) {
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);
 }
 
+// ---- workload keys -----------------------------------------------------------
+
+TEST(OptionsIo, WorkloadKeysSurviveRoundTrip) {
+  SimOptions o;
+  o.workload.kind = erapid::workload::WorkloadKind::AllReduce;
+  o.workload.episodes = 5;
+  o.workload.volume_packets = 32;
+  o.workload.phase_rate = 0.7;
+  o.workload.gap_cycles = 512;
+  o.workload.horizon_cycles = 90000;
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_EQ(back.workload, o.workload);
+
+  SimOptions t;
+  t.workload.kind = erapid::workload::WorkloadKind::Tenants;
+  t.workload.tenants = 7;
+  t.workload.tenant_load = 0.15;
+  t.workload.tenant_mix = {erapid::traffic::PatternKind::Uniform,
+                           erapid::traffic::PatternKind::Transpose,
+                           erapid::traffic::PatternKind::Hotspot};
+  t.workload.session_cycles = 2500;
+  t.workload.session_gap_mean = 900;
+  const auto tback = options_from_ini(options_to_ini(t));
+  EXPECT_EQ(tback.workload, t.workload);
+}
+
+TEST(OptionsIo, WorkloadPhasesGrammarSurvivesRoundTrip) {
+  SimOptions o;
+  o.workload.kind = erapid::workload::WorkloadKind::Phases;
+  o.workload.phases =
+      erapid::workload::parse_phase_specs("transpose:32:0.8:512,uniform:4,bitrev:8:0.5");
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_EQ(back.workload.phases, o.workload.phases);
+
+  std::ostringstream first, second;
+  options_to_ini(o).save(first);
+  options_to_ini(options_from_ini(options_to_ini(o))).save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(OptionsIo, WorkloadSerializeParseSerializeIsIdempotent) {
+  SimOptions o;
+  o.workload.kind = erapid::workload::WorkloadKind::Beff;
+  o.workload.phase_rate = 0.65;
+  o.obs.monitors.workload_deadline = 40000;
+  std::ostringstream first, second;
+  options_to_ini(o).save(first);
+  options_to_ini(options_from_ini(options_to_ini(o))).save(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_NE(first.str().find("workload_deadline"), std::string::npos);
+}
+
+TEST(OptionsIo, UnknownWorkloadKeyOrKindThrows) {
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[workload]\nknd = allreduce\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[workload]\nkind = ringreduce\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[workload]\ntenant_mixx = uniform\n")),
+               erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, WorkloadCrossFieldValidationRejectsBadConfigs) {
+  // phases without kind = phases (and vice versa).
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[workload]\nphases = uniform:4\n")),
+      erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[workload]\nkind = phases\n")),
+               erapid::ModelInvariantError);
+  // trace_file is exclusive to kind = trace.
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[workload]\nkind = trace\n")),
+      erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string(
+                   "[workload]\nkind = allreduce\ntrace_file = /tmp/x.trace\n")),
+               erapid::ModelInvariantError);
+  // Range checks.
+  EXPECT_THROW(options_from_ini(Ini::parse_string(
+                   "[workload]\nkind = allreduce\nphase_rate = 0\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string(
+                   "[workload]\nkind = tenants\ntenant_load = 1.5\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string(
+                   "[workload]\nkind = tenants\ntenants = 0\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[workload]\nepisodes = 0\n")),
+               erapid::ModelInvariantError);
+  // Monitor deadline must be non-negative.
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[monitor]\nworkload_deadline = -1\n")),
+      erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, WorkloadKindNamesRoundTripThroughParser) {
+  const char* names[] = {"bernoulli", "allreduce", "alltoall",     "phases", "ptrans",
+                         "fft",       "randomaccess", "beff", "tenants"};
+  for (const char* name : names) {
+    const auto kind = erapid::workload::parse_kind(name);
+    ASSERT_TRUE(kind.has_value()) << name;
+    EXPECT_EQ(erapid::workload::kind_name(*kind), name);
+  }
+  EXPECT_FALSE(erapid::workload::parse_kind("stencil").has_value());
+}
+
 TEST(OptionsIo, FileRoundTrip) {
   const std::string path = testing::TempDir() + "erapid_opts.ini";
   SimOptions o;

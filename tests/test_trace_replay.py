@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Smoke test for examples/trace_replay on the workload-aware path.
+
+Replays the committed tiny application trace (tests/data/tiny_app.trace,
+108 events on 16 nodes) through workload.kind=trace and checks that the
+emitted JSON report parses, claims completion, and accounts for every
+trace event. Run by CTest as:
+
+    test_trace_replay.py <trace_replay-binary> <trace-file>
+"""
+
+import json
+import subprocess
+import sys
+
+TRACE_EVENTS = 108  # committed size of tests/data/tiny_app.trace
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <trace_replay-binary> <trace-file>")
+    binary, trace = sys.argv[1], sys.argv[2]
+
+    proc = subprocess.run(
+        [binary, "--trace", trace, "--boards", "4", "--nodes", "4", "--json"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        fail(
+            f"trace_replay exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+
+    # The report is everything from the first '{' (a banner line precedes it).
+    brace = proc.stdout.find("{")
+    if brace < 0:
+        fail(f"no JSON object in output:\n{proc.stdout}")
+    try:
+        report = json.loads(proc.stdout[brace:])
+    except json.JSONDecodeError as exc:
+        fail(f"report does not parse: {exc}\n{proc.stdout[brace:]}")
+
+    wl = report.get("workload")
+    if not isinstance(wl, dict):
+        fail(f"report carries no workload block: {sorted(report)}")
+    if wl.get("kind") != "trace":
+        fail(f"workload.kind = {wl.get('kind')!r}, expected 'trace'")
+    if wl.get("completed") is not True:
+        fail(f"trace replay did not complete: {wl}")
+    if wl.get("packets_injected") != TRACE_EVENTS:
+        fail(f"packets_injected = {wl.get('packets_injected')}, expected {TRACE_EVENTS}")
+    if wl.get("packets_delivered") != TRACE_EVENTS:
+        fail(f"packets_delivered = {wl.get('packets_delivered')}, expected {TRACE_EVENTS}")
+    if not wl.get("completion_cycle", 0) > 0:
+        fail(f"completion_cycle = {wl.get('completion_cycle')}, expected > 0")
+
+    print(
+        f"trace_replay smoke OK: {TRACE_EVENTS} events replayed to completion "
+        f"at cycle {wl['completion_cycle']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,12 @@ BENCH_FIELDS = {
     "drained": "false_bad",
     "monitors_ok": "false_bad",
     "monitor_violations": "up_bad",
+    # Workload-bench points (bench_ml_collectives / bench_hpc_kernels):
+    # completion-bounded runs gate on the makespan and phase tail too.
+    "completed": "false_bad",
+    "makespan_cycles": "up_bad",
+    "worst_phase_cycles": "up_bad",
+    "worst_episode_cycles": "up_bad",
     "wall_ms": "wall",
 }
 
