@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "des/event_queue.hpp"
 #include "sim/simulation.hpp"
 #include "util/table.hpp"
 
@@ -49,6 +50,19 @@ class FigureStore {
            double wall_ms = 0.0) {
     results_[{mode, load}] = r;
     wall_ms_[{mode, load}] = wall_ms;
+  }
+
+  /// Records the run configuration stamped into the JSON artifact so it is
+  /// self-describing: which DES queue produced it and which obs features
+  /// were live. Every point of one bench runs the same configuration, so
+  /// the last stamp wins. compare_runs.py never gates on these fields.
+  void stamp_provenance(const sim::SimOptions& o) {
+    des_queue_ = des::queue_kind_name(o.des_queue);
+    obs_enabled_ = o.obs.enabled;
+    obs_trace_ = o.obs.enabled && !o.obs.trace_path.empty();
+    obs_monitors_ = o.obs.enabled && o.obs.monitors.any();
+    obs_telemetry_ = o.obs.telemetry_on();
+    obs_flight_ = o.obs.flight_recorder_on();
   }
 
   /// Prints the paper's three panels (throughput, latency, power).
@@ -122,6 +136,12 @@ class FigureStore {
         << "  \"bench\": \"" << figure << "\",\n"
         << "  \"pattern\": \"" << pattern << "\",\n"
         << "  \"git_rev\": \"" << rev << "\",\n"
+        << "  \"des_queue\": \"" << des_queue_ << "\",\n"
+        << "  \"obs\": {\"enabled\": " << (obs_enabled_ ? "true" : "false")
+        << ", \"trace\": " << (obs_trace_ ? "true" : "false")
+        << ", \"monitors\": " << (obs_monitors_ ? "true" : "false")
+        << ", \"telemetry\": " << (obs_telemetry_ ? "true" : "false")
+        << ", \"flight_recorder\": " << (obs_flight_ ? "true" : "false") << "},\n"
         << "  \"points\": [";
     bool first = true;
     for (const auto& [key, r] : results_) {
@@ -168,6 +188,12 @@ class FigureStore {
  private:
   std::map<std::pair<std::string, double>, sim::SimResult> results_;
   std::map<std::pair<std::string, double>, double> wall_ms_;
+  std::string des_queue_ = "heap";
+  bool obs_enabled_ = false;
+  bool obs_trace_ = false;
+  bool obs_monitors_ = false;
+  bool obs_telemetry_ = false;
+  bool obs_flight_ = false;
 };
 
 inline FigureStore& store() {
@@ -198,6 +224,7 @@ inline void run_point(benchmark::State& state, traffic::PatternKind pattern,
     o.pattern = pattern;
     o.load_fraction = load;
     o.reconfig.mode = mode;
+    store().stamp_provenance(o);
     sim::Simulation s(o);
     result = s.run();
     benchmark::DoNotOptimize(&result);  // lvalue-double DoNotOptimize miscompiles on this gcc

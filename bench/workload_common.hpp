@@ -71,6 +71,18 @@ class WorkloadStore {
     seed_ = seed;
   }
 
+  /// Same self-describing stamp as FigureStore::stamp_provenance: the DES
+  /// queue kind and live obs features land in the artifact header so a
+  /// reader knows what produced it. Never part of the compare_runs gate.
+  void stamp_provenance(const sim::SimOptions& o) {
+    des_queue_ = des::queue_kind_name(o.des_queue);
+    obs_enabled_ = o.obs.enabled;
+    obs_trace_ = o.obs.enabled && !o.obs.trace_path.empty();
+    obs_monitors_ = o.obs.enabled && o.obs.monitors.any();
+    obs_telemetry_ = o.obs.telemetry_on();
+    obs_flight_ = o.obs.flight_recorder_on();
+  }
+
   /// Prints one row per workload kind, one column block per mode: the
   /// makespan panel (the headline), then throughput and active power.
   void print(const std::string& title) const {
@@ -150,6 +162,12 @@ class WorkloadStore {
         << "  \"bench\": \"" << title << "\",\n"
         << "  \"pattern\": \"workload\",\n"
         << "  \"git_rev\": \"" << rev << "\",\n"
+        << "  \"des_queue\": \"" << des_queue_ << "\",\n"
+        << "  \"obs\": {\"enabled\": " << (obs_enabled_ ? "true" : "false")
+        << ", \"trace\": " << (obs_trace_ ? "true" : "false")
+        << ", \"monitors\": " << (obs_monitors_ ? "true" : "false")
+        << ", \"telemetry\": " << (obs_telemetry_ ? "true" : "false")
+        << ", \"flight_recorder\": " << (obs_flight_ ? "true" : "false") << "},\n"
         << "  \"points\": [";
     bool first = true;
     for (const auto& [key, r] : results_) {
@@ -200,6 +218,12 @@ class WorkloadStore {
   std::map<std::pair<std::string, std::string>, double> wall_ms_;
   double load_ = 0.0;
   std::uint64_t seed_ = 0;
+  std::string des_queue_ = "heap";
+  bool obs_enabled_ = false;
+  bool obs_trace_ = false;
+  bool obs_monitors_ = false;
+  bool obs_telemetry_ = false;
+  bool obs_flight_ = false;
 };
 
 inline WorkloadStore& workload_store() {
@@ -217,6 +241,7 @@ inline void run_workload_point(benchmark::State& state, workload::WorkloadKind k
   for (auto _ : state) {
     const auto wall_start = std::chrono::steady_clock::now();
     o.reconfig.mode = mode;
+    workload_store().stamp_provenance(o);
     sim::Simulation s(o);
     result = s.run();
     benchmark::DoNotOptimize(&result);

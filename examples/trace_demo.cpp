@@ -6,9 +6,16 @@
 //   ./trace_demo [--trace out.trace.json] [--format chrome|csv]
 //                [--boards 4] [--nodes-per-board 4] [--load 0.5] [--seed 1]
 //                [--interval 500] [--events] [--workload allreduce]
+//                [--telemetry out.jsonl] [--telemetry-window 2000]
+//                [--flight-recorder dump.json] [--flight-depth 256]
+//                [--power-cap 0]
 //
 // CI runs this binary as the instrumented smoke simulation and validates
-// the emitted trace with the summarizer.
+// the emitted trace with the summarizer — and, with --telemetry, the
+// windowed JSONL stream with tools/obs/telemetry_report.py. --power-cap
+// (mW, 0 = off) arms the power envelope monitor; combined with
+// --flight-recorder an impossible cap forces a violation and dumps the
+// black-box ring, which CI schema-checks.
 #include <iostream>
 
 #include "sim/report.hpp"
@@ -38,6 +45,20 @@ int main(int argc, char** argv) {
       static_cast<CycleDelta>(cli.get_int("interval", 500));
   opts.obs.trace_events = cli.has("events");
 
+  // Windowed telemetry plane + flight recorder (both off by default, same
+  // as the obs.telemetry / obs.flight_recorder_depth INI keys).
+  if (const auto tel = cli.get("telemetry")) {
+    opts.obs.telemetry_path = *tel;
+    opts.obs.telemetry_window =
+        static_cast<CycleDelta>(cli.get_int("telemetry-window", 2000));
+  }
+  if (const auto fr = cli.get("flight-recorder")) {
+    opts.obs.flight_recorder_path = *fr;
+    opts.obs.flight_recorder_depth =
+        static_cast<std::size_t>(cli.get_int("flight-depth", 256));
+  }
+  opts.obs.monitors.power_cap_mw = cli.get_double("power-cap", 0.0);
+
   // Optional structured workload (e.g. --workload allreduce): the demo
   // then traces a completion-bounded collective instead of the fixed
   // warmup/measure window.
@@ -61,6 +82,9 @@ int main(int argc, char** argv) {
   std::cout << "built with ERAPID_NO_OBS: no trace written\n";
 #else
   std::cout << "trace written to " << opts.obs.trace_path << "\n";
+  if (!opts.obs.telemetry_path.empty()) {
+    std::cout << "telemetry written to " << opts.obs.telemetry_path << "\n";
+  }
 #endif
   std::cout << sim::to_json(result) << "\n";
   return 0;

@@ -135,6 +135,7 @@ void FaultInjector::inject_lane_fail(BoardId dest, WavelengthId w, Cycle now,
         .add("wavelength", std::uint64_t{w.value()})
         .add("owner", owner.valid() ? std::uint64_t{owner.value()} : std::uint64_t{0});
     ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.lane_fail", now, args.str());
+    if (auto* fr = hub_->flight()) fr->record(now, "fault.lane_fail", args.str());
   }
 #endif
   if (owner.valid()) {
@@ -197,6 +198,7 @@ void FaultInjector::inject_laser_degrade(const FaultEvent& e, Cycle now) {
         .add("owner", std::uint64_t{owner.value()})
         .add("cap", std::uint64_t{static_cast<std::uint8_t>(e.cap)});
     ERAPID_TRACE_INSTANT(hub_, hub_->track_fault(), "fault.laser_degrade", now, args.str());
+    if (auto* fr = hub_->flight()) fr->record(now, "fault.laser_degrade", args.str());
   }
 #endif
   if (e.duration > 0) {

@@ -1,0 +1,99 @@
+#include "obs/energy_ledger.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::obs {
+
+EnergyLedger::EnergyLedger(std::uint32_t boards)
+    : boards_(boards), total_(0, 0.0), board_total_(boards, stats::TimeWeighted(0, 0.0)),
+      board_laser_(boards, stats::TimeWeighted(0, 0.0)) {
+  ERAPID_REQUIRE(boards > 0, "energy ledger needs at least one board");
+}
+
+void EnergyLedger::set_laser_share(double level_mw, double laser_mw) {
+  ERAPID_REQUIRE(level_mw >= 0.0 && laser_mw >= 0.0 && laser_mw <= level_mw,
+                 "laser share must satisfy 0 <= laser <= level, got laser="
+                     << laser_mw << " level=" << level_mw);
+  for (auto& [mw, laser] : laser_share_) {
+    if (mw == level_mw) {
+      laser = laser_mw;
+      return;
+    }
+  }
+  laser_share_.emplace_back(level_mw, laser_mw);
+}
+
+void EnergyLedger::tag_source(std::uint32_t id, std::uint32_t board) {
+  ERAPID_REQUIRE(board < boards_,
+                 "source tagged to board " << board << " of " << boards_);
+  if (id >= board_of_.size()) {
+    board_of_.resize(id + 1, kUntagged);
+    level_.resize(id + 1, 0.0);
+    laser_level_.resize(id + 1, 0.0);
+  }
+  ERAPID_REQUIRE(board_of_[id] == kUntagged, "meter source " << id << " tagged twice");
+  board_of_[id] = board;
+}
+
+double EnergyLedger::laser_mw_for(double level_mw) const {
+  for (const auto& [mw, laser] : laser_share_) {
+    if (mw == level_mw) return laser;
+  }
+  return 0.0;  // unknown level (and OFF): fully serdes-attributed
+}
+
+void EnergyLedger::on_set_power(std::uint32_t id, Cycle now, double mw) {
+  ERAPID_REQUIRE(id < board_of_.size() && board_of_[id] != kUntagged,
+                 "untagged meter source " << id << " fed the energy ledger");
+  // Mirror the meter's op sequence exactly: same delta, same order, same
+  // TimeWeighted arithmetic — the reconciliation invariant depends on it.
+  const double delta = mw - level_[id];
+  level_[id] = mw;
+  total_.add(now, delta);
+
+  const std::uint32_t board = board_of_[id];
+  board_total_[board].add(now, delta);
+  const double laser = laser_mw_for(mw);
+  board_laser_[board].add(now, laser - laser_level_[id]);
+  laser_level_[id] = laser;
+}
+
+void EnergyLedger::on_checkpoint(Cycle now) {
+  ERAPID_INVARIANT(board_total_.size() == board_laser_.size(),
+                   "ledger per-board tables out of sync");
+  total_.checkpoint(now);
+  for (auto& b : board_total_) b.checkpoint(now);
+  for (auto& b : board_laser_) b.checkpoint(now);
+}
+
+BoardEnergy EnergyLedger::board_energy(std::uint32_t board, Cycle now) const {
+  ERAPID_REQUIRE(board < boards_,
+                 "board " << board << " outside a " << boards_ << "-board ledger");
+  BoardEnergy e;
+  e.total_mw_cycles = board_total_[board].integral(now);
+  e.laser_mw_cycles = board_laser_[board].integral(now);
+  // Exact complement: what was not attributed to the transmitter side is
+  // the receiver side (buffer/ctrl are unmetered today).
+  e.serdes_mw_cycles = e.total_mw_cycles - e.laser_mw_cycles;
+  return e;
+}
+
+std::size_t EnergyLedger::tagged_sources() const {
+  return static_cast<std::size_t>(
+      std::count_if(board_of_.begin(), board_of_.end(),
+                    [](std::uint32_t b) { return b != kUntagged; }));
+}
+
+void EnergyLedger::reconcile(Cycle now, double meter_total_mw_cycles) const {
+  const double mirrored = total_.integral(now);
+  // Exact equality is intentional: the mirror performs bit-identical
+  // arithmetic, so any difference means an update was dropped or reordered.
+  ERAPID_INVARIANT(mirrored == meter_total_mw_cycles,
+                   "energy ledger drifted from the meter at cycle "
+                       << now << ": ledger " << mirrored << " mW·cycles vs meter "
+                       << meter_total_mw_cycles);
+}
+
+}  // namespace erapid::obs

@@ -1,0 +1,100 @@
+// Per-board, per-component energy attribution ledger.
+//
+// The EnergyMeter time-integrates one network-wide power total; the ledger
+// splits that same signal per board and per component so the telemetry
+// records (and an energy-proportionality study) can say *where* the power
+// went. Attribution buckets:
+//
+//   laser   transmitter side (VCSEL + driver) of the lane's quoted level
+//           total, split by the analytic component model's tx/rx ratio at
+//           that operating point (components.hpp);
+//   serdes  receiver side (photodetector + TIA + CDR) — the exact
+//           complement, so laser + serdes == the lane total bitwise;
+//   buffer, ctrl  reserved attribution targets (always zero today: only
+//           lanes register power sources; board buffers and the control
+//           ring are unmetered).
+//
+// Reconciliation contract: the ledger mirrors the meter's exact update
+// sequence — identical deltas, applied in identical order, to an identical
+// stats::TimeWeighted — so its total integral equals the meter's total
+// *bitwise*, and `reconcile` holds that as an ERAPID_INVARIANT with exact
+// `==`. Any attribution path that dropped or reordered an update would
+// trip it immediately.
+//
+// The ledger lives in obs (power already depends on obs for probes; the
+// reverse include would be circular) and speaks plain doubles: the driver
+// feeds it the level→laser share table at setup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "stats/time_weighted.hpp"
+#include "util/types.hpp"
+
+namespace erapid::obs {
+
+/// Per-board component energy integrals (mW·cycles) up to a query cycle.
+struct BoardEnergy {
+  double laser_mw_cycles = 0.0;
+  double serdes_mw_cycles = 0.0;
+  double buffer_mw_cycles = 0.0;  ///< reserved, zero today (see file comment)
+  double ctrl_mw_cycles = 0.0;    ///< reserved, zero today
+  double total_mw_cycles = 0.0;
+};
+
+/// Attribution mirror of the EnergyMeter (see file comment).
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(std::uint32_t boards);
+
+  /// Declares that a lane level quoted at `level_mw` total draws `laser_mw`
+  /// on the transmitter side. Totals without an entry attribute fully to
+  /// serdes (laser share 0); the OFF level (0 mW) needs no entry.
+  void set_laser_share(double level_mw, double laser_mw);
+
+  /// Assigns meter source `id` to `board`. Every source that will feed
+  /// `on_set_power` must be tagged first.
+  void tag_source(std::uint32_t id, std::uint32_t board);
+
+  /// Mirror of EnergyMeter::set_power, invoked by the meter after its own
+  /// delta != 0 early-return — same id, same cycle, same new level.
+  void on_set_power(std::uint32_t id, Cycle now, double mw);
+
+  /// Mirror of EnergyMeter::checkpoint. The meter's checkpoint advances its
+  /// integrator's accumulation point; the mirror must partition its sum at
+  /// the same cycles or float non-associativity breaks exact equality.
+  void on_checkpoint(Cycle now);
+
+  /// Mirrored network-wide energy integral (mW·cycles).
+  [[nodiscard]] double total_mw_cycles(Cycle now) const { return total_.integral(now); }
+
+  [[nodiscard]] BoardEnergy board_energy(std::uint32_t board, Cycle now) const;
+
+  [[nodiscard]] std::uint32_t boards() const { return boards_; }
+  [[nodiscard]] std::size_t tagged_sources() const;
+
+  /// Holds the reconciliation contract against the meter's own integral at
+  /// `now` (exact equality — see file comment).
+  void reconcile(Cycle now, double meter_total_mw_cycles) const;
+
+ private:
+  static constexpr std::uint32_t kUntagged = 0xffffffffu;
+
+  [[nodiscard]] double laser_mw_for(double level_mw) const;
+
+  std::uint32_t boards_;
+  /// (level total mW → laser mW); at most one entry per DVS level, scanned
+  /// linearly with exact comparison (levels are copied, never recomputed).
+  std::vector<std::pair<double, double>> laser_share_;
+  std::vector<std::uint32_t> board_of_;   ///< per source id
+  std::vector<double> level_;             ///< mirror of the meter's levels
+  std::vector<double> laser_level_;       ///< laser share of each source's level
+  stats::TimeWeighted total_;             ///< bitwise mirror of the meter total
+  std::vector<stats::TimeWeighted> board_total_;
+  std::vector<stats::TimeWeighted> board_laser_;
+};
+
+}  // namespace erapid::obs

@@ -1,0 +1,69 @@
+// Post-mortem flight recorder — a bounded ring of recent structured events.
+//
+// When a long batch run trips a monitor or a model contract, the report
+// says *that* something went wrong but not what led up to it. The flight
+// recorder keeps the last `depth` structured events (reconfiguration
+// windows, lane grants/releases, injected faults, monitor verdicts) in a
+// fixed-size ring and, on any monitor violation or contract failure, dumps
+// the ring to a JSON file (schema `erapid-flight-recorder-1`) for triage —
+// the black-box readout of the run's final moments.
+//
+// The ring records unconditionally cheap data (cycle, kind, pre-rendered
+// args JSON); no I/O happens until a dump is triggered. Repeated triggers
+// overwrite the dump file, so the file on disk always describes the most
+// recent trigger. Determinism: event content is simulated-time only, so
+// two same-seed runs that trip the same trigger write byte-identical
+// dumps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace erapid::obs {
+
+/// Bounded event ring with on-trigger JSON dump (see file comment).
+class FlightRecorder {
+ public:
+  /// Schema version stamped into every dump.
+  static constexpr const char* kSchema = "erapid-flight-recorder-1";
+
+  /// Keeps the last `depth` events; dumps overwrite `path`.
+  FlightRecorder(std::size_t depth, std::string path);
+
+  /// Records one event. `detail_json` is a pre-rendered JSON object (an
+  /// obs::Args payload) or empty.
+  void record(Cycle now, const std::string& kind, const std::string& detail_json);
+
+  /// Writes the ring (oldest first) to the dump path. `reason` labels the
+  /// trigger class (monitor_violation | contract_failure), `trigger` the
+  /// specific check or contract message.
+  void dump(Cycle now, const std::string& reason, const std::string& trigger);
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  /// Events currently held in the ring (≤ depth).
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Events recorded since construction (including evicted ones).
+  [[nodiscard]] std::uint64_t events_recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dumps() const { return dumps_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct Event {
+    Cycle cycle = 0;
+    std::string kind;
+    std::string detail;
+  };
+
+  std::size_t depth_;
+  std::string path_;
+  std::vector<Event> ring_;  ///< circular once full; `head_` is the oldest slot
+  std::size_t head_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dumps_ = 0;
+};
+
+}  // namespace erapid::obs

@@ -25,6 +25,9 @@ Hub::Hub(const ObsConfig& cfg) : cfg_(cfg) {
     // The monitors track exists only when a monitor is configured, so
     // monitor-free traces (and the golden fixture) keep their track list.
     if (cfg_.monitors.any()) t_monitors_ = trace_->register_track(Tracks::kMonitors);
+    // Same rule for the telemetry track — registered last so existing
+    // traces keep their track-id assignment.
+    if (cfg_.telemetry_on()) t_telemetry_ = trace_->register_track(Tracks::kTelemetry);
   }
   m_events_ = metrics_.counter("des.events");
   m_queue_depth_ = metrics_.series("des.queue_depth");
@@ -33,6 +36,45 @@ Hub::Hub(const ObsConfig& cfg) : cfg_(cfg) {
     monitors_ = std::make_unique<MonitorSet>(cfg_.monitors, cfg_.monitor_fail_fast,
                                              trace_.get(), t_monitors_, metrics_);
   }
+  if (cfg_.flight_recorder_on()) {
+    flight_ = std::make_unique<FlightRecorder>(cfg_.flight_recorder_depth,
+                                               cfg_.flight_recorder_path);
+    // Black-box feeds: every monitor violation and every contract failure
+    // triggers a dump of the ring as it stood at the trigger.
+    if (monitors_) {
+      monitors_->set_violation_hook(
+          [this](const char* name, Cycle now, double value, double threshold) {
+            Args args;
+            args.add("value", value).add("threshold", threshold);
+            flight_->record(now, std::string("monitor.") + name, args.str());
+            flight_->dump(now, "monitor_violation", name);
+          });
+    }
+    erapid::set_contract_observer([this](const char* kind, const std::string& what) {
+      // Contract failures carry no simulated timestamp; the last dispatch
+      // cycle the hub profiled is the deterministic stand-in.
+      flight_->record(profile_cycle_, std::string("contract.") + kind, "");
+      flight_->dump(profile_cycle_, "contract_failure", what);
+    });
+    contract_observer_installed_ = true;
+  }
+}
+
+void Hub::init_telemetry(des::Engine& engine, std::uint32_t boards,
+                         Telemetry::Sampler sampler) {
+  if (!cfg_.telemetry_on()) return;
+  ERAPID_REQUIRE(telemetry_ == nullptr, "telemetry plane initialized twice");
+  ledger_ = std::make_unique<EnergyLedger>(boards);
+  TelemetryConfig tc;
+  tc.path = cfg_.telemetry_path;
+  tc.window = cfg_.telemetry_window;
+  tc.top_k = cfg_.telemetry_top_k;
+  tc.ewma_alpha = cfg_.telemetry_ewma_alpha;
+  tc.phase_alpha = cfg_.telemetry_phase_alpha;
+  tc.phase_slack = cfg_.telemetry_phase_slack;
+  tc.phase_threshold = cfg_.telemetry_phase_threshold;
+  telemetry_ = std::make_unique<Telemetry>(engine, tc, boards, ledger_.get(), *this,
+                                           std::move(sampler));
 }
 
 Hub::~Hub() { close(profile_cycle_); }
@@ -40,14 +82,22 @@ Hub::~Hub() { close(profile_cycle_); }
 void Hub::close(Cycle now) {
   if (closed_) return;
   closed_ = true;
+  if (contract_observer_installed_) {
+    // The observer captures `this`; it must not outlive the hub.
+    erapid::set_contract_observer({});
+    contract_observer_installed_ = false;
+  }
   if (events_this_cycle_ > 0) {
     metrics_.observe(m_events_per_cycle_, static_cast<double>(events_this_cycle_));
     events_this_cycle_ = 0;
   }
   if (trace_) trace_->close(now);
+  ERAPID_INVARIANT(!contract_observer_installed_,
+                   "close() must clear the contract observer");
 }
 
 void Hub::on_dispatch_begin(const char* tag, Cycle now) {
+  ERAPID_EXPECT(!closed_, "event dispatched after Hub::close()");
   if (!cfg_.enabled) return;
   if (trace_ && cfg_.trace_events) {
     trace_->begin(t_engine_, tag != nullptr ? tag : "event", now);
@@ -56,6 +106,7 @@ void Hub::on_dispatch_begin(const char* tag, Cycle now) {
 
 void Hub::on_dispatch_end(const char* tag, Cycle now, std::size_t queue_size,
                           std::uint64_t /*executed*/) {
+  ERAPID_EXPECT(!closed_, "event dispatched after Hub::close()");
   if (!cfg_.enabled) return;
   metrics_.add(m_events_);
   metrics_.observe(m_queue_depth_, static_cast<double>(queue_size));

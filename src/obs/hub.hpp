@@ -25,8 +25,11 @@
 #include <string>
 
 #include "des/engine.hpp"
+#include "obs/energy_ledger.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/types.hpp"
 
@@ -53,6 +56,31 @@ struct ObsConfig {
   /// A monitor violation ends the simulation through the contract layer
   /// instead of just being reported.
   bool monitor_fail_fast = false;
+  /// Telemetry JSONL output path; empty = no telemetry plane. The window
+  /// event exists only when set, so default-off runs keep their DES event
+  /// sequence (and golden reports) byte-identical.
+  std::string telemetry_path;
+  /// Cycles per telemetry record.
+  CycleDelta telemetry_window = 2000;
+  /// Traffic-matrix flows listed per record.
+  std::uint32_t telemetry_top_k = 8;
+  /// Per-flow traffic-matrix EWMA weight, in (0, 1].
+  double telemetry_ewma_alpha = 0.3;
+  /// Phase detector EWMA weight, in (0, 1].
+  double telemetry_phase_alpha = 0.2;
+  /// Phase detector CUSUM dead-band (utilization per window).
+  double telemetry_phase_slack = 0.05;
+  /// Phase detector CUSUM firing threshold.
+  double telemetry_phase_threshold = 0.25;
+  /// Flight recorder ring depth; 0 = no flight recorder.
+  std::size_t flight_recorder_depth = 0;
+  /// Flight recorder dump path (written only when a trigger fires).
+  std::string flight_recorder_path = "flight_recorder.json";
+
+  [[nodiscard]] bool telemetry_on() const { return enabled && !telemetry_path.empty(); }
+  [[nodiscard]] bool flight_recorder_on() const {
+    return enabled && flight_recorder_depth > 0;
+  }
 };
 
 /// Well-known track names (one source of truth for writers and the
@@ -67,6 +95,9 @@ struct Tracks {
   /// Registered only when at least one monitor is configured, so
   /// monitor-free traces stay byte-identical to pre-monitor builds.
   static constexpr const char* kMonitors = "obs.monitors";
+  /// Registered only when the telemetry plane is configured (same
+  /// byte-compatibility rule as kMonitors).
+  static constexpr const char* kTelemetry = "obs.telemetry";
 };
 
 /// Central observability context (see file comment).
@@ -89,6 +120,20 @@ class Hub final : public des::Engine::DispatchHook {
   /// Null unless at least one `monitor.*` check is configured.
   [[nodiscard]] MonitorSet* monitors() { return monitors_.get(); }
   [[nodiscard]] const MonitorSet* monitors() const { return monitors_.get(); }
+  /// Null unless `obs.flight_recorder_depth > 0`.
+  [[nodiscard]] FlightRecorder* flight() { return flight_.get(); }
+  [[nodiscard]] const FlightRecorder* flight() const { return flight_.get(); }
+  /// Null until init_telemetry on a telemetry-configured run.
+  [[nodiscard]] EnergyLedger* ledger() { return ledger_.get(); }
+  [[nodiscard]] Telemetry* telemetry() { return telemetry_.get(); }
+  [[nodiscard]] const Telemetry* telemetry() const { return telemetry_.get(); }
+
+  /// Builds the telemetry plane (energy ledger + estimator + emitter) on a
+  /// telemetry-configured run; a no-op otherwise. The driver calls this
+  /// once, after the network exists, and then tags the ledger's sources and
+  /// attaches it to the meter before any lane lights up.
+  void init_telemetry(des::Engine& engine, std::uint32_t boards,
+                      Telemetry::Sampler sampler);
 
   // Pre-registered tracks (all writers see the same set in the same order,
   // so chrome and csv backends agree on track ids).
@@ -99,6 +144,7 @@ class Hub final : public des::Engine::DispatchHook {
   [[nodiscard]] TrackId track_fault() const { return t_fault_; }
   [[nodiscard]] TrackId track_counters() const { return t_counters_; }
   [[nodiscard]] TrackId track_monitors() const { return t_monitors_; }
+  [[nodiscard]] TrackId track_telemetry() const { return t_telemetry_; }
 
   /// Finalizes the trace file. Idempotent.
   void close(Cycle now);
@@ -113,6 +159,10 @@ class Hub final : public des::Engine::DispatchHook {
   std::unique_ptr<TraceSink> trace_;
   MetricsRegistry metrics_;
   std::unique_ptr<MonitorSet> monitors_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<EnergyLedger> ledger_;
+  std::unique_ptr<Telemetry> telemetry_;
+  bool contract_observer_installed_ = false;
 
   TrackId t_engine_ = 0;
   TrackId t_reconfig_ = 0;
@@ -121,6 +171,7 @@ class Hub final : public des::Engine::DispatchHook {
   TrackId t_fault_ = 0;
   TrackId t_counters_ = 0;
   TrackId t_monitors_ = 0;
+  TrackId t_telemetry_ = 0;
 
   // Engine self-profiling state.
   MetricId m_events_ = 0;

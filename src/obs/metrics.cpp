@@ -43,6 +43,7 @@ MetricId MetricsRegistry::timeline(const std::string& name) {
 }
 
 MetricId MetricsRegistry::histogram(const std::string& name) {
+  ERAPID_REQUIRE(!name.empty(), "metric name must be non-empty");
   const auto id = get_or_create(name, Kind::Histogram, 0, 0.0);
   entries_[id].buckets.resize(kHistogramBuckets, 0);
   return id;

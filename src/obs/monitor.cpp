@@ -37,6 +37,9 @@ void MonitorSet::fire(Check& c, Cycle now, double value) {
     args.add("threshold", c.threshold).add("value", value);
     trace_->instant(track_, (std::string("monitor.") + c.name).c_str(), now, args.str());
   }
+  // The flight recorder (via the Hub's hook) must see the violation before
+  // fail-fast unwinds: the dump is the point of the post-mortem.
+  if (violation_hook_) violation_hook_(c.name, now, value, c.threshold);
   // Fail-fast rides the contract layer: the throw unwinds out of the DES
   // event (or the finalize call) into Simulation::run's caller, exactly
   // like a model-invariant violation would.
@@ -66,10 +69,13 @@ void MonitorSet::recovery(Cycle now, CycleDelta took) {
 }
 
 void MonitorSet::dbr_resolve(Cycle now) {
+  ERAPID_EXPECT(!finalized_, "reconfig resolve observed after finalize()");
   if (quiescence_.enabled) pending_resolves_.push_back(now);
 }
 
 void MonitorSet::dbr_quiesced(Cycle resolve_at, Cycle last_settle) {
+  ERAPID_EXPECT(last_settle >= resolve_at,
+                "quiescence cannot settle before its resolve");
   if (!quiescence_.enabled) return;
   const auto it =
       std::find(pending_resolves_.begin(), pending_resolves_.end(), resolve_at);

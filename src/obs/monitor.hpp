@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -102,6 +103,13 @@ class MonitorSet {
   [[nodiscard]] std::uint64_t violations() const;
   [[nodiscard]] bool all_ok() const { return violations() == 0; }
 
+  /// Observer of every violation, called before fail-fast can unwind —
+  /// the Hub points this at the flight recorder.
+  using ViolationHook =
+      std::function<void(const char* name, Cycle now, double value, double threshold)>;
+  // erapid-analyze: allow(contract-coverage)
+  void set_violation_hook(ViolationHook hook) { violation_hook_ = std::move(hook); }
+
   /// Name-sorted (check, rendered JSON verdict) pairs — the report's
   /// `obs_monitors` block. Each verdict is
   ///   {"threshold": t, "worst": w, "violations": n,
@@ -127,6 +135,7 @@ class MonitorSet {
   void fire(Check& c, Cycle now, double value);
 
   bool fail_fast_;
+  ViolationHook violation_hook_;
   TraceSink* trace_;
   TrackId track_;
   MetricsRegistry& metrics_;

@@ -1,0 +1,40 @@
+#include "obs/phase_detect.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::obs {
+
+PhaseDetector::PhaseDetector(const PhaseDetectorConfig& cfg) : cfg_(cfg) {
+  ERAPID_REQUIRE(cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+                 "phase alpha must be in (0, 1], got " << cfg.alpha);
+  ERAPID_REQUIRE(cfg.slack >= 0.0, "phase slack cannot be negative: " << cfg.slack);
+  ERAPID_REQUIRE(cfg.threshold > 0.0,
+                 "phase threshold must be positive, got " << cfg.threshold);
+}
+
+bool PhaseDetector::update(double x) {
+  ERAPID_REQUIRE(x >= 0.0, "utilization sample cannot be negative: " << x);
+  ++samples_;
+  if (!seeded_) {
+    // The first window seeds the operating point; no change can fire off a
+    // single observation.
+    mean_ = x;
+    seeded_ = true;
+    return false;
+  }
+  g_up_ = std::max(0.0, g_up_ + (x - mean_ - cfg_.slack));
+  g_down_ = std::max(0.0, g_down_ + (mean_ - x - cfg_.slack));
+  if (g_up_ > cfg_.threshold || g_down_ > cfg_.threshold) {
+    ++phase_;
+    g_up_ = 0.0;
+    g_down_ = 0.0;
+    mean_ = x;  // restart at the new operating point
+    return true;
+  }
+  mean_ = cfg_.alpha * x + (1.0 - cfg_.alpha) * mean_;
+  return false;
+}
+
+}  // namespace erapid::obs

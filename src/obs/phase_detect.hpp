@@ -1,0 +1,60 @@
+// EWMA + CUSUM change-point detection over the utilization series.
+//
+// The predictive-DPM ROADMAP item ("Think Green — Turn Off The Lights",
+// arXiv 2112.02083) needs to know *when the workload changed phase* so it
+// can pre-wake lanes ahead of a burst instead of reacting after queues
+// build. The detector keeps an EWMA of the per-window utilization and a
+// two-sided CUSUM of the deviations:
+//
+//   g+ <- max(0, g+ + (x - mean - slack))     upward drift
+//   g- <- max(0, g- + (mean - x - slack))     downward drift
+//
+// When either side exceeds the threshold a change-point fires: the phase
+// id advances, both CUSUM sides reset and the mean re-seeds at the new
+// operating point (the classic restart rule, so one level shift yields one
+// change-point rather than a burst of them).
+//
+// Determinism: pure arithmetic over the fed samples — same series, same
+// phase timeline, on every platform the build targets.
+#pragma once
+
+#include <cstdint>
+
+namespace erapid::obs {
+
+/// Knobs of one PhaseDetector (the `obs.telemetry_phase_*` keys).
+struct PhaseDetectorConfig {
+  double alpha = 0.2;       ///< EWMA weight of the newest sample, in (0, 1]
+  double slack = 0.05;      ///< CUSUM dead-band (drift tolerated per sample)
+  double threshold = 0.25;  ///< accumulated deviation that fires a change
+};
+
+/// Online change-point detector (see file comment).
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(const PhaseDetectorConfig& cfg);
+
+  /// Feeds one window's utilization sample; true when a change-point fired
+  /// (the phase id has already advanced).
+  bool update(double x);
+
+  /// Phases seen so far; starts at 0, advances on each change-point.
+  [[nodiscard]] std::uint64_t phase_id() const { return phase_; }
+  [[nodiscard]] std::uint64_t changes() const { return phase_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  /// Current EWMA operating point (the first sample until seeded).
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double cusum_up() const { return g_up_; }
+  [[nodiscard]] double cusum_down() const { return g_down_; }
+
+ private:
+  PhaseDetectorConfig cfg_;
+  double mean_ = 0.0;
+  bool seeded_ = false;
+  double g_up_ = 0.0;
+  double g_down_ = 0.0;
+  std::uint64_t phase_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace erapid::obs

@@ -1,0 +1,129 @@
+#include "obs/telemetry.hpp"
+
+#include <sstream>
+
+#include "obs/energy_ledger.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/hub.hpp"
+#include "obs/trace.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::obs {
+
+Telemetry::Telemetry(des::Engine& engine, const TelemetryConfig& cfg,
+                     std::uint32_t boards, EnergyLedger* ledger, Hub& hub,
+                     Sampler sampler)
+    : engine_(engine), cfg_(cfg), ledger_(ledger), hub_(hub),
+      sampler_(std::move(sampler)), tm_(boards, cfg.ewma_alpha),
+      detector_({cfg.phase_alpha, cfg.phase_slack, cfg.phase_threshold}) {
+  ERAPID_REQUIRE(!cfg_.path.empty(), "telemetry needs an output path");
+  ERAPID_REQUIRE(cfg_.window > 0, "telemetry window must be positive");
+  ERAPID_REQUIRE(cfg_.top_k > 0, "telemetry top_k must be positive");
+  ERAPID_REQUIRE(static_cast<bool>(sampler_), "telemetry needs a window sampler");
+  out_.open(cfg_.path);
+  ERAPID_EXPECT(static_cast<bool>(out_), "cannot open telemetry stream: " + cfg_.path);
+  auto& reg = hub_.metrics();
+  m_windows_ = reg.counter("telemetry.windows");
+  m_phase_changes_ = reg.counter("telemetry.phase_changes");
+  m_phase_id_ = reg.gauge("telemetry.phase_id");
+}
+
+void Telemetry::start() {
+  ERAPID_REQUIRE(cfg_.window > 0, "telemetry window must be positive");
+  if (started_) return;
+  started_ = true;
+  next_ = engine_.schedule(cfg_.window, [this] { on_window(); }, "obs.telemetry_window");
+}
+
+void Telemetry::on_window() {
+  const Cycle now = engine_.now();
+  const WindowObservables o = sampler_(now);
+  ++windows_;
+  auto& reg = hub_.metrics();
+  reg.add(m_windows_);
+
+  const bool phase_changed = detector_.update(o.utilization);
+  if (phase_changed) {
+    reg.add(m_phase_changes_);
+    if (auto* tr = hub_.trace()) {
+      Args args;
+      args.add("phase_id", detector_.phase_id());
+      args.add("utilization", o.utilization);
+      tr->instant(hub_.track_telemetry(), "obs.phase_change", now, args.str());
+    }
+    if (auto* fr = hub_.flight()) {
+      Args args;
+      args.add("phase_id", detector_.phase_id());
+      args.add("utilization", o.utilization);
+      fr->record(now, "telemetry.phase_change", args.str());
+    }
+  }
+  reg.set_gauge(m_phase_id_, now, static_cast<double>(detector_.phase_id()));
+
+  // Hold the attribution invariant at every window boundary, not just at
+  // the end of the run — a drift is caught within one window of its cause.
+  if (ledger_ != nullptr) ledger_->reconcile(now, o.energy_mw_cycles);
+
+  emit_record(now, o, phase_changed);
+  tm_.roll_window();
+  next_ = engine_.schedule(cfg_.window, [this] { on_window(); }, "obs.telemetry_window");
+}
+
+void Telemetry::emit_record(Cycle now, const WindowObservables& o, bool phase_changed) {
+  // One flat JSON object per line, fixed key order, format_trace_value for
+  // every double — the byte-identical stream contract.
+  std::ostringstream r;
+  r << "{\"schema\": \"" << kSchema << "\""
+    << ", \"window\": " << windows_
+    << ", \"cycle\": " << now
+    << ", \"utilization\": " << format_trace_value(o.utilization)
+    << ", \"phase_id\": " << detector_.phase_id()
+    << ", \"phase_changed\": " << (phase_changed ? "true" : "false")
+    << ", \"delivered\": " << o.delivered
+    << ", \"queue_depth\": " << o.queue_depth
+    << ", \"lanes_lit\": " << o.lanes_lit
+    << ", \"lanes_total\": " << o.lanes_total
+    << ", \"power_mw\": " << format_trace_value(o.power_mw)
+    << ", \"workload_phase\": \"" << json_escape(o.workload_phase) << "\"";
+
+  r << ", \"tm\": {\"bytes\": " << tm_.window_bytes()
+    << ", \"packets\": " << tm_.window_packets()
+    << ", \"skew\": " << format_trace_value(tm_.window_skew())
+    << ", \"hotspot\": " << format_trace_value(tm_.window_hotspot())
+    << ", \"top\": [";
+  bool first = true;
+  for (const auto& e : tm_.top_k(cfg_.top_k)) {
+    r << (first ? "" : ", ") << "{\"src\": " << e.src << ", \"dst\": " << e.dst
+      << ", \"bytes\": " << e.bytes << ", \"packets\": " << e.packets
+      << ", \"ewma\": " << format_trace_value(e.ewma_bytes) << "}";
+    first = false;
+  }
+  r << "]}";
+
+  r << ", \"energy\": {\"total_mw_cycles\": " << format_trace_value(o.energy_mw_cycles)
+    << ", \"boards\": [";
+  if (ledger_ != nullptr) {
+    for (std::uint32_t b = 0; b < ledger_->boards(); ++b) {
+      const BoardEnergy e = ledger_->board_energy(b, now);
+      r << (b == 0 ? "" : ", ") << "{\"board\": " << b
+        << ", \"laser\": " << format_trace_value(e.laser_mw_cycles)
+        << ", \"serdes\": " << format_trace_value(e.serdes_mw_cycles)
+        << ", \"buffer\": " << format_trace_value(e.buffer_mw_cycles)
+        << ", \"ctrl\": " << format_trace_value(e.ctrl_mw_cycles) << "}";
+    }
+  }
+  r << "]}}";
+
+  out_ << r.str() << "\n";
+}
+
+void Telemetry::finish(Cycle now, double meter_total_mw_cycles) {
+  if (finished_) return;
+  finished_ = true;
+  next_.cancel();
+  if (ledger_ != nullptr) ledger_->reconcile(now, meter_total_mw_cycles);
+  out_.flush();
+  ERAPID_EXPECT(static_cast<bool>(out_), "telemetry stream failed: " + cfg_.path);
+}
+
+}  // namespace erapid::obs

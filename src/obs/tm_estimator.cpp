@@ -1,0 +1,112 @@
+#include "obs/tm_estimator.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace erapid::obs {
+
+TmEstimator::TmEstimator(std::uint32_t boards, double ewma_alpha)
+    : boards_(boards), alpha_(ewma_alpha) {
+  ERAPID_REQUIRE(boards > 0, "traffic matrix needs at least one board");
+  ERAPID_REQUIRE(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+                 "TM ewma alpha must be in (0, 1], got " << ewma_alpha);
+}
+
+void TmEstimator::on_packet(std::uint32_t src_board, std::uint32_t dst_board,
+                            std::uint64_t bytes) {
+  ERAPID_REQUIRE(src_board < boards_ && dst_board < boards_,
+                 "TM cell (" << src_board << ", " << dst_board << ") outside a "
+                             << boards_ << "-board system");
+  Cell& c = cells_[{src_board, dst_board}];
+  c.bytes += bytes;
+  c.total_bytes += bytes;
+  ++c.packets;
+  window_bytes_ += bytes;
+  ++window_packets_;
+  total_bytes_ += bytes;
+  ++total_packets_;
+}
+
+void TmEstimator::roll_window() {
+  ERAPID_EXPECT(windows_ + 1 != 0, "telemetry window counter overflow");
+  ++windows_;
+  for (auto& [key, c] : cells_) {
+    c.ewma_bytes = alpha_ * static_cast<double>(c.bytes) + (1.0 - alpha_) * c.ewma_bytes;
+    c.bytes = 0;
+    c.packets = 0;
+  }
+  window_bytes_ = 0;
+  window_packets_ = 0;
+}
+
+std::vector<TmEntry> TmEstimator::top_k(std::size_t k) const {
+  std::vector<TmEntry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, c] : cells_) {
+    if (c.bytes == 0) continue;
+    out.push_back({key.first, key.second, c.bytes, c.packets, c.ewma_bytes});
+  }
+  // Heaviest first; the (src, dst) tie-break keeps equal-weight flows in a
+  // reproducible order so top-K lists are byte-stable across runs.
+  std::sort(out.begin(), out.end(), [](const TmEntry& a, const TmEntry& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<TmEntry> TmEstimator::snapshot() const {
+  std::vector<TmEntry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, c] : cells_) {
+    out.push_back({key.first, key.second, c.bytes, c.packets, c.ewma_bytes});
+  }
+  return out;  // std::map iteration is already (src, dst) ascending
+}
+
+namespace {
+
+/// Max/mean ratio of the non-zero values produced by `get(cell)`.
+template <typename Cells, typename Get>
+double skew_of(const Cells& cells, Get get) {
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  std::size_t nonzero = 0;
+  for (const auto& [key, c] : cells) {
+    const std::uint64_t v = get(c);
+    if (v == 0) continue;
+    max = std::max(max, v);
+    sum += v;
+    ++nonzero;
+  }
+  if (nonzero == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(nonzero);
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace
+
+double TmEstimator::window_skew() const {
+  return skew_of(cells_, [](const Cell& c) { return c.bytes; });
+}
+
+double TmEstimator::total_skew() const {
+  return skew_of(cells_, [](const Cell& c) { return c.total_bytes; });
+}
+
+double TmEstimator::window_hotspot() const {
+  if (window_bytes_ == 0) return 0.0;
+  // Column sums in dst order: a std::map walk, so deterministic.
+  std::map<std::uint32_t, std::uint64_t> per_dst;
+  for (const auto& [key, c] : cells_) {
+    if (c.bytes > 0) per_dst[key.second] += c.bytes;
+  }
+  std::uint64_t hottest = 0;
+  for (const auto& [dst, bytes] : per_dst) hottest = std::max(hottest, bytes);
+  return static_cast<double>(hottest) / static_cast<double>(window_bytes_);
+}
+
+}  // namespace erapid::obs

@@ -1,0 +1,100 @@
+// Online traffic-matrix estimation — the windowed demand view the DBR
+// decision layer consumes.
+//
+// The paper's bandwidth re-allocation is driven by *measured* per-window
+// traffic, and the pluggable-allocator ROADMAP item (rostam's
+// OCSInterconnect ILP over episode_bw) needs exactly a per-(src board,
+// dst board) demand matrix. The estimator accumulates delivered bytes and
+// packets per board pair inside each telemetry window, folds every window
+// into a decayed EWMA per flow on roll, and exposes skew/hotspot scalars
+// plus a deterministic top-K view for the JSONL records.
+//
+// Determinism contract: cells live in a std::map keyed by (src, dst), so
+// iteration order — and therefore every snapshot, top-K list and scalar —
+// depends only on which flows carried traffic, never on arrival order or
+// hashing. All inputs are simulated-time quantities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace erapid::obs {
+
+/// One (src board, dst board) flow's standing in the estimator.
+struct TmEntry {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t bytes = 0;    ///< bytes accumulated in the current window
+  std::uint64_t packets = 0;  ///< packets accumulated in the current window
+  double ewma_bytes = 0.0;    ///< decayed per-window byte estimate
+};
+
+/// Sparse per-board-pair byte/packet accumulator (see file comment).
+class TmEstimator {
+ public:
+  /// `ewma_alpha` in (0, 1] weights the newest window in the decayed
+  /// per-flow estimate: ewma = alpha * window + (1 - alpha) * ewma.
+  TmEstimator(std::uint32_t boards, double ewma_alpha);
+
+  /// Accounts one delivered packet of `bytes` payload from `src_board` to
+  /// `dst_board` in the current window.
+  void on_packet(std::uint32_t src_board, std::uint32_t dst_board, std::uint64_t bytes);
+
+  /// Closes the current window: folds every known flow into its EWMA
+  /// (flows without traffic decay toward zero) and clears the window
+  /// accumulators.
+  void roll_window();
+
+  /// The `k` heaviest flows of the current window, by window bytes
+  /// descending with (src, dst) ascending tie-break. Flows with zero
+  /// window bytes are omitted.
+  [[nodiscard]] std::vector<TmEntry> top_k(std::size_t k) const;
+
+  /// Every flow ever seen, (src, dst) ascending — the full matrix view a
+  /// DBR allocator would consume.
+  [[nodiscard]] std::vector<TmEntry> snapshot() const;
+
+  /// Max/mean ratio over the current window's non-zero cells (1 = uniform,
+  /// grows with concentration; 0 with no traffic).
+  [[nodiscard]] double window_skew() const;
+
+  /// Fraction of the current window's bytes landing on its hottest
+  /// destination board (0 with no traffic).
+  [[nodiscard]] double window_hotspot() const;
+
+  /// Max/mean ratio over the cumulative (whole-run) non-zero cells.
+  [[nodiscard]] double total_skew() const;
+
+  [[nodiscard]] std::uint64_t window_bytes() const { return window_bytes_; }
+  [[nodiscard]] std::uint64_t window_packets() const { return window_packets_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  /// Distinct (src, dst) flows seen since construction.
+  [[nodiscard]] std::size_t flows() const { return cells_.size(); }
+  [[nodiscard]] std::uint32_t boards() const { return boards_; }
+
+ private:
+  struct Cell {
+    std::uint64_t bytes = 0;        ///< current window
+    std::uint64_t packets = 0;      ///< current window
+    std::uint64_t total_bytes = 0;  ///< whole run
+    double ewma_bytes = 0.0;
+  };
+
+  std::uint32_t boards_;
+  double alpha_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Cell> cells_;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t window_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace erapid::obs

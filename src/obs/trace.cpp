@@ -51,6 +51,7 @@ void Args::sep() {
 }
 
 Args& Args::add(const char* key, std::uint64_t v) {
+  ERAPID_EXPECT(key != nullptr && *key != '\0', "trace arg key must be non-empty");
   sep();
   body_ += '"';
   body_ += key;
@@ -59,6 +60,7 @@ Args& Args::add(const char* key, std::uint64_t v) {
 }
 
 Args& Args::add(const char* key, std::int64_t v) {
+  ERAPID_EXPECT(key != nullptr && *key != '\0', "trace arg key must be non-empty");
   sep();
   body_ += '"';
   body_ += key;
@@ -67,6 +69,7 @@ Args& Args::add(const char* key, std::int64_t v) {
 }
 
 Args& Args::add(const char* key, double v) {
+  ERAPID_EXPECT(key != nullptr && *key != '\0', "trace arg key must be non-empty");
   sep();
   body_ += '"';
   body_ += key;
@@ -75,6 +78,7 @@ Args& Args::add(const char* key, double v) {
 }
 
 Args& Args::add(const char* key, const std::string& v) {
+  ERAPID_EXPECT(key != nullptr && *key != '\0', "trace arg key must be non-empty");
   sep();
   body_ += '"';
   body_ += key;
@@ -94,6 +98,7 @@ ChromeTraceWriter::ChromeTraceWriter(const std::string& path) : out_(path) {
 ChromeTraceWriter::~ChromeTraceWriter() { close(0); }
 
 TrackId ChromeTraceWriter::register_track(const std::string& name) {
+  ERAPID_EXPECT(!closed_, "cannot register a track on a closed trace");
   const TrackId id = next_track_++;
   out_ << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << id
        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
@@ -109,6 +114,7 @@ void ChromeTraceWriter::event_prefix(const char* ph, TrackId track, const char* 
 
 void ChromeTraceWriter::complete(TrackId track, const char* name, Cycle ts,
                                  CycleDelta dur, const std::string& args_json) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("X", track, name, ts);
   out_ << ",\"dur\":" << dur;
   if (!args_json.empty()) out_ << ",\"args\":" << args_json;
@@ -116,17 +122,20 @@ void ChromeTraceWriter::complete(TrackId track, const char* name, Cycle ts,
 }
 
 void ChromeTraceWriter::begin(TrackId track, const char* name, Cycle ts) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("B", track, name, ts);
   out_ << '}';
 }
 
 void ChromeTraceWriter::end(TrackId track, const char* name, Cycle ts) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("E", track, name, ts);
   out_ << '}';
 }
 
 void ChromeTraceWriter::async_begin(TrackId track, const char* name, std::uint64_t id,
                                     Cycle ts, const std::string& args_json) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("b", track, name, ts);
   out_ << ",\"cat\":\"erapid\",\"id\":" << id;
   if (!args_json.empty()) out_ << ",\"args\":" << args_json;
@@ -135,12 +144,14 @@ void ChromeTraceWriter::async_begin(TrackId track, const char* name, std::uint64
 
 void ChromeTraceWriter::async_end(TrackId track, const char* name, std::uint64_t id,
                                   Cycle ts) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("e", track, name, ts);
   out_ << ",\"cat\":\"erapid\",\"id\":" << id << '}';
 }
 
 void ChromeTraceWriter::instant(TrackId track, const char* name, Cycle ts,
                                 const std::string& args_json) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("i", track, name, ts);
   out_ << ",\"s\":\"t\"";
   if (!args_json.empty()) out_ << ",\"args\":" << args_json;
@@ -149,6 +160,7 @@ void ChromeTraceWriter::instant(TrackId track, const char* name, Cycle ts,
 
 void ChromeTraceWriter::counter(TrackId track, const char* name, Cycle ts,
                                 double value) {
+  ERAPID_EXPECT(!closed_, "trace event emitted after close()");
   event_prefix("C", track, name, ts);
   out_ << ",\"args\":{\"value\":" << format_trace_value(value) << "}}";
 }
@@ -159,6 +171,7 @@ void ChromeTraceWriter::close(Cycle now) {
   out_ << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"schema\":\"" << kSchema
        << "\",\"end_cycle\":" << now << ",\"events\":" << events_ << "}}\n";
   out_.close();
+  ERAPID_INVARIANT(!out_.is_open(), "close() must release the trace file");
 }
 
 // ---- CsvTimelineWriter ------------------------------------------------------
@@ -171,6 +184,7 @@ CsvTimelineWriter::CsvTimelineWriter(const std::string& path) : out_(path) {
 CsvTimelineWriter::~CsvTimelineWriter() { close(0); }
 
 TrackId CsvTimelineWriter::register_track(const std::string& name) {
+  ERAPID_EXPECT(!closed_, "cannot register a track on a closed trace");
   track_names_.push_back(name);
   return static_cast<TrackId>(track_names_.size() - 1);
 }
@@ -230,6 +244,7 @@ void CsvTimelineWriter::close(Cycle /*now*/) {
   if (closed_ || !out_.is_open()) return;
   closed_ = true;
   out_.close();
+  ERAPID_INVARIANT(!out_.is_open(), "close() must release the trace file");
 }
 
 }  // namespace erapid::obs

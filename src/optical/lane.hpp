@@ -55,6 +55,9 @@ class Lane {
   [[nodiscard]] topology::LaneRef ref() const { return ref_; }
   [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] power::PowerLevel level_cap() const { return level_cap_; }
+  /// This lane's slot in the EnergyMeter — the id the energy attribution
+  /// ledger tags with the owning board.
+  [[nodiscard]] std::uint32_t meter_source() const { return meter_id_; }
 
   /// Ready to start a packet right now.
   [[nodiscard]] bool available(Cycle now) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/energy_ledger.hpp"
 #include "obs/hub.hpp"
 #include "obs/probe.hpp"
 #include "stats/time_weighted.hpp"
@@ -48,6 +49,20 @@ class EnergyMeter {
 #endif
   }
 
+  /// Mirrors every accepted power update (and checkpoint) onto the energy
+  /// attribution ledger. `ledger` is nullable by design (telemetry off).
+  /// Sources present before attachment are replayed so the mirror starts
+  /// from the same levels the meter integrated at t = 0.
+  // erapid-analyze: allow(contract-coverage)
+  void attach_ledger(obs::EnergyLedger* ledger) {
+    ledger_ = ledger;
+    if (ledger_ != nullptr) {
+      for (std::uint32_t id = 0; id < levels_.size(); ++id) {
+        if (levels_[id] != 0.0) ledger_->on_set_power(id, 0, levels_[id]);
+      }
+    }
+  }
+
   /// Source `id` draws `p` milliwatts from cycle `now` onwards.
   void set_power(std::uint32_t id, Cycle now, units::Milliwatts p) {
     ERAPID_REQUIRE(id < levels_.size(),
@@ -58,6 +73,7 @@ class EnergyMeter {
     if (delta == 0.0) return;
     levels_[id] = mw;
     total_.add(now, delta);
+    if (ledger_ != nullptr) ledger_->on_set_power(id, now, mw);
     ERAPID_GAUGE_SET(hub_, m_total_, now, total_.level());
     ERAPID_TRACE_COUNTER(hub_, hub_->track_power(), "power.total_mw", now, total_.level());
   }
@@ -67,8 +83,14 @@ class EnergyMeter {
     return units::Milliwatts{total_.level()};
   }
 
-  /// Marks the start of the measurement window.
-  void checkpoint(Cycle now) { window_start_ = now, total_.checkpoint(now); }
+  /// Marks the start of the measurement window. The ledger mirror must
+  /// checkpoint too: a checkpoint partitions the integral's float sum, and
+  /// (a·dt1 + a·dt2) is not bitwise a·(dt1 + dt2).
+  void checkpoint(Cycle now) {
+    ERAPID_EXPECT(now >= window_start_, "checkpoint cannot move the window backwards");
+    window_start_ = now, total_.checkpoint(now);
+    if (ledger_ != nullptr) ledger_->on_checkpoint(now);
+  }
 
   /// Average power over [checkpoint, now].
   [[nodiscard]] units::Milliwatts average_mw(Cycle now) const {
@@ -87,6 +109,7 @@ class EnergyMeter {
   stats::TimeWeighted total_;
   Cycle window_start_ = 0;
   obs::Hub* hub_ = nullptr;
+  obs::EnergyLedger* ledger_ = nullptr;
   obs::MetricId m_total_ = 0;
 };
 

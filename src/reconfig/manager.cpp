@@ -152,6 +152,9 @@ void ReconfigManager::on_window() {
     args.add("index", window_index_).add("parity", std::uint64_t{window_index_ % 2});
     ERAPID_TRACE_SPAN(hub_, hub_->track_reconfig(), kind, t,
                       static_cast<CycleDelta>(cfg_rc_.window), args.str());
+    // Black-box feed: windows are the reconfiguration heartbeat a
+    // post-mortem wants to see leading up to a trigger.
+    if (auto* fr = hub_->flight()) fr->record(t, kind, args.str());
   }
 #endif
 
@@ -498,6 +501,9 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
           .add("dest", std::uint64_t{dest.value()})
           .add("wavelength", std::uint64_t{w.value()});
       ERAPID_TRACE_INSTANT(hub_, hub_->track_lanes(), "lane.grant", at, args.str());
+#if !defined(ERAPID_NO_OBS)
+      if (auto* fr = hub_->flight()) fr->record(at, "lane.grant", args.str());
+#endif
     }
     if (grant_observer_) grant_observer_(dir.new_owner, dest, w, at);
     if (settled) settled(at);

@@ -76,6 +76,15 @@ const std::set<std::string>& known_keys() {
       "obs.counter_interval",
       "obs.trace_events",
       "obs.monitor_fail_fast",
+      "obs.telemetry",
+      "obs.telemetry_window",
+      "obs.telemetry_top_k",
+      "obs.telemetry_ewma_alpha",
+      "obs.telemetry_phase_alpha",
+      "obs.telemetry_phase_slack",
+      "obs.telemetry_phase_threshold",
+      "obs.flight_recorder_depth",
+      "obs.flight_recorder",
       "monitor.power_cap_mw",
       "monitor.throughput_floor",
       "monitor.p99_latency_ceiling",
@@ -237,6 +246,44 @@ SimOptions options_from_ini(const util::Ini& ini) {
   o.obs.trace_events = ini.get_bool("obs.trace_events", o.obs.trace_events);
   o.obs.monitor_fail_fast =
       ini.get_bool("obs.monitor_fail_fast", o.obs.monitor_fail_fast);
+  if (const auto tele = ini.get("obs.telemetry")) o.obs.telemetry_path = *tele;
+  const long tele_window =
+      ini.get_int("obs.telemetry_window", static_cast<long>(o.obs.telemetry_window));
+  ERAPID_EXPECT(tele_window > 0, "obs.telemetry_window must be positive, got "
+                                     << tele_window);
+  o.obs.telemetry_window = static_cast<CycleDelta>(tele_window);
+  const long tele_top_k =
+      ini.get_int("obs.telemetry_top_k", static_cast<long>(o.obs.telemetry_top_k));
+  ERAPID_EXPECT(tele_top_k > 0, "obs.telemetry_top_k must be positive, got " << tele_top_k);
+  o.obs.telemetry_top_k = static_cast<std::uint32_t>(tele_top_k);
+  auto unit_weight = [&](const char* key, double def) {
+    const double v = ini.get_double(key, def);
+    ERAPID_EXPECT(v > 0.0 && v <= 1.0, key << " must be in (0, 1], got " << v);
+    return v;
+  };
+  o.obs.telemetry_ewma_alpha =
+      unit_weight("obs.telemetry_ewma_alpha", o.obs.telemetry_ewma_alpha);
+  o.obs.telemetry_phase_alpha =
+      unit_weight("obs.telemetry_phase_alpha", o.obs.telemetry_phase_alpha);
+  o.obs.telemetry_phase_slack =
+      ini.get_double("obs.telemetry_phase_slack", o.obs.telemetry_phase_slack);
+  ERAPID_EXPECT(o.obs.telemetry_phase_slack >= 0.0,
+                "obs.telemetry_phase_slack cannot be negative, got "
+                    << o.obs.telemetry_phase_slack);
+  o.obs.telemetry_phase_threshold =
+      ini.get_double("obs.telemetry_phase_threshold", o.obs.telemetry_phase_threshold);
+  ERAPID_EXPECT(o.obs.telemetry_phase_threshold > 0.0,
+                "obs.telemetry_phase_threshold must be positive, got "
+                    << o.obs.telemetry_phase_threshold);
+  const long flight_depth = ini.get_int("obs.flight_recorder_depth",
+                                        static_cast<long>(o.obs.flight_recorder_depth));
+  ERAPID_EXPECT(flight_depth >= 0,
+                "obs.flight_recorder_depth must be non-negative, got " << flight_depth);
+  o.obs.flight_recorder_depth = static_cast<std::size_t>(flight_depth);
+  if (const auto fr = ini.get("obs.flight_recorder")) {
+    ERAPID_EXPECT(!fr->empty(), "obs.flight_recorder path cannot be empty");
+    o.obs.flight_recorder_path = *fr;
+  }
 
   auto& mon = o.obs.monitors;
   mon.power_cap_mw = ini.get_double("monitor.power_cap_mw", mon.power_cap_mw);
@@ -344,6 +391,15 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("obs.counter_interval", o.obs.counter_interval);
   set("obs.trace_events", o.obs.trace_events ? "true" : "false");
   set("obs.monitor_fail_fast", o.obs.monitor_fail_fast ? "true" : "false");
+  if (!o.obs.telemetry_path.empty()) set("obs.telemetry", o.obs.telemetry_path);
+  set("obs.telemetry_window", o.obs.telemetry_window);
+  set("obs.telemetry_top_k", o.obs.telemetry_top_k);
+  set("obs.telemetry_ewma_alpha", o.obs.telemetry_ewma_alpha);
+  set("obs.telemetry_phase_alpha", o.obs.telemetry_phase_alpha);
+  set("obs.telemetry_phase_slack", o.obs.telemetry_phase_slack);
+  set("obs.telemetry_phase_threshold", o.obs.telemetry_phase_threshold);
+  set("obs.flight_recorder_depth", o.obs.flight_recorder_depth);
+  set("obs.flight_recorder", o.obs.flight_recorder_path);
   // Disabled checks (threshold 0) serialize too: a saved config re-loads
   // into the identical MonitorConfig either way, and the full key set is
   // visible in every dumped config.

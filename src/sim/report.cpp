@@ -158,6 +158,24 @@ std::string to_json(const SimResult& r, int indent) {
     m.raw_field("checks", c.str());
     o.raw_field("obs_monitors", m.str());
   }
+  // Telemetry/flight-recorder roll-up: present only when one of the two was
+  // configured, so telemetry-free reports match older builds byte-exactly.
+  if (r.telemetry.active) {
+    JsonObject t(indent + 2);
+    t.field("windows", r.telemetry.windows);
+    t.field("phase_changes", r.telemetry.phase_changes);
+    t.field("final_phase", r.telemetry.final_phase);
+    t.field("tm_bytes", r.telemetry.tm_bytes);
+    t.field("tm_packets", r.telemetry.tm_packets);
+    t.field("tm_flows", r.telemetry.tm_flows);
+    t.field("tm_skew", r.telemetry.tm_skew);
+    t.field("energy_total_mw_cycles", r.telemetry.energy_total_mw_cycles);
+    t.field("energy_laser_mw_cycles", r.telemetry.energy_laser_mw_cycles);
+    t.field("energy_serdes_mw_cycles", r.telemetry.energy_serdes_mw_cycles);
+    t.field("flight_events", r.telemetry.flight_events);
+    t.field("flight_dumps", r.telemetry.flight_dumps);
+    o.raw_field("obs_telemetry", t.str());
+  }
   return o.str();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/probe.hpp"
+#include "power/components.hpp"
 #include "workload/collectives.hpp"
 #include "workload/hpc_kernels.hpp"
 
@@ -55,6 +56,42 @@ Simulation::Simulation(const SimOptions& opts)
       std::move(terminals), opts_.fault, hub_.get(), std::move(receivers));
   injector_->arm();
 
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ != nullptr && opts_.obs.telemetry_on()) {
+    const std::uint32_t boards = opts_.system.num_boards_total();
+    hub_->init_telemetry(engine_, boards,
+                         [this](Cycle now) { return sample_telemetry(now); });
+    telemetry_ = hub_->telemetry();
+    obs::EnergyLedger* ledger = hub_->ledger();
+    // Component split per DVS level: the quoted level total divides by the
+    // analytic model's transmitter/receiver ratio at that operating point.
+    const power::ComponentModel comp;
+    const auto& pm = network_->power_model();
+    for (const power::PowerLevel l : power::LinkPowerModel::kActiveLevels) {
+      const double level_mw = pm.power_mw(l).value();
+      const double tx = comp.transmitter_mw(pm.supply_v(l), pm.bitrate_gbps(l)).value();
+      const double rx = comp.receiver_mw(pm.supply_v(l), pm.bitrate_gbps(l)).value();
+      const double laser = tx + rx > 0.0 ? level_mw * (tx / (tx + rx)) : 0.0;
+      ledger->set_laser_share(level_mw, laser);
+    }
+    // Tag every lane's meter slot with its owning board. Terminals hold no
+    // self-row (a board never transmits to itself), so d == b is skipped.
+    const std::uint32_t W = opts_.system.num_wavelengths();
+    for (std::uint32_t b = 0; b < boards; ++b) {
+      auto& term = network_->terminal(BoardId{b});
+      for (std::uint32_t d = 0; d < boards; ++d) {
+        if (d == b) continue;
+        for (std::uint32_t w = 0; w < W; ++w) {
+          ledger->tag_source(term.lane(BoardId{d}, WavelengthId{w}).meter_source(), b);
+        }
+      }
+    }
+    // Attach before any lane lights up (Network::start): from the first
+    // power update on, the ledger mirrors the meter bitwise.
+    network_->meter().attach_ledger(ledger);
+  }
+#endif
+
   network_->set_dead_letter_callback([this](const router::Packet& p, Cycle now) {
     if (p.labelled) ++labelled_dead_;
     // Abandoned packets count as resolved for workload completion —
@@ -75,6 +112,15 @@ Simulation::Simulation(const SimOptions& opts)
   network_->set_delivery_callback([this](const router::Packet& p, Cycle now) {
     if (in_measurement_) ++delivered_measured_;
     ERAPID_COUNTER(hub_.get(), m_delivered_, 1);
+#if !defined(ERAPID_NO_OBS)
+    // Traffic-matrix feed: payload bytes per (src board, dst board).
+    if (telemetry_ != nullptr) {
+      telemetry_->on_packet(opts_.system.board_of(p.src).value(),
+                            opts_.system.board_of(p.dst).value(),
+                            static_cast<std::uint64_t>(p.flits) *
+                                (opts_.system.flit_bits / 8));
+    }
+#endif
     if (p.labelled) {
       ++labelled_delivered_;
       const auto lat = static_cast<double>(now - p.created);
@@ -195,6 +241,7 @@ SimResult Simulation::run_open_loop() {
   if (fleet_ != nullptr) fleet_->start();
 #if !defined(ERAPID_NO_OBS)
   if (recorder_ != nullptr) recorder_->start();
+  if (telemetry_ != nullptr) telemetry_->start();
 #endif
 
   // ---- warmup ----
@@ -263,6 +310,10 @@ SimResult Simulation::run_open_loop() {
 #if !defined(ERAPID_NO_OBS)
   if (hub_ != nullptr) {
     if (recorder_ != nullptr) recorder_->stop();
+    if (telemetry_ != nullptr) {
+      telemetry_->finish(engine_.now(),
+                         network_->meter().energy_mw_cycles(engine_.now()).value());
+    }
     if (fleet_ != nullptr) {
       // Per-tenant delivered-bytes distribution (one sample per tenant,
       // tenant order — deterministic).
@@ -282,6 +333,7 @@ SimResult Simulation::run_open_loop() {
       r.monitors = mon->report();
       r.monitor_violations = mon->violations();
     }
+    fill_telemetry_summary(r);
     r.metrics = hub_->metrics().snapshot(engine_.now());
     hub_->close(engine_.now());
   }
@@ -299,6 +351,7 @@ SimResult Simulation::run_completion_bounded() {
   network_->start();
 #if !defined(ERAPID_NO_OBS)
   if (recorder_ != nullptr) recorder_->start();
+  if (telemetry_ != nullptr) telemetry_->start();
 #endif
   network_->meter().checkpoint(engine_.now());
   const units::MilliwattCycles active_energy_start = network_->active_energy_mw_cycles();
@@ -366,6 +419,10 @@ SimResult Simulation::run_completion_bounded() {
 #if !defined(ERAPID_NO_OBS)
   if (hub_ != nullptr) {
     if (recorder_ != nullptr) recorder_->stop();
+    if (telemetry_ != nullptr) {
+      telemetry_->finish(engine_.now(),
+                         network_->meter().energy_mw_cycles(engine_.now()).value());
+    }
     if (auto* mon = hub_->monitors()) {
       obs::FinalSample fin;
       fin.now = engine_.now();
@@ -378,11 +435,66 @@ SimResult Simulation::run_completion_bounded() {
       r.monitors = mon->report();
       r.monitor_violations = mon->violations();
     }
+    fill_telemetry_summary(r);
     r.metrics = hub_->metrics().snapshot(engine_.now());
     hub_->close(engine_.now());
   }
 #endif
   return r;
+}
+
+obs::WindowObservables Simulation::sample_telemetry(Cycle now) {
+  obs::WindowObservables o;
+  const std::uint64_t delivered = network_->packets_delivered();
+  const std::uint64_t in_window = delivered - tele_last_delivered_;
+  tele_last_delivered_ = delivered;
+  const auto nodes = static_cast<double>(opts_.system.num_nodes());
+  const auto window = static_cast<double>(opts_.obs.telemetry_window);
+  // Utilization = delivered packets per node-cycle, as a fraction of the
+  // analytic capacity N_c — the same normalization the figures use.
+  o.utilization =
+      capacity_ > 0.0 ? static_cast<double>(in_window) / (nodes * window * capacity_) : 0.0;
+  o.delivered = delivered;
+  o.lanes_lit = network_->lane_map().lit_count();
+  o.lanes_total = opts_.system.num_boards_total() * opts_.system.num_wavelengths();
+  o.queue_depth = network_->total_source_backlog();
+  o.power_mw = network_->meter().instantaneous_mw().value();
+  o.energy_mw_cycles = network_->meter().energy_mw_cycles(now).value();
+  if (phase_driver_ != nullptr) o.workload_phase = phase_driver_->active_phase();
+  return o;
+}
+
+void Simulation::fill_telemetry_summary(SimResult& r) {
+#if !defined(ERAPID_NO_OBS)
+  if (hub_ == nullptr) return;
+  auto& t = r.telemetry;
+  if (const auto* fr = hub_->flight()) {
+    t.active = true;
+    t.flight_events = fr->events_recorded();
+    t.flight_dumps = fr->dumps();
+  }
+  if (telemetry_ != nullptr) {
+    t.active = true;
+    t.windows = telemetry_->windows();
+    t.phase_changes = telemetry_->phase_changes();
+    t.final_phase = telemetry_->phase_id();
+    const auto& tm = telemetry_->tm();
+    t.tm_bytes = tm.total_bytes();
+    t.tm_packets = tm.total_packets();
+    t.tm_flows = tm.flows();
+    t.tm_skew = tm.total_skew();
+    const Cycle now = engine_.now();
+    obs::EnergyLedger* ledger = hub_->ledger();
+    t.energy_total_mw_cycles = ledger->total_mw_cycles(now);
+    for (std::uint32_t b = 0; b < ledger->boards(); ++b) {
+      const obs::BoardEnergy e = ledger->board_energy(b, now);
+      t.energy_laser_mw_cycles += e.laser_mw_cycles;
+      t.energy_serdes_mw_cycles += e.serdes_mw_cycles;
+    }
+  }
+#else
+  (void)r;
+#endif
 }
 
 ModeComparison compare_modes(SimOptions base) {

@@ -113,6 +113,24 @@ struct SimResult {
   /// Structured-workload accounting; inactive (kind empty, no report
   /// block) on legacy Bernoulli runs.
   workload::WorkloadStats workload;
+  /// Whole-run roll-up of the telemetry plane and flight recorder;
+  /// inactive (no report block) unless one of them was configured.
+  struct TelemetrySummary {
+    bool active = false;
+    std::uint64_t windows = 0;
+    std::uint64_t phase_changes = 0;
+    std::uint64_t final_phase = 0;
+    std::uint64_t tm_bytes = 0;
+    std::uint64_t tm_packets = 0;
+    std::uint64_t tm_flows = 0;
+    double tm_skew = 0.0;
+    double energy_total_mw_cycles = 0.0;
+    double energy_laser_mw_cycles = 0.0;
+    double energy_serdes_mw_cycles = 0.0;
+    std::uint64_t flight_events = 0;
+    std::uint64_t flight_dumps = 0;
+  };
+  TelemetrySummary telemetry;
   /// True when monitors ran and every configured check held.
   [[nodiscard]] bool monitors_ok() const {
     return monitor_violations == 0;
@@ -146,6 +164,11 @@ class Simulation {
   SimResult run_completion_bounded();
   /// Builds the phase schedule for the configured completion-bounded kind.
   [[nodiscard]] workload::Schedule build_schedule() const;
+  /// One telemetry window's sample of the run (the Telemetry plane's
+  /// sampler callback).
+  [[nodiscard]] obs::WindowObservables sample_telemetry(Cycle now);
+  /// Copies the telemetry/flight-recorder roll-up into the result.
+  void fill_telemetry_summary(SimResult& r);
 
   SimOptions opts_;
   des::Engine engine_;
@@ -177,6 +200,11 @@ class Simulation {
   obs::MetricId m_latency_ = 0;
   obs::MetricId m_latency_hist_ = 0;
   obs::MetricId m_delivered_ = 0;
+  /// Cached hub_->telemetry(); null (one branch per delivery) unless the
+  /// plane is configured.
+  obs::Telemetry* telemetry_ = nullptr;
+  /// Delivered count at the last telemetry window boundary.
+  std::uint64_t tele_last_delivered_ = 0;
 };
 
 /// Runs the same (pattern, load) point under all four network modes —

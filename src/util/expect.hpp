@@ -30,9 +30,11 @@
 // — config parsing, file I/O — which is error handling, not a contract).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace erapid {
 
@@ -42,17 +44,48 @@ class ModelInvariantError : public std::logic_error {
   explicit ModelInvariantError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Called with (kind, full diagnostic) immediately before a contract failure
+/// throws — the flight recorder's last-gasp hook.
+using ContractObserver = std::function<void(const char* kind, const std::string& what)>;
+
 namespace detail {
+
+inline ContractObserver& contract_observer_slot() {
+  static thread_local ContractObserver slot;
+  return slot;
+}
+
+inline bool& contract_observer_busy() {
+  static thread_local bool busy = false;
+  return busy;
+}
 
 [[noreturn]] inline void throw_contract(const char* kind, const char* expr, const char* file,
                                         int line, const char* func, const std::string& msg) {
   std::ostringstream os;
   os << kind << ": (" << expr << ") in " << func << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
+  // Give the observer its one look before the throw unwinds the run. The
+  // busy guard makes a contract failure *inside* the observer non-recursive,
+  // and observer exceptions are swallowed: the original diagnostic wins.
+  auto& obs = contract_observer_slot();
+  if (obs && !contract_observer_busy()) {
+    contract_observer_busy() = true;
+    try {
+      obs(kind, os.str());
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    contract_observer_busy() = false;
+  }
   throw ModelInvariantError(os.str());
 }
 
 }  // namespace detail
+
+/// Installs (or clears, with {}) the thread-local contract-failure observer.
+inline void set_contract_observer(ContractObserver obs) {
+  detail::contract_observer_slot() = std::move(obs);
+}
 
 }  // namespace erapid
 

@@ -80,6 +80,14 @@ class PhaseEngine {
   [[nodiscard]] bool done() const { return stats_.completed; }
   [[nodiscard]] const WorkloadStats& stats() const { return stats_; }
 
+  /// Name of the phase currently injecting/draining, or "" before start and
+  /// after completion — the label the telemetry records carry.
+  [[nodiscard]] const std::string& active_phase() const {
+    static const std::string kNone;
+    if (!started_ || done() || phase_index_ >= schedule_.phases.size()) return kNone;
+    return schedule_.phases[phase_index_].name;
+  }
+
  private:
   void begin_phase();
   void pump();

@@ -207,6 +207,29 @@ class ReportComparison(unittest.TestCase):
         with self.assertRaises(compare_runs.CompareError):
             compare_runs.compare_docs(bench_doc([]), report_doc(), 0.05, False)
 
+    def test_legacy_report_without_obs_monitors_compares_as_monitor_free(self):
+        # A pre-monitor baseline has no obs_monitors block; a clean current
+        # run gates fine against it, and a violating one still regresses.
+        legacy = report_doc()
+        clean = report_doc(
+            obs_monitors={"ok": True, "violations": 0, "checks": {}})
+        out = compare_runs.compare_docs(legacy, clean, 0.05, False)
+        self.assertTrue(all(c["kind"] != "regressed" for c in out))
+
+        violating = report_doc(
+            obs_monitors={"ok": False, "violations": 3, "checks": {}})
+        out = compare_runs.compare_docs(legacy, violating, 0.05, False)
+        self.assertIn("regressed", kinds(out, "ok"))
+        self.assertIn("regressed", kinds(out, "violations"))
+
+    def test_monitor_verdicts_compare_between_current_reports(self):
+        base = report_doc(
+            obs_monitors={"ok": True, "violations": 0, "checks": {}})
+        cand = report_doc(
+            obs_monitors={"ok": False, "violations": 1, "checks": {}})
+        out = compare_runs.compare_docs(base, cand, 0.05, False)
+        self.assertIn("regressed", kinds(out, "ok"))
+
 
 class CliContract(unittest.TestCase):
     def write(self, tmp, name, doc):

@@ -269,6 +269,71 @@ TEST(OptionsIo, DefaultMonitorsAreAllDisabled) {
   EXPECT_FALSE(o.obs.monitor_fail_fast);
 }
 
+TEST(OptionsIo, TelemetryKeysSurviveRoundTrip) {
+  SimOptions o;
+  o.obs.enabled = true;
+  o.obs.telemetry_path = "run.telemetry.jsonl";
+  o.obs.telemetry_window = 1500;
+  o.obs.telemetry_top_k = 4;
+  o.obs.telemetry_ewma_alpha = 0.4;
+  o.obs.telemetry_phase_alpha = 0.3;
+  o.obs.telemetry_phase_slack = 0.02;
+  o.obs.telemetry_phase_threshold = 0.5;
+  o.obs.flight_recorder_depth = 256;
+  o.obs.flight_recorder_path = "blackbox.json";
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_EQ(back.obs.telemetry_path, "run.telemetry.jsonl");
+  EXPECT_EQ(back.obs.telemetry_window, 1500u);
+  EXPECT_EQ(back.obs.telemetry_top_k, 4u);
+  EXPECT_DOUBLE_EQ(back.obs.telemetry_ewma_alpha, 0.4);
+  EXPECT_DOUBLE_EQ(back.obs.telemetry_phase_alpha, 0.3);
+  EXPECT_DOUBLE_EQ(back.obs.telemetry_phase_slack, 0.02);
+  EXPECT_DOUBLE_EQ(back.obs.telemetry_phase_threshold, 0.5);
+  EXPECT_EQ(back.obs.flight_recorder_depth, 256u);
+  EXPECT_EQ(back.obs.flight_recorder_path, "blackbox.json");
+  EXPECT_TRUE(back.obs.telemetry_on());
+  EXPECT_TRUE(back.obs.flight_recorder_on());
+}
+
+TEST(OptionsIo, TelemetryKeysParseFromIniText) {
+  const auto o = options_from_ini(Ini::parse_string(
+      "[obs]\nenabled = true\ntelemetry = t.jsonl\ntelemetry_window = 800\n"
+      "flight_recorder_depth = 32\nflight_recorder = fr.json\n"));
+  EXPECT_EQ(o.obs.telemetry_path, "t.jsonl");
+  EXPECT_EQ(o.obs.telemetry_window, 800u);
+  EXPECT_EQ(o.obs.flight_recorder_depth, 32u);
+  EXPECT_EQ(o.obs.flight_recorder_path, "fr.json");
+  EXPECT_TRUE(o.obs.telemetry_on());
+}
+
+TEST(OptionsIo, InvalidTelemetryKeysThrow) {
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[obs]\ntelemetry_window = 0\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[obs]\ntelemetry_top_k = -1\n")),
+               erapid::ModelInvariantError);
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[obs]\ntelemetry_ewma_alpha = 1.5\n")),
+      erapid::ModelInvariantError);
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[obs]\ntelemetry_phase_slack = -0.1\n")),
+      erapid::ModelInvariantError);
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[obs]\ntelemetry_phase_threshold = 0\n")),
+      erapid::ModelInvariantError);
+  EXPECT_THROW(
+      options_from_ini(Ini::parse_string("[obs]\nflight_recorder_depth = -2\n")),
+      erapid::ModelInvariantError);
+  // A misspelt telemetry key is rejected like any other unknown key.
+  EXPECT_THROW(options_from_ini(Ini::parse_string("[obs]\ntelemetry_windw = 100\n")),
+               erapid::ModelInvariantError);
+}
+
+TEST(OptionsIo, DefaultTelemetryIsOff) {
+  const SimOptions o;
+  EXPECT_FALSE(o.obs.telemetry_on());
+  EXPECT_FALSE(o.obs.flight_recorder_on());
+}
+
 TEST(OptionsIo, BadModeThrows) {
   const auto ini = Ini::parse_string("[reconfig]\nmode = FULL-POWER\n");
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);

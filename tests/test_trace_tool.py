@@ -4,8 +4,10 @@
 Builds tiny synthetic traces in both writer formats (Chrome JSON and the
 CSV timeline) and checks that the summarizer aggregates spans, counters,
 instants, async pairs and the window timeline correctly, rejects
-schema/format drift, and keeps its CLI exit-code contract. Registered in
-CTest as `lint.trace_tool_self_test`.
+schema/format drift, and keeps its CLI exit-code contract. Also covers the
+`telemetry` input format (erapid-telemetry-1 JSONL), which delegates to the
+shared checker in tools/obs/telemetry_report.py. Registered in CTest as
+`lint.trace_tool_self_test`.
 """
 
 import json
@@ -162,6 +164,110 @@ class ValidationRejects(unittest.TestCase):
             path = write_chrome(td, events=events)
             with self.assertRaises(summarize_trace.TraceError):
                 summarize_trace.load(path, "chrome")
+
+
+def telemetry_record(window, cycle, **kw):
+    """One synthetic erapid-telemetry-1 record in the emitter's shape."""
+    rec = {
+        "schema": "erapid-telemetry-1",
+        "window": window,
+        "cycle": cycle,
+        "utilization": 0.5,
+        "phase_id": 0,
+        "phase_changed": False,
+        "delivered": 10,
+        "queue_depth": 2,
+        "lanes_lit": 4,
+        "lanes_total": 8,
+        "power_mw": 100.0,
+        "workload_phase": "",
+        "tm": {
+            "bytes": 640, "packets": 10, "skew": 1.0, "hotspot": 0.5,
+            "top": [
+                {"src": 0, "dst": 1, "bytes": 320, "packets": 5, "ewma": 96.0},
+                {"src": 1, "dst": 0, "bytes": 320, "packets": 5, "ewma": 96.0},
+            ],
+        },
+        "energy": {
+            "total_mw_cycles": 1000.0,
+            "boards": [
+                {"board": 0, "laser": 100.0, "serdes": 400.0,
+                 "buffer": 0.0, "ctrl": 0.0},
+                {"board": 1, "laser": 100.0, "serdes": 400.0,
+                 "buffer": 0.0, "ctrl": 0.0},
+            ],
+        },
+    }
+    rec.update(kw)
+    return rec
+
+
+def write_telemetry(tmp, records):
+    path = Path(tmp) / "t.telemetry.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class TelemetryFormat(unittest.TestCase):
+    def setUp(self):
+        self.tr = summarize_trace.telemetry_report_module()
+
+    def test_auto_picks_telemetry_for_jsonl(self):
+        self.assertEqual(
+            summarize_trace.resolve_format(Path("x.jsonl"), "auto"), "telemetry")
+        self.assertEqual(
+            summarize_trace.resolve_format(Path("x.trace.json"), "auto"), "chrome")
+
+    def test_valid_stream_summarises(self):
+        records = [
+            telemetry_record(1, 2000),
+            telemetry_record(2, 4000, utilization=0.9, phase_id=1,
+                             phase_changed=True),
+            telemetry_record(3, 6000, utilization=0.9, phase_id=1),
+        ]
+        with tempfile.TemporaryDirectory() as td:
+            path = write_telemetry(td, records)
+            doc = self.tr.summarize(self.tr.load_telemetry(path))
+            # And the same file through summarize_trace's CLI, auto format.
+            report = Path(td) / "summary.json"
+            self.assertEqual(
+                summarize_trace.main([str(path), "--json", str(report)]), 0)
+            cli_doc = json.loads(report.read_text())
+        self.assertEqual(doc["windows"], 3)
+        self.assertEqual(doc["phase_changes"], 1)
+        self.assertEqual(doc["final_phase"], 1)
+        self.assertEqual(len(doc["phases"]), 2)
+        self.assertEqual(doc["phases"][1]["start_window"], 2)
+        self.assertEqual(doc["tm_bytes"], 3 * 640)
+        heat = {(e["src"], e["dst"]): e["bytes"] for e in doc["tm_heat"]}
+        self.assertEqual(heat[(0, 1)], 3 * 320)
+        self.assertEqual(doc["energy"]["laser"], 200.0)
+        self.assertEqual(doc["energy"]["serdes"], 800.0)
+        self.assertEqual(cli_doc, doc)
+
+    def test_rejects_wrong_schema(self):
+        with tempfile.TemporaryDirectory() as td:
+            path = write_telemetry(
+                td, [telemetry_record(1, 2000, schema="erapid-telemetry-999")])
+            with self.assertRaises(self.tr.TelemetryError):
+                self.tr.load_telemetry(path)
+            self.assertEqual(summarize_trace.main([str(path)]), 1)
+
+    def test_rejects_missing_field_and_bad_ordering(self):
+        bad = telemetry_record(1, 2000)
+        del bad["utilization"]
+        skipped = [telemetry_record(1, 2000), telemetry_record(3, 4000)]
+        backwards = [telemetry_record(1, 2000), telemetry_record(2, 2000)]
+        with tempfile.TemporaryDirectory() as td:
+            for records in ([bad], skipped, backwards):
+                path = write_telemetry(td, records)
+                with self.assertRaises(self.tr.TelemetryError):
+                    self.tr.load_telemetry(path)
+
+    def test_shared_checker_is_the_obs_module(self):
+        # The satellite contract: one schema checker, imported, not copied.
+        self.assertEqual(self.tr.SCHEMA, "erapid-telemetry-1")
+        self.assertTrue(self.tr.__file__.endswith("telemetry_report.py"))
 
 
 class CliContract(unittest.TestCase):

@@ -18,7 +18,8 @@ from pathlib import Path
 from decl_index import FileIndex, MethodInfo
 from findings import Finding
 
-DEFAULT_MODULES = ("des", "reconfig", "optical", "power", "fault", "workload")
+DEFAULT_MODULES = ("des", "reconfig", "optical", "power", "fault", "workload",
+                   "obs")
 
 
 @dataclass

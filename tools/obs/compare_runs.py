@@ -21,7 +21,13 @@ relative thresholds:
     compared direction-aware, and every numeric leaf of the ``obs_metrics``
     snapshot is compared direction-agnostically (the snapshot is
     deterministic, so any drift beyond the threshold is a behaviour change
-    worth flagging).
+    worth flagging). ``obs_monitors`` verdicts gate too; a report without
+    the block (pre-monitor artifacts, monitor-free runs) compares as "no
+    monitors configured" — ok, zero violations — rather than erroring.
+
+Self-describing stamp fields that bench artifacts carry (``des_queue``,
+``obs`` config echoes) are ignored: only the metric names listed below are
+ever compared, so new provenance fields never move the gate.
 
 ``wall_ms`` is excluded by default — the simulator is deterministic but the
 host is not; ``--include-wall`` opts it in (direction: up is worse).
@@ -159,6 +165,19 @@ def flatten_numeric(prefix, node, out):
             flatten_numeric(sub, node[key], out)
 
 
+def compare_obs_monitors(label, base_mon, cand_mon, threshold, out):
+    """Monitor verdict gate. A report without an obs_monitors block means
+    "no monitors configured" — pre-monitor artifacts and monitor-free runs
+    compare as ok with zero violations instead of erroring, so a current
+    report can be diffed against a legacy baseline."""
+    if base_mon is None and cand_mon is None:
+        return
+    absent = {"ok": True, "violations": 0}
+    compare_fields(label, base_mon or absent, cand_mon or absent,
+                   {"ok": "false_bad", "violations": "up_bad"},
+                   threshold, False, out)
+
+
 def compare_obs_metrics(label, base_obs, cand_obs, threshold, out):
     base_flat, cand_flat = {}, {}
     flatten_numeric("", base_obs, base_flat)
@@ -279,6 +298,8 @@ def compare_reports(base, cand, threshold, include_wall):
                        comparisons)
         compare_obs_metrics(name, b.get("obs_metrics", {}),
                             c.get("obs_metrics", {}), threshold, comparisons)
+        compare_obs_monitors(name, b.get("obs_monitors"),
+                             c.get("obs_monitors"), threshold, comparisons)
     return comparisons
 
 

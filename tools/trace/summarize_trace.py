@@ -13,6 +13,11 @@ CsvTimelineWriter) and prints a human summary:
   * the reconfiguration window timeline (start cycle, kind, duration,
     window index / R_w parity when present in args).
 
+Telemetry streams are also accepted: `--format telemetry` (picked
+automatically for `*.jsonl`) validates and summarises an
+`erapid-telemetry-1` windowed-telemetry file by delegating to
+tools/obs/telemetry_report.py, so both tools share one schema checker.
+
 `--json` emits the same summary as a machine-readable document; CI runs the
 instrumented smoke simulation and validates its trace through this tool.
 
@@ -269,9 +274,28 @@ def load_csv(path: Path) -> Summary:
     return s
 
 
+def resolve_format(path: Path, fmt: str) -> str:
+    if fmt != "auto":
+        return fmt
+    if path.suffix == ".csv":
+        return "csv"
+    if path.suffix == ".jsonl":
+        return "telemetry"
+    return "chrome"
+
+
+def telemetry_report_module():
+    """tools/obs/telemetry_report — the shared erapid-telemetry-1 checker."""
+    tools_obs = Path(__file__).resolve().parent.parent / "obs"
+    if str(tools_obs) not in sys.path:
+        sys.path.insert(0, str(tools_obs))
+    import telemetry_report
+
+    return telemetry_report
+
+
 def load(path: Path, fmt: str) -> Summary:
-    if fmt == "auto":
-        fmt = "csv" if path.suffix == ".csv" else "chrome"
+    fmt = resolve_format(path, fmt)
     return load_csv(path) if fmt == "csv" else load_chrome(path)
 
 
@@ -332,9 +356,10 @@ def main(argv=None):
     parser.add_argument("trace", type=Path, help="trace file (Chrome JSON or CSV)")
     parser.add_argument(
         "--format",
-        choices=("auto", "chrome", "csv"),
+        choices=("auto", "chrome", "csv", "telemetry"),
         default="auto",
-        help="input format; auto picks csv for *.csv, chrome otherwise",
+        help="input format; auto picks csv for *.csv, telemetry for *.jsonl, "
+             "chrome otherwise",
     )
     parser.add_argument(
         "--json",
@@ -346,8 +371,26 @@ def main(argv=None):
     except SystemExit as err:
         return 2 if err.code not in (0, None) else 0
 
+    fmt = resolve_format(args.trace, args.format)
+    if fmt == "telemetry":
+        tr = telemetry_report_module()
+        try:
+            doc = tr.summarize(tr.load_telemetry(args.trace))
+        except tr.TelemetryError as err:
+            print(f"summarize_trace: error: {err}", file=sys.stderr)
+            return 1
+        if args.json is not None:
+            text = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+            if args.json == "-":
+                sys.stdout.write(text)
+            else:
+                Path(args.json).write_text(text)
+        else:
+            tr.print_text(doc)
+        return 0
+
     try:
-        summary = load(args.trace, args.format)
+        summary = load(args.trace, fmt)
     except TraceError as err:
         print(f"summarize_trace: error: {err}", file=sys.stderr)
         return 1
