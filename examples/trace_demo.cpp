@@ -8,14 +8,18 @@
 //                [--interval 500] [--events] [--workload allreduce]
 //                [--telemetry out.jsonl] [--telemetry-window 2000]
 //                [--flight-recorder dump.json] [--flight-depth 256]
-//                [--power-cap 0]
+//                [--power-cap 0] [--fail-fast] [--degrade record|degrade|shed|abort]
 //
 // CI runs this binary as the instrumented smoke simulation and validates
 // the emitted trace with the summarizer — and, with --telemetry, the
 // windowed JSONL stream with tools/obs/telemetry_report.py. --power-cap
 // (mW, 0 = off) arms the power envelope monitor; combined with
 // --flight-recorder an impossible cap forces a violation and dumps the
-// black-box ring, which CI schema-checks.
+// black-box ring, which CI schema-checks. --degrade installs the
+// survivability controller's response to cap violations (the brownout
+// ladder; DESIGN.md §15) — with --fail-fast a tight cap aborts the run
+// unless the policy holds it inside the envelope, which the chaos CI job
+// smokes under ASan/UBSan.
 #include <iostream>
 
 #include "sim/report.hpp"
@@ -58,6 +62,10 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("flight-depth", 256));
   }
   opts.obs.monitors.power_cap_mw = cli.get_double("power-cap", 0.0);
+  opts.obs.monitor_fail_fast = cli.has("fail-fast");
+  if (const auto policy = cli.get("degrade")) {
+    opts.degrade.power_cap = resilience::parse_policy(*policy);
+  }
 
   // Optional structured workload (e.g. --workload allreduce): the demo
   // then traces a completion-bounded collective instead of the fixed

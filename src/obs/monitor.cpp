@@ -40,6 +40,17 @@ void MonitorSet::fire(Check& c, Cycle now, double value) {
   // The flight recorder (via the Hub's hook) must see the violation before
   // fail-fast unwinds: the dump is the point of the post-mortem.
   if (violation_hook_) violation_hook_(c.name, now, value, c.threshold);
+  // The actuation hook (degradation controller) rules on survival *after*
+  // the violation is fully recorded, so a suppressed breach still shows in
+  // verdicts, traces, and the flight recorder.
+  ActuationDecision decision = ActuationDecision::Default;
+  if (actuation_hook_) decision = actuation_hook_(c.name, now, value, c.threshold);
+  if (decision == ActuationDecision::Suppress) return;
+  if (decision == ActuationDecision::Abort) {
+    ERAPID_EXPECT(false, "monitor " << c.name << " violated at cycle " << now
+                                    << ": value " << value << " vs threshold "
+                                    << c.threshold << " (degrade policy: abort)");
+  }
   // Fail-fast rides the contract layer: the throw unwinds out of the DES
   // event (or the finalize call) into Simulation::run's caller, exactly
   // like a model-invariant violation would.
@@ -62,18 +73,23 @@ void MonitorSet::check_floor(Check& c, Cycle now, double value) {
   if (value < c.threshold) fire(c, now, value);
 }
 
-void MonitorSet::sample_power(Cycle now, double mw) { check_ceiling(power_, now, mw); }
+void MonitorSet::sample_power(Cycle now, double mw) {
+  ERAPID_REQUIRE(!finalized_, "power sample observed after finalize()");
+  check_ceiling(power_, now, mw);
+}
 
 void MonitorSet::recovery(Cycle now, CycleDelta took) {
+  ERAPID_REQUIRE(!finalized_, "recovery observed after finalize()");
   check_ceiling(recovery_, now, static_cast<double>(took));
 }
 
 void MonitorSet::dbr_resolve(Cycle now) {
-  ERAPID_EXPECT(!finalized_, "reconfig resolve observed after finalize()");
+  ERAPID_REQUIRE(!finalized_, "reconfig resolve observed after finalize()");
   if (quiescence_.enabled) pending_resolves_.push_back(now);
 }
 
 void MonitorSet::dbr_quiesced(Cycle resolve_at, Cycle last_settle) {
+  ERAPID_REQUIRE(!finalized_, "quiescence observed after finalize()");
   ERAPID_EXPECT(last_settle >= resolve_at,
                 "quiescence cannot settle before its resolve");
   if (!quiescence_.enabled) return;

@@ -110,6 +110,23 @@ class MonitorSet {
   // erapid-analyze: allow(contract-coverage)
   void set_violation_hook(ViolationHook hook) { violation_hook_ = std::move(hook); }
 
+  /// What the actuation hook decided about a violation. `Default` keeps the
+  /// configured fail-fast behaviour; `Suppress` converts the violation into
+  /// a recorded-but-survivable event (the degradation controller has taken
+  /// a mitigating action, or was told to merely record); `Abort` forces the
+  /// fail-fast unwind regardless of `obs.monitor_fail_fast`.
+  enum class ActuationDecision { Default, Suppress, Abort };
+
+  /// Decides the fate of a violation *after* it is recorded and the
+  /// violation hook (flight recorder) has seen it. The degradation
+  /// controller (src/resilience) installs this to turn envelope breaches
+  /// into staged actions instead of aborts. Without a hook every violation
+  /// takes the Default path — byte-identical to pre-hook behaviour.
+  using ActuationHook = std::function<ActuationDecision(const char* name, Cycle now,
+                                                        double value, double threshold)>;
+  // erapid-analyze: allow(contract-coverage)
+  void set_actuation_hook(ActuationHook hook) { actuation_hook_ = std::move(hook); }
+
   /// Name-sorted (check, rendered JSON verdict) pairs — the report's
   /// `obs_monitors` block. Each verdict is
   ///   {"threshold": t, "worst": w, "violations": n,
@@ -136,6 +153,7 @@ class MonitorSet {
 
   bool fail_fast_;
   ViolationHook violation_hook_;
+  ActuationHook actuation_hook_;
   TraceSink* trace_;
   TrackId track_;
   MetricsRegistry& metrics_;

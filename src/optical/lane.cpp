@@ -25,13 +25,15 @@ void Lane::update_power(Cycle now) {
                    enabled_ ? pw_.power_mw(level_) : units::Milliwatts{0.0});
 }
 
+PowerLevel Lane::effective_cap() const { return min_level(level_cap_, brownout_cap_); }
+
 void Lane::enable(Cycle now, PowerLevel level) {
   ERAPID_REQUIRE(!failed_, "enabling a failed lane");
   ERAPID_REQUIRE(!enabled_, "enabling a lane this board already holds");
   ERAPID_REQUIRE(level != PowerLevel::Off, "enable requires an active power level");
   enabled_ = true;
   pending_disable_ = false;
-  apply_level(min_level(level, level_cap_), now);
+  apply_level(min_level(level, effective_cap()), now);
 }
 
 void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
@@ -53,7 +55,7 @@ void Lane::disable(Cycle now, std::function<void(Cycle)> on_dark) {
 void Lane::request_level(PowerLevel target, Cycle now) {
   ERAPID_REQUIRE(enabled_, "DVS on a lane this board does not hold");
   if (pending_disable_) return;  // release already decided; don't fight it
-  target = min_level(target, level_cap_);
+  target = min_level(target, effective_cap());
   if (target == level_ && !pending_level_) return;
   if (transmitting(now)) {
     pending_level_ = target;  // applied when the packet completes
@@ -145,14 +147,28 @@ void Lane::repair(Cycle now) {
 void Lane::set_level_cap(PowerLevel cap, Cycle now) {
   ERAPID_REQUIRE(cap != PowerLevel::Off, "degradation cap must be an active level; use fail()");
   level_cap_ = cap;
+  enforce_caps(now);
+}
+
+void Lane::clear_level_cap() { level_cap_ = PowerLevel::High; }
+
+void Lane::set_brownout_cap(PowerLevel cap, Cycle now) {
+  ERAPID_REQUIRE(cap != PowerLevel::Off,
+                 "brownout cap must be an active level; sleep idle lanes instead");
+  brownout_cap_ = cap;
+  enforce_caps(now);
+}
+
+void Lane::clear_brownout_cap() { brownout_cap_ = PowerLevel::High; }
+
+void Lane::enforce_caps(Cycle now) {
   if (failed_ || !enabled_) return;
+  const PowerLevel cap = effective_cap();
   if (pending_level_) pending_level_ = min_level(*pending_level_, cap);
   if (static_cast<std::uint8_t>(level_) > static_cast<std::uint8_t>(cap)) {
     request_level(cap, now);
   }
 }
-
-void Lane::clear_level_cap() { level_cap_ = PowerLevel::High; }
 
 void Lane::on_packet_done(Cycle now) {
   in_flight_.reset();  // the packet is fully in the fiber from here on

@@ -93,6 +93,24 @@ class Lane {
   /// level; the next DPM/DBR decision may.
   void clear_level_cap();
 
+  // ---- brownout (degradation controller) ----
+  /// Brownout ladder cap: like set_level_cap but owned by the degradation
+  /// controller, so the fault plane's clear_level_cap (laser repaired)
+  /// cannot lift an active brownout and vice versa. The effective ceiling
+  /// is min(level_cap, brownout_cap).
+  void set_brownout_cap(power::PowerLevel cap, Cycle now);
+
+  /// Hysteresis recovery lifted the ladder. The lane does not spontaneously
+  /// re-raise its level; the next DPM/DBR decision may.
+  void clear_brownout_cap();
+
+  [[nodiscard]] power::PowerLevel brownout_cap() const { return brownout_cap_; }
+
+  /// True while a release (disable) is deferred behind an in-flight packet.
+  /// The controller must not shed such a lane: its on_dark chain carries a
+  /// reconfiguration re-grant that a second disable would clobber.
+  [[nodiscard]] bool release_pending() const { return pending_disable_; }
+
   [[nodiscard]] bool transmitting(Cycle now) const { return now < busy_until_; }
   [[nodiscard]] bool paused(Cycle now) const { return now < pause_until_; }
 
@@ -135,6 +153,8 @@ class Lane {
   void apply_level(power::PowerLevel target, Cycle now);
   void on_packet_done(Cycle now);
   void update_power(Cycle now);
+  [[nodiscard]] power::PowerLevel effective_cap() const;
+  void enforce_caps(Cycle now);
 
   des::Engine& engine_;
   const topology::SystemConfig& cfg_;
@@ -148,6 +168,7 @@ class Lane {
   bool failed_ = false;
   power::PowerLevel level_ = power::PowerLevel::Off;
   power::PowerLevel level_cap_ = power::PowerLevel::High;
+  power::PowerLevel brownout_cap_ = power::PowerLevel::High;
   Cycle busy_until_ = 0;
   Cycle pause_until_ = 0;
   bool pending_disable_ = false;

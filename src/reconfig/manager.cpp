@@ -395,10 +395,12 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
 
       // Current ownership of dest's coupler wavelengths. Failed lanes are
       // excluded: the allocation is re-solved around them, so a dead lane
-      // can neither be harvested nor granted.
+      // can neither be harvested nor granted. Shed lanes (degradation
+      // controller brownout) are excluded the same way until unshed.
       std::vector<LaneOwnership> lanes;
       for (std::uint32_t w = 0; w < nw; ++w) {
         if (lane_map_.is_failed(dest, WavelengthId{w})) continue;
+        if (lane_map_.is_shed(dest, WavelengthId{w})) continue;
         const BoardId own = lane_map_.owner(dest, WavelengthId{w});
         // A dead RC's lanes are frozen at the last allocation: the
         // re-solve neither releases nor re-grants them.
@@ -468,10 +470,11 @@ void ReconfigManager::run_bandwidth_cycle(Cycle t) {
 void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle now,
                                       const std::function<void(Cycle)>& settled) {
   const WavelengthId w = dir.wavelength;
-  // The lane may have died between the Reconfigure stage and the Link
-  // Response landing (fault injection): the directive is stale — drop it
-  // and let the next window re-solve around the failure.
-  if (lane_map_.is_failed(dest, w)) {
+  // The lane may have died (fault injection) or been shed (degradation
+  // controller) between the Reconfigure stage and the Link Response
+  // landing: the directive is stale — drop it and let the next window
+  // re-solve around the withdrawn lane.
+  if (lane_map_.is_failed(dest, w) || lane_map_.is_shed(dest, w)) {
     ++counters_.stale_directives;
     if (settled) settled(now);
     return;
@@ -483,10 +486,10 @@ void ReconfigManager::apply_directive(BoardId dest, const Directive& dir, Cycle 
                 "directive raced with another ownership change");
 
   auto grant = [this, dest, w, dir, settled](Cycle at) {
-    // The lane can fail while the old owner's in-flight packet drains
-    // (apply_release chains the re-grant on lane darkness); a grant must
-    // never land on a failed lane.
-    if (lane_map_.is_failed(dest, w)) {
+    // The lane can fail or be shed while the old owner's in-flight packet
+    // drains (apply_release chains the re-grant on lane darkness); a grant
+    // must never land on a failed or withdrawn lane.
+    if (lane_map_.is_failed(dest, w) || lane_map_.is_shed(dest, w)) {
       ++counters_.stale_directives;
       if (settled) settled(at);
       return;

@@ -1,0 +1,73 @@
+#include "resilience/policy.hpp"
+
+#include "obs/hub.hpp"
+#include "util/expect.hpp"
+
+namespace erapid::resilience {
+
+ResponsePolicy parse_policy(const std::string& token) {
+  if (token == "record") return ResponsePolicy::Record;
+  if (token == "degrade") return ResponsePolicy::Degrade;
+  if (token == "shed") return ResponsePolicy::Shed;
+  if (token == "abort") return ResponsePolicy::Abort;
+  ERAPID_EXPECT(false, "unknown degrade policy: '" + token +
+                           "' (record | degrade | shed | abort)");
+  return ResponsePolicy::Record;  // unreachable
+}
+
+const char* policy_name(ResponsePolicy p) {
+  switch (p) {
+    case ResponsePolicy::Record: return "record";
+    case ResponsePolicy::Degrade: return "degrade";
+    case ResponsePolicy::Shed: return "shed";
+    case ResponsePolicy::Abort: return "abort";
+  }
+  ERAPID_UNREACHABLE("unmodeled response policy " << static_cast<int>(p));
+}
+
+void DegradeConfig::validate(const obs::ObsConfig& obs_cfg,
+                             bool bandwidth_reconfig) const {
+  ERAPID_EXPECT(cooldown_cycles > 0, "degrade.cooldown_cycles must be positive");
+  ERAPID_EXPECT(recover_cycles > 0, "degrade.recover_cycles must be positive");
+  ERAPID_EXPECT(recover_margin > 0.0 && recover_margin < 1.0,
+                "degrade.recover_margin must be in (0, 1)");
+  ERAPID_EXPECT(shed_step >= 1, "degrade.shed_step must be >= 1");
+  ERAPID_EXPECT(max_shed_fraction > 0.0 && max_shed_fraction <= 1.0,
+                "degrade.max_shed_fraction must be in (0, 1]");
+  if (!any()) return;
+  ERAPID_EXPECT(obs_cfg.enabled,
+                "degrade.* policies require obs.enabled = true (the controller "
+                "acts on monitor violations)");
+  if (power_cap.has_value()) {
+    ERAPID_EXPECT(obs_cfg.monitors.power_cap_mw > 0.0,
+                  "degrade.power_cap requires monitor.power_cap_mw > 0");
+    ERAPID_EXPECT(*power_cap != ResponsePolicy::Shed || bandwidth_reconfig,
+                  "degrade.power_cap = shed requires a bandwidth-reconfigurable "
+                  "mode (there is no DBR pool to shed from)");
+  }
+  // The end-of-run / arc checks fire past the point where stepping power
+  // down could help, so only verdict-shaping policies make sense.
+  if (throughput_floor.has_value()) {
+    ERAPID_EXPECT(obs_cfg.monitors.throughput_floor > 0.0,
+                  "degrade.throughput_floor requires monitor.throughput_floor > 0");
+    ERAPID_EXPECT(*throughput_floor == ResponsePolicy::Record ||
+                      *throughput_floor == ResponsePolicy::Abort,
+                  "degrade.throughput_floor admits record | abort only");
+  }
+  if (p99_ceiling.has_value()) {
+    ERAPID_EXPECT(obs_cfg.monitors.p99_latency_ceiling > 0.0,
+                  "degrade.p99_ceiling requires monitor.p99_latency_ceiling > 0");
+    ERAPID_EXPECT(*p99_ceiling == ResponsePolicy::Record ||
+                      *p99_ceiling == ResponsePolicy::Abort,
+                  "degrade.p99_ceiling admits record | abort only");
+  }
+  if (recovery_deadline.has_value()) {
+    ERAPID_EXPECT(obs_cfg.monitors.max_recovery_cycles > 0,
+                  "degrade.recovery_deadline requires monitor.max_recovery_cycles > 0");
+    ERAPID_EXPECT(*recovery_deadline == ResponsePolicy::Record ||
+                      *recovery_deadline == ResponsePolicy::Abort,
+                  "degrade.recovery_deadline admits record | abort only");
+  }
+}
+
+}  // namespace erapid::resilience

@@ -1,0 +1,80 @@
+// Response policies — the `degrade.*` INI surface mapping monitor checks
+// to survivability behaviour.
+//
+// PR 4's monitors watch envelopes; until now a breach was binary: record
+// it, or (`obs.monitor_fail_fast`) abort the run through the contract
+// layer. A DegradeConfig assigns each check a response policy:
+//
+//   record  — keep the run alive; the violation is recorded (verdicts,
+//             traces, flight recorder) but never unwinds.
+//   degrade — power cap only: engage the brownout ladder (step lane power
+//             levels down, then sleep idle lanes) but never give up lanes.
+//   shed    — power cap only: the full ladder, ending in progressive lane
+//             shedding from the DBR pool (re-admitted on recovery).
+//   abort   — unwind through the contract layer even when
+//             `obs.monitor_fail_fast` is off.
+//
+// A check with no policy configured keeps the pre-existing behaviour,
+// so a config with no `degrade.*` key is byte-identical to HEAD.
+// See DESIGN.md §15 for the state machine the controller runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace erapid::obs {
+struct ObsConfig;
+}
+
+namespace erapid::resilience {
+
+enum class ResponsePolicy : std::uint8_t { Record, Degrade, Shed, Abort };
+
+/// INI token → policy; throws ModelInvariantError on unknown tokens.
+ResponsePolicy parse_policy(const std::string& token);
+const char* policy_name(ResponsePolicy p);
+
+/// The `degrade.*` INI section. Policies are optional: an absent policy
+/// means "no controller involvement for that check".
+struct DegradeConfig {
+  /// Response to `monitor.power_cap_mw` breaches (any policy).
+  std::optional<ResponsePolicy> power_cap;
+  /// Response to `monitor.throughput_floor` breaches (record | abort —
+  /// the check fires at finalize, past the point where actuation helps).
+  std::optional<ResponsePolicy> throughput_floor;
+  /// Response to `monitor.p99_latency_ceiling` breaches (record | abort).
+  std::optional<ResponsePolicy> p99_ceiling;
+  /// Response to `monitor.max_recovery_cycles` breaches (record | abort).
+  std::optional<ResponsePolicy> recovery_deadline;
+
+  /// Minimum cycles between two controller actions (each ladder step or
+  /// shed batch starts its own cooldown). Must be positive.
+  CycleDelta cooldown_cycles = 2000;
+  /// Recovery hysteresis: power must stay at or below
+  /// `margin × power_cap_mw` for `recover_cycles` before a step back up.
+  /// In (0, 1).
+  double recover_margin = 0.8;
+  /// Sustain window (cycles) for the recovery condition. Must be positive.
+  CycleDelta recover_cycles = 4000;
+  /// Lanes shed per shed action once the ladder bottoms out. Must be ≥ 1.
+  std::uint32_t shed_step = 1;
+  /// Ceiling on the fraction of the lane pool ever shed at once. In (0, 1].
+  double max_shed_fraction = 0.5;
+
+  [[nodiscard]] bool any() const {
+    return power_cap.has_value() || throughput_floor.has_value() ||
+           p99_ceiling.has_value() || recovery_deadline.has_value();
+  }
+
+  /// Cross-field validation against the obs surface the policies act on.
+  /// Every configured policy needs its monitor check armed (a policy on a
+  /// disabled check would silently never fire — reject loudly instead),
+  /// `shed` needs a DBR pool to shed from, and the end-of-run checks only
+  /// admit record | abort. Throws ModelInvariantError on violation.
+  void validate(const obs::ObsConfig& obs_cfg, bool bandwidth_reconfig) const;
+};
+
+}  // namespace erapid::resilience

@@ -4,9 +4,11 @@ namespace erapid::sim {
 
 Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
                  const reconfig::ReconfigConfig& rc_cfg,
-                 const power::LinkPowerModel& power_model, obs::Hub* hub)
+                 const power::LinkPowerModel& power_model, obs::Hub* hub,
+                 resilience::DegradeController* degrade_ctrl)
     : engine_(engine),
       hub_(hub),
+      degrade_ctrl_(degrade_ctrl),
       cfg_(cfg),
       domain_(engine),
       power_model_(power_model),
@@ -74,6 +76,12 @@ Network::Network(des::Engine& engine, const topology::SystemConfig& cfg,
         return v;
       }(),
       hub_);
+
+  if (degrade_ctrl_ != nullptr) {
+    std::vector<optical::OpticalTerminal*> v;
+    for (const auto& t : terminals_) v.push_back(t.get());
+    degrade_ctrl_->attach(lane_map_, std::move(v));
+  }
 }
 
 void Network::build_board(BoardId b) {

@@ -27,6 +27,7 @@
 #include "power/energy_meter.hpp"
 #include "power/link_power.hpp"
 #include "reconfig/manager.hpp"
+#include "resilience/controller.hpp"
 #include "router/injector.hpp"
 #include "router/router.hpp"
 #include "sim/node_interface.hpp"
@@ -44,10 +45,13 @@ class Network {
   /// latencies); the default is the paper's Table 1 optical model. `hub`
   /// (optional) is threaded to every instrumented component (manager,
   /// terminals, receivers, energy meter).
+  /// `degrade_ctrl` (optional) is the degradation controller; the network
+  /// attaches it to the lane map and terminals it builds.
   Network(des::Engine& engine, const topology::SystemConfig& cfg,
           const reconfig::ReconfigConfig& rc_cfg,
           const power::LinkPowerModel& power_model = power::LinkPowerModel{},
-          obs::Hub* hub = nullptr);
+          obs::Hub* hub = nullptr,
+          resilience::DegradeController* degrade_ctrl = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -83,6 +87,10 @@ class Network {
     return *receivers_[static_cast<std::size_t>(b.value()) * cfg_.num_wavelengths() + w.value()];
   }
   [[nodiscard]] NodeInterface& node_interface(NodeId n) { return *nis_[n.value()]; }
+  /// Null unless the Simulation built a degradation controller.
+  [[nodiscard]] resilience::DegradeController* degrade_controller() {
+    return degrade_ctrl_;
+  }
   [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
 
   /// Total NI source-queue backlog (diagnostic; grows past saturation).
@@ -97,6 +105,7 @@ class Network {
 
   des::Engine& engine_;
   obs::Hub* hub_;
+  resilience::DegradeController* degrade_ctrl_;
   topology::SystemConfig cfg_;
   des::ClockDomain domain_;
   power::LinkPowerModel power_model_;

@@ -91,6 +91,15 @@ const std::set<std::string>& known_keys() {
       "monitor.quiescence_deadline",
       "monitor.max_recovery_cycles",
       "monitor.workload_deadline",
+      "degrade.power_cap",
+      "degrade.throughput_floor",
+      "degrade.p99_ceiling",
+      "degrade.recovery_deadline",
+      "degrade.cooldown_cycles",
+      "degrade.recover_margin",
+      "degrade.recover_cycles",
+      "degrade.shed_step",
+      "degrade.max_shed_fraction",
   };
   return keys;
 }
@@ -308,6 +317,32 @@ SimOptions options_from_ini(const util::Ini& ini) {
   ERAPID_EXPECT(mon.power_cap_mw >= 0.0 && mon.throughput_floor >= 0.0 &&
                     mon.p99_latency_ceiling >= 0.0,
                 "monitor.* thresholds must be non-negative");
+
+  auto& dg = o.degrade;
+  // Cycle-count knobs go through a signed read first: a negative value
+  // must be rejected here, not wrapped into a huge unsigned count by the
+  // cast (validate() only sees the post-cast value).
+  auto cycles = [&](const char* key, CycleDelta def) {
+    const long v = ini.get_int(key, static_cast<long>(def));
+    ERAPID_EXPECT(v >= 0, std::string(key) + " must be non-negative");
+    return static_cast<CycleDelta>(v);
+  };
+  if (const auto p = ini.get("degrade.power_cap")) dg.power_cap = resilience::parse_policy(*p);
+  if (const auto p = ini.get("degrade.throughput_floor")) {
+    dg.throughput_floor = resilience::parse_policy(*p);
+  }
+  if (const auto p = ini.get("degrade.p99_ceiling")) dg.p99_ceiling = resilience::parse_policy(*p);
+  if (const auto p = ini.get("degrade.recovery_deadline")) {
+    dg.recovery_deadline = resilience::parse_policy(*p);
+  }
+  dg.cooldown_cycles = cycles("degrade.cooldown_cycles", dg.cooldown_cycles);
+  dg.recover_margin = ini.get_double("degrade.recover_margin", dg.recover_margin);
+  dg.recover_cycles = cycles("degrade.recover_cycles", dg.recover_cycles);
+  dg.shed_step = u32("degrade.shed_step", dg.shed_step);
+  dg.max_shed_fraction = ini.get_double("degrade.max_shed_fraction", dg.max_shed_fraction);
+  // Cross-field validation (policies vs armed monitor checks, knob ranges,
+  // shed vs DBR availability) — rejects a bad config at parse time.
+  dg.validate(o.obs, o.reconfig.mode.bandwidth_reconfig);
   return o;
 }
 
@@ -409,6 +444,29 @@ util::Ini options_to_ini(const SimOptions& o) {
   set("monitor.quiescence_deadline", o.obs.monitors.quiescence_deadline);
   set("monitor.max_recovery_cycles", o.obs.monitors.max_recovery_cycles);
   set("monitor.workload_deadline", o.obs.monitors.workload_deadline);
+  // The whole degrade.* section is gated on any policy being set: a
+  // policy-free config must serialize with no degrade key at all (knob
+  // defaults alone carry no meaning, and the absence of the section is the
+  // byte-identity contract for pre-resilience configs).
+  if (o.degrade.any()) {
+    if (o.degrade.power_cap) {
+      set("degrade.power_cap", resilience::policy_name(*o.degrade.power_cap));
+    }
+    if (o.degrade.throughput_floor) {
+      set("degrade.throughput_floor", resilience::policy_name(*o.degrade.throughput_floor));
+    }
+    if (o.degrade.p99_ceiling) {
+      set("degrade.p99_ceiling", resilience::policy_name(*o.degrade.p99_ceiling));
+    }
+    if (o.degrade.recovery_deadline) {
+      set("degrade.recovery_deadline", resilience::policy_name(*o.degrade.recovery_deadline));
+    }
+    set("degrade.cooldown_cycles", o.degrade.cooldown_cycles);
+    set("degrade.recover_margin", o.degrade.recover_margin);
+    set("degrade.recover_cycles", o.degrade.recover_cycles);
+    set("degrade.shed_step", o.degrade.shed_step);
+    set("degrade.max_shed_fraction", o.degrade.max_shed_fraction);
+  }
   return ini;
 }
 

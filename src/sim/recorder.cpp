@@ -62,9 +62,13 @@ void Recorder::take_sample() {
 
 #if !defined(ERAPID_NO_OBS)
   // The power-cap monitor watches the envelope at this same cadence: each
-  // sample is one deterministic check against monitor.power_cap_mw.
+  // sample is one deterministic check against monitor.power_cap_mw. The
+  // degradation controller sees the same sample right after — a breach may
+  // step the brownout ladder down (via the monitor's actuation hook), and
+  // sustained headroom steps it back up.
   if (hub_ != nullptr) {
     if (auto* mon = hub_->monitors()) mon->sample_power(now, power);
+    if (auto* ctrl = network_.degrade_controller()) ctrl->on_power_sample(now, power);
   }
 #endif
 

@@ -176,6 +176,23 @@ std::string to_json(const SimResult& r, int indent) {
     t.field("flight_dumps", r.telemetry.flight_dumps);
     o.raw_field("obs_telemetry", t.str());
   }
+  // Degradation-controller roll-up: present only when a `degrade.*` policy
+  // built a controller, so policy-free reports match older builds
+  // byte-exactly (absence of the block reads as "degradation-free run").
+  if (r.resilience.active) {
+    JsonObject d(indent + 2);
+    d.field("engaged", r.resilience.engaged);
+    d.field("peak_stage", r.resilience.peak_stage);
+    d.field("steps_down", r.resilience.steps_down);
+    d.field("steps_up", r.resilience.steps_up);
+    d.field("lanes_shed", r.resilience.lanes_shed);
+    d.field("lanes_restored", r.resilience.lanes_restored);
+    d.field("lanes_slept", r.resilience.lanes_slept);
+    d.field("episodes", r.resilience.episodes);
+    d.field("time_degraded", r.resilience.time_degraded);
+    d.field("suppressed_violations", r.resilience.suppressed_violations);
+    o.raw_field("resilience", d.str());
+  }
   return o.str();
 }
 

@@ -18,6 +18,7 @@ Simulation::Simulation(const SimOptions& opts)
   // Programmatically built SimOptions get the same cross-field validation
   // as INI-loaded ones.
   opts_.workload.validate();
+  opts_.degrade.validate(opts_.obs, opts_.reconfig.mode.bandwidth_reconfig);
 #if !defined(ERAPID_NO_OBS)
   // With obs off the hub stays null and every probe site reduces to one
   // branch: the event stream (and golden fixture) is untouched.
@@ -28,9 +29,23 @@ Simulation::Simulation(const SimOptions& opts)
     m_latency_hist_ = hub_->metrics().histogram("sim.packet_latency_hist");
     m_delivered_ = hub_->metrics().counter("sim.packets_delivered");
   }
+  // The degradation controller exists only with a policy configured (and
+  // validate() above guarantees obs is on then), so policy-free runs stay
+  // byte-identical to builds without the resilience subsystem.
+  if (opts_.degrade.any()) {
+    degrade_ctrl_ = std::make_unique<resilience::DegradeController>(
+        opts_.degrade, opts_.obs.monitors.power_cap_mw, hub_.get());
+    if (auto* mon = hub_->monitors()) {
+      mon->set_actuation_hook(
+          [this](const char* name, Cycle now, double value, double threshold) {
+            return degrade_ctrl_->on_violation(name, now, value, threshold);
+          });
+    }
+  }
 #endif
   network_ = std::make_unique<Network>(engine_, opts_.system, opts_.reconfig,
-                                       opts_.power_model, hub_.get());
+                                       opts_.power_model, hub_.get(),
+                                       degrade_ctrl_.get());
 #if !defined(ERAPID_NO_OBS)
   if (hub_ != nullptr) {
     recorder_ = std::make_unique<Recorder>(engine_, *network_, opts_.obs.counter_interval,
@@ -333,6 +348,7 @@ SimResult Simulation::run_open_loop() {
       r.monitors = mon->report();
       r.monitor_violations = mon->violations();
     }
+    fill_resilience_summary(r, engine_.now());
     fill_telemetry_summary(r);
     r.metrics = hub_->metrics().snapshot(engine_.now());
     hub_->close(engine_.now());
@@ -435,6 +451,7 @@ SimResult Simulation::run_completion_bounded() {
       r.monitors = mon->report();
       r.monitor_violations = mon->violations();
     }
+    fill_resilience_summary(r, engine_.now());
     fill_telemetry_summary(r);
     r.metrics = hub_->metrics().snapshot(engine_.now());
     hub_->close(engine_.now());
@@ -462,6 +479,24 @@ obs::WindowObservables Simulation::sample_telemetry(Cycle now) {
   o.energy_mw_cycles = network_->meter().energy_mw_cycles(now).value();
   if (phase_driver_ != nullptr) o.workload_phase = phase_driver_->active_phase();
   return o;
+}
+
+void Simulation::fill_resilience_summary(SimResult& r, Cycle now) {
+  if (degrade_ctrl_ == nullptr) return;
+  degrade_ctrl_->finalize(now);
+  const auto& st = degrade_ctrl_->stats();
+  auto& out = r.resilience;
+  out.active = true;
+  out.engaged = st.engaged;
+  out.peak_stage = resilience::stage_name(st.peak_stage);
+  out.steps_down = st.steps_down;
+  out.steps_up = st.steps_up;
+  out.lanes_shed = st.lanes_shed;
+  out.lanes_restored = st.lanes_restored;
+  out.lanes_slept = st.lanes_slept;
+  out.episodes = st.episodes;
+  out.time_degraded = st.time_degraded;
+  out.suppressed_violations = st.suppressed_violations;
 }
 
 void Simulation::fill_telemetry_summary(SimResult& r) {

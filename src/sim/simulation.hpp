@@ -17,6 +17,7 @@
 #include "fault/plan.hpp"
 #include "obs/hub.hpp"
 #include "reconfig/manager.hpp"
+#include "resilience/controller.hpp"
 #include "sim/network.hpp"
 #include "sim/recorder.hpp"
 #include "stats/histogram.hpp"
@@ -64,6 +65,10 @@ struct SimOptions {
   /// kind (bernoulli) keeps the legacy open-loop traffic path and a
   /// byte-identical report.
   workload::WorkloadSpec workload;
+  /// Survivability policies (the `degrade.*` section). With no policy
+  /// configured (any() == false) no controller is built and the run is
+  /// byte-identical to a build without the resilience subsystem.
+  resilience::DegradeConfig degrade;
 };
 
 /// Results of one run.
@@ -131,6 +136,22 @@ struct SimResult {
     std::uint64_t flight_dumps = 0;
   };
   TelemetrySummary telemetry;
+  /// Degradation-controller roll-up; inactive (no report block) unless a
+  /// `degrade.*` policy was configured.
+  struct ResilienceSummary {
+    bool active = false;
+    bool engaged = false;
+    std::string peak_stage = "normal";
+    std::uint64_t steps_down = 0;
+    std::uint64_t steps_up = 0;
+    std::uint64_t lanes_shed = 0;
+    std::uint64_t lanes_restored = 0;
+    std::uint64_t lanes_slept = 0;
+    std::uint64_t episodes = 0;
+    std::uint64_t time_degraded = 0;
+    std::uint64_t suppressed_violations = 0;
+  };
+  ResilienceSummary resilience;
   /// True when monitors ran and every configured check held.
   [[nodiscard]] bool monitors_ok() const {
     return monitor_violations == 0;
@@ -156,6 +177,10 @@ class Simulation {
   [[nodiscard]] fault::FaultInjector& fault_injector() { return *injector_; }
   /// Null unless obs.enabled (or under ERAPID_NO_OBS builds).
   [[nodiscard]] obs::Hub* hub() { return hub_.get(); }
+  /// Null unless a `degrade.*` policy is configured.
+  [[nodiscard]] resilience::DegradeController* degrade_controller() {
+    return degrade_ctrl_.get();
+  }
 
  private:
   /// Open-loop body shared by the bernoulli and tenants kinds.
@@ -170,9 +195,14 @@ class Simulation {
   /// Copies the telemetry/flight-recorder roll-up into the result.
   void fill_telemetry_summary(SimResult& r);
 
+  /// Closes the controller's open episode and copies its stats into the
+  /// result (no-op without a controller).
+  void fill_resilience_summary(SimResult& r, Cycle now);
+
   SimOptions opts_;
   des::Engine engine_;
   std::unique_ptr<obs::Hub> hub_;
+  std::unique_ptr<resilience::DegradeController> degrade_ctrl_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<fault::FaultInjector> injector_;

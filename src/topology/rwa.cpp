@@ -6,6 +6,7 @@ LaneMap::LaneMap(const SystemConfig& cfg, const Rwa& rwa)
     : boards_(cfg.num_boards_total()), wavelengths_(cfg.num_wavelengths()), rwa_(&rwa) {
   own_.resize(static_cast<std::size_t>(boards_) * wavelengths_);
   failed_.assign(own_.size(), 0);
+  shed_.assign(own_.size(), 0);
   reset_static();
 }
 
@@ -25,6 +26,7 @@ void LaneMap::grant(BoardId d, WavelengthId w, BoardId s) {
   ERAPID_REQUIRE(s.valid() && s != d,
                  "lane owner must be a remote board: s=" << s.value() << " d=" << d.value());
   ERAPID_REQUIRE(!is_failed(d, w), "granting a failed lane: d=" << d.value() << " w=" << w.value());
+  ERAPID_REQUIRE(!is_shed(d, w), "granting a shed lane: d=" << d.value() << " w=" << w.value());
   auto& slot = own_[index(d, w)];
   // Lane <-> wavelength bijection: at most one transmitter per (coupler,
   // wavelength) pair, ever.
@@ -59,6 +61,28 @@ std::uint32_t LaneMap::failed_count() const {
   std::uint32_t n = 0;
   for (const auto f : failed_) {
     if (f) ++n;
+  }
+  return n;
+}
+
+void LaneMap::shed(BoardId d, WavelengthId w) {
+  const std::size_t i = index(d, w);
+  ERAPID_REQUIRE(shed_[i] == 0,
+                 "shedding a lane that is already shed: d=" << d.value() << " w=" << w.value());
+  shed_[i] = 1;
+}
+
+void LaneMap::unshed(BoardId d, WavelengthId w) {
+  const std::size_t i = index(d, w);
+  ERAPID_REQUIRE(shed_[i] != 0,
+                 "unshedding a lane that is not shed: d=" << d.value() << " w=" << w.value());
+  shed_[i] = 0;
+}
+
+std::uint32_t LaneMap::shed_count() const {
+  std::uint32_t n = 0;
+  for (const auto s : shed_) {
+    if (s) ++n;
   }
   return n;
 }

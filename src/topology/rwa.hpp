@@ -107,6 +107,25 @@ class LaneMap {
   /// Number of lanes marked failed network-wide.
   [[nodiscard]] std::uint32_t failed_count() const;
 
+  /// Sheds lane (d, w): the degradation controller withdrew it from the
+  /// DBR pool to cut power. A shed lane is healthy — distinct from failed
+  /// (fault injection may still fail/repair it independently) — but the
+  /// allocator must not grant it until unshed. Not idempotent: shedding a
+  /// shed lane is a controller bug.
+  void shed(BoardId d, WavelengthId w);
+
+  /// Re-admits a shed lane into the DBR pool (the hysteresis recovery
+  /// path). The lane stays dark until the next bandwidth window grants it.
+  void unshed(BoardId d, WavelengthId w);
+
+  /// True if the lane is currently withdrawn by the degradation controller.
+  [[nodiscard]] bool is_shed(BoardId d, WavelengthId w) const {
+    return shed_[index(d, w)] != 0;
+  }
+
+  /// Number of lanes currently shed network-wide.
+  [[nodiscard]] std::uint32_t shed_count() const;
+
   /// All wavelengths board `s` currently drives toward destination `d`.
   [[nodiscard]] std::vector<WavelengthId> lanes_of(BoardId s, BoardId d) const;
 
@@ -135,6 +154,7 @@ class LaneMap {
   const Rwa* rwa_;
   std::vector<BoardId> own_;
   std::vector<char> failed_;  ///< 1 = lane permanently failed (never granted)
+  std::vector<char> shed_;    ///< 1 = lane withdrawn by the degradation controller
 };
 
 }  // namespace erapid::topology

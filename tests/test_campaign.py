@@ -230,6 +230,90 @@ class StubWorkerTest(unittest.TestCase):
             self.assertEqual(doc["points_failed"], 1)
 
 
+class RetryTimeoutTest(unittest.TestCase):
+    """Per-point timeout kills overrunning workers; bounded retry with
+    exponential backoff re-runs failures, and the record counts attempts."""
+
+    SPEC = {
+        "name": "retry", "patterns": ["a"], "modes": ["M"],
+        "loads": [0.5], "seeds": [1],
+    }
+
+    def test_timeout_kills_overrunning_worker(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            binary = write_script(tmp, "worker.sh", "sleep 30\n")
+            doc = campaign.run_campaign(
+                self.SPEC, binary, jobs=1, spec_dir=tmp, timeout=0.2)
+        self.assertEqual(doc["points_failed"], 1)
+        rec = doc["points"][0]
+        self.assertIn("timed out", rec["error"])
+        self.assertEqual(rec["timed_out"], 1)
+        self.assertNotIn("retried", rec)  # no retries requested
+
+    def test_flaky_worker_succeeds_after_retries(self):
+        # Fails twice (marker files count attempts), then emits a point.
+        with tempfile.TemporaryDirectory() as tmp:
+            body = (
+                f'n=$(ls "{tmp}"/try.* 2>/dev/null | wc -l)\n'
+                f'touch "{tmp}/try.$n"\n'
+                'if [ "$n" -lt 2 ]; then echo "flaky" >&2; exit 1; fi\n'
+                'echo "{\\"pattern\\": \\"a\\", \\"mode\\": \\"M\\",'
+                ' \\"load\\": 0.5, \\"seed\\": 1, \\"wall_ms\\": 0}"\n'
+            )
+            binary = write_script(tmp, "worker.sh", body)
+            sleeps = []
+            doc = campaign.run_campaign(
+                self.SPEC, binary, jobs=1, spec_dir=tmp,
+                retries=3, backoff=0.25, sleep=sleeps.append)
+        self.assertEqual(doc["points_failed"], 0)
+        rec = doc["points"][0]
+        self.assertEqual(rec["retried"], 2)
+        self.assertNotIn("timed_out", rec)
+        # Exponential backoff: base, then doubled, consumed in order.
+        self.assertEqual(sleeps, [0.25, 0.5])
+
+    def test_retries_are_bounded_and_counted_on_final_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            binary = write_script(tmp, "worker.sh", 'echo "always" >&2; exit 1\n')
+            sleeps = []
+            doc = campaign.run_campaign(
+                self.SPEC, binary, jobs=1, spec_dir=tmp,
+                retries=2, backoff=0.1, sleep=sleeps.append)
+        self.assertEqual(doc["points_failed"], 1)
+        rec = doc["points"][0]
+        self.assertTrue(rec["failed"])
+        self.assertEqual(rec["retried"], 2)
+        self.assertEqual(sleeps, [0.1, 0.2])
+
+    def test_clean_run_has_no_retry_fields(self):
+        # Absent = zero: a retry-free artifact is byte-identical to one
+        # produced before the knobs existed, even with retries armed.
+        with tempfile.TemporaryDirectory() as tmp:
+            body = (
+                'echo "{\\"pattern\\": \\"a\\", \\"mode\\": \\"M\\",'
+                ' \\"load\\": 0.5, \\"seed\\": 1, \\"wall_ms\\": 0}"\n'
+            )
+            binary = write_script(tmp, "worker.sh", body)
+            doc = campaign.run_campaign(
+                self.SPEC, binary, jobs=1, spec_dir=tmp,
+                timeout=30.0, retries=3)
+        rec = doc["points"][0]
+        self.assertNotIn("retried", rec)
+        self.assertNotIn("timed_out", rec)
+
+    def test_timed_out_attempts_accumulate_across_retries(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            binary = write_script(tmp, "worker.sh", "sleep 30\n")
+            sleeps = []
+            doc = campaign.run_campaign(
+                self.SPEC, binary, jobs=1, spec_dir=tmp,
+                timeout=0.2, retries=1, sleep=sleeps.append)
+        rec = doc["points"][0]
+        self.assertTrue(rec["failed"])
+        self.assertEqual(rec["timed_out"], 2)
+        self.assertEqual(rec["retried"], 1)
+
+
 class GoldenCampaignTest(unittest.TestCase):
     """End-to-end: real binary, tiny grid, parallel byte-identity + golden."""
 

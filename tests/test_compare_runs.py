@@ -231,6 +231,93 @@ class ReportComparison(unittest.TestCase):
         self.assertIn("regressed", kinds(out, "ok"))
 
 
+def resilience_block(**overrides):
+    r = {
+        "engaged": True, "peak_stage": "cap_low", "steps_down": 2,
+        "steps_up": 0, "lanes_shed": 0, "lanes_restored": 0, "lanes_slept": 0,
+        "episodes": 0, "time_degraded": 13500, "suppressed_violations": 3,
+    }
+    r.update(overrides)
+    return r
+
+
+class ResilienceComparison(unittest.TestCase):
+    """The survivability gate: absence of the block = degradation-free."""
+
+    def report_with(self, resilience=None):
+        doc = report_doc()
+        if resilience is not None:
+            doc["results"][0]["metrics"]["resilience"] = resilience
+        return doc
+
+    def test_both_absent_compares_silently(self):
+        out = compare_runs.compare_docs(
+            self.report_with(), self.report_with(), 0.05, False)
+        self.assertFalse([c for c in out if c["metric"].startswith("resilience.")])
+
+    def test_engaging_against_a_clean_baseline_regresses(self):
+        # The baseline never built a controller (no block); the candidate
+        # brownouted. Engaged flipping on, the descent, and the degraded
+        # time must all gate.
+        out = compare_runs.compare_docs(
+            self.report_with(), self.report_with(resilience_block()),
+            0.05, False)
+        self.assertIn("regressed", kinds(out, "resilience.engaged"))
+        self.assertIn("regressed", kinds(out, "resilience.steps_down"))
+        self.assertIn("regressed", kinds(out, "resilience.time_degraded"))
+        self.assertIn("regressed", kinds(out, "resilience.peak_stage"))
+
+    def test_recovering_from_degradation_improves(self):
+        out = compare_runs.compare_docs(
+            self.report_with(resilience_block()), self.report_with(),
+            0.05, False)
+        self.assertIn("improved", kinds(out, "resilience.engaged"))
+        self.assertIn("improved", kinds(out, "resilience.peak_stage"))
+        self.assertNotIn("regressed",
+                         [c["kind"] for c in out
+                          if c["metric"].startswith("resilience.")])
+
+    def test_identical_degraded_runs_have_no_regressions(self):
+        out = compare_runs.compare_docs(
+            self.report_with(resilience_block()),
+            self.report_with(resilience_block()), 0.05, False)
+        self.assertNotIn("regressed", [c["kind"] for c in out])
+
+    def test_deeper_peak_stage_regresses(self):
+        out = compare_runs.compare_docs(
+            self.report_with(resilience_block(peak_stage="cap_low")),
+            self.report_with(resilience_block(peak_stage="shed")), 0.05, False)
+        self.assertIn("regressed", kinds(out, "resilience.peak_stage"))
+
+    def test_recovery_activity_is_informational(self):
+        # More steps back up / lanes restored is not worse — the gate must
+        # not punish a candidate for recovering harder.
+        out = compare_runs.compare_docs(
+            self.report_with(resilience_block(steps_up=0, lanes_restored=0)),
+            self.report_with(resilience_block(steps_up=5, lanes_restored=4)),
+            0.05, False)
+        self.assertNotIn("regressed", kinds(out, "resilience.steps_up"))
+        self.assertNotIn("regressed", kinds(out, "resilience.lanes_restored"))
+
+    def test_bench_points_carry_the_same_gate(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(resilience=resilience_block())])
+        out = compare_runs.compare_docs(base, cand, 0.05, False)
+        self.assertIn("regressed", kinds(out, "resilience.engaged"))
+
+    def test_campaign_retry_counts_gate_absent_as_zero(self):
+        base = bench_doc([bench_point()])
+        cand = bench_doc([bench_point(retried=2, timed_out=1)])
+        out = compare_runs.compare_docs(base, cand, 0.05, False)
+        self.assertIn("regressed", kinds(out, "retried"))
+        self.assertIn("regressed", kinds(out, "timed_out"))
+        # Retry-free on both sides adds nothing to the comparison set.
+        quiet = compare_runs.compare_docs(
+            bench_doc([bench_point()]), bench_doc([bench_point()]), 0.05, False)
+        self.assertFalse([c for c in quiet if c["metric"] in ("retried",
+                                                              "timed_out")])
+
+
 class CliContract(unittest.TestCase):
     def write(self, tmp, name, doc):
         path = Path(tmp) / name

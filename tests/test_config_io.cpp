@@ -208,6 +208,52 @@ TEST(OptionsIo, SerializeParseSerializeIsIdempotent) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+// Same fixed point with the survivability section populated: every
+// degrade.* key must serialize, parse back, and serialize again to the
+// exact same text. The section only appears when a policy is set.
+TEST(OptionsIo, DegradeKeysSurviveSerializeParseSerialize) {
+  SimOptions o;
+  o.reconfig.mode = erapid::reconfig::NetworkMode::p_b();
+  o.obs.enabled = true;
+  o.obs.monitors.power_cap_mw = 250.0;
+  o.obs.monitors.throughput_floor = 0.4;
+  o.degrade.power_cap = erapid::resilience::ResponsePolicy::Shed;
+  o.degrade.throughput_floor = erapid::resilience::ResponsePolicy::Record;
+  o.degrade.cooldown_cycles = 1500;
+  o.degrade.recover_margin = 0.75;
+  o.degrade.recover_cycles = 6000;
+  o.degrade.shed_step = 3;
+  o.degrade.max_shed_fraction = 0.25;
+
+  std::ostringstream first, second;
+  options_to_ini(o).save(first);
+  options_to_ini(options_from_ini(options_to_ini(o))).save(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_NE(first.str().find("[degrade]"), std::string::npos);
+
+  const auto back = options_from_ini(options_to_ini(o));
+  EXPECT_EQ(back.degrade.power_cap, o.degrade.power_cap);
+  EXPECT_EQ(back.degrade.throughput_floor, o.degrade.throughput_floor);
+  EXPECT_EQ(back.degrade.cooldown_cycles, 1500u);
+  EXPECT_EQ(back.degrade.recover_margin, 0.75);
+  EXPECT_EQ(back.degrade.recover_cycles, 6000u);
+  EXPECT_EQ(back.degrade.shed_step, 3u);
+  EXPECT_EQ(back.degrade.max_shed_fraction, 0.25);
+}
+
+TEST(OptionsIo, NoDegradePolicyMeansNoDegradeSection) {
+  // The degrade section is serialized only when a policy is configured —
+  // a policy-free options object keeps its INI byte-identical to one
+  // produced before the section existed.
+  const auto text = [] {
+    std::ostringstream os;
+    options_to_ini(SimOptions{}).save(os);
+    return os.str();
+  }();
+  EXPECT_EQ(text.find("[degrade]"), std::string::npos);
+  EXPECT_EQ(text.find("degrade."), std::string::npos);
+}
+
 TEST(OptionsIo, UnknownKeyThrows) {
   const auto ini = Ini::parse_string("[system]\nbords = 8\n");  // typo
   EXPECT_THROW(options_from_ini(ini), erapid::ModelInvariantError);

@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include "des/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "power/energy_meter.hpp"
 #include "power/link_power.hpp"
 #include "reconfig/allocation.hpp"
 #include "reconfig/dpm_strategy.hpp"
 #include "reconfig/manager.hpp"
 #include "reconfig/policy.hpp"
+#include "resilience/controller.hpp"
 #include "tests_support.hpp"
 #include "topology/config.hpp"
 #include "topology/rwa.hpp"
@@ -256,6 +259,71 @@ TEST(ContractPower, NegativeMeterPowerViolatesRequire) {
   power::EnergyMeter meter;
   const auto id = meter.add_source();
   EXPECT_THROW(meter.set_power(id, 0, units::Milliwatts{-5.0}), ModelInvariantError);
+}
+
+// ---- obs: monitor lifecycle ------------------------------------------------
+
+// finalize() closes the MonitorSet for good: it runs exactly once, and
+// every online feed rejects samples arriving after it. A monitor quietly
+// accepting post-finalize traffic would mean verdicts were rendered from a
+// partial run — these pin the lifecycle shut.
+
+obs::MonitorSet finalized_monitors(obs::MetricsRegistry& reg) {
+  obs::MonitorConfig cfg;
+  cfg.power_cap_mw = 1000.0;
+  cfg.quiescence_deadline = 100000;
+  cfg.max_recovery_cycles = 100000;
+  obs::MonitorSet mon(cfg, /*fail_fast=*/false, /*trace=*/nullptr, 0, reg);
+  mon.sample_power(10, 50.0);
+  mon.finalize({});
+  return mon;
+}
+
+TEST(ContractObs, MonitorDoubleFinalizeViolatesRequire) {
+  obs::MetricsRegistry reg;
+  auto mon = finalized_monitors(reg);
+  EXPECT_THROW(mon.finalize({}), ModelInvariantError);
+}
+
+TEST(ContractObs, PowerSampleAfterFinalizeViolatesRequire) {
+  obs::MetricsRegistry reg;
+  auto mon = finalized_monitors(reg);
+  EXPECT_THROW(mon.sample_power(20, 50.0), ModelInvariantError);
+}
+
+TEST(ContractObs, RecoveryAfterFinalizeViolatesRequire) {
+  obs::MetricsRegistry reg;
+  auto mon = finalized_monitors(reg);
+  EXPECT_THROW(mon.recovery(20, 5), ModelInvariantError);
+}
+
+TEST(ContractObs, DbrResolveAfterFinalizeViolatesRequire) {
+  obs::MetricsRegistry reg;
+  auto mon = finalized_monitors(reg);
+  EXPECT_THROW(mon.dbr_resolve(20), ModelInvariantError);
+}
+
+TEST(ContractObs, DbrQuiescedAfterFinalizeViolatesRequire) {
+  obs::MetricsRegistry reg;
+  auto mon = finalized_monitors(reg);
+  EXPECT_THROW(mon.dbr_quiesced(20, 25), ModelInvariantError);
+}
+
+// ---- resilience ------------------------------------------------------------
+
+TEST(ContractResilience, NamelessViolationViolatesRequire) {
+  resilience::DegradeConfig cfg;
+  cfg.power_cap = resilience::ResponsePolicy::Record;
+  resilience::DegradeController ctrl(cfg, 1000.0, /*hub=*/nullptr);
+  EXPECT_THROW(ctrl.on_violation(nullptr, 10, 1200.0, 1000.0),
+               ModelInvariantError);
+}
+
+TEST(ContractResilience, NegativePowerSampleViolatesRequire) {
+  resilience::DegradeConfig cfg;
+  cfg.power_cap = resilience::ResponsePolicy::Record;
+  resilience::DegradeController ctrl(cfg, 1000.0, /*hub=*/nullptr);
+  EXPECT_THROW(ctrl.on_power_sample(10, -1.0), ModelInvariantError);
 }
 
 // ---- diagnostics ----------------------------------------------------------

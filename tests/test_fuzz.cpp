@@ -23,9 +23,11 @@
 
 #include "des/engine.hpp"
 #include "fault/plan.hpp"
+#include "sim/options_io.hpp"
 #include "sim/report.hpp"
 #include "sim/simulation.hpp"
 #include "tests_support.hpp"
+#include "util/ini.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -276,6 +278,138 @@ TEST(FaultPlanFuzz, SingleCharacterMutationsNeverCrash) {
     const auto pos = rng.next_below(s.size());
     s[pos] = kCharset[rng.next_below(sizeof(kCharset) - 1)];
     expect_parse_is_total(s);
+  }
+}
+
+// ---- degrade.* INI grammar fuzz ---------------------------------------------------
+
+// One random *valid* survivability config: every policy is armed against
+// the monitor check it answers for, end-of-run checks only get the
+// policies they admit, and knobs stay inside their validated ranges.
+std::string random_degrade_ini(Rng& rng) {
+  static const char* kAll[] = {"record", "degrade", "shed", "abort"};
+  static const char* kFinal[] = {"record", "abort"};
+  std::ostringstream mon, dg;
+  bool any = false;
+  if (rng.next_below(2) == 0) {
+    mon << "power_cap_mw = " << (100 + rng.next_below(900)) << "\n";
+    dg << "power_cap = " << kAll[rng.next_below(4)] << "\n";
+    any = true;
+  }
+  if (rng.next_below(2) == 0) {
+    mon << "throughput_floor = 0." << (1 + rng.next_below(8)) << "\n";
+    dg << "throughput_floor = " << kFinal[rng.next_below(2)] << "\n";
+    any = true;
+  }
+  if (rng.next_below(2) == 0) {
+    mon << "p99_latency_ceiling = " << (500 + rng.next_below(5000)) << "\n";
+    dg << "p99_ceiling = " << kFinal[rng.next_below(2)] << "\n";
+    any = true;
+  }
+  if (!any || rng.next_below(2) == 0) {
+    mon << "max_recovery_cycles = " << (1000 + rng.next_below(50000)) << "\n";
+    dg << "recovery_deadline = " << kFinal[rng.next_below(2)] << "\n";
+  }
+  if (rng.next_below(2) == 0) {
+    dg << "cooldown_cycles = " << (1 + rng.next_below(10000)) << "\n";
+  }
+  if (rng.next_below(2) == 0) {
+    dg << "recover_margin = 0." << (1 + rng.next_below(9)) << "\n";
+  }
+  if (rng.next_below(2) == 0) {
+    dg << "recover_cycles = " << (1 + rng.next_below(100000)) << "\n";
+  }
+  if (rng.next_below(2) == 0) dg << "shed_step = " << (1 + rng.next_below(8)) << "\n";
+  if (rng.next_below(2) == 0) {
+    dg << "max_shed_fraction = 0." << (1 + rng.next_below(9)) << "\n";
+  }
+  std::ostringstream os;
+  os << "[reconfig]\nmode = P-B\n[obs]\nenabled = true\n"
+     << "[monitor]\n" << mon.str() << "[degrade]\n" << dg.str();
+  return os.str();
+}
+
+TEST(DegradeIniFuzz, ParseFormatParseIsIdentity) {
+  using erapid::sim::options_from_ini;
+  using erapid::sim::options_to_ini;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed * 389);
+    const std::string text = random_degrade_ini(rng);
+    const auto o = options_from_ini(erapid::util::Ini::parse_string(text));
+    std::ostringstream first, second;
+    options_to_ini(o).save(first);
+    options_to_ini(options_from_ini(options_to_ini(o))).save(second);
+    ASSERT_EQ(first.str(), second.str()) << "seed " << seed << "\n" << text;
+  }
+}
+
+// Any degrade.* input either parses (and then round-trips) or throws the
+// contract error — never crashes, never silently mis-parses.
+void expect_degrade_parse_is_total(const std::string& text) {
+  using erapid::sim::options_from_ini;
+  using erapid::sim::options_to_ini;
+  try {
+    const auto o = options_from_ini(erapid::util::Ini::parse_string(text));
+    std::ostringstream first, second;
+    options_to_ini(o).save(first);
+    options_to_ini(options_from_ini(options_to_ini(o))).save(second);
+    EXPECT_EQ(first.str(), second.str()) << text;
+  } catch (const erapid::ModelInvariantError&) {
+    // Rejected cleanly.
+  }
+}
+
+TEST(DegradeIniFuzz, GarbageValuesNeverCrash) {
+  static const char kCharset[] = "abcdefghijklmnopqrstuvwxyz0123456789.-+e ";
+  static const char* kKeys[] = {
+      "power_cap", "throughput_floor", "p99_ceiling", "recovery_deadline",
+      "cooldown_cycles", "recover_margin", "recover_cycles", "shed_step",
+      "max_shed_fraction"};
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed * 739);
+    std::string value;
+    const auto len = 1 + rng.next_below(12);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      value += kCharset[rng.next_below(sizeof(kCharset) - 1)];
+    }
+    std::ostringstream os;
+    os << "[obs]\nenabled = true\n[monitor]\npower_cap_mw = 100\n[degrade]\n"
+       << kKeys[rng.next_below(9)] << " = " << value << "\n";
+    expect_degrade_parse_is_total(os.str());
+  }
+}
+
+TEST(DegradeIniFuzz, CrossFieldInvalidConfigsAreRejected) {
+  using erapid::sim::options_from_ini;
+  using erapid::util::Ini;
+  const char* kBad[] = {
+      // Policy without the monitor check it answers for.
+      "[obs]\nenabled = true\n[degrade]\npower_cap = record\n",
+      // Policy with the check armed but obs disabled.
+      "[monitor]\npower_cap_mw = 100\n[degrade]\npower_cap = record\n",
+      // Shed needs bandwidth reconfiguration (DBR) to act through.
+      "[reconfig]\nmode = NP-NB\n[obs]\nenabled = true\n"
+      "[monitor]\npower_cap_mw = 100\n[degrade]\npower_cap = shed\n",
+      // End-of-run checks admit record|abort only — nothing to shed at the end.
+      "[reconfig]\nmode = P-B\n[obs]\nenabled = true\n"
+      "[monitor]\nthroughput_floor = 0.4\n[degrade]\nthroughput_floor = shed\n",
+      "[reconfig]\nmode = P-B\n[obs]\nenabled = true\n"
+      "[monitor]\np99_latency_ceiling = 900\n[degrade]\np99_ceiling = degrade\n",
+      // Knob ranges (validated even with no policy configured).
+      "[degrade]\ncooldown_cycles = 0\n",
+      "[degrade]\nrecover_margin = 1.5\n",
+      "[degrade]\nrecover_cycles = -3\n",
+      "[degrade]\nshed_step = 0\n",
+      "[degrade]\nmax_shed_fraction = 0\n",
+      // Unknown policy token / unknown key.
+      "[obs]\nenabled = true\n[monitor]\npower_cap_mw = 100\n"
+      "[degrade]\npower_cap = sched\n",
+      "[degrade]\npower_kap = record\n",
+  };
+  for (const char* text : kBad) {
+    EXPECT_THROW(options_from_ini(Ini::parse_string(text)),
+                 erapid::ModelInvariantError)
+        << text;
   }
 }
 

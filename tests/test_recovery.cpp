@@ -10,8 +10,11 @@
 //     labelled packet is either delivered or explicitly dead-lettered.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "sim/report.hpp"
 #include "sim/simulation.hpp"
 #include "util/expect.hpp"
 
@@ -159,5 +162,71 @@ TEST(SelfHealing, ArqDeadLettersOnExhaustionAndRunStillDrains) {
   EXPECT_LE(r.fault.arq_retransmits,
             r.fault.crc_dropped * o.system.arq_retry_limit);
 }
+
+// ---- chaos: fault storm under an active brownout ladder ---------------------
+
+#if !defined(ERAPID_NO_OBS)
+
+/// A tight power cap (deep ladder: sleeps + sheds) with a transient fault
+/// storm landing mid-descent. The two planes must stay disjoint: lanes the
+/// controller put to sleep or shed are policy decisions, not outages, so
+/// the fault plane's downtime/recovery accounting covers exactly the
+/// storm's own lanes.
+sim::SimOptions chaos_options() {
+  auto o = base_options();
+  o.load_fraction = 0.5;
+  o.warmup_cycles = 4000;
+  o.measure_cycles = 8000;
+  // Deep brownout sheds most of the capacity while the storm's ARQ ladder
+  // retries on top of it — the backlog drains, but slowly.
+  o.drain_limit = 200000;
+  o.obs.enabled = true;
+  o.obs.monitor_fail_fast = true;
+  o.obs.monitors.power_cap_mw = 100.0;
+  o.degrade.power_cap = resilience::ResponsePolicy::Shed;
+  o.degrade.cooldown_cycles = 1000;
+  o.degrade.recover_cycles = 500000;  // hold the brownout to the end
+  o.degrade.shed_step = 2;
+  // Two transient lane failures and a corruption window, all landing while
+  // the ladder is still stepping down.
+  o.fault = FaultPlan::parse_events(
+      "lane_fail@6000:d1:w1:r9000 lane_fail@7000:d3:w3:r11000 "
+      "bit_error@6500:d2:w2:p0.0003:4000");
+  return o;
+}
+
+TEST(Chaos, StormUnderBrownoutKeepsFaultAndPolicyAccountingDisjoint) {
+  const auto r = sim::Simulation(chaos_options()).run();
+
+  // The ladder went deep: lanes were slept and shed while the storm ran.
+  EXPECT_TRUE(r.resilience.engaged);
+  EXPECT_GT(r.resilience.lanes_shed, 0u);
+  EXPECT_GT(r.resilience.lanes_slept + r.resilience.lanes_shed, 1u);
+  EXPECT_TRUE(r.drained);
+
+  // Fault accounting covers exactly the storm's two transient lanes —
+  // slept and shed lanes never enter the downtime/recovery books.
+  EXPECT_EQ(r.fault.lanes_failed, 2u);
+  EXPECT_EQ(r.fault.lanes_repaired, 2u);
+  EXPECT_EQ(r.fault.readmissions_pending, 0u);
+  EXPECT_LE(r.fault.readmissions_completed, 2u);
+  // Downtime is the storm's own fail→repair arc (3000 / 4000 cycles), not
+  // the much longer policy-held brownout window.
+  EXPECT_GE(r.fault.worst_downtime, 3000u);
+  EXPECT_LT(r.fault.worst_downtime,
+            static_cast<CycleDelta>(r.resilience.time_degraded));
+}
+
+TEST(Chaos, StormUnderBrownoutIsByteIdenticalAcrossQueueKinds) {
+  auto heap = chaos_options();
+  heap.des_queue = des::QueueKind::Heap;
+  auto cal = chaos_options();
+  cal.des_queue = des::QueueKind::Calendar;
+  const std::string a = sim::to_json(sim::Simulation(heap).run());
+  const std::string b = sim::to_json(sim::Simulation(cal).run());
+  EXPECT_EQ(a, b);
+}
+
+#endif  // !ERAPID_NO_OBS
 
 }  // namespace

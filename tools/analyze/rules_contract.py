@@ -19,7 +19,7 @@ from decl_index import FileIndex, MethodInfo
 from findings import Finding
 
 DEFAULT_MODULES = ("des", "reconfig", "optical", "power", "fault", "workload",
-                   "obs")
+                   "obs", "resilience")
 
 
 @dataclass

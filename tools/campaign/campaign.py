@@ -31,6 +31,14 @@ A worker that exits non-zero (or crashes) yields a point record with
 ``"failed": true`` and the worker's stderr as ``"error"``; the campaign
 still completes, ``points_failed`` counts the casualties, and the driver
 exits 1 so CI notices.
+
+Flaky-host hardening: ``--timeout`` bounds each worker's wall clock (a
+point that overruns is killed and counted in its record's ``"timed_out"``),
+and ``--retries`` re-runs a failed point up to N more times with exponential
+backoff (``--backoff`` seconds, doubling per attempt). A point that
+eventually succeeds records how many ``"retried"`` attempts it burned; both
+fields are omitted when zero, so retry-free artifacts are byte-identical to
+those produced before the knobs existed.
 """
 
 import argparse
@@ -39,6 +47,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 
 def expand_points(spec):
@@ -95,34 +104,68 @@ def worker_argv(binary, point, config=None, no_wall=False):
     return argv
 
 
-def run_point(binary, point, config=None, no_wall=False):
-    """Runs one worker process; returns the parsed point record.
+def run_point_once(binary, point, config=None, no_wall=False, timeout=None):
+    """Runs one worker process; returns (record, timed_out).
 
-    Failures (non-zero exit, crash, unparseable stdout) become a record with
-    the point coordinates, "failed": true and the diagnostic in "error" —
-    the campaign never loses a point, it just marks it dead.
+    Failures (non-zero exit, crash, timeout, unparseable stdout) become a
+    record with the point coordinates, "failed": true and the diagnostic in
+    "error" — the campaign never loses a point, it just marks it dead.
     """
     argv = worker_argv(binary, point, config=config, no_wall=no_wall)
     failed = dict(point)
     del failed["overrides"]
     failed["failed"] = True
     try:
-        proc = subprocess.run(argv, capture_output=True, text=True, check=False)
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, check=False, timeout=timeout
+        )
+    except subprocess.TimeoutExpired:
+        failed["error"] = f"timed out after {timeout}s"
+        return failed, True
     except OSError as exc:
         failed["error"] = f"spawn failed: {exc}"
-        return failed
+        return failed, False
     if proc.returncode != 0:
         err = proc.stderr.strip() or f"worker exited with code {proc.returncode}"
         failed["error"] = err
-        return failed
+        return failed, False
     try:
         record = json.loads(proc.stdout)
     except ValueError as exc:
         failed["error"] = f"unparseable worker output: {exc}"
-        return failed
+        return failed, False
     if not isinstance(record, dict):
         failed["error"] = "worker output is not a JSON object"
-        return failed
+        return failed, False
+    return record, False
+
+
+def run_point(binary, point, config=None, no_wall=False, timeout=None,
+              retries=0, backoff=0.5, sleep=time.sleep):
+    """Runs one point with up to `retries` re-attempts on failure.
+
+    Backoff between attempts is `backoff * 2**attempt` seconds (attempt 0 is
+    the first retry). The returned record carries "retried" (extra attempts
+    consumed) and "timed_out" (attempts killed by the timeout) only when
+    nonzero — absent means zero, keeping retry-free artifacts byte-identical
+    to pre-retry ones.
+    """
+    retried = 0
+    timeouts = 0
+    for attempt in range(max(0, retries) + 1):
+        if attempt > 0:
+            sleep(backoff * (2 ** (attempt - 1)))
+            retried += 1
+        record, timed_out = run_point_once(
+            binary, point, config=config, no_wall=no_wall, timeout=timeout
+        )
+        timeouts += 1 if timed_out else 0
+        if not record.get("failed"):
+            break
+    if retried:
+        record["retried"] = retried
+    if timeouts:
+        record["timed_out"] = timeouts
     return record
 
 
@@ -142,7 +185,8 @@ def merge(spec, records, git_rev):
     }
 
 
-def run_campaign(spec, binary, jobs=1, no_wall=False, spec_dir="."):
+def run_campaign(spec, binary, jobs=1, no_wall=False, spec_dir=".",
+                 timeout=None, retries=0, backoff=0.5, sleep=time.sleep):
     """Expands, shards and merges one campaign; returns the artifact dict.
 
     The merge is deterministic by construction: workers may finish in any
@@ -156,7 +200,9 @@ def run_campaign(spec, binary, jobs=1, no_wall=False, spec_dir="."):
     records = [None] * len(points)
     with concurrent.futures.ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
         futures = {
-            pool.submit(run_point, binary, p, config=config, no_wall=no_wall): i
+            pool.submit(run_point, binary, p, config=config, no_wall=no_wall,
+                        timeout=timeout, retries=retries, backoff=backoff,
+                        sleep=sleep): i
             for i, p in enumerate(points)
         }
         for fut in concurrent.futures.as_completed(futures):
@@ -180,6 +226,24 @@ def main(argv=None):
         action="store_true",
         help="zero all wall-clock fields (byte-identical across -j levels)",
     )
+    ap.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget in seconds (default: unbounded)",
+    )
+    ap.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failed point (default: 0)",
+    )
+    ap.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base retry backoff in seconds, doubling per attempt",
+    )
     args = ap.parse_args(argv)
 
     with open(args.spec, encoding="utf-8") as fh:
@@ -191,6 +255,9 @@ def main(argv=None):
         jobs=args.jobs,
         no_wall=args.no_wall,
         spec_dir=os.path.dirname(os.path.abspath(args.spec)),
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
     )
     os.makedirs(args.out_dir, exist_ok=True)
     path = artifact_path(args.out_dir, spec["name"])

@@ -24,6 +24,11 @@ relative thresholds:
     worth flagging). ``obs_monitors`` verdicts gate too; a report without
     the block (pre-monitor artifacts, monitor-free runs) compares as "no
     monitors configured" — ok, zero violations — rather than erroring.
+    The ``resilience`` block (reports and brownout bench points) gates the
+    same way: absence means degradation-free (the all-zero baseline);
+    engaging the brownout ladder against a clean baseline, stepping down
+    more, shedding/sleeping more lanes, or peaking at a deeper ladder
+    stage is a regression, while recovery activity is informational.
 
 Self-describing stamp fields that bench artifacts carry (``des_queue``,
 ``obs`` config echoes) are ignored: only the metric names listed below are
@@ -91,6 +96,35 @@ REPORT_FIELDS = {
     "drained": "false_bad",
 }
 
+# Survivability block (reports and brownout bench points). A document
+# without the block is degradation-free: it compares as this baseline, so
+# a run that *starts* engaging the brownout ladder against a clean
+# baseline regresses, and a run that stops engaging it improves. Recovery
+# activity (steps back up, lanes restored) is informational — more
+# recovery is not worse.
+RESILIENCE_ABSENT = {
+    "engaged": False, "peak_stage": "normal", "steps_down": 0, "steps_up": 0,
+    "lanes_shed": 0, "lanes_slept": 0, "lanes_restored": 0, "episodes": 0,
+    "time_degraded": 0, "suppressed_violations": 0,
+}
+RESILIENCE_FIELDS = {
+    "engaged": "true_bad",
+    "steps_down": "up_bad",
+    "lanes_shed": "up_bad",
+    "lanes_slept": "up_bad",
+    "episodes": "up_bad",
+    "time_degraded": "up_bad",
+    "suppressed_violations": "up_bad",
+    "steps_up": "info",
+    "lanes_restored": "info",
+}
+# Brownout ladder stages, shallow to deep — a deeper peak is a regression.
+STAGE_RANK = {"normal": 0, "cap_mid": 1, "cap_low": 2, "sleep_idle": 3, "shed": 4}
+
+# Campaign retry bookkeeping: a point that needed more retries (or hit the
+# per-point timeout more often) than the baseline is flakier. Absent = zero.
+RETRY_FIELDS = {"retried": "up_bad", "timed_out": "up_bad"}
+
 
 class CompareError(Exception):
     """Input file is not a comparable artifact."""
@@ -115,10 +149,11 @@ def rel_change(base, cand):
 
 def classify(rule, base, cand, threshold):
     """Returns (kind, pct) — kind in {same, improved, drifted, regressed}."""
-    if rule == "false_bad":
+    if rule in ("false_bad", "true_bad"):
         if bool(base) == bool(cand):
             return "same", 0.0
-        return ("regressed", 0.0) if (base and not cand) else ("improved", 0.0)
+        bad = (base and not cand) if rule == "false_bad" else (cand and not base)
+        return ("regressed", 0.0) if bad else ("improved", 0.0)
     pct = rel_change(float(base), float(cand))
     if pct == 0.0:
         return "same", 0.0
@@ -210,17 +245,49 @@ def compare_obs_metrics(label, base_obs, cand_obs, threshold, out):
         })
 
 
+def compare_resilience(label, base_res, cand_res, threshold, out):
+    """Survivability gate. Absence of the block means the run never built a
+    degradation controller (degradation-free) — it compares as the all-zero
+    baseline rather than erroring, so brownout-capable candidates diff
+    cleanly against pre-resilience artifacts."""
+    if base_res is None and cand_res is None:
+        return
+    base = {**RESILIENCE_ABSENT, **(base_res or {})}
+    cand = {**RESILIENCE_ABSENT, **(cand_res or {})}
+    scoped = []
+    compare_fields(label, base, cand, RESILIENCE_FIELDS, threshold, False, scoped)
+    for c in scoped:
+        c["metric"] = f"resilience.{c['metric']}"
+    out.extend(scoped)
+    b_rank = STAGE_RANK.get(str(base["peak_stage"]), len(STAGE_RANK))
+    c_rank = STAGE_RANK.get(str(cand["peak_stage"]), len(STAGE_RANK))
+    if b_rank != c_rank:
+        out.append({
+            "where": label,
+            "metric": "resilience.peak_stage",
+            "baseline": base["peak_stage"],
+            "candidate": cand["peak_stage"],
+            "change_pct": None,
+            "kind": "regressed" if c_rank > b_rank else "improved",
+        })
+
+
 def point_key(p):
     """Full point identity. Components a point does not carry (older bench
-    artifacts have no pattern/seed) stay None and match None on the other
-    side, so pre-campaign artifacts keep comparing exactly as before."""
-    return (p.get("pattern"), p.get("mode"), p.get("load"), p.get("seed"))
+    artifacts have no pattern/seed; only brownout sweeps have cap_mw) stay
+    None and match None on the other side, so pre-campaign artifacts keep
+    comparing exactly as before."""
+    return (p.get("pattern"), p.get("mode"), p.get("cap_mw"), p.get("load"),
+            p.get("seed"))
 
 
 def point_label(key):
-    pattern, mode, load, seed = key
+    pattern, mode, cap_mw, load, seed = key
     parts = [] if pattern is None else [str(pattern)]
-    parts.append(f"{mode}/load={load}")
+    parts.append(str(mode))
+    if cap_mw is not None:
+        parts.append(f"cap={cap_mw}")
+    parts.append(f"load={load}")
     if seed is not None:
         parts.append(f"seed={seed}")
     return "/".join(parts)
@@ -235,7 +302,7 @@ def compare_bench(base, cand, threshold, include_wall):
 
     b_pts, c_pts = index(base, "baseline"), index(cand, "candidate")
     comparisons = []
-    sort_key = lambda k: (str(k[0]), str(k[1]), str(k[2]), str(k[3]))  # noqa: E731
+    sort_key = lambda k: tuple(str(c) for c in k)  # noqa: E731
     for key in sorted(set(b_pts) | set(c_pts), key=sort_key):
         label = point_label(key)
         if key not in b_pts or key not in c_pts:
@@ -262,6 +329,13 @@ def compare_bench(base, cand, threshold, include_wall):
             continue
         compare_fields(label, b_pts[key], c_pts[key], BENCH_FIELDS, threshold,
                        include_wall, comparisons)
+        compare_resilience(label, b_pts[key].get("resilience"),
+                           c_pts[key].get("resilience"), threshold, comparisons)
+        b_retry = {k: b_pts[key].get(k, 0) for k in RETRY_FIELDS}
+        c_retry = {k: c_pts[key].get(k, 0) for k in RETRY_FIELDS}
+        if any(b_retry.values()) or any(c_retry.values()):
+            compare_fields(label, b_retry, c_retry, RETRY_FIELDS, threshold,
+                           False, comparisons)
     compare_fields("doc", base, cand, BENCH_DOC_FIELDS, threshold,
                    include_wall, comparisons)
     return comparisons
@@ -300,6 +374,8 @@ def compare_reports(base, cand, threshold, include_wall):
                             c.get("obs_metrics", {}), threshold, comparisons)
         compare_obs_monitors(name, b.get("obs_monitors"),
                              c.get("obs_monitors"), threshold, comparisons)
+        compare_resilience(name, b.get("resilience"), c.get("resilience"),
+                           threshold, comparisons)
     return comparisons
 
 
